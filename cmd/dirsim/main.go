@@ -1,0 +1,177 @@
+// Command dirsim runs one or more coherence schemes over a workload and
+// prints event frequencies and bus-cycle costs.
+//
+// Usage:
+//
+//	dirsim -workload pops -cpus 4 -refs 500000 -schemes Dir1NB,WTI,Dir0B,Dragon
+//	dirsim -trace trace.bin -schemes Dir0B
+//
+// With -stats the trace characteristics (Table 3 style) are printed too;
+// -nospins removes lock-test reads first (the Section 5.2 experiment);
+// -conformance runs the correctness battery on each scheme instead of a
+// simulation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dirsim/internal/core"
+	"dirsim/internal/sim"
+	"dirsim/internal/trace"
+	"dirsim/internal/verify"
+	"dirsim/internal/workload"
+)
+
+func main() {
+	var (
+		wl      = flag.String("workload", "pops", "workload name: pops, thor, pero, pingpong, migratory, prodcons, readshared, private, spincontend")
+		traceIn = flag.String("trace", "", "read a binary trace file instead of generating a workload")
+		cpus    = flag.Int("cpus", 4, "processor count for generated workloads")
+		refs    = flag.Int("refs", 500000, "approximate trace length for generated workloads")
+		schemes = flag.String("schemes", "Dir1NB,WTI,Dir0B,Dragon", "comma-separated scheme names")
+		stats   = flag.Bool("stats", false, "print trace characteristics")
+		events  = flag.Bool("events", false, "print the full event-frequency table per scheme")
+		nospins = flag.Bool("nospins", false, "filter lock-test spin reads out of the trace first")
+		check   = flag.Bool("check", false, "run with coherence checking enabled")
+		csvOut  = flag.String("csv", "", "additionally write results as CSV to this file ('-' for stdout)")
+		conform = flag.Bool("conformance", false, "run the full correctness battery (model check + kernels + application trace) on each scheme instead of a simulation")
+	)
+	flag.Parse()
+	if *conform {
+		if err := runConformance(*schemes); err != nil {
+			fmt.Fprintln(os.Stderr, "dirsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*wl, *traceIn, *cpus, *refs, *schemes, *stats, *events, *nospins, *check, *csvOut); err != nil {
+		fmt.Fprintln(os.Stderr, "dirsim:", err)
+		os.Exit(1)
+	}
+}
+
+// runConformance runs the verification battery for each named scheme.
+func runConformance(schemes string) error {
+	for _, scheme := range strings.Split(schemes, ",") {
+		scheme = strings.TrimSpace(scheme)
+		if scheme == "" {
+			continue
+		}
+		// Validate the name before the battery spends time on it.
+		if _, err := core.NewByName(scheme, 2); err != nil {
+			return err
+		}
+		err := verify.Battery(func(ncpu int) core.Protocol {
+			p, buildErr := core.NewByName(scheme, ncpu)
+			if buildErr != nil {
+				panic(buildErr)
+			}
+			return p
+		})
+		if err != nil {
+			return fmt.Errorf("%s FAILED: %w", scheme, err)
+		}
+		fmt.Printf("%-8s PASS (model check + kernels + application trace)\n", scheme)
+	}
+	return nil
+}
+
+func run(wl, traceIn string, cpus, refs int, schemes string, stats, events, nospins, check bool, csvOut string) error {
+	t, err := loadTrace(wl, traceIn, cpus, refs)
+	if err != nil {
+		return err
+	}
+	if stats {
+		fmt.Print(trace.ComputeStats(t))
+	}
+	var results []*sim.Result
+	for _, scheme := range strings.Split(schemes, ",") {
+		scheme = strings.TrimSpace(scheme)
+		if scheme == "" {
+			continue
+		}
+		src := trace.Source(t.Iterator())
+		if nospins {
+			src = trace.WithoutSpins(src)
+		}
+		p, err := core.NewByName(scheme, t.CPUs)
+		if err != nil {
+			return err
+		}
+		res, err := sim.Simulate(p, src, sim.Options{Check: check})
+		if err != nil {
+			return err
+		}
+		res.Trace = t.Name
+		results = append(results, res)
+		printResult(res, events)
+	}
+	if csvOut != "" {
+		w := os.Stdout
+		if csvOut != "-" {
+			f, err := os.Create(csvOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		return sim.WriteCSV(w, results)
+	}
+	return nil
+}
+
+func printResult(res *sim.Result, events bool) {
+	fmt.Printf("== %s over %s ==\n", res.Scheme, res.Trace)
+	if events {
+		fmt.Print(res.Counts.String())
+	}
+	fmt.Printf("  rd-miss %.3f%%  wr-miss %.3f%%  data-miss(incl first) %.3f%%\n",
+		res.Counts.ReadMisses(), res.Counts.WriteMisses(), res.Counts.DataMissRate())
+	for _, name := range []string{"pipelined", "non-pipelined"} {
+		if tl := res.Tally(name); tl != nil {
+			fmt.Printf("  %-13s %.4f cycles/ref  (%.4f txn/ref, %.2f cycles/txn)\n",
+				name, tl.PerRef(), tl.TransactionsPerRef(), tl.PerTransaction())
+		}
+	}
+	if res.InvalClean.Total() > 0 {
+		fmt.Printf("  writes to clean blocks: %.1f%% invalidate <=1 cache (mean %.2f)\n",
+			res.InvalClean.PctAtMost(1), res.InvalClean.Mean())
+	}
+	fmt.Println()
+}
+
+func loadTrace(wl, traceIn string, cpus, refs int) (*trace.Trace, error) {
+	if traceIn != "" {
+		f, err := os.Open(traceIn)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return trace.ReadBinary(f)
+	}
+	switch strings.ToLower(wl) {
+	case "pops":
+		return workload.POPS(cpus, refs), nil
+	case "thor":
+		return workload.THOR(cpus, refs), nil
+	case "pero":
+		return workload.PERO(cpus, refs), nil
+	case "pingpong":
+		return workload.PingPong(refs), nil
+	case "migratory":
+		return workload.Migratory(cpus, 8, refs/16), nil
+	case "prodcons":
+		return workload.ProducerConsumer(cpus, 16, refs/(16*cpus)), nil
+	case "readshared":
+		return workload.ReadShared(cpus, 64, refs/(64*cpus)), nil
+	case "private":
+		return workload.Private(cpus, 256, refs), nil
+	case "spincontend":
+		return workload.SpinContention(cpus, refs/(8*cpus), 8), nil
+	}
+	return nil, fmt.Errorf("unknown workload %q", wl)
+}

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dirsim/internal/trace"
+	"dirsim/internal/workload"
+)
+
+func TestLoadTraceWorkloads(t *testing.T) {
+	for _, wl := range []string{"pops", "thor", "pero", "pingpong", "migratory",
+		"prodcons", "readshared", "private", "spincontend"} {
+		tr, err := loadTrace(wl, "", 4, 2000)
+		if err != nil {
+			t.Fatalf("%s: %v", wl, err)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("%s: invalid trace: %v", wl, err)
+		}
+	}
+	if _, err := loadTrace("bogus", "", 4, 100); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestLoadTraceFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.trc")
+	orig := workload.PingPong(100)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteBinary(f, orig); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	got, err := loadTrace("", path, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != orig.Len() || got.Name != orig.Name {
+		t.Errorf("loaded %d refs of %q", got.Len(), got.Name)
+	}
+	if _, err := loadTrace("", filepath.Join(dir, "missing.trc"), 0, 0); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "out.csv")
+	if err := run("pingpong", "", 2, 2000, "Dir0B,Dragon", true, true, false, true, csvPath); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(data)
+	if !strings.Contains(out, "Dir0B") || !strings.Contains(out, "Dragon") {
+		t.Errorf("CSV missing schemes:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("pingpong", "", 2, 100, "NotAScheme", false, false, false, false, ""); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	if err := run("bogus", "", 2, 100, "Dir0B", false, false, false, false, ""); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestRunConformance(t *testing.T) {
+	if err := runConformance("Dir0B"); err != nil {
+		t.Fatal(err)
+	}
+	if err := runConformance("NotAScheme"); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}
+
+func TestRunWithSpinsFiltered(t *testing.T) {
+	if err := run("spincontend", "", 4, 2000, "Dir1NB", false, false, true, false, ""); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,59 @@
+// Command experiments regenerates the paper's tables and figures from
+// fresh simulations and prints them with the published values alongside.
+//
+// Usage:
+//
+//	experiments                 # run everything at the default size
+//	experiments -run table4,fig1
+//	experiments -refs 2000000   # closer to the paper's 3M-ref traces
+//	experiments -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"dirsim/internal/report"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "all", "comma-separated experiment IDs (or 'all')")
+		refs  = flag.Int("refs", 400_000, "approximate references per generated trace")
+		cpus  = flag.Int("cpus", 4, "processor count for the headline experiments")
+		check = flag.Bool("check", false, "enable coherence checking (slower)")
+		list  = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+	if err := runExperiments(os.Stdout, *run, *refs, *cpus, *check, *list); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+// runExperiments drives the selected experiments, writing their rendered
+// output to w.
+func runExperiments(w io.Writer, sel string, refs, cpus int, check, list bool) error {
+	if list {
+		for _, e := range report.Experiments() {
+			fmt.Fprintf(w, "%-10s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+	exps, err := report.Lookup(sel)
+	if err != nil {
+		return err
+	}
+	ctx := report.NewContext(refs, cpus)
+	ctx.Check = check
+	for _, e := range exps {
+		out, err := e.Run(ctx)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Fprintln(w, out)
+	}
+	return nil
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestListExperiments(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runExperiments(&buf, "all", 0, 0, false, true); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, id := range []string{"table3", "table4", "fig1", "fig5", "spinlocks", "coarse"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("listing missing %q", id)
+		}
+	}
+}
+
+func TestRunSubset(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runExperiments(&buf, "table3,storage", 20_000, 4, false, false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "pops") || !strings.Contains(out, "full-map") {
+		t.Errorf("output incomplete:\n%s", out)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runExperiments(&buf, "nonsense", 10_000, 4, false, false); err == nil {
+		t.Error("unknown experiment id accepted")
+	}
+}
+
+func TestRunWithChecking(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runExperiments(&buf, "fig1", 20_000, 4, true, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "at most one cache") {
+		t.Error("fig1 output missing its conclusion")
+	}
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dirsim/internal/trace"
+	"dirsim/internal/workload"
+)
+
+func TestWorkloadConfig(t *testing.T) {
+	for _, wl := range []string{"pops", "thor", "pero"} {
+		cfg, err := workloadConfig(wl, 4, 1000, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", wl, err)
+		}
+		if cfg.Seed == 0 {
+			t.Errorf("%s: fixed seed not applied", wl)
+		}
+		if cfg.CPUs != 4 || cfg.Refs != 1000 {
+			t.Errorf("%s: %+v", wl, cfg)
+		}
+	}
+	cfg, err := workloadConfig("pops", 2, 100, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Seed != 77 {
+		t.Error("seed override ignored")
+	}
+	if _, err := workloadConfig("bogus", 4, 100, 0); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestGenerateInspectConvertRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "t.trc")
+	txt := filepath.Join(dir, "t.txt")
+
+	// Generate binary.
+	if err := run("pops", 2, 3000, 0, bin, "binary", "", ""); err != nil {
+		t.Fatal(err)
+	}
+	// Inspect it (writes stats to stdout).
+	if err := run("", 0, 0, 0, "", "", bin, ""); err != nil {
+		t.Fatal(err)
+	}
+	// Convert binary -> text.
+	if err := run("", 0, 0, 0, txt, "text", "", bin); err != nil {
+		t.Fatal(err)
+	}
+	// The text file must parse back to the same trace.
+	f, err := os.Open(txt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	fromText, err := trace.ReadText(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := workload.MustGenerate(workload.Config{
+		Name: "pops", CPUs: 2, Refs: 3000, Seed: workload.SeedPOPS,
+		Profile: workload.POPSProfile(),
+	})
+	if fromText.Len() != want.Len() {
+		t.Fatalf("round trip changed length: %d vs %d", fromText.Len(), want.Len())
+	}
+	for i := range want.Refs {
+		if fromText.Refs[i] != want.Refs[i] {
+			t.Fatalf("ref %d changed in round trip", i)
+		}
+	}
+}
+
+func TestRunErrorsTracegen(t *testing.T) {
+	if err := run("", 0, 0, 0, "", "binary", "", ""); err == nil {
+		t.Error("no action should be an error")
+	}
+	if err := run("pops", 2, 100, 0, "", "xml", "", ""); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if err := run("", 0, 0, 0, "", "", "/nonexistent/file", ""); err == nil {
+		t.Error("missing inspect file accepted")
+	}
+}

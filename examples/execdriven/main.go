@@ -1,0 +1,54 @@
+// Execdriven: generate traces by actually executing parallel programs on
+// the bundled mini-machine — the multiprocessor simulator the paper names
+// as its future work — then compare coherence schemes on them. The final
+// memory state doubles as an end-to-end correctness proof: if the lock or
+// the machine were broken, the counter would come out wrong.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dirsim"
+	"dirsim/internal/sim"
+	"dirsim/internal/vm"
+)
+
+func main() {
+	const cpus, iters = 4, 500
+	progs := make([]*vm.Program, cpus)
+	for i := range progs {
+		progs[i] = vm.LockedCounter(iters)
+	}
+	m := &vm.Machine{Programs: progs, Seed: 1988}
+	t, mem, err := m.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("executed: %d CPUs x %d locked increments -> counter = %d (want %d)\n",
+		cpus, iters, mem[8], cpus*iters)
+	fmt.Printf("emitted trace: %d references\n\n", t.Len())
+
+	fmt.Printf("%-8s %12s %22s\n", "scheme", "cycles/ref", "cycles/ref (no spins)")
+	for _, scheme := range []string{"Dir1NB", "WTI", "Dir0B", "Dragon"} {
+		full, err := dirsim.Run(scheme, t)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p, err := dirsim.NewScheme(scheme, t.CPUs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		filtered, err := sim.Simulate(p, dirsim.WithoutSpins(t.Iterator()), sim.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s %12.4f %22.4f\n", scheme,
+			full.PerRef(dirsim.PipelinedModel), filtered.PerRef(dirsim.PipelinedModel))
+	}
+	fmt.Println("\nThe lock traffic of Section 5.2 emerges here from a real test-and-")
+	fmt.Println("test-and-set loop rather than a statistical model. This trace is")
+	fmt.Println("almost nothing but lock and counter ping-pong, so the invalidation")
+	fmt.Println("schemes all pay heavily while Dragon — whose updates keep the")
+	fmt.Println("spinners' copies fresh — is an order of magnitude cheaper.")
+}

@@ -1,0 +1,48 @@
+// Finitecache: the Section 4 first-order finite-cache model. The headline
+// evaluation uses infinite caches to isolate coherence traffic; real
+// machines add capacity misses on top. This example measures those extra
+// misses at several cache sizes and combines them with the
+// infinite-cache coherence cost.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dirsim"
+	"dirsim/internal/bus"
+	"dirsim/internal/cache"
+)
+
+func main() {
+	t := dirsim.THOR(4, 500_000)
+	res, err := dirsim.Run("Dir0B", t)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := res.PerRef(dirsim.PipelinedModel)
+	mem := bus.Pipelined().MemAccess
+
+	fmt.Printf("infinite-cache Dir0B cost on %s: %.4f cycles/ref\n\n", t.Name, base)
+	fmt.Printf("%-12s %10s %18s %16s %12s\n",
+		"cache", "assoc", "capacity miss/ref", "est. cycles/ref", "overhead")
+	for _, cfg := range []cache.Config{
+		{SizeBytes: 2 * 1024, Assoc: 1, HashIndex: true},
+		{SizeBytes: 8 * 1024, Assoc: 2, HashIndex: true},
+		{SizeBytes: 32 * 1024, Assoc: 2, HashIndex: true},
+		{SizeBytes: 128 * 1024, Assoc: 4, HashIndex: true},
+		{SizeBytes: 512 * 1024, Assoc: 4, HashIndex: true},
+	} {
+		s, err := cache.SimulateFinite(t, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		est := cache.FirstOrderEstimate(base, s, mem)
+		fmt.Printf("%-12s %10d %18.5f %16.4f %11.1f%%\n",
+			fmt.Sprintf("%dKB", cfg.SizeBytes/1024), cfg.Assoc,
+			s.ExtraMissesPerRef(), est, 100*(est-base)/base)
+	}
+	fmt.Println("\nAs capacity grows the estimate converges to the infinite-cache cost,")
+	fmt.Println("which is why the paper treats the infinite cache as a good model of")
+	fmt.Println("a large one and reports coherence traffic in isolation.")
+}

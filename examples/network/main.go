@@ -1,0 +1,58 @@
+// Network: the paper's Section 6 scalability argument, quantified. A
+// directory scheme sends *directed* invalidations, so it runs on any
+// point-to-point interconnect paying only the network's average distance;
+// a broadcast scheme must flood every invalidation. This example prices
+// both on a bus, a crossbar, a 2D mesh, and a hypercube as the machine
+// grows.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dirsim"
+)
+
+func main() {
+	sizes := []struct {
+		cpus  int
+		topos []dirsim.Topology
+	}{
+		{16, []dirsim.Topology{
+			dirsim.BusTopology(16), dirsim.CrossbarTopology(16),
+			dirsim.MeshTopology(4, 4), dirsim.HypercubeTopology(4)}},
+		{64, []dirsim.Topology{
+			dirsim.BusTopology(64), dirsim.CrossbarTopology(64),
+			dirsim.MeshTopology(8, 8), dirsim.HypercubeTopology(6)}},
+	}
+	for _, sz := range sizes {
+		t := dirsim.THOR(sz.cpus, 300_000)
+		fmt.Printf("%d CPUs (link-cycles per reference):\n", sz.cpus)
+		fmt.Printf("  %-8s", "scheme")
+		for _, topo := range sz.topos {
+			fmt.Printf(" %10s", topo.Name)
+		}
+		fmt.Println()
+		for _, scheme := range []string{"DirNNB", "Dir0B"} {
+			p, err := dirsim.NewScheme(scheme, t.CPUs)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := dirsim.RunProtocol(p, t.Iterator(),
+				dirsim.Options{Topologies: sz.topos})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-8s", scheme)
+			for _, topo := range sz.topos {
+				fmt.Printf(" %10.3f", res.NetTallies[topo.Name].PerRef())
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+	fmt.Println("On the bus the two schemes are equals. Off the bus, DirNNB's traffic")
+	fmt.Println("scales with average hop distance while Dir0B pays a spanning-tree")
+	fmt.Println("flood per invalidation — and the gap widens with machine size. This")
+	fmt.Println("is why the paper concludes directories, not snooping, scale.")
+}

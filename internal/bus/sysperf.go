@@ -1,0 +1,73 @@
+package bus
+
+import "fmt"
+
+// SystemPerf is the paper's Section 5 back-of-envelope system model: a
+// processor issuing one data reference per instruction consumes bus
+// bandwidth in proportion to its MIPS rating, and the shared bus saturates
+// when the aggregate demand reaches one bus cycle per bus-cycle time.
+type SystemPerf struct {
+	// CyclesPerRef is the coherence cost measured by the simulator
+	// (bus cycles per memory reference, instruction fetches included in
+	// the denominator).
+	CyclesPerRef float64
+	// ProcessorMIPS is the processor's instruction rate in millions per
+	// second. The paper uses 10 MIPS.
+	ProcessorMIPS float64
+	// BusCycleNS is the bus cycle time in nanoseconds. The paper uses
+	// 100ns.
+	BusCycleNS float64
+	// RefsPerInstr is how many memory references (instruction fetch +
+	// data) each instruction generates. The paper's traces average two:
+	// one fetch plus one data reference, with instruction traffic
+	// assumed to stay off the bus.
+	RefsPerInstr float64
+}
+
+// PaperSystem returns the configuration of the paper's example: a 10-MIPS
+// processor, a 100ns bus, two references per instruction.
+func PaperSystem(cyclesPerRef float64) SystemPerf {
+	return SystemPerf{
+		CyclesPerRef:  cyclesPerRef,
+		ProcessorMIPS: 10,
+		BusCycleNS:    100,
+		RefsPerInstr:  2,
+	}
+}
+
+// BusCyclesPerSecondPerCPU returns how many bus cycles one processor
+// consumes per second.
+func (s SystemPerf) BusCyclesPerSecondPerCPU() float64 {
+	refsPerSecond := s.ProcessorMIPS * 1e6 * s.RefsPerInstr
+	return refsPerSecond * s.CyclesPerRef
+}
+
+// NSBetweenBusCycles returns the average time between one processor's bus
+// cycles (the paper's "a bus cycle every 1500ns" for 0.03 cycles/ref).
+func (s SystemPerf) NSBetweenBusCycles() float64 {
+	c := s.BusCyclesPerSecondPerCPU()
+	if c == 0 {
+		return 0
+	}
+	return 1e9 / c
+}
+
+// EffectiveProcessors returns the number of processors the bus supports
+// before saturating — the paper's optimistic upper bound (no contention,
+// no instruction misses, infinite caches).
+func (s SystemPerf) EffectiveProcessors() float64 {
+	demand := s.BusCyclesPerSecondPerCPU() // cycles/s per CPU
+	capacity := 1e9 / s.BusCycleNS         // cycles/s on the bus
+	if demand == 0 {
+		return 0
+	}
+	return capacity / demand
+}
+
+// String renders the estimate the way the paper narrates it.
+func (s SystemPerf) String() string {
+	return fmt.Sprintf(
+		"%.0f-MIPS processor, %.0fns bus, %.4f cycles/ref: a bus cycle every %.0fns, %.1f effective processors",
+		s.ProcessorMIPS, s.BusCycleNS, s.CyclesPerRef,
+		s.NSBetweenBusCycles(), s.EffectiveProcessors())
+}

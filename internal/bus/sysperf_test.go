@@ -1,0 +1,83 @@
+package bus
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"dirsim/internal/event"
+)
+
+func TestPaperSystemExample(t *testing.T) {
+	// The paper: 0.03 cycles/ref, 10 MIPS, 100ns bus -> a bus cycle
+	// roughly every 1500ns and about 15 effective processors.
+	s := PaperSystem(0.03)
+	ns := s.NSBetweenBusCycles()
+	if ns < 1400 || ns > 1800 {
+		t.Errorf("ns between bus cycles = %.0f, paper says ~1500", ns)
+	}
+	eff := s.EffectiveProcessors()
+	if eff < 14 || eff > 18 {
+		t.Errorf("effective processors = %.1f, paper says ~15", eff)
+	}
+}
+
+func TestSystemPerfScaling(t *testing.T) {
+	// Halving the coherence cost doubles the effective machine.
+	a := PaperSystem(0.04).EffectiveProcessors()
+	b := PaperSystem(0.02).EffectiveProcessors()
+	if math.Abs(b-2*a) > 1e-9 {
+		t.Errorf("effective processors should be inversely proportional: %v vs %v", a, b)
+	}
+	// A faster bus supports proportionally more processors.
+	fast := PaperSystem(0.04)
+	fast.BusCycleNS = 50
+	if math.Abs(fast.EffectiveProcessors()-2*a) > 1e-9 {
+		t.Error("bus speed scaling wrong")
+	}
+}
+
+func TestSystemPerfDegenerate(t *testing.T) {
+	s := PaperSystem(0)
+	if s.EffectiveProcessors() != 0 || s.NSBetweenBusCycles() != 0 {
+		t.Error("zero coherence cost should report zeros, not infinities")
+	}
+}
+
+func TestSystemPerfString(t *testing.T) {
+	out := PaperSystem(0.03).String()
+	for _, want := range []string{"10-MIPS", "100ns", "effective processors"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() missing %q: %s", want, out)
+		}
+	}
+}
+
+func TestWordParameterizedModels(t *testing.T) {
+	p8 := PipelinedWords(8) // 32-byte blocks
+	if p8.MemAccess != 9 || p8.WriteBackFill != 8 {
+		t.Errorf("8-word pipelined: %+v", p8)
+	}
+	n8 := NonPipelinedWords(8)
+	if n8.MemAccess != 11 || n8.CacheAccess != 10 {
+		t.Errorf("8-word non-pipelined: %+v", n8)
+	}
+	// The defaults are the 4-word instances.
+	if PipelinedWords(4) != Pipelined() || NonPipelinedWords(4) != NonPipelined() {
+		t.Error("default models should equal the 4-word instances")
+	}
+}
+
+func TestEvictWriteBackPriced(t *testing.T) {
+	m := Pipelined()
+	b, txn := m.Cost(event.Result{Type: event.RdMissMem, EvictWB: true})
+	if b[CatWriteBack] != m.WriteBackFill || !txn {
+		t.Errorf("eviction write-back not priced: %v", b)
+	}
+	// On a hit path too (an eviction can accompany an instruction-free
+	// refill in other engines).
+	b, _ = m.Cost(event.Result{Type: event.RdHit, EvictWB: true})
+	if b[CatWriteBack] != m.WriteBackFill {
+		t.Errorf("standalone eviction write-back not priced: %v", b)
+	}
+}

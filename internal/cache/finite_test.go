@@ -1,0 +1,100 @@
+package cache
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"dirsim/internal/trace"
+	"dirsim/internal/workload"
+)
+
+func TestSimulateFiniteColdOnly(t *testing.T) {
+	// A cache big enough for the whole footprint sees only cold misses.
+	tr := workload.Private(2, 64, 20_000)
+	s, err := SimulateFinite(tr, Config{SizeBytes: 64 * 1024, Assoc: 2, HashIndex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.CapacityMisses != 0 {
+		t.Errorf("big cache has %d capacity misses", s.CapacityMisses)
+	}
+	if s.ColdMisses == 0 || s.DataMisses != s.ColdMisses {
+		t.Errorf("cold accounting wrong: %+v", s)
+	}
+	if s.ExtraMissesPerRef() != 0 {
+		t.Error("no extra misses expected")
+	}
+}
+
+func TestSimulateFiniteSmallCacheThrashes(t *testing.T) {
+	// 64 blocks per CPU in a 16-block cache: heavy capacity missing.
+	tr := workload.Private(2, 64, 20_000)
+	s, err := SimulateFinite(tr, Config{SizeBytes: 16 * trace.BlockBytes, Assoc: 2, HashIndex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.CapacityMisses == 0 {
+		t.Error("small cache should thrash")
+	}
+	if s.DataMisses != s.ColdMisses+s.CapacityMisses {
+		t.Errorf("misses don't partition: %+v", s)
+	}
+	if s.ExtraMissesPerRef() <= 0 {
+		t.Error("extra misses per ref should be positive")
+	}
+}
+
+func TestSimulateFiniteMonotoneInSize(t *testing.T) {
+	tr := workload.THOR(2, 60_000)
+	prev := math.Inf(1)
+	for _, kb := range []int{2, 8, 32, 128} {
+		s, err := SimulateFinite(tr, Config{SizeBytes: kb * 1024, Assoc: 2, HashIndex: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rate := s.DataMissRate(); rate > prev+0.005 {
+			t.Errorf("%dKB miss rate %.4f worse than smaller cache %.4f", kb, rate, prev)
+		} else {
+			prev = rate
+		}
+	}
+}
+
+func TestSimulateFiniteRejectsBadConfig(t *testing.T) {
+	tr := workload.Private(1, 8, 100)
+	if _, err := SimulateFinite(tr, Config{SizeBytes: 0, Assoc: 1}); err == nil {
+		t.Error("bad config accepted")
+	}
+}
+
+func TestSimulateFiniteCountsKinds(t *testing.T) {
+	tr := trace.New("mini", 1)
+	tr.Append(trace.Ref{Addr: 0x100, Kind: trace.Instr})
+	tr.Append(trace.Ref{Addr: 0x200, Kind: trace.Read})
+	tr.Append(trace.Ref{Addr: 0x200, Kind: trace.Write})
+	s, err := SimulateFinite(tr, Config{SizeBytes: 1024, Assoc: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.InstrRefs != 1 || s.DataRefs != 2 || s.InstrMisses != 1 || s.DataMisses != 1 {
+		t.Errorf("kind accounting wrong: %+v", s)
+	}
+}
+
+func TestFirstOrderEstimate(t *testing.T) {
+	s := FiniteStats{DataRefs: 50, InstrRefs: 50, CapacityMisses: 10}
+	// 10 extra misses per 100 refs at 5 cycles each = 0.5 cycles/ref.
+	got := FirstOrderEstimate(0.05, s, 5)
+	if math.Abs(got-0.55) > 1e-9 {
+		t.Errorf("estimate = %v, want 0.55", got)
+	}
+}
+
+func TestFiniteStatsString(t *testing.T) {
+	s := FiniteStats{Config: Config{SizeBytes: 16384, Assoc: 2}, CPUs: 4, DataRefs: 100, DataMisses: 10, ColdMisses: 6, CapacityMisses: 4}
+	out := s.String()
+	if !strings.Contains(out, "16KB") || !strings.Contains(out, "capacity") {
+		t.Errorf("String() = %q", out)
+	}
+}

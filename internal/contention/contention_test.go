@@ -1,0 +1,156 @@
+package contention
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"dirsim/internal/bus"
+	"dirsim/internal/core"
+	"dirsim/internal/workload"
+)
+
+func TestSimulateValidation(t *testing.T) {
+	tr := workload.PingPong(100) // 2 CPUs
+	p := core.NewDir0B(1)
+	if _, _, err := Simulate(tr, p, PaperConfig()); err == nil {
+		t.Error("undersized engine accepted")
+	}
+	cfg := PaperConfig()
+	cfg.ThinkCycles = -1
+	if _, _, err := Simulate(tr, core.NewDir0B(2), cfg); err == nil {
+		t.Error("negative think time accepted")
+	}
+}
+
+func TestNoBusTrafficMeansNoContention(t *testing.T) {
+	// Purely private data after warm-up: the bus is nearly idle, so the
+	// effective parallelism approaches the CPU count.
+	tr := workload.Private(4, 64, 40_000)
+	s, _, err := RunScheme("Dir0B", tr, PaperConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.EffectiveProcessors() < 3.5 {
+		t.Errorf("private workload should parallelize: %.2f effective", s.EffectiveProcessors())
+	}
+	if s.Utilization() > 0.2 {
+		t.Errorf("bus should be mostly idle: %.2f", s.Utilization())
+	}
+}
+
+func TestSingleCPUMatchesAloneTime(t *testing.T) {
+	tr := workload.Private(1, 32, 5_000)
+	s, _, err := RunScheme("Dir0B", tr, PaperConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Span-s.AloneTime) > 1e-6 {
+		t.Errorf("one CPU never waits: span %v vs alone %v", s.Span, s.AloneTime)
+	}
+	if s.Wait != 0 {
+		t.Errorf("wait = %v on a single CPU", s.Wait)
+	}
+	if got := s.EffectiveProcessors(); math.Abs(got-1) > 1e-9 {
+		t.Errorf("effective processors = %v, want 1", got)
+	}
+}
+
+func TestSaturationDegradesParallelism(t *testing.T) {
+	// WTI floods the bus with write-throughs; Dragon barely uses it. On
+	// the same trace WTI must achieve less effective parallelism.
+	tr := workload.POPS(4, 60_000)
+	wti, _, err := RunScheme("WTI", tr, PaperConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dragon, _, err := RunScheme("Dragon", tr, PaperConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wti.EffectiveProcessors() >= dragon.EffectiveProcessors() {
+		t.Errorf("WTI %.2f should trail Dragon %.2f",
+			wti.EffectiveProcessors(), dragon.EffectiveProcessors())
+	}
+	if wti.Utilization() <= dragon.Utilization() {
+		t.Error("WTI should load the bus harder")
+	}
+}
+
+func TestUtilizationBounded(t *testing.T) {
+	tr := workload.THOR(8, 40_000)
+	s, txns, err := RunScheme("Dir0B", tr, PaperConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u := s.Utilization(); u <= 0 || u > 1+1e-9 {
+		t.Errorf("utilization out of range: %v", u)
+	}
+	if s.EffectiveProcessors() > float64(s.CPUs)+1e-9 {
+		t.Errorf("effective processors %v exceed machine size", s.EffectiveProcessors())
+	}
+	if s.WaitPerTransaction(txns) < 0 {
+		t.Error("negative wait")
+	}
+	if s.WaitPerTransaction(0) != 0 {
+		t.Error("division guard missing")
+	}
+}
+
+func TestContentionBelowOptimisticBound(t *testing.T) {
+	// The queueing simulation can never beat the paper's no-contention
+	// bound computed from the same demand.
+	tr := workload.POPS(8, 60_000)
+	s, _, err := RunScheme("Dir0B", tr, PaperConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	demandPerRef := s.BusBusy / float64(s.Refs)
+	bound := (PaperConfig().ThinkCycles + demandPerRef) / demandPerRef
+	if s.EffectiveProcessors() > bound+1e-6 {
+		t.Errorf("simulation %.2f beat the analytic bound %.2f",
+			s.EffectiveProcessors(), bound)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	tr := workload.PingPong(2_000)
+	a, _, err := RunScheme("Dir0B", tr, PaperConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := RunScheme("Dir0B", tr, PaperConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("replay is not deterministic")
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	s := Stats{CPUs: 4, Span: 100, BusBusy: 50, AloneTime: 300}
+	out := s.String()
+	for _, want := range []string{"4 CPUs", "50.0%", "3.00 effective"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() = %q missing %q", out, want)
+		}
+	}
+	var zero Stats
+	if zero.Utilization() != 0 || zero.EffectiveProcessors() != 0 {
+		t.Error("zero stats should report zeros")
+	}
+}
+
+func TestCustomModel(t *testing.T) {
+	// A free bus model: everything is think time, no contention.
+	free := bus.Model{Name: "free"}
+	tr := workload.PingPong(1_000)
+	s, txns, err := RunScheme("Dir0B", tr, Config{ThinkCycles: 1, Model: free})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if txns != 0 || s.BusBusy != 0 {
+		t.Errorf("free model should produce no transactions: %d, %v", txns, s.BusBusy)
+	}
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+
+	"dirsim/internal/event"
+	"dirsim/internal/trace"
+)
+
+// dir1nb implements Dir1NB, the most restrictive scheme in the taxonomy: a
+// block may reside in at most one cache at a time, so inconsistency is
+// impossible by construction. The directory entry is a single pointer to
+// the holding cache. Every miss steals the block: the current holder is
+// invalidated (writing back first if dirty) and the requester becomes the
+// sole holder. Write hits never consult the directory — the holder is
+// guaranteed exclusive — which is why Table 5 notes that directory accesses
+// always overlap memory accesses in this scheme.
+//
+// Dir1NB is the paper's stand-in for simple software-flush consistency as
+// well (Section 5.2): spin locks make blocks ping-pong between caches,
+// which is exactly the pathology the evaluation exposes.
+type dir1nb struct {
+	ncpu   int
+	seen   seenSet
+	blocks map[trace.Block]*dir1nbBlock
+
+	Checker *Checker
+}
+
+type dir1nbBlock struct {
+	held   bool
+	holder uint8
+	dirty  bool
+}
+
+// NewDir1NB returns a Dir1NB engine for ncpu caches.
+func NewDir1NB(ncpu int) Protocol {
+	checkCPUs(ncpu)
+	return &dir1nb{ncpu: ncpu, seen: seenSet{}, blocks: map[trace.Block]*dir1nbBlock{}}
+}
+
+func (p *dir1nb) Name() string { return "Dir1NB" }
+func (p *dir1nb) CPUs() int    { return p.ncpu }
+
+// SetChecker attaches a value-coherence checker (tests only).
+func (p *dir1nb) SetChecker(c *Checker) { p.Checker = c }
+
+func (p *dir1nb) Access(r trace.Ref) event.Result {
+	if int(r.CPU) >= p.ncpu {
+		panic(fmt.Sprintf("core: Dir1NB: cpu %d out of range [0,%d)", r.CPU, p.ncpu))
+	}
+	switch r.Kind {
+	case trace.Instr:
+		return event.Result{Type: event.Instr}
+	case trace.Read:
+		return p.access(r.CPU, r.Block(), false)
+	case trace.Write:
+		return p.access(r.CPU, r.Block(), true)
+	}
+	panic(fmt.Sprintf("core: Dir1NB: invalid reference kind %d", r.Kind))
+}
+
+func (p *dir1nb) access(c uint8, b trace.Block, write bool) event.Result {
+	bl := p.blocks[b]
+	if bl == nil {
+		bl = &dir1nbBlock{}
+		p.blocks[b] = bl
+	}
+	if bl.held && bl.holder == c {
+		// Hit. The copy is exclusive, so even a write to a clean block
+		// proceeds without a directory query; the local dirty bit is
+		// simply set.
+		if write {
+			p.Checker.Write(c, b)
+			bl.dirty = true
+			return event.Result{Type: event.WrHitOwn}
+		}
+		p.Checker.ReadHit(c, b)
+		return event.Result{Type: event.RdHit}
+	}
+	// Miss: steal the block from the holder, if any.
+	first := p.seen.touch(b)
+	var res event.Result
+	switch {
+	case bl.held && bl.dirty:
+		res.Type = event.RdMissDirty
+		if write {
+			res.Type = event.WrMissDirty
+		}
+		res.Holders = 1
+		res.Inval = 1
+		res.WriteBack = true
+		res.CacheSupply = true
+		p.Checker.WriteBack(bl.holder, b)
+		p.Checker.FillFromCache(c, bl.holder, b)
+		p.Checker.Invalidate(bl.holder, b)
+	case bl.held:
+		res.Type = event.RdMissClean
+		if write {
+			res.Type = event.WrMissClean
+		}
+		res.Holders = 1
+		res.Inval = 1
+		p.Checker.Invalidate(bl.holder, b)
+		p.Checker.FillFromMemory(c, b)
+	default:
+		switch {
+		case first && write:
+			res.Type = event.WrMissFirst
+		case first:
+			res.Type = event.RdMissFirst
+		case write:
+			res.Type = event.WrMissMem
+		default:
+			res.Type = event.RdMissMem
+		}
+		p.Checker.FillFromMemory(c, b)
+	}
+	bl.held = true
+	bl.holder = c
+	bl.dirty = write
+	if write {
+		p.Checker.Write(c, b)
+	}
+	return res
+}
+
+func (p *dir1nb) CheckInvariants() error {
+	// The structure cannot represent more than one holder, so the single
+	// invariant to verify is checker-level coherence.
+	return p.Checker.Err()
+}

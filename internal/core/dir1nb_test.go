@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+
+	"dirsim/internal/event"
+)
+
+func TestDir1NBSingleCopySemantics(t *testing.T) {
+	p := NewDir1NB(4)
+	res := applyChecked(t, p,
+		rd(0, 1), // first ref
+		rd(0, 1), // hit
+		rd(1, 1), // steal from 0 (clean)
+		rd(0, 1), // steal back
+		wr(0, 1), // write hit, exclusive by construction: free
+		rd(1, 1), // steal dirty block: write-back
+		wr(2, 1), // write miss, steal clean block from 1
+	)
+	expectTypes(t, res,
+		event.RdMissFirst, event.RdHit, event.RdMissClean, event.RdMissClean,
+		event.WrHitOwn, event.RdMissDirty, event.WrMissClean)
+
+	steal := res[2]
+	if steal.Inval != 1 || steal.Holders != 1 {
+		t.Errorf("clean steal: %+v", steal)
+	}
+	dirtySteal := res[5]
+	if !dirtySteal.WriteBack || !dirtySteal.CacheSupply || dirtySteal.Inval != 1 {
+		t.Errorf("dirty steal: %+v", dirtySteal)
+	}
+	// Write hits never touch the bus or the directory in Dir1NB.
+	whit := res[4]
+	if whit.Inval != 0 || whit.DirCheck || whit.Update || whit.Broadcast {
+		t.Errorf("Dir1NB write hit should be free: %+v", whit)
+	}
+}
+
+func TestDir1NBWriteMissOnUncached(t *testing.T) {
+	p := NewDir1NB(2)
+	res := applyChecked(t, p, wr(0, 3), rd(0, 3), wr(1, 3), wr(1, 3))
+	expectTypes(t, res,
+		event.WrMissFirst, event.RdHit, event.WrMissDirty, event.WrHitOwn)
+}
+
+func TestDir1NBNeverHasTwoHolders(t *testing.T) {
+	p := NewDir1NB(8).(*dir1nb)
+	apply(t, p, randomRefs(23, 8, 32, 30000)...)
+	// Count how many blocks each cache "holds" by replaying reads: the
+	// engine's own structure cannot represent two holders, so instead we
+	// assert the classifications stay consistent: a hit by one CPU
+	// immediately after a read by another is impossible.
+	res1 := p.Access(rd(0, 5))
+	res2 := p.Access(rd(1, 5))
+	if res2.Type == event.RdHit && res1.Type != event.RdHit {
+		t.Error("two CPUs cannot both hit the same block in Dir1NB")
+	}
+}
+
+func TestDir1NBSpinBouncing(t *testing.T) {
+	// Two CPUs alternately reading one block: every access after the
+	// first is a miss — the lock-bouncing pathology of Section 5.2.
+	p := NewDir1NB(2)
+	res := applyChecked(t, p,
+		rd(0, 9), rd(1, 9), rd(0, 9), rd(1, 9), rd(0, 9))
+	misses := 0
+	for _, r := range res {
+		if r.Type.IsMiss() {
+			misses++
+		}
+	}
+	if misses != 5 {
+		t.Errorf("all 5 alternating reads should miss, got %d", misses)
+	}
+	// The same pattern under Dir0B misses only once.
+	res = applyChecked(t, NewDir0B(2),
+		rd(0, 9), rd(1, 9), rd(0, 9), rd(1, 9), rd(0, 9))
+	misses = 0
+	for _, r := range res {
+		if r.Type.IsMiss() {
+			misses++
+		}
+	}
+	if misses != 2 {
+		t.Errorf("Dir0B should miss twice (one per CPU), got %d", misses)
+	}
+}
+
+func TestDir1NBInstr(t *testing.T) {
+	res := applyChecked(t, NewDir1NB(2), in(0, 1), in(1, 1))
+	expectTypes(t, res, event.Instr, event.Instr)
+}
+
+func TestDir1NBPanicsOnBadInput(t *testing.T) {
+	p := NewDir1NB(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for out-of-range CPU")
+		}
+	}()
+	p.Access(rd(3, 0))
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"testing"
+
+	"dirsim/internal/event"
+)
+
+func TestDragonUpdateSemantics(t *testing.T) {
+	p := NewDragon(4)
+	res := applyChecked(t, p,
+		rd(0, 1), // cold fill
+		rd(1, 1), // clean fill
+		wr(0, 1), // shared write: broadcast update, 1 keeps a live copy
+		rd(1, 1), // HIT — the update refreshed cache 1
+		wr(1, 1), // shared write the other way
+		rd(0, 1), // hit again
+		wr(2, 1), // write miss: fill from owner (stale memory) + update
+	)
+	expectTypes(t, res,
+		event.RdMissFirst, event.RdMissClean, event.WrHitShared,
+		event.RdHit, event.WrHitShared, event.RdHit, event.WrMissDirty)
+
+	sharedWrite := res[2]
+	if !sharedWrite.Update || !sharedWrite.Broadcast || sharedWrite.Holders != 1 {
+		t.Errorf("shared write: %+v", sharedWrite)
+	}
+	wm := res[6]
+	if !wm.CacheSupply {
+		t.Error("miss on a stale block must be supplied by the owner cache")
+	}
+	if !wm.Update {
+		t.Error("write miss to a shared block must update the sharers")
+	}
+	if wm.WriteBack {
+		t.Error("Dragon never writes back")
+	}
+}
+
+func TestDragonLocalWritesStayLocal(t *testing.T) {
+	p := NewDragon(4)
+	res := applyChecked(t, p, rd(0, 2), wr(0, 2), wr(0, 2))
+	expectTypes(t, res, event.RdMissFirst, event.WrHitLocal, event.WrHitLocal)
+	for _, r := range res[1:] {
+		if r.Update || r.Broadcast {
+			t.Errorf("local write used the bus: %+v", r)
+		}
+	}
+}
+
+func TestDragonNeverInvalidates(t *testing.T) {
+	// Under Dragon a cache that ever held a block holds it forever: the
+	// number of misses equals the number of distinct (cpu, block) pairs.
+	refs := randomRefs(31, 4, 16, 20000)
+	p := NewDragon(4)
+	results := apply(t, p, refs...)
+	seen := map[[2]uint64]bool{}
+	wantMisses := 0
+	for _, r := range refs {
+		if r.Kind == 0 { // instr
+			continue
+		}
+		key := [2]uint64{uint64(r.CPU), uint64(r.Block())}
+		if !seen[key] {
+			seen[key] = true
+			wantMisses++
+		}
+	}
+	misses := 0
+	for _, res := range results {
+		if res.Type.IsMiss() {
+			misses++
+		}
+	}
+	if misses != wantMisses {
+		t.Errorf("Dragon misses = %d, want %d (one per cpu-block pair)", misses, wantMisses)
+	}
+	for _, res := range results {
+		if res.Inval != 0 || res.ForcedInval != 0 {
+			t.Fatal("Dragon sent an invalidation")
+		}
+	}
+}
+
+func TestDragonSpinnersNeverMiss(t *testing.T) {
+	// The Section 5.2 contrast: a lock release updates the spinners'
+	// copies instead of invalidating them.
+	p := NewDragon(2)
+	res := applyChecked(t, p,
+		rd(1, 9),           // spinner caches the lock
+		wr(0, 9),           // owner releases: write miss + update
+		rd(1, 9), rd(1, 9), // spins hit
+	)
+	expectTypes(t, res,
+		event.RdMissFirst, event.WrMissClean, event.RdHit, event.RdHit)
+}
+
+func TestDragonInstrAndErrors(t *testing.T) {
+	p := NewDragon(2)
+	res := applyChecked(t, p, in(0, 1))
+	expectTypes(t, res, event.Instr)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for out-of-range CPU")
+		}
+	}()
+	p.Access(rd(7, 0))
+}

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"testing"
+
+	"dirsim/internal/event"
+)
+
+// Tests for the extended comparator set: Berkeley, MESI (Illinois),
+// Firefly, and the Yen–Fu single-bit refinement.
+
+func TestBerkeleyOwnerSuppliesWithoutWriteBack(t *testing.T) {
+	p := NewBerkeley(4)
+	res := applyChecked(t, p,
+		rd(0, 1), // cold
+		wr(0, 1), // hit on unowned clean: broadcast, becomes owned-excl
+		rd(1, 1), // owner supplies, memory NOT updated, owned-shared
+		rd(2, 1), // owner still supplies (memory is stale)
+		wr(0, 1), // owned-shared write: broadcast invalidation
+		rd(1, 1), // owner supplies again
+	)
+	expectTypes(t, res,
+		event.RdMissFirst, event.WrHitClean, event.RdMissDirty,
+		event.RdMissDirty, event.WrHitClean, event.RdMissDirty)
+	for i, r := range res {
+		if r.WriteBack {
+			t.Errorf("ref %d: Berkeley never writes back on sharing", i)
+		}
+	}
+	if !res[2].CacheSupply || !res[3].CacheSupply {
+		t.Error("owner must supply read misses")
+	}
+	if !res[4].Broadcast {
+		t.Error("owned-shared write must broadcast")
+	}
+}
+
+func TestBerkeleySilentExclusiveWrite(t *testing.T) {
+	p := NewBerkeley(2)
+	res := applyChecked(t, p, wr(0, 2), wr(0, 2), wr(0, 2))
+	expectTypes(t, res, event.WrMissFirst, event.WrHitOwn, event.WrHitOwn)
+	for _, r := range res[1:] {
+		if r.Broadcast || r.Update {
+			t.Errorf("owned-exclusive writes must be silent: %+v", r)
+		}
+	}
+}
+
+func TestBerkeleyNoExclusiveCleanState(t *testing.T) {
+	// Unlike MESI, a sole clean copy still pays an invalidation
+	// broadcast on a write hit — Berkeley has no E state.
+	p := NewBerkeley(2)
+	res := applyChecked(t, p, rd(0, 3), wr(0, 3))
+	if res[1].Type != event.WrHitClean || !res[1].Broadcast {
+		t.Errorf("clean write hit should broadcast: %+v", res[1])
+	}
+}
+
+func TestMESISilentEUpgrade(t *testing.T) {
+	p := NewMESI(2)
+	res := applyChecked(t, p,
+		rd(0, 1), // E (alone)
+		wr(0, 1), // silent E->M
+		wr(0, 1), // silent M
+	)
+	expectTypes(t, res, event.RdMissFirst, event.WrHitOwn, event.WrHitOwn)
+	for _, r := range res {
+		if r.Broadcast || r.DirCheck {
+			t.Errorf("E/M writes must be silent: %+v", r)
+		}
+	}
+}
+
+func TestMESISharedWriteBroadcasts(t *testing.T) {
+	p := NewMESI(4)
+	res := applyChecked(t, p,
+		rd(0, 1), // E
+		rd(1, 1), // S, cache-to-cache supply (Illinois)
+		wr(0, 1), // S->M: broadcast invalidation
+		rd(1, 1), // M supplies, writes memory back
+	)
+	expectTypes(t, res, event.RdMissFirst, event.RdMissClean, event.WrHitClean, event.RdMissDirty)
+	if !res[1].CacheSupply {
+		t.Error("Illinois supplies clean blocks cache-to-cache")
+	}
+	if !res[2].Broadcast || res[2].Holders != 1 {
+		t.Errorf("shared write: %+v", res[2])
+	}
+	if !res[3].WriteBack || !res[3].CacheSupply {
+		t.Errorf("M supplier must flush memory: %+v", res[3])
+	}
+}
+
+func TestMESIBeatsDir0BOnPrivateWrites(t *testing.T) {
+	// Read-then-write private data: MESI's E state writes silently where
+	// Dir0B pays a directory check. Events differ exactly there.
+	refs := randomRefs(37, 4, 30, 30000)
+	mesiCounts := countTypes(apply(t, NewMESI(4), refs...))
+	d0bCounts := countTypes(apply(t, NewDir0B(4), refs...))
+	if mesiCounts.N[event.WrHitOwn] <= d0bCounts.N[event.WrHitOwn] {
+		t.Error("MESI should convert some wh-blk-cln into silent wh-blk-drty")
+	}
+	// Miss counts stay identical: E changes write hits only.
+	if mesiCounts.ReadMisses() != d0bCounts.ReadMisses() {
+		t.Error("E state must not change read-miss frequencies")
+	}
+}
+
+func TestFireflySharedWriteKeepsMemoryCurrent(t *testing.T) {
+	p := NewFirefly(4)
+	res := applyChecked(t, p,
+		rd(0, 1),
+		rd(1, 1), // shared
+		wr(0, 1), // update sharers + memory (write-through on shared)
+		rd(2, 1), // memory is current: but caches supply in Firefly
+		wr(2, 1), // shared write again
+	)
+	expectTypes(t, res,
+		event.RdMissFirst, event.RdMissClean, event.WrHitShared,
+		event.RdMissClean, event.WrHitShared)
+	if !res[2].Update {
+		t.Error("shared write must be an update")
+	}
+	// After the shared write, memory is NOT stale: the later miss is
+	// classified clean, not dirty.
+	if res[3].Type != event.RdMissClean {
+		t.Errorf("memory should be current after a shared write: %v", res[3].Type)
+	}
+}
+
+func TestFireflyExclusiveWriteGoesStale(t *testing.T) {
+	p := NewFirefly(2)
+	res := applyChecked(t, p,
+		rd(0, 2),
+		wr(0, 2), // local write, memory stale
+		rd(1, 2), // supplied by owner, memory refreshed
+	)
+	expectTypes(t, res, event.RdMissFirst, event.WrHitLocal, event.RdMissDirty)
+	if !res[2].WriteBack || !res[2].CacheSupply {
+		t.Errorf("stale fill must flush: %+v", res[2])
+	}
+}
+
+func TestFireflyNeverInvalidates(t *testing.T) {
+	refs := randomRefs(41, 4, 20, 30000)
+	for _, res := range apply(t, NewFirefly(4), refs...) {
+		if res.Inval != 0 || res.ForcedInval != 0 {
+			t.Fatal("Firefly invalidated a copy")
+		}
+	}
+}
+
+func TestYenFuSavesDirectoryAccess(t *testing.T) {
+	p := NewYenFu(4)
+	res := applyChecked(t, p,
+		rd(0, 1), // sole copy, single bit set
+		wr(0, 1), // single bit says alone: NO directory access
+		rd(1, 1), // flush; two copies
+		rd(2, 1), // three copies (control message on 1->2 only)
+		wr(1, 1), // shared write: directory consulted, directed invals
+	)
+	expectTypes(t, res,
+		event.RdMissFirst, event.WrHitClean, event.RdMissDirty,
+		event.RdMissClean, event.WrHitClean)
+	if res[1].DirCheck {
+		t.Error("sole-holder write must skip the directory (single bit)")
+	}
+	if !res[4].DirCheck || res[4].Inval != 2 || res[4].Broadcast {
+		t.Errorf("shared write should use the directory with directed invals: %+v", res[4])
+	}
+}
+
+func TestYenFuControlTraffic(t *testing.T) {
+	p := NewYenFu(4)
+	res := applyChecked(t, p,
+		rd(0, 1), // sole holder
+		rd(1, 1), // 1 -> 2: clear holder 0's single bit
+		rd(2, 1), // 2 -> 3: no single bit to clear
+	)
+	if res[1].Control != 1 {
+		t.Errorf("second fill should clear a single bit: %+v", res[1])
+	}
+	if res[2].Control != 0 {
+		t.Errorf("third fill has no single bit to clear: %+v", res[2])
+	}
+}
+
+func TestYenFuMatchesDirNNBEventCounts(t *testing.T) {
+	// The single bit changes costs, never state evolution.
+	refs := randomRefs(47, 4, 30, 30000)
+	yf := countTypes(apply(t, NewYenFu(4), refs...))
+	dn := countTypes(apply(t, NewDirNNB(4), refs...))
+	if yf != dn {
+		t.Error("Yen-Fu event counts diverge from DirNNB")
+	}
+}
+
+func TestExtendedSchemesValueCoherent(t *testing.T) {
+	refs := randomRefs(53, 6, 24, 50000)
+	for _, p := range []Protocol{NewBerkeley(6), NewMESI(6), NewFirefly(6), NewYenFu(6)} {
+		applyChecked(t, p, refs...)
+	}
+}
+
+func TestExtendedSchemesFirstRefsAgree(t *testing.T) {
+	refs := randomRefs(59, 4, 20, 20000)
+	base := countTypes(apply(t, NewDir0B(4), refs...))
+	for _, p := range []Protocol{NewBerkeley(4), NewMESI(4), NewFirefly(4), NewYenFu(4)} {
+		c := countTypes(apply(t, p, refs...))
+		if c.N[event.RdMissFirst] != base.N[event.RdMissFirst] ||
+			c.N[event.WrMissFirst] != base.N[event.WrMissFirst] {
+			t.Errorf("%s first-ref counts diverge", p.Name())
+		}
+	}
+}

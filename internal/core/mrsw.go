@@ -1,0 +1,404 @@
+package core
+
+import (
+	"fmt"
+
+	"dirsim/internal/event"
+	"dirsim/internal/trace"
+)
+
+// mrsw implements the multiple-readers/single-writer state-change model
+// shared — as the paper observes in Section 5 — by Dir0B, the sequential
+// invalidation schemes DiriNB/DirNNB, the limited-pointer-plus-broadcast
+// schemes DiriB, and the snoopy WTI protocol: a clean block may live in any
+// number of caches, a written block in exactly one. The variants differ in
+// how invalidations are delivered (directed messages, limited broadcast, or
+// full broadcast), in how much the directory knows (two state bits, i
+// pointers, a full bit map, or nothing at all for a snoopy bus), and in
+// whether writes propagate to memory (write-through for WTI).
+//
+// Because the state-change model is shared, all variants produce identical
+// event frequencies on a given trace (the paper's Table 4 shows one column
+// for Dir0B and WTI for this reason) — except DiriNB with i smaller than
+// the machine, whose pointer-overflow invalidations genuinely change the
+// state evolution and raise the miss rate.
+type mrsw struct {
+	name string
+	ncpu int
+
+	// ptrs is the number of cache pointers a directory entry can hold:
+	// 0 for Dir0B (state bits only), i for DiriB/DiriNB, ncpu for the
+	// full-map DirNNB, and ignored for snoopy WTI.
+	ptrs int
+	// broadcast selects the B schemes: on pointer overflow the entry
+	// falls back to broadcast invalidation instead of limiting copies.
+	broadcast bool
+	// limitCopies selects the NB schemes with i < ncpu: a read fill that
+	// would exceed i copies forcibly invalidates an existing copy.
+	limitCopies bool
+	// writeThrough selects WTI: every write is transmitted to memory,
+	// memory is never stale, and invalidation happens by bus snooping
+	// (free of directory queries).
+	writeThrough bool
+	// singleBit selects the Yen–Fu refinement of the full-map scheme:
+	// each cache keeps a "single" bit that is set while it holds the
+	// only copy, so a write hit on an unshared clean block proceeds
+	// without a directory access. The price is an extra control message
+	// to clear the previous sole holder's bit whenever a block goes
+	// from one copy to two (the extra bus bandwidth the paper notes).
+	singleBit bool
+
+	seen   seenSet
+	blocks map[trace.Block]*mrswBlock
+
+	// Checker, when non-nil, receives data-movement callbacks so tests
+	// can assert value coherence.
+	Checker *Checker
+}
+
+// mrswBlock is the global coherence state of one block.
+type mrswBlock struct {
+	holders Set   // caches with a valid copy
+	dirty   bool  // memory is stale; owner holds the only copy
+	owner   uint8 // valid when dirty
+
+	// Directory knowledge (what the hardware entry would record):
+	ptrSet  Set     // pointer contents for DiriB/DiriNB/full-map
+	ptrFIFO []uint8 // pointer fill order, for DiriNB victim choice
+	bcast   bool    // DiriB broadcast bit / Dir0B "clean in unknown caches"
+}
+
+// Variant constructors ---------------------------------------------------
+
+// NewDir0B returns the Archibald–Baer scheme: a two-bit directory entry
+// (uncached / clean-in-exactly-one / clean-in-unknown-many / dirty-in-one)
+// with broadcast invalidations.
+func NewDir0B(ncpu int) Protocol {
+	checkCPUs(ncpu)
+	return &mrsw{name: "Dir0B", ncpu: ncpu, ptrs: 0, broadcast: true,
+		seen: seenSet{}, blocks: map[trace.Block]*mrswBlock{}}
+}
+
+// NewDirNNB returns the Censier–Feautrier full-map scheme: one valid bit
+// per cache in every directory entry, invalidations delivered as directed
+// sequential messages, no broadcasts ever.
+func NewDirNNB(ncpu int) Protocol {
+	checkCPUs(ncpu)
+	return &mrsw{name: "DirNNB", ncpu: ncpu, ptrs: ncpu,
+		seen: seenSet{}, blocks: map[trace.Block]*mrswBlock{}}
+}
+
+// NewDiriNB returns the limited-pointer no-broadcast scheme Dir_i NB: at
+// most i cached copies of a block may exist; a fill beyond that forcibly
+// invalidates the oldest copy. i must be at least 1 (Dir0NB cannot grant
+// exclusive access, as the paper notes).
+func NewDiriNB(ncpu, i int) Protocol {
+	checkCPUs(ncpu)
+	if i < 1 {
+		panic("core: DiriNB requires at least one pointer")
+	}
+	if i >= ncpu {
+		p := NewDirNNB(ncpu).(*mrsw)
+		p.name = fmt.Sprintf("Dir%dNB", i)
+		return p
+	}
+	return &mrsw{name: fmt.Sprintf("Dir%dNB", i), ncpu: ncpu, ptrs: i,
+		limitCopies: true,
+		seen:        seenSet{}, blocks: map[trace.Block]*mrswBlock{}}
+}
+
+// NewDiriB returns the limited-pointer broadcast scheme Dir_i B: the entry
+// holds up to i pointers plus a broadcast bit; overflow sets the bit and
+// later invalidation falls back to broadcast. Dir1B is the single-pointer
+// instance studied in Section 6.
+func NewDiriB(ncpu, i int) Protocol {
+	checkCPUs(ncpu)
+	if i < 1 {
+		panic("core: DiriB requires at least one pointer (use NewDir0B for i=0)")
+	}
+	return &mrsw{name: fmt.Sprintf("Dir%dB", i), ncpu: ncpu, ptrs: i,
+		broadcast: true,
+		seen:      seenSet{}, blocks: map[trace.Block]*mrswBlock{}}
+}
+
+// NewYenFu returns the Yen–Fu refinement of the Censier–Feautrier
+// full-map scheme (paper, Section 2): directory organization and
+// invalidation delivery are DirNNB's, but a per-cache "single" bit lets a
+// write to an unshared clean block skip the directory query, at the cost
+// of control traffic to keep the bits current.
+func NewYenFu(ncpu int) Protocol {
+	checkCPUs(ncpu)
+	return &mrsw{name: "YenFu", ncpu: ncpu, ptrs: ncpu, singleBit: true,
+		seen: seenSet{}, blocks: map[trace.Block]*mrswBlock{}}
+}
+
+// NewWTI returns the write-through-with-invalidate snoopy protocol: all
+// writes go to memory, snooping caches invalidate matching blocks, memory
+// is never stale.
+func NewWTI(ncpu int) Protocol {
+	checkCPUs(ncpu)
+	return &mrsw{name: "WTI", ncpu: ncpu, writeThrough: true, broadcast: true,
+		seen: seenSet{}, blocks: map[trace.Block]*mrswBlock{}}
+}
+
+// Engine ------------------------------------------------------------------
+
+func (p *mrsw) Name() string { return p.name }
+func (p *mrsw) CPUs() int    { return p.ncpu }
+
+// SetChecker attaches a value-coherence checker (tests only).
+func (p *mrsw) SetChecker(c *Checker) { p.Checker = c }
+
+func (p *mrsw) block(b trace.Block) *mrswBlock {
+	bl := p.blocks[b]
+	if bl == nil {
+		bl = &mrswBlock{}
+		p.blocks[b] = bl
+	}
+	return bl
+}
+
+func (p *mrsw) Access(r trace.Ref) event.Result {
+	if int(r.CPU) >= p.ncpu {
+		panic(fmt.Sprintf("core: %s: cpu %d out of range [0,%d)", p.name, r.CPU, p.ncpu))
+	}
+	switch r.Kind {
+	case trace.Instr:
+		return event.Result{Type: event.Instr}
+	case trace.Read:
+		return p.read(r.CPU, r.Block())
+	case trace.Write:
+		return p.write(r.CPU, r.Block())
+	}
+	panic(fmt.Sprintf("core: %s: invalid reference kind %d", p.name, r.Kind))
+}
+
+func (p *mrsw) read(c uint8, b trace.Block) event.Result {
+	bl := p.block(b)
+	if bl.holders.Has(c) {
+		p.Checker.ReadHit(c, b)
+		return event.Result{Type: event.RdHit}
+	}
+	first := p.seen.touch(b)
+	res := event.Result{Holders: bl.holders.Count()}
+	switch {
+	case bl.dirty:
+		// The owner flushes the dirty block to memory; the requester
+		// snarfs the data off the write-back. Both end up with clean
+		// copies (Dir0B/DirNNB semantics). Under write-through memory
+		// was never stale, so the fill comes straight from memory.
+		res.Type = event.RdMissDirty
+		if p.writeThrough {
+			p.Checker.FillFromMemory(c, b)
+		} else {
+			res.WriteBack = true
+			res.CacheSupply = true
+			p.Checker.WriteBack(bl.owner, b)
+			p.Checker.FillFromCache(c, bl.owner, b)
+		}
+		bl.dirty = false
+		bl.holders = bl.holders.Add(c)
+	case !bl.holders.Empty():
+		res.Type = event.RdMissClean
+		if p.singleBit && bl.holders.Count() == 1 {
+			// The previous sole holder's single bit must be
+			// cleared before a second copy exists.
+			res.Control = 1
+		}
+		p.Checker.FillFromMemory(c, b)
+		bl.holders = bl.holders.Add(c)
+	default:
+		if first {
+			res.Type = event.RdMissFirst
+		} else {
+			res.Type = event.RdMissMem
+		}
+		p.Checker.FillFromMemory(c, b)
+		bl.holders = bl.holders.Add(c)
+	}
+	p.dirRecordFill(bl, c, b, &res)
+	return res
+}
+
+// dirRecordFill updates the directory entry after a read fill and, for
+// DiriNB, enforces the copy limit by invalidating the oldest pointer.
+func (p *mrsw) dirRecordFill(bl *mrswBlock, c uint8, b trace.Block, res *event.Result) {
+	if p.writeThrough {
+		return // snoopy: no directory
+	}
+	if bl.ptrSet.Has(c) {
+		return
+	}
+	if p.ptrs == 0 {
+		// Dir0B: only the clean-one/clean-many distinction is kept.
+		bl.bcast = bl.holders.Count() > 1
+		return
+	}
+	if bl.ptrSet.Count() < p.ptrs {
+		bl.ptrSet = bl.ptrSet.Add(c)
+		bl.ptrFIFO = append(bl.ptrFIFO, c)
+		return
+	}
+	// Pointer overflow.
+	if p.limitCopies {
+		// DiriNB: invalidate the oldest copy to make room.
+		victim := bl.ptrFIFO[0]
+		bl.ptrFIFO = bl.ptrFIFO[1:]
+		bl.ptrSet = bl.ptrSet.Del(victim)
+		bl.holders = bl.holders.Del(victim)
+		p.Checker.Invalidate(victim, b)
+		res.ForcedInval++
+		bl.ptrSet = bl.ptrSet.Add(c)
+		bl.ptrFIFO = append(bl.ptrFIFO, c)
+		return
+	}
+	// DiriB: set the broadcast bit, leave pointers as they are.
+	bl.bcast = true
+}
+
+func (p *mrsw) write(c uint8, b trace.Block) event.Result {
+	bl := p.block(b)
+	var res event.Result
+	switch {
+	case bl.dirty && bl.owner == c:
+		res.Type = event.WrHitOwn
+		p.Checker.Write(c, b)
+	case bl.holders.Has(c):
+		others := bl.holders.Del(c)
+		res.Type = event.WrHitClean
+		res.Holders = others.Count()
+		p.invalidate(bl, others, b, &res, true)
+		p.Checker.Write(c, b)
+		p.takeExclusive(bl, c, b)
+	default:
+		first := p.seen.touch(b)
+		res.Holders = bl.holders.Count()
+		switch {
+		case bl.dirty:
+			res.Type = event.WrMissDirty
+			if p.writeThrough {
+				p.Checker.FillFromMemory(c, b)
+			} else {
+				res.WriteBack = true
+				res.CacheSupply = true
+				p.Checker.WriteBack(bl.owner, b)
+				p.Checker.FillFromCache(c, bl.owner, b)
+			}
+			p.flushInval(bl, &res)
+			p.Checker.Invalidate(bl.owner, b)
+		case !bl.holders.Empty():
+			res.Type = event.WrMissClean
+			p.Checker.FillFromMemory(c, b)
+			p.invalidate(bl, bl.holders, b, &res, false)
+		default:
+			if first {
+				res.Type = event.WrMissFirst
+			} else {
+				res.Type = event.WrMissMem
+			}
+			p.Checker.FillFromMemory(c, b)
+		}
+		p.Checker.Write(c, b)
+		p.takeExclusive(bl, c, b)
+	}
+	if p.writeThrough {
+		res.Update = true
+		p.Checker.WriteThrough(c, b)
+	}
+	return res
+}
+
+// invalidate fills the Result's invalidation fields for eliminating the
+// given copies, according to the variant's delivery mechanism, and tells
+// the checker. hit distinguishes a write hit (the directory must be
+// queried before the writer may proceed) from a write miss (the directory
+// is consulted as part of the miss and the lookup overlaps the memory
+// access).
+func (p *mrsw) invalidate(bl *mrswBlock, victims Set, b trace.Block, res *event.Result, hit bool) {
+	k := victims.Count()
+	if hit && !p.writeThrough {
+		// Yen–Fu: the writer's single bit answers the "am I alone?"
+		// question locally, so an unshared write skips the directory.
+		res.DirCheck = !(p.singleBit && k == 0)
+	}
+	if k > 0 {
+		switch {
+		case p.writeThrough:
+			// Snoopy: copies die by watching the write on the bus.
+			res.Broadcast = true
+		case p.ptrs == 0:
+			// Dir0B: the entry cannot name the holders.
+			// A sole clean copy held by the writer itself needs no
+			// invalidation at all (the clean-in-exactly-one state);
+			// that case arrives here with k == 0.
+			res.Broadcast = true
+		case bl.bcast:
+			// DiriB after overflow.
+			res.Broadcast = true
+		default:
+			res.Inval = k
+		}
+	}
+	for _, v := range victims.Members(nil) {
+		p.Checker.Invalidate(v, b)
+	}
+}
+
+// flushInval fills the invalidation fields for purging a dirty owner on a
+// write miss. Directory entries always know a dirty owner exactly when
+// they have at least one pointer; Dir0B must broadcast the flush request.
+func (p *mrsw) flushInval(bl *mrswBlock, res *event.Result) {
+	switch {
+	case p.writeThrough:
+		res.Broadcast = true
+	case p.ptrs == 0:
+		res.Broadcast = true
+	default:
+		res.Inval = 1
+	}
+}
+
+// takeExclusive installs c as the sole (dirty) holder and resets the
+// directory entry accordingly.
+func (p *mrsw) takeExclusive(bl *mrswBlock, c uint8, b trace.Block) {
+	bl.holders = 0
+	bl.holders = bl.holders.Add(c)
+	bl.dirty = true
+	bl.owner = c
+	bl.bcast = false
+	if p.ptrs > 0 {
+		bl.ptrSet = 0
+		bl.ptrSet = bl.ptrSet.Add(c)
+		bl.ptrFIFO = bl.ptrFIFO[:0]
+		bl.ptrFIFO = append(bl.ptrFIFO, c)
+	}
+}
+
+// CheckInvariants validates the engine's internal consistency.
+func (p *mrsw) CheckInvariants() error {
+	for b, bl := range p.blocks {
+		if bl.dirty {
+			if !bl.holders.Only(bl.owner) {
+				return fmt.Errorf("%s: block %#x dirty but holders=%b owner=%d", p.name, b, bl.holders, bl.owner)
+			}
+		}
+		if p.limitCopies && bl.holders.Count() > p.ptrs {
+			return fmt.Errorf("%s: block %#x has %d copies, limit %d", p.name, b, bl.holders.Count(), p.ptrs)
+		}
+		if p.ptrs > 0 {
+			if bl.ptrSet&^bl.holders != 0 {
+				return fmt.Errorf("%s: block %#x directory points at non-holders (ptr=%b holders=%b)", p.name, b, bl.ptrSet, bl.holders)
+			}
+			if !bl.bcast && bl.ptrSet != bl.holders {
+				return fmt.Errorf("%s: block %#x directory lost holders without broadcast bit (ptr=%b holders=%b)", p.name, b, bl.ptrSet, bl.holders)
+			}
+		}
+		if p.ptrs == 0 && !p.writeThrough {
+			many := bl.holders.Count() > 1
+			if bl.bcast != many {
+				return fmt.Errorf("%s: block %#x clean-many bit %v but %d holders", p.name, b, bl.bcast, bl.holders.Count())
+			}
+		}
+	}
+	return p.Checker.Err()
+}

@@ -1,0 +1,89 @@
+package directory
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFullMapBits(t *testing.T) {
+	s := FullMap()
+	if s.BitsPerEntry(4) != 5 || s.BitsPerEntry(64) != 65 || s.BitsPerEntry(256) != 257 {
+		t.Error("full map must cost n+1 bits")
+	}
+	if !s.Precise {
+		t.Error("full map is precise")
+	}
+}
+
+func TestTwoBitBits(t *testing.T) {
+	s := TwoBit()
+	for _, n := range []int{2, 64, 1024} {
+		if s.BitsPerEntry(n) != 2 {
+			t.Errorf("two-bit entry at %d cpus = %d bits", n, s.BitsPerEntry(n))
+		}
+	}
+	if s.Precise {
+		t.Error("two-bit entries cannot name holders")
+	}
+}
+
+func TestLimitedPointerBits(t *testing.T) {
+	// 2 pointers at 64 CPUs: 2*6 + dirty + bcast + count(2 bits) = 16.
+	s := LimitedPointer(2, true)
+	if got := s.BitsPerEntry(64); got != 16 {
+		t.Errorf("ptr(2)+B at 64 cpus = %d bits, want 16", got)
+	}
+	nb := LimitedPointer(2, false)
+	if got := nb.BitsPerEntry(64); got != 15 {
+		t.Errorf("ptr(2) at 64 cpus = %d bits, want 15", got)
+	}
+	if !strings.Contains(s.Name, "+B") || strings.Contains(nb.Name, "+B") {
+		t.Errorf("names: %q %q", s.Name, nb.Name)
+	}
+}
+
+func TestCoarseCodeBits(t *testing.T) {
+	s := CoarseCode()
+	if got := s.BitsPerEntry(64); got != 13 {
+		t.Errorf("coarse at 64 cpus = %d bits, want 2*6+1", got)
+	}
+	if got := s.BitsPerEntry(256); got != 17 {
+		t.Errorf("coarse at 256 cpus = %d bits", got)
+	}
+}
+
+func TestScalingComparison(t *testing.T) {
+	// The Section 6 point: at large n the alternatives beat the full map.
+	n := 256
+	full := FullMap().BitsPerEntry(n)
+	for _, s := range []Spec{TwoBit(), CoarseCode(), LimitedPointer(2, true)} {
+		if got := s.BitsPerEntry(n); got >= full {
+			t.Errorf("%s (%d bits) should beat full map (%d bits) at %d cpus",
+				s.Name, got, full, n)
+		}
+	}
+}
+
+func TestTangBits(t *testing.T) {
+	// 4 caches of 1024 lines, 4096 memory blocks, 10-bit tags:
+	// 4*1024*11/4096 = 11 bits/block.
+	if got := TangBits(4, 1024, 4096, 10); got != 11 {
+		t.Errorf("TangBits = %v, want 11", got)
+	}
+	if TangBits(4, 1024, 0, 10) != 0 {
+		t.Error("zero memory should yield 0")
+	}
+}
+
+func TestStandardSpecsAndTable(t *testing.T) {
+	specs := StandardSpecs(1, 4)
+	if len(specs) != 3+2*2 {
+		t.Fatalf("StandardSpecs produced %d entries", len(specs))
+	}
+	out := StorageTable(specs, []int{4, 64})
+	for _, want := range []string{"full-map", "two-bit", "coarse-2logn", "ptr(1)+B", "ptr(4)", "65"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}

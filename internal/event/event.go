@@ -1,0 +1,165 @@
+// Package event defines the per-reference event taxonomy of the paper's
+// Table 4, counters over that taxonomy, and the invalidation-count
+// histogram of Figure 1.
+//
+// A coherence protocol is split — exactly as Section 5 of the paper
+// describes — into (1) a state-change specification, which fixes how often
+// each event occurs, and (2) an implementation, which fixes what each event
+// costs on the bus. Packages internal/core (protocol engines) produce
+// values of this package; internal/bus consumes them with a cost model.
+package event
+
+import "fmt"
+
+// Type classifies one memory reference under a given protocol's
+// state-change specification. The names follow Table 4 of the paper.
+type Type uint8
+
+const (
+	// Instr is an instruction fetch. Instructions cause no coherence
+	// traffic and their misses are not costed (paper, Section 4).
+	Instr Type = iota
+	// RdHit is a data read that hits in the local cache.
+	RdHit
+	// RdMissFirst is a read miss that is the first reference to the
+	// block by any processor in the trace (rm-first-ref). It would occur
+	// in a uniprocessor infinite cache too, so it is excluded from the
+	// multiprocessing overhead.
+	RdMissFirst
+	// RdMissMem is a read miss on a block no other cache holds; memory
+	// supplies the data.
+	RdMissMem
+	// RdMissClean is a read miss on a block clean in at least one other
+	// cache (rm-blk-cln).
+	RdMissClean
+	// RdMissDirty is a read miss on a block dirty in another cache
+	// (rm-blk-drty).
+	RdMissDirty
+	// WrHitOwn is a write hit on a block this cache already holds with
+	// write permission — dirty, or exclusive-clean where the protocol
+	// tracks that (wh-blk-drty). It costs nothing.
+	WrHitOwn
+	// WrHitClean is a write hit on a block the writer holds clean
+	// (wh-blk-cln). In the directory schemes the directory must be
+	// queried and any other copies invalidated.
+	WrHitClean
+	// WrHitShared is a Dragon write hit on a block other caches also
+	// hold (wh-distrib); the written word is broadcast as an update.
+	WrHitShared
+	// WrHitLocal is a Dragon write hit on a block no other cache holds
+	// (wh-local); it stays local.
+	WrHitLocal
+	// WrMissFirst is a write miss that is the first reference to the
+	// block in the trace (wm-first-ref); excluded from overhead.
+	WrMissFirst
+	// WrMissMem is a write miss on a block no other cache holds.
+	WrMissMem
+	// WrMissClean is a write miss on a block clean in other caches
+	// (wm-blk-cln); the copies must be invalidated (or updated).
+	WrMissClean
+	// WrMissDirty is a write miss on a block dirty in another cache
+	// (wm-blk-drty); the owner must flush (or supply) it.
+	WrMissDirty
+
+	// NumTypes is the number of event types.
+	NumTypes
+)
+
+var typeNames = [NumTypes]string{
+	Instr:       "instr",
+	RdHit:       "rd-hit",
+	RdMissFirst: "rm-first-ref",
+	RdMissMem:   "rm-blk-mem",
+	RdMissClean: "rm-blk-cln",
+	RdMissDirty: "rm-blk-drty",
+	WrHitOwn:    "wh-blk-drty",
+	WrHitClean:  "wh-blk-cln",
+	WrHitShared: "wh-distrib",
+	WrHitLocal:  "wh-local",
+	WrMissFirst: "wm-first-ref",
+	WrMissMem:   "wm-blk-mem",
+	WrMissClean: "wm-blk-cln",
+	WrMissDirty: "wm-blk-drty",
+}
+
+// String returns the paper's mnemonic for the event type.
+func (t Type) String() string {
+	if t < NumTypes {
+		return typeNames[t]
+	}
+	return fmt.Sprintf("Type(%d)", uint8(t))
+}
+
+// IsRead reports whether the event classifies a data read.
+func (t Type) IsRead() bool {
+	switch t {
+	case RdHit, RdMissFirst, RdMissMem, RdMissClean, RdMissDirty:
+		return true
+	}
+	return false
+}
+
+// IsWrite reports whether the event classifies a data write.
+func (t Type) IsWrite() bool {
+	switch t {
+	case WrHitOwn, WrHitClean, WrHitShared, WrHitLocal,
+		WrMissFirst, WrMissMem, WrMissClean, WrMissDirty:
+		return true
+	}
+	return false
+}
+
+// IsMiss reports whether the event is a cache miss (first-reference misses
+// included).
+func (t Type) IsMiss() bool {
+	switch t {
+	case RdMissFirst, RdMissMem, RdMissClean, RdMissDirty,
+		WrMissFirst, WrMissMem, WrMissClean, WrMissDirty:
+		return true
+	}
+	return false
+}
+
+// IsFirstRef reports whether the event is a first-reference miss, which the
+// paper excludes from the multiprocessing overhead.
+func (t Type) IsFirstRef() bool { return t == RdMissFirst || t == WrMissFirst }
+
+// Result is the full outcome of applying one reference to a protocol
+// engine: the Table 4 classification plus the concrete coherence actions
+// taken, which the cost models and Figure 1 need.
+type Result struct {
+	// Type is the Table 4 classification.
+	Type Type
+	// Holders is the number of *other* caches that held the block at the
+	// time of the reference (before any invalidation). For writes to
+	// previously-clean blocks this is the Figure 1 quantity.
+	Holders int
+	// Inval is the number of directed (sequential) invalidation messages
+	// sent. Zero when a broadcast was used instead.
+	Inval int
+	// Broadcast reports that an invalidation (or update) was performed
+	// by bus broadcast rather than directed messages.
+	Broadcast bool
+	// WriteBack reports that a dirty block was flushed to memory.
+	WriteBack bool
+	// CacheSupply reports that the data came from another cache rather
+	// than memory.
+	CacheSupply bool
+	// DirCheck reports a directory access that cannot be overlapped with
+	// a memory access (Dir0B's wh-blk-cln query, for example).
+	DirCheck bool
+	// Update reports a Dragon-style word update or a WTI write-through
+	// placed on the bus.
+	Update bool
+	// ForcedInval is the number of copies invalidated only to make room
+	// in a limited-pointer (DiriNB) directory entry, not to satisfy the
+	// multiple-readers/single-writer invariant.
+	ForcedInval int
+	// Control counts auxiliary one-cycle control messages that are
+	// neither invalidations nor data: the Yen–Fu scheme's single-bit
+	// clears and finite-cache replacement notifications, for example.
+	Control int
+	// EvictWB reports that a *replacement* (not a coherence action)
+	// flushed a dirty victim to memory — finite-cache engines only.
+	EvictWB bool
+}

@@ -1,0 +1,71 @@
+package event
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTypeString(t *testing.T) {
+	cases := map[Type]string{
+		Instr:       "instr",
+		RdHit:       "rd-hit",
+		RdMissClean: "rm-blk-cln",
+		RdMissDirty: "rm-blk-drty",
+		RdMissFirst: "rm-first-ref",
+		WrHitClean:  "wh-blk-cln",
+		WrHitShared: "wh-distrib",
+		WrMissFirst: "wm-first-ref",
+	}
+	for ty, want := range cases {
+		if got := ty.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", ty, got, want)
+		}
+	}
+	if got := Type(200).String(); !strings.Contains(got, "200") {
+		t.Errorf("out-of-range String() = %q", got)
+	}
+}
+
+func TestTypeClassification(t *testing.T) {
+	// Every type must be exactly one of instr / read / write.
+	for ty := Type(0); ty < NumTypes; ty++ {
+		n := 0
+		if ty == Instr {
+			n++
+		}
+		if ty.IsRead() {
+			n++
+		}
+		if ty.IsWrite() {
+			n++
+		}
+		if n != 1 {
+			t.Errorf("%v classified into %d categories", ty, n)
+		}
+	}
+}
+
+func TestIsMiss(t *testing.T) {
+	misses := []Type{RdMissFirst, RdMissMem, RdMissClean, RdMissDirty,
+		WrMissFirst, WrMissMem, WrMissClean, WrMissDirty}
+	hits := []Type{Instr, RdHit, WrHitOwn, WrHitClean, WrHitShared, WrHitLocal}
+	for _, ty := range misses {
+		if !ty.IsMiss() {
+			t.Errorf("%v should be a miss", ty)
+		}
+	}
+	for _, ty := range hits {
+		if ty.IsMiss() {
+			t.Errorf("%v should not be a miss", ty)
+		}
+	}
+}
+
+func TestIsFirstRef(t *testing.T) {
+	for ty := Type(0); ty < NumTypes; ty++ {
+		want := ty == RdMissFirst || ty == WrMissFirst
+		if ty.IsFirstRef() != want {
+			t.Errorf("%v.IsFirstRef() = %v", ty, ty.IsFirstRef())
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package network
+
+import (
+	"fmt"
+	"strings"
+
+	"dirsim/internal/event"
+)
+
+// The message sequences a distributed-directory protocol exchanges per
+// event, with the block's home node (memory + directory slice) placed by
+// address interleaving:
+//
+//	fill from memory:   request (0 words) + data reply (4 words)
+//	fill from a cache:  request + forward (0 words) + data (4 words)
+//	write-back:         one 4-word message owner -> home
+//	directed inval:     invalidation + acknowledgement per victim
+//	directory query:    request + grant (0 words) — wh-blk-cln
+//	control message:    one 0-word message (Yen-Fu single-bit clears)
+//	broadcast:          native on a bus; a spanning-tree flood plus
+//	                    per-node acknowledgements elsewhere
+//	word update:        request (1 word) to home; note that update
+//	                    protocols additionally need sharer identities,
+//	                    which only a directory can provide off-bus
+const (
+	blockWords = 4
+)
+
+// Tally accumulates network link-cycles over a protocol's event stream —
+// the network analogue of bus.Tally.
+type Tally struct {
+	Topo Topology
+	// Cycles is total link-cycles consumed; Messages counts directed
+	// messages; Floods counts broadcast floods.
+	Cycles   float64
+	Messages int64
+	Floods   int64
+	Refs     int64
+}
+
+// NewTally returns a tally over the given topology.
+func NewTally(t Topology) *Tally { return &Tally{Topo: t} }
+
+// msg adds n directed messages of w data words each.
+func (t *Tally) msg(n, w int) {
+	t.Messages += int64(n)
+	t.Cycles += float64(n) * t.Topo.MsgCycles(w)
+}
+
+// Add prices one protocol result. First-reference misses are excluded,
+// as everywhere in the evaluation.
+func (t *Tally) Add(res event.Result) {
+	t.Refs++
+	if res.Type.IsFirstRef() {
+		return
+	}
+	if res.Type.IsMiss() {
+		switch {
+		case res.CacheSupply:
+			// Request to home, forward to owner, data to requester.
+			t.msg(2, 0)
+			t.msg(1, blockWords)
+			if res.WriteBack {
+				t.msg(1, blockWords)
+			}
+		default:
+			t.msg(1, 0)
+			t.msg(1, blockWords)
+		}
+	} else if res.WriteBack {
+		t.msg(1, blockWords)
+	}
+	if res.DirCheck {
+		// Query and grant.
+		t.msg(2, 0)
+	}
+	if res.Inval > 0 {
+		// Invalidation plus acknowledgement per victim.
+		t.msg(2*res.Inval, 0)
+	}
+	t.msg(2*res.ForcedInval, 0)
+	t.msg(res.Control, 0)
+	if res.Broadcast && !res.Update {
+		if t.Topo.Broadcast {
+			t.Cycles++
+		} else {
+			// Flood the invalidation and collect acknowledgements
+			// from every node.
+			t.Floods++
+			t.Cycles += t.Topo.BroadcastCycles()
+			t.msg(t.Topo.Nodes-1, 0)
+		}
+	}
+	if res.Update {
+		// The written word travels to the home node; on a bus the
+		// snoopers pick it up for free, elsewhere sharers would need
+		// directed updates from a directory — priced as one flood
+		// when the protocol relied on snooping.
+		t.msg(1, 1)
+		if res.Broadcast && !t.Topo.Broadcast {
+			t.Floods++
+			t.Cycles += float64(t.Topo.FloodLinks) * 2 // word to every node
+		}
+	}
+}
+
+// Merge folds another tally over the same topology into t.
+func (t *Tally) Merge(o *Tally) {
+	t.Cycles += o.Cycles
+	t.Messages += o.Messages
+	t.Floods += o.Floods
+	t.Refs += o.Refs
+}
+
+// PerRef returns link-cycles consumed per memory reference.
+func (t *Tally) PerRef() float64 {
+	if t.Refs == 0 {
+		return 0
+	}
+	return t.Cycles / float64(t.Refs)
+}
+
+// MessagesPerRef returns directed messages per reference.
+func (t *Tally) MessagesPerRef() float64 {
+	if t.Refs == 0 {
+		return 0
+	}
+	return float64(t.Messages) / float64(t.Refs)
+}
+
+// String renders a one-line summary.
+func (t *Tally) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %.4f link-cycles/ref, %.4f msgs/ref",
+		t.Topo.Name, t.PerRef(), t.MessagesPerRef())
+	if t.Floods > 0 {
+		fmt.Fprintf(&b, ", %d floods", t.Floods)
+	}
+	return b.String()
+}

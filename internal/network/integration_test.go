@@ -1,0 +1,36 @@
+package network_test
+
+import (
+	"testing"
+
+	"dirsim/internal/network"
+	"dirsim/internal/sim"
+	"dirsim/internal/workload"
+)
+
+// TestDirectedBeatsBroadcastOffBus is the package's purpose: on a
+// point-to-point network the directed-invalidation scheme must consume
+// fewer link-cycles than the broadcast scheme, and the gap must grow with
+// machine size.
+func TestDirectedBeatsBroadcastOffBus(t *testing.T) {
+	gap := func(cpus int, topo network.Topology) float64 {
+		tr := workload.THOR(cpus, 50_000)
+		full, err := sim.SimulateTrace("DirNNB", tr, sim.Options{Topologies: []network.Topology{topo}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bcast, err := sim.SimulateTrace("Dir0B", tr, sim.Options{Topologies: []network.Topology{topo}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return bcast.NetTallies[topo.Name].PerRef() / full.NetTallies[topo.Name].PerRef()
+	}
+	g16 := gap(16, network.Mesh(4, 4))
+	g64 := gap(64, network.Mesh(8, 8))
+	if g16 <= 1 {
+		t.Errorf("broadcast should lose on a 16-node mesh: ratio %.2f", g16)
+	}
+	if g64 <= g16 {
+		t.Errorf("the broadcast penalty should grow with machine size: %.2f -> %.2f", g16, g64)
+	}
+}

@@ -1,0 +1,198 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dirsim/internal/core"
+	"dirsim/internal/sim"
+	"dirsim/internal/trace"
+	"dirsim/internal/workload"
+)
+
+// Context supplies the inputs an experiment needs: the three standard
+// traces at the configured size, plus larger-machine traces for the
+// Section 6 scaling studies, generated lazily and cached.
+type Context struct {
+	// Refs is the approximate length of each generated trace.
+	Refs int
+	// CPUs is the machine size for the headline experiments (4, to
+	// match the paper's ATUM setup).
+	CPUs int
+	// Check enables coherence checking during the runs (slower).
+	Check bool
+
+	std     []*trace.Trace
+	scaled  map[int][]*trace.Trace
+	results map[string]*sim.Result // cache: scheme "@" cpus
+}
+
+// NewContext returns a context with the given trace size. Sensible
+// defaults are applied for non-positive arguments (400k references,
+// 4 CPUs).
+func NewContext(refs, cpus int) *Context {
+	if refs <= 0 {
+		refs = 400_000
+	}
+	if cpus <= 0 {
+		cpus = 4
+	}
+	return &Context{
+		Refs:    refs,
+		CPUs:    cpus,
+		scaled:  make(map[int][]*trace.Trace),
+		results: make(map[string]*sim.Result),
+	}
+}
+
+// Traces returns the standard POPS/THOR/PERO traces at the headline
+// machine size.
+func (c *Context) Traces() []*trace.Trace {
+	if c.std == nil {
+		c.std = workload.Standard(c.CPUs, c.Refs)
+	}
+	return c.std
+}
+
+// TracesAt returns the standard traces regenerated for a different
+// machine size (the scaling studies).
+func (c *Context) TracesAt(cpus int) []*trace.Trace {
+	if cpus == c.CPUs {
+		return c.Traces()
+	}
+	if ts, ok := c.scaled[cpus]; ok {
+		return ts
+	}
+	ts := workload.Standard(cpus, c.Refs)
+	c.scaled[cpus] = ts
+	return ts
+}
+
+// Merged returns the scheme's result merged over the standard traces,
+// cached across experiments so e.g. Table 4 and Figure 2 share one
+// simulation per scheme, the same economy the paper notes (one run per
+// protocol, many cost models).
+func (c *Context) Merged(scheme string) (*sim.Result, error) {
+	key := scheme + "@std"
+	if r, ok := c.results[key]; ok {
+		return r, nil
+	}
+	_, merged, err := sim.SchemeOverTraces(scheme, c.Traces(), c.opts())
+	if err != nil {
+		return nil, err
+	}
+	c.results[key] = merged
+	return merged, nil
+}
+
+// PerTrace returns the scheme's per-trace results on the standard traces.
+func (c *Context) PerTrace(scheme string) ([]*sim.Result, error) {
+	per, merged, err := sim.SchemeOverTraces(scheme, c.Traces(), c.opts())
+	if err != nil {
+		return nil, err
+	}
+	c.results[scheme+"@std"] = merged
+	return per, nil
+}
+
+func (c *Context) opts() sim.Options {
+	return sim.Options{Check: c.Check}
+}
+
+// RunProtocol runs engines built by build over the given traces (with an
+// optional source filter) and merges the results. It is the escape hatch
+// for experiments that need non-registry protocols (coarse vector) or
+// filtered traces (the spin-lock study).
+func (c *Context) RunProtocol(build func(ncpu int) core.Protocol, traces []*trace.Trace,
+	filter func(trace.Source) trace.Source) (*sim.Result, error) {
+	var results []*sim.Result
+	for _, t := range traces {
+		src := trace.Source(t.Iterator())
+		if filter != nil {
+			src = filter(src)
+		}
+		p := build(t.CPUs)
+		r, err := sim.Simulate(p, src, c.opts())
+		if err != nil {
+			return nil, fmt.Errorf("report: %s over %s: %w", p.Name(), t.Name, err)
+		}
+		r.Trace = t.Name
+		results = append(results, r)
+	}
+	return sim.Merge(results...)
+}
+
+// MergedScheme runs a registry scheme over arbitrary traces with an
+// optional filter (uncached; use Merged for the standard runs).
+func (c *Context) MergedScheme(scheme string, traces []*trace.Trace,
+	filter func(trace.Source) trace.Source) (*sim.Result, error) {
+	return c.RunProtocol(func(ncpu int) core.Protocol {
+		p, err := core.NewByName(scheme, ncpu)
+		if err != nil {
+			panic(err)
+		}
+		return p
+	}, traces, filter)
+}
+
+// Experiment reproduces one paper artifact.
+type Experiment struct {
+	// ID is the registry key ("table4", "fig1", ...).
+	ID string
+	// Title describes the artifact.
+	Title string
+	// Run performs the simulations and renders the comparison.
+	Run func(c *Context) (string, error)
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// Experiments returns all registered experiments in registration order
+// (which follows the paper).
+func Experiments() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// Lookup finds experiments by comma-separated IDs; "all" or an empty
+// string selects everything.
+func Lookup(ids string) ([]Experiment, error) {
+	ids = strings.TrimSpace(ids)
+	if ids == "" || ids == "all" {
+		return Experiments(), nil
+	}
+	want := map[string]bool{}
+	for _, id := range strings.Split(ids, ",") {
+		want[strings.TrimSpace(strings.ToLower(id))] = true
+	}
+	var out []Experiment
+	for _, e := range registry {
+		if want[e.ID] {
+			out = append(out, e)
+			delete(want, e.ID)
+		}
+	}
+	if len(want) > 0 {
+		var missing []string
+		for id := range want {
+			missing = append(missing, id)
+		}
+		sort.Strings(missing)
+		return nil, fmt.Errorf("report: unknown experiment(s) %s (have: %s)",
+			strings.Join(missing, ", "), strings.Join(IDs(), ", "))
+	}
+	return out, nil
+}
+
+// IDs lists all registered experiment IDs.
+func IDs() []string {
+	out := make([]string, len(registry))
+	for i, e := range registry {
+		out[i] = e.ID
+	}
+	return out
+}

@@ -1,0 +1,371 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"dirsim/internal/bus"
+	cachepkg "dirsim/internal/cache"
+	"dirsim/internal/contention"
+	"dirsim/internal/core"
+	"dirsim/internal/event"
+	"dirsim/internal/network"
+	"dirsim/internal/sim"
+	"dirsim/internal/trace"
+	"dirsim/internal/workload"
+)
+
+// runExtended compares the full comparator set — the paper's four schemes
+// plus the protocols its related-work section names: MESI/Illinois [5],
+// Berkeley Ownership [7], Firefly [3], and the Yen–Fu single-bit
+// refinement [11].
+func runExtended(c *Context) (string, error) {
+	var b strings.Builder
+	b.WriteString(section("extended", "All schemes, including the related-work comparators"))
+	tbl := newTable("scheme", "pipelined", "non-pipelined", "rd-miss %", "txn/ref")
+	schemes := []string{"Dir1NB", "WTI", "Dir0B", "DirNNB", "YenFu", "Dir1B",
+		"MESI", "Berkeley", "Firefly", "Dragon"}
+	for _, scheme := range schemes {
+		r, err := c.Merged(scheme)
+		if err != nil {
+			return "", err
+		}
+		tbl.row(scheme,
+			cyc(r.PerRef("pipelined")), cyc(r.PerRef("non-pipelined")),
+			fmt.Sprintf("%.3f", r.Counts.ReadMisses()),
+			fmt.Sprintf("%.4f", r.Tally("pipelined").TransactionsPerRef()))
+	}
+	b.WriteString(tbl.String())
+	b.WriteString("\nobservations: MESI's exclusive-clean state removes Dir0B's directory\n" +
+		"query on private read-modify-writes; the simulated Berkeley engine\n" +
+		"lands near the paper's re-priced Dir0B estimate; Firefly tracks\n" +
+		"Dragon; Yen-Fu saves directory accesses but — as the paper notes —\n" +
+		"not bus cycles, because single-bit upkeep replaces them.\n")
+	return b.String(), nil
+}
+
+// runNetwork prices directory and broadcast schemes on point-to-point
+// interconnects — the quantified version of the paper's claim that
+// directed invalidation is what lets coherence scale beyond a bus.
+func runNetwork(c *Context) (string, error) {
+	var b strings.Builder
+	b.WriteString(section("network", "Link-cycles per reference on point-to-point interconnects"))
+	sizes := []struct {
+		cpus  int
+		topos []network.Topology
+	}{
+		{16, []network.Topology{network.Bus(16), network.Crossbar(16), network.Mesh(4, 4), network.Hypercube(4)}},
+		{64, []network.Topology{network.Bus(64), network.Crossbar(64), network.Mesh(8, 8), network.Torus(8, 8), network.Hypercube(6)}},
+	}
+	for _, sz := range sizes {
+		traces := c.TracesAt(sz.cpus)
+		b.WriteString(fmt.Sprintf("machine size %d CPUs:\n", sz.cpus))
+		names := make([]string, len(sz.topos))
+		for i, t := range sz.topos {
+			names[i] = t.Name
+		}
+		tbl := newTable("scheme", names...)
+		for _, scheme := range []string{"DirNNB", "Dir2B", "Dir0B"} {
+			var merged *sim.Result
+			var results []*sim.Result
+			for _, tr := range traces {
+				p, err := core.NewByName(scheme, tr.CPUs)
+				if err != nil {
+					return "", err
+				}
+				r, err := sim.Simulate(p, tr.Iterator(), sim.Options{Topologies: sz.topos})
+				if err != nil {
+					return "", err
+				}
+				r.Trace = tr.Name
+				results = append(results, r)
+			}
+			merged, err := sim.Merge(results...)
+			if err != nil {
+				return "", err
+			}
+			cells := []string{scheme}
+			for _, name := range names {
+				cells = append(cells, fmt.Sprintf("%.3f", merged.NetTallies[name].PerRef()))
+			}
+			tbl.row(cells...)
+		}
+		b.WriteString(tbl.String())
+		b.WriteByte('\n')
+	}
+	b.WriteString("DirNNB's directed messages cost only the network's average distance;\n" +
+		"Dir0B must flood every invalidation on a broadcast-free fabric, and\n" +
+		"the gap widens with machine size — the paper's scalability argument\n" +
+		"made quantitative. Dir2B sits between: its broadcast bit fires rarely.\n")
+	return b.String(), nil
+}
+
+// runMigration reproduces the paper's Section 4.4 methodology check:
+// process-based and processor-based sharing classifications give nearly
+// identical results when migration is rare, and diverge when it is not.
+// Sharing is classified per processor by simulating caches per CPU and
+// per process by remapping caches onto process ids (ProcAsCPU).
+func runMigration(c *Context) (string, error) {
+	var b strings.Builder
+	b.WriteString(section("migration", "Process- vs processor-based sharing (Section 4.4)"))
+	tbl := newTable("migration/turn", "shared blk (proc)", "shared blk (cpu)",
+		"Dir0B cyc/ref (proc)", "Dir0B cyc/ref (cpu)")
+	for _, rate := range []float64{0, 0.001, 0.01} {
+		prof := workload.POPSProfile()
+		prof.MigrationRate = rate
+		tr, err := workload.Generate(workload.Config{
+			Name: "pops", CPUs: c.CPUs, Refs: c.Refs,
+			Seed: workload.SeedPOPS, Profile: prof,
+		})
+		if err != nil {
+			return "", err
+		}
+		byCPU := trace.ComputeStats(tr)
+		byProc := trace.ComputeStats(trace.Collect(tr.Name, trace.ProcAsCPU(tr.Iterator())))
+		// byProc's per-process sharing comes from Proc fields either
+		// way; the interesting difference is the simulated cost.
+		perProc, err := c.MergedScheme("Dir0B", []*trace.Trace{tr}, trace.ProcAsCPU)
+		if err != nil {
+			return "", err
+		}
+		perCPU, err := c.MergedScheme("Dir0B", []*trace.Trace{tr}, nil)
+		if err != nil {
+			return "", err
+		}
+		tbl.row(fmt.Sprintf("%g", rate),
+			fmt.Sprintf("%d", byProc.SharedBlk),
+			fmt.Sprintf("%d", cpuSharedBlocks(byCPU, tr)),
+			cyc(perProc.PerRef("pipelined")),
+			cyc(perCPU.PerRef("pipelined")))
+	}
+	b.WriteString(tbl.String())
+	b.WriteString("\nwith no migration the classifications coincide — the check the paper\n" +
+		"reports ('the numbers were not significantly different'). As the\n" +
+		"migration rate rises, processor-based simulation charges the drag of\n" +
+		"moving working sets between caches as sharing cost; classifying per\n" +
+		"process excludes it, which is why the paper chose that model.\n")
+	return b.String(), nil
+}
+
+// runSysPerf reproduces the paper's Section 5 system-performance
+// estimate: how many processors a single shared bus supports before
+// coherence traffic saturates it.
+func runSysPerf(c *Context) (string, error) {
+	var b strings.Builder
+	b.WriteString(section("sysperf", "Effective processors on one bus (Section 5)"))
+	tbl := newTable("scheme", "cycles/ref", "ns between bus cycles", "effective CPUs")
+	for _, scheme := range []string{"Dir0B", "Dragon", "WTI", "Dir1NB"} {
+		r, err := c.Merged(scheme)
+		if err != nil {
+			return "", err
+		}
+		sp := bus.PaperSystem(r.PerRef("pipelined"))
+		tbl.row(scheme, cyc(sp.CyclesPerRef),
+			fmt.Sprintf("%.0f", sp.NSBetweenBusCycles()),
+			fmt.Sprintf("%.1f", sp.EffectiveProcessors()))
+	}
+	b.WriteString(tbl.String())
+	paper := bus.PaperSystem(0.03)
+	b.WriteString(fmt.Sprintf("\npaper's example: %.4f cycles/ref on a 10-MIPS processor and 100ns bus\n"+
+		"-> a bus cycle every ~1500ns and ~15 effective processors (computed\n"+
+		"here: %.1f). This optimistic bound is why the paper argues a single\n"+
+		"bus cannot scale and directories must move to a network.\n",
+		0.03, paper.EffectiveProcessors()))
+	return b.String(), nil
+}
+
+// runContention extends the Section 5 system estimate with queueing: the
+// paper's bound divides bus capacity by demand; the timing replay makes
+// processors actually wait for the bus, so achieved parallelism falls
+// below the bound as the machine grows.
+func runContention(c *Context) (string, error) {
+	var b strings.Builder
+	b.WriteString(section("contention", "Bus queueing vs the optimistic Section 5 bound"))
+	cfg := contention.PaperConfig()
+	for _, scheme := range []string{"Dir0B", "Dragon", "WTI"} {
+		tbl := newTable(scheme, "effective CPUs (queued)", "bus utilization", "optimistic bound")
+		for _, cpus := range []int{4, 8, 16, 32} {
+			var agg contention.Stats
+			var demand, refs float64
+			for _, tr := range c.TracesAt(cpus) {
+				s, _, err := contention.RunScheme(scheme, tr, cfg)
+				if err != nil {
+					return "", err
+				}
+				agg.Span += s.Span
+				agg.BusBusy += s.BusBusy
+				agg.AloneTime += s.AloneTime
+				agg.CPUs = s.CPUs
+				demand += s.BusBusy
+				refs += float64(s.Refs)
+			}
+			perRefDemand := demand / refs
+			bound := float64(cpus)
+			if perRefDemand > 0 {
+				bound = (cfg.ThinkCycles + perRefDemand) / perRefDemand
+				if bound > float64(cpus) {
+					bound = float64(cpus)
+				}
+			}
+			tbl.row(fmt.Sprintf("%d CPUs", cpus),
+				fmt.Sprintf("%.2f", agg.EffectiveProcessors()),
+				fmt.Sprintf("%.1f%%", 100*agg.Utilization()),
+				fmt.Sprintf("%.2f", bound))
+		}
+		b.WriteString(tbl.String())
+		b.WriteByte('\n')
+	}
+	b.WriteString("once the bus saturates, adding processors adds waiting, not work —\n" +
+		"the queue-aware version of the paper's 'no more than 15-20 processors\n" +
+		"on a bus' conclusion, and the quantitative case for directories on\n" +
+		"point-to-point networks.\n")
+	return b.String(), nil
+}
+
+// runDirBandwidth quantifies the paper's conclusion that the directory is
+// not a bottleneck: per reference, the directory is consulted once per
+// miss (overlapped with the memory lookup) plus once per write hit to a
+// clean block, so its access rate barely exceeds memory's.
+func runDirBandwidth(c *Context) (string, error) {
+	var b strings.Builder
+	b.WriteString(section("dirbw", "Directory vs memory access bandwidth"))
+	tbl := newTable("scheme", "mem ops/100 refs", "dir ops/100 refs", "dir/mem ratio")
+	for _, scheme := range []string{"Dir0B", "DirNNB", "Dir1NB"} {
+		r, err := c.Merged(scheme)
+		if err != nil {
+			return "", err
+		}
+		cc := r.Counts
+		// Memory operations: fills served from memory plus dirty
+		// write-backs (which also involve a memory write).
+		memFills := cc.PctSum(event.RdMissClean, event.RdMissMem, event.WrMissClean, event.WrMissMem)
+		wbs := cc.PctSum(event.RdMissDirty, event.WrMissDirty)
+		memOps := memFills + wbs
+		// Directory operations: every miss looks the entry up, every
+		// write hit to a clean block queries it, and each state
+		// change writes it back (counted within the same access).
+		dirOps := cc.ReadMisses() + cc.WriteMisses() + cc.Pct(event.WrHitClean)
+		tbl.row(scheme,
+			fmt.Sprintf("%.3f", memOps),
+			fmt.Sprintf("%.3f", dirOps),
+			fmt.Sprintf("%.2f", dirOps/memOps))
+	}
+	b.WriteString(tbl.String())
+	b.WriteString("\nthe directory sees only slightly more traffic than memory (the\n" +
+		"wh-blk-cln queries), and both distribute across nodes together —\n" +
+		"the paper's conclusion that directory bandwidth 'is not much more\n" +
+		"severe than the memory bandwidth need'.\n")
+	return b.String(), nil
+}
+
+// runBlockSize is a sensitivity study on the block size the paper fixes
+// at 16 bytes: larger blocks exploit spatial locality (fewer cold misses)
+// but induce false sharing, which hurts invalidation protocols more than
+// update protocols.
+func runBlockSize(c *Context) (string, error) {
+	var b strings.Builder
+	b.WriteString(section("blocksize", "Block-size sensitivity (paper fixes 16 bytes)"))
+	tbl := newTable("block", "Dir0B cyc/ref", "Dir0B rd-miss %", "Dir0B inval<=1 %", "Dragon cyc/ref")
+	for _, size := range []int{16, 32, 64, 128} {
+		words := size / 4
+		model := bus.PipelinedWords(words)
+		row := []string{fmt.Sprintf("%dB", size)}
+		for _, scheme := range []string{"Dir0B", "Dragon"} {
+			var results []*sim.Result
+			for _, tr := range c.Traces() {
+				p, err := core.NewByName(scheme, tr.CPUs)
+				if err != nil {
+					return "", err
+				}
+				src, err := trace.WithBlockSize(tr.Iterator(), size)
+				if err != nil {
+					return "", err
+				}
+				r, err := sim.Simulate(p, src, sim.Options{Models: []bus.Model{model}})
+				if err != nil {
+					return "", err
+				}
+				r.Trace = tr.Name
+				results = append(results, r)
+			}
+			merged, err := sim.Merge(results...)
+			if err != nil {
+				return "", err
+			}
+			row = append(row, cyc(merged.PerRef("pipelined")))
+			if scheme == "Dir0B" {
+				row = append(row,
+					fmt.Sprintf("%.3f", merged.Counts.ReadMisses()),
+					fmt.Sprintf("%.1f", merged.InvalClean.PctAtMost(1)))
+			}
+		}
+		tbl.row(row...)
+	}
+	b.WriteString(tbl.String())
+	b.WriteString("\nbigger blocks cut the cold-miss count but each fill moves more words\n" +
+		"and false sharing creeps into the invalidation pattern; the paper's\n" +
+		"16-byte choice sits before the false-sharing knee on these workloads.\n")
+	return b.String(), nil
+}
+
+// runFiniteCoherence verifies the paper's footnote 2 with a full
+// finite-cache coherence simulation (not the first-order estimate): as
+// the cache shrinks, capacity misses appear but the *coherence-related*
+// miss component falls, because blocks an invalidation would have purged
+// are often already evicted.
+func runFiniteCoherence(c *Context) (string, error) {
+	var b strings.Builder
+	b.WriteString(section("finitecoh", "Coherence misses in finite caches (footnote 2)"))
+	tr := workload.POPS(c.CPUs, c.Refs)
+	tbl := newTable("cache", "coherence miss %", "capacity miss %", "cycles/ref (pipelined)")
+	// An effectively infinite cache first, then smaller ones.
+	for _, kb := range []int{4096, 64, 16, 4} {
+		cfg := cachepkg.Config{SizeBytes: kb * 1024, Assoc: 2, HashIndex: true}
+		p, err := core.NewFiniteDirNNB(tr.CPUs, cfg)
+		if err != nil {
+			return "", err
+		}
+		r, err := sim.Simulate(p, tr.Iterator(), sim.Options{})
+		if err != nil {
+			return "", err
+		}
+		fd := p.(interface{ Counters() (cold, coh, cap int64) })
+		cold, coh, capm := fd.Counters()
+		_ = cold
+		total := float64(r.Counts.Total)
+		tbl.row(fmt.Sprintf("%dKB", kb),
+			fmt.Sprintf("%.3f", 100*float64(coh)/total),
+			fmt.Sprintf("%.3f", 100*float64(capm)/total),
+			cyc(r.PerRef("pipelined")))
+	}
+	b.WriteString(tbl.String())
+	b.WriteString("\nthe paper's footnote 2: 'coherency-related misses will be fewer in a\n" +
+		"finite-sized cache because some of the blocks that would be\n" +
+		"invalidated ... have already been purged'. The coherence column\n" +
+		"falls as the cache shrinks while capacity misses take over.\n")
+	return b.String(), nil
+}
+
+// cpuSharedBlocks counts data blocks touched by more than one *CPU* (the
+// processor-based classification); Stats counts per process.
+func cpuSharedBlocks(_ trace.Stats, tr *trace.Trace) int {
+	cpus := map[trace.Block]map[uint8]struct{}{}
+	for _, r := range tr.Refs {
+		if !r.IsData() {
+			continue
+		}
+		m := cpus[r.Block()]
+		if m == nil {
+			m = map[uint8]struct{}{}
+			cpus[r.Block()] = m
+		}
+		m[r.CPU] = struct{}{}
+	}
+	n := 0
+	for _, m := range cpus {
+		if len(m) > 1 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,34 @@
+package report
+
+// The experiments are registered centrally, in the order the paper
+// presents its results: the methodology tables first, then the Section 5
+// evaluation figures, then the Section 5.1/5.2 analyses and the Section 6
+// scalability studies.
+func init() {
+	register(Experiment{ID: "table3", Title: "Trace characteristics (Table 3)", Run: runTable3})
+	register(Experiment{ID: "table4", Title: "Event frequencies, % of all references (Table 4)", Run: runTable4})
+	register(Experiment{ID: "fig1", Title: "Caches invalidated on writes to previously-clean blocks (Figure 1)", Run: runFig1})
+	register(Experiment{ID: "fig2", Title: "Bus cycles per reference, both bus models (Figure 2)", Run: runFig2})
+	register(Experiment{ID: "fig3", Title: "Bus cycles per reference, per trace (Figure 3)", Run: runFig3})
+	register(Experiment{ID: "table5", Title: "Bus-cycle breakdown, pipelined bus (Table 5)", Run: runTable5})
+	register(Experiment{ID: "fig4", Title: "Breakdown as fraction of each scheme's total (Figure 4)", Run: runFig4})
+	register(Experiment{ID: "fig5", Title: "Average bus cycles per bus transaction (Figure 5)", Run: runFig5})
+	register(Experiment{ID: "sysperf", Title: "Effective processors on one bus (Section 5)", Run: runSysPerf})
+	register(Experiment{ID: "qsens", Title: "Fixed per-transaction cost sensitivity (Section 5.1)", Run: runQSens})
+	register(Experiment{ID: "spinlocks", Title: "Impact of spin locks (Section 5.2)", Run: runSpinlocks})
+	register(Experiment{ID: "berkeley", Title: "Berkeley Ownership estimate (Section 5 aside)", Run: runBerkeley})
+	register(Experiment{ID: "dirnnb", Title: "Sequential invalidation: DirNNB vs Dir0B (Section 6)", Run: runDirNNB})
+	register(Experiment{ID: "dir1b", Title: "Single pointer + broadcast bit: Dir1B model (Section 6)", Run: runDir1B})
+	register(Experiment{ID: "scaling", Title: "Limited-pointer sweep Dir_iB / Dir_iNB (Section 6)", Run: runScaling})
+	register(Experiment{ID: "coarse", Title: "Coarse ternary-digit code overshoot (Section 6)", Run: runCoarse})
+	register(Experiment{ID: "storage", Title: "Directory storage per entry (Section 6)", Run: runStorage})
+	register(Experiment{ID: "network", Title: "Directed vs broadcast coherence on interconnects (Section 6)", Run: runNetwork})
+	register(Experiment{ID: "extended", Title: "Related-work comparators: MESI, Berkeley, Firefly, Yen-Fu", Run: runExtended})
+	register(Experiment{ID: "migration", Title: "Process- vs processor-based sharing (Section 4.4)", Run: runMigration})
+	register(Experiment{ID: "finite", Title: "Finite-cache first-order extension (Section 4)", Run: runFinite})
+	register(Experiment{ID: "finitecoh", Title: "Coherence misses in finite caches (footnote 2)", Run: runFiniteCoherence})
+	register(Experiment{ID: "blocksize", Title: "Block-size sensitivity study", Run: runBlockSize})
+	register(Experiment{ID: "dirbw", Title: "Directory vs memory bandwidth (conclusion)", Run: runDirBandwidth})
+	register(Experiment{ID: "contention", Title: "Bus queueing vs the Section 5 bound", Run: runContention})
+	register(Experiment{ID: "vm", Title: "Execution-driven traces (the paper's future work)", Run: runVM})
+}

@@ -1,0 +1,93 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// table is a tiny text-table builder: fixed label column plus value
+// columns, rendered with aligned widths.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func newTable(label string, cols ...string) *table {
+	return &table{header: append([]string{label}, cols...)}
+}
+
+func (t *table) row(cells ...string) {
+	for len(cells) < len(t.header) {
+		cells = append(cells, "")
+	}
+	t.rows = append(t.rows, cells)
+}
+
+func (t *table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i == 0 {
+				fmt.Fprintf(&b, "%-*s", widths[i], c)
+			} else {
+				fmt.Fprintf(&b, "  %*s", widths[i], c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2))
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// pct formats a percentage cell; empty for exact zero so unused events
+// don't clutter the table.
+func pct(v float64) string {
+	if v == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+// cyc formats a cycles-per-reference value.
+func cyc(v float64) string { return fmt.Sprintf("%.4f", v) }
+
+// withPaper formats "measured (paper X)" when a published value exists.
+func withPaper(measured float64, paper float64, ok bool) string {
+	if !ok {
+		return cyc(measured)
+	}
+	return fmt.Sprintf("%s (paper %s)", cyc(measured), cyc(paper))
+}
+
+// ratio formats a/b, guarding against division by zero.
+func ratio(a, b float64) string {
+	if b == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", a/b)
+}
+
+// section renders an experiment banner.
+func section(id, title string) string {
+	return fmt.Sprintf("### %s — %s\n\n", id, title)
+}

@@ -1,0 +1,134 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"dirsim/internal/sim"
+	"dirsim/internal/trace"
+	"dirsim/internal/vm"
+)
+
+// runVM cross-checks the synthetic-workload results against traces from
+// the execution-driven simulator (the paper's stated future work): real
+// test-and-test-and-set locks, barriers, and a parallel reduction
+// actually executing on a small machine. The scheme ordering and the
+// lock pathology must reproduce on these traces too.
+func runVM(c *Context) (string, error) {
+	var b strings.Builder
+	b.WriteString(section("vm", "Execution-driven traces (real programs on the mini-machine)"))
+
+	programs := []struct {
+		name string
+		mk   func(cpus int) *vm.Machine
+	}{
+		{"counter", func(cpus int) *vm.Machine {
+			progs := make([]*vm.Program, cpus)
+			p := vm.LockedCounter(400)
+			for i := range progs {
+				progs[i] = p
+			}
+			return &vm.Machine{Programs: progs, Seed: 21}
+		}},
+		{"barrier", func(cpus int) *vm.Machine {
+			progs := make([]*vm.Program, cpus)
+			p := vm.Barrier(vm.Word(cpus), 120)
+			for i := range progs {
+				progs[i] = p
+			}
+			return &vm.Machine{Programs: progs, Seed: 22}
+		}},
+		{"reduce", func(cpus int) *vm.Machine {
+			progs := make([]*vm.Program, cpus)
+			p := vm.Reduce(vm.Word(cpus), 512)
+			for i := range progs {
+				progs[i] = p
+			}
+			return &vm.Machine{Programs: progs, Seed: 23, InitMem: vm.InitReduceMemory(512)}
+		}},
+	}
+	const cpus = 4
+	schemes := []string{"Dir1NB", "WTI", "Dir0B", "Dragon"}
+	tbl := newTable("program", append(append([]string{}, schemes...), "refs", "spin %")...)
+	for _, prog := range programs {
+		m := prog.mk(cpus)
+		tr, _, err := m.Run()
+		if err != nil {
+			return "", fmt.Errorf("vm %s: %w", prog.name, err)
+		}
+		cells := []string{prog.name}
+		for _, scheme := range schemes {
+			r, err := sim.SimulateTrace(scheme, tr, sim.Options{})
+			if err != nil {
+				return "", err
+			}
+			cells = append(cells, cyc(r.PerRef("pipelined")))
+		}
+		s := trace.ComputeStats(tr)
+		cells = append(cells, fmt.Sprintf("%d", s.Refs),
+			fmt.Sprintf("%.1f", s.Pct(s.SpinReads)))
+		tbl.row(cells...)
+	}
+	b.WriteString(tbl.String())
+	b.WriteString("\ntraces here come from programs actually executing (final memory\n" +
+		"states are asserted in the test suite), not from statistical\n" +
+		"generators — and the paper's ordering Dir1NB > WTI > Dir0B > Dragon\n" +
+		"reproduces wherever locks dominate, while the embarrassingly\n" +
+		"parallel reduction narrows every gap.\n\n")
+
+	// Lock-algorithm comparison: the same counter workload under
+	// test-and-test-and-set, a ticket lock, and an Anderson array lock.
+	locks := []struct {
+		name string
+		mk   func() *vm.Machine
+	}{
+		{"tas", func() *vm.Machine {
+			return &vm.Machine{Programs: samePrograms(vm.LockedCounter(400), cpus), Seed: 31}
+		}},
+		{"ticket", func() *vm.Machine {
+			return &vm.Machine{Programs: samePrograms(vm.TicketCounter(400), cpus), Seed: 32}
+		}},
+		{"anderson", func() *vm.Machine {
+			return &vm.Machine{Programs: samePrograms(vm.AndersonCounter(400, 8), cpus),
+				InitMem: vm.InitAndersonMemory(), Seed: 33}
+		}},
+	}
+	ltbl := newTable("lock", "Dir1NB cyc/ref", "Dir0B cyc/ref", "Dragon cyc/ref", "Dir1NB rd-miss %")
+	for _, l := range locks {
+		tr, _, err := l.mk().Run()
+		if err != nil {
+			return "", fmt.Errorf("vm lock %s: %w", l.name, err)
+		}
+		cells := []string{l.name}
+		var d1Miss float64
+		for _, scheme := range []string{"Dir1NB", "Dir0B", "Dragon"} {
+			r, err := sim.SimulateTrace(scheme, tr, sim.Options{})
+			if err != nil {
+				return "", err
+			}
+			cells = append(cells, cyc(r.PerRef("pipelined")))
+			if scheme == "Dir1NB" {
+				d1Miss = r.Counts.ReadMisses()
+			}
+		}
+		cells = append(cells, fmt.Sprintf("%.2f", d1Miss))
+		ltbl.row(cells...)
+	}
+	b.WriteString("same counter workload under three lock algorithms:\n")
+	b.WriteString(ltbl.String())
+	b.WriteString("\nthe paper's remedy, made concrete: waiters that spin on a shared\n" +
+		"word (tas, ticket) bounce the block under Dir1NB, while the Anderson\n" +
+		"array lock spins on per-waiter slots and hands the lock off with one\n" +
+		"directed invalidation — 'these schemes must take special care in\n" +
+		"handling locks' (Section 5.2).\n")
+	return b.String(), nil
+}
+
+// samePrograms replicates one program across n CPUs.
+func samePrograms(p *vm.Program, n int) []*vm.Program {
+	out := make([]*vm.Program, n)
+	for i := range out {
+		out[i] = p
+	}
+	return out
+}

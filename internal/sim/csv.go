@@ -1,0 +1,51 @@
+package sim
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteCSV exports results in a flat machine-readable form, one row per
+// (result, bus model) pair, for plotting or regression tracking. Columns:
+//
+//	scheme, trace, model, refs, cycles_per_ref, txn_per_ref,
+//	cycles_per_txn, rd_miss_pct, wr_miss_pct, inval_le1_pct,
+//	broadcasts, seq_invals, write_backs
+func WriteCSV(w io.Writer, results []*Result) error {
+	cw := csv.NewWriter(w)
+	header := []string{"scheme", "trace", "model", "refs",
+		"cycles_per_ref", "txn_per_ref", "cycles_per_txn",
+		"rd_miss_pct", "wr_miss_pct", "inval_le1_pct",
+		"broadcasts", "seq_invals", "write_backs"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	f := func(v float64) string { return fmt.Sprintf("%.6f", v) }
+	for _, r := range results {
+		models := make([]string, 0, len(r.Tallies))
+		for name := range r.Tallies {
+			models = append(models, name)
+		}
+		sort.Strings(models)
+		for _, name := range models {
+			t := r.Tallies[name]
+			row := []string{
+				r.Scheme, r.Trace, name,
+				fmt.Sprintf("%d", r.Counts.Total),
+				f(t.PerRef()), f(t.TransactionsPerRef()), f(t.PerTransaction()),
+				f(r.Counts.ReadMisses()), f(r.Counts.WriteMisses()),
+				f(r.InvalClean.PctAtMost(1)),
+				fmt.Sprintf("%d", r.Broadcasts),
+				fmt.Sprintf("%d", r.SeqInvals),
+				fmt.Sprintf("%d", r.WriteBacks),
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,61 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"dirsim/internal/workload"
+)
+
+func TestWriteCSV(t *testing.T) {
+	a, err := SimulateTrace("Dir0B", workload.PingPong(500), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateTrace("Dragon", workload.PingPong(500), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, []*Result{a, b}); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("output is not valid CSV: %v", err)
+	}
+	// Header + 2 results x 2 default models.
+	if len(rows) != 1+4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if rows[0][0] != "scheme" || rows[0][4] != "cycles_per_ref" {
+		t.Errorf("header wrong: %v", rows[0])
+	}
+	// Rows are sorted by model name within a result.
+	if rows[1][2] != "non-pipelined" || rows[2][2] != "pipelined" {
+		t.Errorf("model ordering: %v / %v", rows[1][2], rows[2][2])
+	}
+	if rows[1][0] != "Dir0B" || rows[3][0] != "Dragon" {
+		t.Errorf("scheme column wrong: %v", rows)
+	}
+	for _, row := range rows[1:] {
+		if len(row) != len(rows[0]) {
+			t.Fatalf("ragged row: %v", row)
+		}
+		if !strings.Contains(row[4], ".") {
+			t.Errorf("cycles_per_ref not numeric: %q", row[4])
+		}
+	}
+}
+
+func TestWriteCSVEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 1 {
+		t.Errorf("empty export should be header only, got %d lines", lines)
+	}
+}

@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"testing"
+
+	"dirsim/internal/event"
+	"dirsim/internal/workload"
+)
+
+// Cross-field consistency invariants on full application runs: the
+// action counters a Result accumulates must agree with its event
+// frequencies.
+
+func TestInvalHistogramMatchesEventCounts(t *testing.T) {
+	for _, scheme := range []string{"Dir0B", "DirNNB", "Dir1NB", "WTI"} {
+		res, err := SimulateTrace(scheme, workload.POPS(4, 120_000), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantClean := res.Counts.N[event.WrHitClean] + res.Counts.N[event.WrMissClean]
+		if got := res.InvalClean.Total(); got != wantClean {
+			t.Errorf("%s: InvalClean observed %d, events say %d", scheme, got, wantClean)
+		}
+		wantAll := wantClean + res.Counts.N[event.WrMissDirty] + res.Counts.N[event.RdMissDirty]
+		if got := res.HoldersAtInval.Total(); got != wantAll {
+			t.Errorf("%s: HoldersAtInval observed %d, events say %d", scheme, got, wantAll)
+		}
+	}
+}
+
+func TestDir0BBroadcastAccounting(t *testing.T) {
+	res, err := SimulateTrace("Dir0B", workload.THOR(4, 120_000), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dir0B broadcasts on: write hits to clean blocks with other
+	// holders, all write misses to cached blocks, and never sends a
+	// directed invalidation.
+	if res.SeqInvals != 0 {
+		t.Errorf("Dir0B sent %d directed invalidations", res.SeqInvals)
+	}
+	maxBcasts := res.Counts.N[event.WrHitClean] +
+		res.Counts.N[event.WrMissClean] + res.Counts.N[event.WrMissDirty]
+	if res.Broadcasts > maxBcasts {
+		t.Errorf("broadcasts %d exceed eligible events %d", res.Broadcasts, maxBcasts)
+	}
+	// Sole-holder write hits skip the broadcast, so strictly fewer than
+	// the bound on real workloads.
+	if res.Broadcasts == 0 || res.Broadcasts >= maxBcasts {
+		t.Errorf("broadcast count %d implausible against bound %d", res.Broadcasts, maxBcasts)
+	}
+}
+
+func TestDirNNBInvalAccounting(t *testing.T) {
+	res, err := SimulateTrace("DirNNB", workload.THOR(4, 120_000), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Broadcasts != 0 {
+		t.Errorf("DirNNB broadcast %d times", res.Broadcasts)
+	}
+	// Directed invalidations: the holders summed over clean-write events
+	// plus one per dirty miss (the flush).
+	var fromHist int64
+	for v, n := range res.InvalClean.Buckets {
+		fromHist += int64(v) * n
+	}
+	fromHist += res.Counts.N[event.WrMissDirty]
+	if res.SeqInvals != fromHist {
+		t.Errorf("SeqInvals %d, derived %d", res.SeqInvals, fromHist)
+	}
+}
+
+func TestWriteBackAccounting(t *testing.T) {
+	res, err := SimulateTrace("Dir0B", workload.POPS(4, 120_000), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := res.Counts.N[event.RdMissDirty] + res.Counts.N[event.WrMissDirty]
+	if res.WriteBacks != want {
+		t.Errorf("WriteBacks %d, dirty-miss events %d", res.WriteBacks, want)
+	}
+	// Dragon never writes back.
+	dragon, err := SimulateTrace("Dragon", workload.POPS(4, 120_000), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dragon.WriteBacks != 0 {
+		t.Errorf("Dragon wrote back %d times", dragon.WriteBacks)
+	}
+}
+
+func TestCycleConsistencyAcrossModels(t *testing.T) {
+	// The non-pipelined bus is never cheaper than the pipelined one for
+	// any scheme on any workload (every operation costs at least as
+	// much).
+	for _, scheme := range []string{"Dir1NB", "WTI", "Dir0B", "DirNNB", "Dragon", "MESI", "Berkeley", "Firefly", "YenFu"} {
+		res, err := SimulateTrace(scheme, workload.THOR(4, 80_000), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, np := res.PerRef("pipelined"), res.PerRef("non-pipelined")
+		if np < p {
+			t.Errorf("%s: non-pipelined %0.4f cheaper than pipelined %0.4f", scheme, np, p)
+		}
+		// Transactions are model-independent.
+		if res.Tally("pipelined").Transactions != res.Tally("non-pipelined").Transactions {
+			t.Errorf("%s: transaction counts differ between models", scheme)
+		}
+	}
+}

@@ -1,0 +1,250 @@
+// Package sim drives trace simulations: it feeds a reference stream
+// through a protocol engine, accumulates the Table 4 event frequencies,
+// the Figure 1 invalidation histogram, and bus-cycle tallies under one or
+// more cost models, and merges results across traces.
+package sim
+
+import (
+	"fmt"
+
+	"dirsim/internal/bus"
+	"dirsim/internal/core"
+	"dirsim/internal/event"
+	"dirsim/internal/network"
+	"dirsim/internal/trace"
+)
+
+// Options configures a simulation run.
+type Options struct {
+	// Models are the bus cost models to price the run under. When
+	// empty, the paper's pipelined and non-pipelined models are used.
+	Models []bus.Model
+	// Topologies additionally prices the run on interconnection
+	// networks (the Section 6 scalability analysis); results land in
+	// Result.NetTallies keyed by topology name.
+	Topologies []network.Topology
+	// Check attaches a value-coherence checker to the engine and
+	// verifies engine invariants periodically. Slower; used by tests.
+	Check bool
+	// InvariantEvery is how many references pass between invariant
+	// checks when Check is set (default 8192).
+	InvariantEvery int
+}
+
+func (o Options) models() []bus.Model {
+	if len(o.Models) == 0 {
+		return []bus.Model{bus.Pipelined(), bus.NonPipelined()}
+	}
+	return o.Models
+}
+
+// Result holds everything measured in one run (or merged across runs) of
+// one scheme.
+type Result struct {
+	// Scheme is the protocol name; Trace names the input (or the list
+	// of merged inputs).
+	Scheme string
+	Trace  string
+
+	// Counts is the Table 4 event-frequency table.
+	Counts event.Counts
+	// InvalClean is the Figure 1 histogram: the number of remote caches
+	// holding a previously-clean block when it is written (events
+	// wh-blk-cln and wm-blk-cln).
+	InvalClean event.Hist
+	// HoldersAtInval extends Figure 1's footnote: remote holders at
+	// *every* reference that may require invalidations, including
+	// misses to dirty blocks (which need exactly one).
+	HoldersAtInval event.Hist
+
+	// Broadcasts counts invalidations delivered by broadcast,
+	// SeqInvals directed invalidation messages, ForcedInvals
+	// pointer-overflow evictions (DiriNB), WriteBacks dirty flushes.
+	Broadcasts   int64
+	SeqInvals    int64
+	ForcedInvals int64
+	WriteBacks   int64
+
+	// Tallies holds one bus-cycle tally per cost model, keyed by model
+	// name.
+	Tallies map[string]*bus.Tally
+	// NetTallies holds one network tally per topology, keyed by
+	// topology name (present only when Options.Topologies was set).
+	NetTallies map[string]*network.Tally
+}
+
+// Tally returns the tally for the named bus model, or nil.
+func (r *Result) Tally(model string) *bus.Tally { return r.Tallies[model] }
+
+// PerRef returns bus cycles per reference under the named model (0 when
+// the model was not priced).
+func (r *Result) PerRef(model string) float64 {
+	t := r.Tallies[model]
+	if t == nil {
+		return 0
+	}
+	return t.PerRef()
+}
+
+// Simulate runs the protocol over the stream and returns the measurements.
+func Simulate(p core.Protocol, src trace.Source, opts Options) (*Result, error) {
+	if src.CPUCount() > p.CPUs() {
+		return nil, fmt.Errorf("sim: trace has %d CPUs but %s engine simulates %d",
+			src.CPUCount(), p.Name(), p.CPUs())
+	}
+	res := &Result{
+		Scheme:  p.Name(),
+		Tallies: make(map[string]*bus.Tally),
+	}
+	for _, m := range opts.models() {
+		res.Tallies[m.Name] = bus.NewTally(m)
+	}
+	if len(opts.Topologies) > 0 {
+		res.NetTallies = make(map[string]*network.Tally)
+		for _, topo := range opts.Topologies {
+			res.NetTallies[topo.Name] = network.NewTally(topo)
+		}
+	}
+	var checker *core.Checker
+	if opts.Check {
+		checker = core.NewChecker()
+		if !core.Attach(p, checker) {
+			return nil, fmt.Errorf("sim: %s does not support coherence checking", p.Name())
+		}
+	}
+	every := opts.InvariantEvery
+	if every <= 0 {
+		every = 8192
+	}
+	n := 0
+	for {
+		r, ok := src.Next()
+		if !ok {
+			break
+		}
+		out := p.Access(r)
+		res.record(out)
+		n++
+		if opts.Check && n%every == 0 {
+			if err := p.CheckInvariants(); err != nil {
+				return nil, fmt.Errorf("sim: after %d refs: %w", n, err)
+			}
+		}
+	}
+	if opts.Check {
+		if err := p.CheckInvariants(); err != nil {
+			return nil, err
+		}
+		if err := checker.Err(); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+func (r *Result) record(out event.Result) {
+	r.Counts.Add(out.Type)
+	switch out.Type {
+	case event.WrHitClean, event.WrMissClean:
+		r.InvalClean.Observe(out.Holders)
+		r.HoldersAtInval.Observe(out.Holders)
+	case event.WrMissDirty, event.RdMissDirty:
+		r.HoldersAtInval.Observe(out.Holders)
+	}
+	if out.Broadcast && !out.Update {
+		r.Broadcasts++
+	}
+	r.SeqInvals += int64(out.Inval)
+	r.ForcedInvals += int64(out.ForcedInval)
+	if out.WriteBack {
+		r.WriteBacks++
+	}
+	for _, t := range r.Tallies {
+		t.Add(out)
+	}
+	for _, t := range r.NetTallies {
+		t.Add(out)
+	}
+}
+
+// SimulateTrace builds the named scheme for the trace's CPU count and runs
+// it over the whole trace.
+func SimulateTrace(scheme string, t *trace.Trace, opts Options) (*Result, error) {
+	p, err := core.NewByName(scheme, t.CPUs)
+	if err != nil {
+		return nil, err
+	}
+	res, err := Simulate(p, t.Iterator(), opts)
+	if err != nil {
+		return nil, err
+	}
+	res.Trace = t.Name
+	return res, nil
+}
+
+// Merge combines results of the same scheme over different traces into an
+// aggregate (totals are summed, so per-reference metrics become
+// reference-weighted averages, the same averaging Table 4 uses).
+func Merge(results ...*Result) (*Result, error) {
+	if len(results) == 0 {
+		return nil, fmt.Errorf("sim: nothing to merge")
+	}
+	out := &Result{
+		Scheme:  results[0].Scheme,
+		Trace:   results[0].Trace,
+		Tallies: make(map[string]*bus.Tally),
+	}
+	for name, t := range results[0].Tallies {
+		out.Tallies[name] = bus.NewTally(t.Model)
+	}
+	if len(results[0].NetTallies) > 0 {
+		out.NetTallies = make(map[string]*network.Tally)
+		for name, t := range results[0].NetTallies {
+			out.NetTallies[name] = network.NewTally(t.Topo)
+		}
+	}
+	for i, r := range results {
+		if r.Scheme != out.Scheme {
+			return nil, fmt.Errorf("sim: merging %s into %s", r.Scheme, out.Scheme)
+		}
+		if i > 0 {
+			out.Trace += "+" + r.Trace
+		}
+		out.Counts.AddCounts(r.Counts)
+		out.InvalClean.AddHist(r.InvalClean)
+		out.HoldersAtInval.AddHist(r.HoldersAtInval)
+		out.Broadcasts += r.Broadcasts
+		out.SeqInvals += r.SeqInvals
+		out.ForcedInvals += r.ForcedInvals
+		out.WriteBacks += r.WriteBacks
+		for name, t := range r.Tallies {
+			dst := out.Tallies[name]
+			if dst == nil {
+				return nil, fmt.Errorf("sim: model %q missing from first result", name)
+			}
+			dst.Merge(t)
+		}
+		for name, t := range r.NetTallies {
+			dst := out.NetTallies[name]
+			if dst == nil {
+				return nil, fmt.Errorf("sim: topology %q missing from first result", name)
+			}
+			dst.Merge(t)
+		}
+	}
+	return out, nil
+}
+
+// SchemeOverTraces runs one scheme over several traces and returns the
+// per-trace results plus their merge.
+func SchemeOverTraces(scheme string, traces []*trace.Trace, opts Options) (per []*Result, merged *Result, err error) {
+	for _, t := range traces {
+		r, err := SimulateTrace(scheme, t, opts)
+		if err != nil {
+			return nil, nil, fmt.Errorf("sim: %s over %s: %w", scheme, t.Name, err)
+		}
+		per = append(per, r)
+	}
+	merged, err = Merge(per...)
+	return per, merged, err
+}

@@ -1,0 +1,259 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The binary trace format is a compact, streamable encoding:
+//
+//	magic "DSTR" | version u8 | name len uvarint + bytes |
+//	cpus uvarint | count uvarint | refs...
+//
+// Each reference is encoded as:
+//
+//	tag u8   = kind(2 bits) | flags << 2
+//	cpu u8
+//	proc uvarint
+//	addr delta (zigzag varint against the previous reference's address)
+//
+// Address deltas make the common case (sequential instruction fetches,
+// strided data walks) one or two bytes.
+
+const (
+	codecMagic   = "DSTR"
+	codecVersion = 1
+)
+
+// ErrBadFormat reports a malformed or truncated binary trace.
+var ErrBadFormat = errors.New("trace: bad binary format")
+
+// WriteBinary encodes t to w in the binary trace format.
+func WriteBinary(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(codecMagic); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(codecVersion); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := putUvarint(uint64(len(t.Name))); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(t.Name); err != nil {
+		return err
+	}
+	if err := putUvarint(uint64(t.CPUs)); err != nil {
+		return err
+	}
+	if err := putUvarint(uint64(len(t.Refs))); err != nil {
+		return err
+	}
+	prev := uint64(0)
+	for _, r := range t.Refs {
+		tag := byte(r.Kind) | byte(r.Flags)<<2
+		if err := bw.WriteByte(tag); err != nil {
+			return err
+		}
+		if err := bw.WriteByte(r.CPU); err != nil {
+			return err
+		}
+		if err := putUvarint(uint64(r.Proc)); err != nil {
+			return err
+		}
+		delta := int64(r.Addr - prev)
+		n := binary.PutVarint(buf[:], delta)
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return err
+		}
+		prev = r.Addr
+	}
+	return bw.Flush()
+}
+
+// ReadBinary decodes a binary trace from r.
+func ReadBinary(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(codecMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("%w: reading magic: %v", ErrBadFormat, err)
+	}
+	if string(magic) != codecMagic {
+		return nil, fmt.Errorf("%w: magic %q", ErrBadFormat, magic)
+	}
+	ver, err := br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("%w: reading version: %v", ErrBadFormat, err)
+	}
+	if ver != codecVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, ver)
+	}
+	nameLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: name length: %v", ErrBadFormat, err)
+	}
+	if nameLen > 1<<20 {
+		return nil, fmt.Errorf("%w: name length %d too large", ErrBadFormat, nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("%w: name: %v", ErrBadFormat, err)
+	}
+	cpus, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: cpus: %v", ErrBadFormat, err)
+	}
+	if cpus == 0 || cpus > MaxCPUs {
+		return nil, fmt.Errorf("%w: cpu count %d", ErrBadFormat, cpus)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: count: %v", ErrBadFormat, err)
+	}
+	// Pre-size conservatively: the header's count is untrusted input and
+	// each reference needs at least 4 bytes, so a short stream claiming
+	// billions of references must not pre-allocate them.
+	prealloc := count
+	if prealloc > 1<<20 {
+		prealloc = 1 << 20
+	}
+	t := &Trace{Name: string(name), CPUs: int(cpus), Refs: make([]Ref, 0, prealloc)}
+	prev := uint64(0)
+	for i := uint64(0); i < count; i++ {
+		tag, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("%w: ref %d tag: %v", ErrBadFormat, i, err)
+		}
+		kind := Kind(tag & 3)
+		if !kind.Valid() {
+			return nil, fmt.Errorf("%w: ref %d kind %d", ErrBadFormat, i, kind)
+		}
+		cpu, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("%w: ref %d cpu: %v", ErrBadFormat, i, err)
+		}
+		if int(cpu) >= int(cpus) {
+			return nil, fmt.Errorf("%w: ref %d cpu %d out of range", ErrBadFormat, i, cpu)
+		}
+		proc, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: ref %d proc: %v", ErrBadFormat, i, err)
+		}
+		if proc > 1<<16-1 {
+			return nil, fmt.Errorf("%w: ref %d proc %d out of range", ErrBadFormat, i, proc)
+		}
+		delta, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: ref %d addr: %v", ErrBadFormat, i, err)
+		}
+		addr := prev + uint64(delta)
+		prev = addr
+		t.Refs = append(t.Refs, Ref{
+			Addr:  addr,
+			Proc:  uint16(proc),
+			CPU:   cpu,
+			Kind:  kind,
+			Flags: Flag(tag >> 2),
+		})
+	}
+	return t, nil
+}
+
+// WriteText encodes t to w in a human-readable, line-oriented format:
+//
+//	# trace <name> cpus=<n>
+//	<kind> <cpu> <proc> <hex addr> <hex flags>
+func WriteText(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# trace %s cpus=%d\n", t.Name, t.CPUs); err != nil {
+		return err
+	}
+	for _, r := range t.Refs {
+		if _, err := fmt.Fprintf(bw, "%s %d %d %x %x\n", r.Kind, r.CPU, r.Proc, r.Addr, uint8(r.Flags)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText decodes the line format produced by WriteText.
+func ReadText(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	t := &Trace{CPUs: 1}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			// Header: "# trace <name> cpus=<n>".
+			fields := strings.Fields(line)
+			for i, f := range fields {
+				if f == "trace" && i+1 < len(fields) {
+					t.Name = fields[i+1]
+				}
+				if strings.HasPrefix(f, "cpus=") {
+					n, err := strconv.Atoi(strings.TrimPrefix(f, "cpus="))
+					if err != nil {
+						return nil, fmt.Errorf("trace: line %d: bad cpus: %v", lineNo, err)
+					}
+					t.CPUs = n
+				}
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 5 {
+			return nil, fmt.Errorf("trace: line %d: want 5 fields, got %d", lineNo, len(fields))
+		}
+		var kind Kind
+		switch fields[0] {
+		case "I":
+			kind = Instr
+		case "R":
+			kind = Read
+		case "W":
+			kind = Write
+		default:
+			return nil, fmt.Errorf("trace: line %d: bad kind %q", lineNo, fields[0])
+		}
+		cpu, err := strconv.ParseUint(fields[1], 10, 8)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad cpu: %v", lineNo, err)
+		}
+		proc, err := strconv.ParseUint(fields[2], 10, 16)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad proc: %v", lineNo, err)
+		}
+		addr, err := strconv.ParseUint(fields[3], 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad addr: %v", lineNo, err)
+		}
+		flags, err := strconv.ParseUint(fields[4], 16, 8)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad flags: %v", lineNo, err)
+		}
+		t.Refs = append(t.Refs, Ref{Addr: addr, Proc: uint16(proc), CPU: uint8(cpu), Kind: kind, Flags: Flag(flags)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

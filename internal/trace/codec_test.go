@@ -1,0 +1,257 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// randomTrace builds a pseudo-random but valid trace for round-trip tests.
+func randomTrace(r *rand.Rand, n int) *Trace {
+	cpus := 1 + r.Intn(8)
+	t := New("rnd", cpus)
+	for i := 0; i < n; i++ {
+		t.Append(Ref{
+			Addr:  r.Uint64(),
+			Proc:  uint16(r.Intn(1 << 16)),
+			CPU:   uint8(r.Intn(cpus)),
+			Kind:  Kind(r.Intn(3)),
+			Flags: Flag(r.Intn(64)),
+		})
+	}
+	return t
+}
+
+// traceEqual compares traces treating nil and empty reference slices as
+// equal (the decoder always allocates a slice).
+func traceEqual(a, b *Trace) bool {
+	if a.Name != b.Name || a.CPUs != b.CPUs || len(a.Refs) != len(b.Refs) {
+		return false
+	}
+	for i := range a.Refs {
+		if a.Refs[i] != b.Refs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 20; i++ {
+		orig := randomTrace(r, r.Intn(500))
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, orig); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		if !traceEqual(orig, got) {
+			t.Fatalf("round trip mismatch: %d refs in, %d out", orig.Len(), got.Len())
+		}
+	}
+}
+
+func TestBinaryRoundTripQuick(t *testing.T) {
+	f := func(addrs []uint64, seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := New("q", 4)
+		for _, a := range addrs {
+			tr.Append(Ref{Addr: a, CPU: uint8(r.Intn(4)), Kind: Kind(r.Intn(3)), Proc: uint16(r.Intn(100))})
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, tr); err != nil {
+			return false
+		}
+		got, err := ReadBinary(&buf)
+		return err == nil && traceEqual(tr, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinaryCompactness(t *testing.T) {
+	// Sequential addresses must encode in a handful of bytes each.
+	tr := New("seq", 1)
+	for i := 0; i < 1000; i++ {
+		tr.Append(Ref{Addr: uint64(i) * 4, Kind: Instr})
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	if perRef := float64(buf.Len()) / 1000; perRef > 6 {
+		t.Errorf("binary encoding too large: %.1f bytes/ref", perRef)
+	}
+}
+
+func TestReadBinaryErrors(t *testing.T) {
+	valid := func() []byte {
+		var buf bytes.Buffer
+		tr := mkTrace(2, Ref{Addr: 0x10, CPU: 1, Kind: Read})
+		if err := WriteBinary(&buf, tr); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}()
+
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"bad magic", []byte("XXXX\x01")},
+		{"bad version", append([]byte("DSTR"), 99)},
+		{"truncated header", valid[:6]},
+		{"truncated refs", valid[:len(valid)-1]},
+	}
+	for _, c := range cases {
+		if _, err := ReadBinary(bytes.NewReader(c.data)); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		} else if !errors.Is(err, ErrBadFormat) {
+			t.Errorf("%s: error %v should wrap ErrBadFormat", c.name, err)
+		}
+	}
+}
+
+func TestReadBinaryRejectsBadCPU(t *testing.T) {
+	// Hand-craft a trace claiming 1 CPU but containing CPU 5.
+	tr := mkTrace(8, Ref{Addr: 0x10, CPU: 5, Kind: Read})
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// The cpus uvarint follows "DSTR", version, name-len (0), name ("rnd"
+	// is empty here since mkTrace names it "test"): locate and patch is
+	// fragile, so rebuild with an empty name instead.
+	tr.Name = ""
+	buf.Reset()
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	data = buf.Bytes()
+	// Layout: magic(4) version(1) namelen(1)=0 cpus(1)=8 ...
+	if data[6] != 8 {
+		t.Fatalf("unexpected layout: cpus byte = %d", data[6])
+	}
+	data[6] = 1 // now CPU 5 is out of range
+	if _, err := ReadBinary(bytes.NewReader(data)); err == nil {
+		t.Error("expected error for out-of-range CPU")
+	}
+}
+
+// failAfter is a writer that errors once n bytes have been written,
+// exercising every error-return branch in the encoders.
+type failAfter struct{ n int }
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errors.New("synthetic write failure")
+	}
+	if len(p) > f.n {
+		n := f.n
+		f.n = 0
+		return n, errors.New("synthetic write failure")
+	}
+	f.n -= len(p)
+	return len(p), nil
+}
+
+func TestWriteErrorsPropagate(t *testing.T) {
+	tr := mkTrace(2,
+		Ref{Addr: 0x10, CPU: 0, Kind: Read},
+		Ref{Addr: 0x9000, CPU: 1, Kind: Write, Flags: FlagShared},
+	)
+	tr.Name = "failing"
+	// Find the full encoded sizes, then fail at every prefix length.
+	var full bytes.Buffer
+	if err := WriteBinary(&full, tr); err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < full.Len(); n++ {
+		if err := WriteBinary(&failAfter{n: n}, tr); err == nil {
+			t.Fatalf("binary write with %d-byte budget succeeded", n)
+		}
+	}
+	full.Reset()
+	if err := WriteText(&full, tr); err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < full.Len(); n++ {
+		if err := WriteText(&failAfter{n: n}, tr); err == nil {
+			t.Fatalf("text write with %d-byte budget succeeded", n)
+		}
+	}
+	// A large trace overflows the bufio buffer mid-stream, surfacing the
+	// per-reference error branches rather than only the final flush.
+	big := New("big", 2)
+	for i := 0; i < 20_000; i++ {
+		big.Append(Ref{Addr: uint64(i) * 1024, CPU: uint8(i % 2), Kind: Read})
+	}
+	for _, n := range []int{0, 1, 5000, 9000, 20000} {
+		if err := WriteBinary(&failAfter{n: n}, big); err == nil {
+			t.Fatalf("large binary write with %d-byte budget succeeded", n)
+		}
+		if err := WriteText(&failAfter{n: n}, big); err == nil {
+			t.Fatalf("large text write with %d-byte budget succeeded", n)
+		}
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	orig := mkTrace(4,
+		Ref{Addr: 0x1000, CPU: 0, Proc: 3, Kind: Instr},
+		Ref{Addr: 0x2000, CPU: 1, Proc: 4, Kind: Read, Flags: FlagSpin},
+		Ref{Addr: 0x3008, CPU: 3, Proc: 5, Kind: Write, Flags: FlagRelease | FlagShared},
+	)
+	orig.Name = "roundtrip"
+	var buf bytes.Buffer
+	if err := WriteText(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(orig, got) {
+		t.Fatalf("text round trip mismatch:\norig %+v\ngot  %+v", orig, got)
+	}
+}
+
+func TestReadTextErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"bad kind", "# trace x cpus=1\nZ 0 0 10 0\n"},
+		{"bad cpu", "# trace x cpus=1\nR notanum 0 10 0\n"},
+		{"bad addr", "# trace x cpus=1\nR 0 0 zz 0\n"},
+		{"wrong fields", "# trace x cpus=1\nR 0 0\n"},
+		{"bad cpus header", "# trace x cpus=banana\nR 0 0 10 0\n"},
+		{"cpu exceeds header", "# trace x cpus=1\nR 3 0 10 0\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadText(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestReadTextSkipsBlanksAndComments(t *testing.T) {
+	in := "# trace tiny cpus=2\n\n# a comment\nR 1 0 10 0\n"
+	tr, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 1 || tr.Name != "tiny" || tr.CPUs != 2 {
+		t.Fatalf("got %+v", tr)
+	}
+}

@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadBinary checks that arbitrary byte streams never panic the
+// decoder and that anything it accepts is a valid trace that re-encodes
+// and re-decodes to the same value.
+func FuzzReadBinary(f *testing.F) {
+	// Seed with valid encodings of a few shapes.
+	seed := func(t *Trace) {
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, t); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	seed(New("empty", 1))
+	seed(mkTraceF(4,
+		Ref{Addr: 0x10, CPU: 0, Kind: Read},
+		Ref{Addr: 0xffff_ffff_ffff_fff0, CPU: 3, Proc: 65535, Kind: Write, Flags: 0x3f},
+	))
+	f.Add([]byte("DSTR"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("decoder accepted an invalid trace: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, tr); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		back, err := ReadBinary(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if back.Name != tr.Name || back.CPUs != tr.CPUs || len(back.Refs) != len(tr.Refs) {
+			t.Fatal("round trip changed the trace")
+		}
+		for i := range tr.Refs {
+			if tr.Refs[i] != back.Refs[i] {
+				t.Fatalf("ref %d changed in round trip", i)
+			}
+		}
+	})
+}
+
+// mkTraceF is mkTrace for fuzz seeds (fuzz functions cannot use *testing.T
+// helpers at seed time).
+func mkTraceF(cpus int, refs ...Ref) *Trace {
+	t := New("fuzzseed", cpus)
+	for _, r := range refs {
+		t.Append(r)
+	}
+	return t
+}
+
+// FuzzReadText does the same for the text codec.
+func FuzzReadText(f *testing.F) {
+	f.Add("# trace x cpus=2\nR 0 0 10 0\nW 1 1 20 4\n")
+	f.Add("")
+	f.Add("# trace cpus=banana\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		tr, err := ReadText(bytes.NewReader([]byte(data)))
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("text decoder accepted an invalid trace: %v", err)
+		}
+	})
+}

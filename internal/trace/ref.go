@@ -1,0 +1,107 @@
+// Package trace defines the multiprocessor address-trace model used by the
+// simulator: individual memory references, whole traces, streaming codecs,
+// filters, and summary statistics.
+//
+// A trace is the moral equivalent of the ATUM traces used in the paper: a
+// single, strictly time-ordered interleaving of the memory references issued
+// by every CPU in the machine. Each reference carries the issuing CPU, the
+// process running on that CPU, the reference kind (instruction fetch, data
+// read, data write), the byte address, and annotation flags (lock spins,
+// lock acquire/release, operating-system activity) that downstream analyses
+// such as the spin-lock-exclusion study of Section 5.2 rely on.
+package trace
+
+import "fmt"
+
+// Kind is the type of a memory reference.
+type Kind uint8
+
+// Reference kinds. Instruction fetches participate in the reference mix but
+// generate no coherence traffic (paper, Section 4).
+const (
+	Instr Kind = iota // instruction fetch
+	Read              // data read
+	Write             // data write
+	numKinds
+)
+
+// String returns the short mnemonic used in trace dumps.
+func (k Kind) String() string {
+	switch k {
+	case Instr:
+		return "I"
+	case Read:
+		return "R"
+	case Write:
+		return "W"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Valid reports whether k is one of the defined reference kinds.
+func (k Kind) Valid() bool { return k < numKinds }
+
+// Flag annotates a reference with workload-level context. Flags do not
+// affect protocol behaviour; they exist so experiments can classify or
+// filter references (e.g. removing lock-test spins, or separating user from
+// system activity as in Table 3).
+type Flag uint8
+
+const (
+	// FlagSpin marks a data read that is the "test" part of a
+	// test-and-test-and-set spin loop: the processor is polling a lock it
+	// has not yet observed to be free. Section 5.2 of the paper removes
+	// exactly these references.
+	FlagSpin Flag = 1 << iota
+	// FlagAcquire marks the read and write of a successful
+	// test-and-set: the access that actually takes the lock.
+	FlagAcquire
+	// FlagRelease marks the write that frees a lock.
+	FlagRelease
+	// FlagSystem marks operating-system activity (roughly 10% of the
+	// paper's traces).
+	FlagSystem
+	// FlagShared marks a reference the generator knows touches data that
+	// is shared between processes. Used only for workload diagnostics.
+	FlagShared
+)
+
+// Has reports whether all bits of q are set in f.
+func (f Flag) Has(q Flag) bool { return f&q == q }
+
+// BlockShift and BlockBytes define the coherence block (line) size. The
+// paper uses 4-word (16-byte) blocks throughout.
+const (
+	BlockShift = 4
+	BlockBytes = 1 << BlockShift
+)
+
+// Block identifies a coherence unit: a block-aligned address.
+type Block uint64
+
+// BlockOf returns the block containing byte address addr.
+func BlockOf(addr uint64) Block { return Block(addr >> BlockShift) }
+
+// Addr returns the first byte address of the block.
+func (b Block) Addr() uint64 { return uint64(b) << BlockShift }
+
+// Ref is a single memory reference in a multiprocessor trace.
+type Ref struct {
+	Addr  uint64 // byte address
+	Proc  uint16 // process identifier (sharing is classified per process)
+	CPU   uint8  // issuing processor
+	Kind  Kind   // instruction fetch, read, or write
+	Flags Flag   // workload annotations
+}
+
+// Block returns the coherence block the reference touches.
+func (r Ref) Block() Block { return BlockOf(r.Addr) }
+
+// IsData reports whether the reference is a data read or write.
+func (r Ref) IsData() bool { return r.Kind == Read || r.Kind == Write }
+
+// String formats the reference in the text-codec line format.
+func (r Ref) String() string {
+	return fmt.Sprintf("%s cpu=%d pid=%d addr=%#x flags=%#x",
+		r.Kind, r.CPU, r.Proc, r.Addr, uint8(r.Flags))
+}

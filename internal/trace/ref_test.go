@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := []struct {
+		k    Kind
+		want string
+	}{
+		{Instr, "I"},
+		{Read, "R"},
+		{Write, "W"},
+		{Kind(9), "Kind(9)"},
+	}
+	for _, c := range cases {
+		if got := c.k.String(); got != c.want {
+			t.Errorf("Kind(%d).String() = %q, want %q", c.k, got, c.want)
+		}
+	}
+}
+
+func TestKindValid(t *testing.T) {
+	for _, k := range []Kind{Instr, Read, Write} {
+		if !k.Valid() {
+			t.Errorf("kind %v should be valid", k)
+		}
+	}
+	if Kind(3).Valid() || Kind(200).Valid() {
+		t.Error("out-of-range kinds should be invalid")
+	}
+}
+
+func TestBlockOf(t *testing.T) {
+	cases := []struct {
+		addr  uint64
+		block Block
+	}{
+		{0, 0},
+		{15, 0},
+		{16, 1},
+		{31, 1},
+		{0x1000, 0x100},
+		{0xffff_ffff_ffff_ffff, 0x0fff_ffff_ffff_ffff},
+	}
+	for _, c := range cases {
+		if got := BlockOf(c.addr); got != c.block {
+			t.Errorf("BlockOf(%#x) = %#x, want %#x", c.addr, got, c.block)
+		}
+	}
+}
+
+func TestBlockAddrRoundTrip(t *testing.T) {
+	f := func(addr uint64) bool {
+		b := BlockOf(addr)
+		back := b.Addr()
+		// The block address must be block-aligned and contain addr.
+		return back%BlockBytes == 0 && back <= addr && addr-back < BlockBytes
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlagHas(t *testing.T) {
+	f := FlagSpin | FlagShared
+	if !f.Has(FlagSpin) || !f.Has(FlagShared) || !f.Has(FlagSpin|FlagShared) {
+		t.Error("Has should report set bits")
+	}
+	if f.Has(FlagAcquire) || f.Has(FlagSpin|FlagAcquire) {
+		t.Error("Has must require all queried bits")
+	}
+}
+
+func TestRefBlockAndIsData(t *testing.T) {
+	r := Ref{Addr: 0x123, Kind: Read}
+	if r.Block() != BlockOf(0x123) {
+		t.Error("Ref.Block mismatch")
+	}
+	if !r.IsData() {
+		t.Error("read is data")
+	}
+	if !(Ref{Kind: Write}).IsData() {
+		t.Error("write is data")
+	}
+	if (Ref{Kind: Instr}).IsData() {
+		t.Error("instr is not data")
+	}
+}
+
+func TestRefString(t *testing.T) {
+	r := Ref{Addr: 0x40, CPU: 2, Proc: 7, Kind: Write, Flags: FlagShared}
+	s := r.String()
+	for _, want := range []string{"W", "cpu=2", "pid=7", "0x40"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Ref.String() = %q, missing %q", s, want)
+		}
+	}
+}

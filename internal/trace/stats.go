@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Stats summarizes a trace in the style of the paper's Table 3, extended
+// with the sharing measures the rest of the evaluation depends on.
+type Stats struct {
+	Name string
+	CPUs int
+
+	Refs   int // total references
+	Instr  int // instruction fetches
+	Reads  int // data reads
+	Writes int // data writes
+	User   int // user-mode references
+	System int // system (OS) references
+
+	SpinReads   int // data reads flagged as lock-test spins
+	LockWrites  int // acquire/release writes
+	SharedRefs  int // data references to blocks touched by >1 process
+	DataBlocks  int // distinct data blocks referenced
+	SharedBlk   int // data blocks touched by >1 process
+	InstrBlocks int // distinct instruction blocks referenced
+
+	// ProcsPerSharedBlock is the distribution of how many distinct
+	// processes touch each shared data block (index = process count).
+	ProcsPerSharedBlock []int
+}
+
+// ComputeStats scans the trace once and returns its summary.
+func ComputeStats(t *Trace) Stats {
+	s := Stats{Name: t.Name, CPUs: t.CPUs}
+	type blockInfo struct {
+		procs map[uint16]struct{}
+	}
+	data := make(map[Block]*blockInfo)
+	instr := make(map[Block]struct{})
+	for _, r := range t.Refs {
+		s.Refs++
+		if r.Flags.Has(FlagSystem) {
+			s.System++
+		} else {
+			s.User++
+		}
+		switch r.Kind {
+		case Instr:
+			s.Instr++
+			instr[r.Block()] = struct{}{}
+			continue
+		case Read:
+			s.Reads++
+			if r.Flags.Has(FlagSpin) {
+				s.SpinReads++
+			}
+		case Write:
+			s.Writes++
+			if r.Flags.Has(FlagAcquire) || r.Flags.Has(FlagRelease) {
+				s.LockWrites++
+			}
+		}
+		b := r.Block()
+		bi := data[b]
+		if bi == nil {
+			bi = &blockInfo{procs: make(map[uint16]struct{}, 2)}
+			data[b] = bi
+		}
+		bi.procs[r.Proc] = struct{}{}
+	}
+	s.DataBlocks = len(data)
+	s.InstrBlocks = len(instr)
+	maxProcs := 0
+	for _, bi := range data {
+		if n := len(bi.procs); n > maxProcs {
+			maxProcs = n
+		}
+	}
+	s.ProcsPerSharedBlock = make([]int, maxProcs+1)
+	shared := make(map[Block]bool, len(data))
+	for b, bi := range data {
+		n := len(bi.procs)
+		s.ProcsPerSharedBlock[n]++
+		if n > 1 {
+			s.SharedBlk++
+			shared[b] = true
+		}
+	}
+	for _, r := range t.Refs {
+		if r.IsData() && shared[r.Block()] {
+			s.SharedRefs++
+		}
+	}
+	return s
+}
+
+// Pct returns 100*n/s.Refs, or 0 for an empty trace.
+func (s Stats) Pct(n int) float64 {
+	if s.Refs == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(s.Refs)
+}
+
+// String renders the summary as a small table, one row per measure.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %-8s cpus=%d\n", s.Name, s.CPUs)
+	row := func(label string, n int) {
+		fmt.Fprintf(&b, "  %-14s %10d  (%5.2f%%)\n", label, n, s.Pct(n))
+	}
+	row("refs", s.Refs)
+	row("instr", s.Instr)
+	row("reads", s.Reads)
+	row("writes", s.Writes)
+	row("user", s.User)
+	row("system", s.System)
+	row("spin reads", s.SpinReads)
+	row("lock writes", s.LockWrites)
+	row("shared refs", s.SharedRefs)
+	fmt.Fprintf(&b, "  %-14s %10d (shared %d)\n", "data blocks", s.DataBlocks, s.SharedBlk)
+	return b.String()
+}
+
+// TopSharers returns the n most widely shared block process-counts in the
+// ProcsPerSharedBlock histogram, as (processCount, blocks) pairs sorted by
+// descending process count. It is a diagnostic used by workload tests.
+func (s Stats) TopSharers(n int) [][2]int {
+	var out [][2]int
+	for procs, blocks := range s.ProcsPerSharedBlock {
+		if procs > 1 && blocks > 0 {
+			out = append(out, [2]int{procs, blocks})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] > out[j][0] })
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Trace is an in-memory multiprocessor address trace: a time-ordered
+// interleaving of references from every CPU, together with identifying
+// metadata. The zero value is an empty, unnamed trace ready for Append.
+type Trace struct {
+	// Name identifies the workload (e.g. "pops", "thor", "pero").
+	Name string
+	// CPUs is the number of processors that may appear in the trace.
+	// References must satisfy int(r.CPU) < CPUs.
+	CPUs int
+	// Refs is the ordered reference stream.
+	Refs []Ref
+}
+
+// New returns an empty trace for the given workload name and CPU count.
+func New(name string, cpus int) *Trace {
+	return &Trace{Name: name, CPUs: cpus}
+}
+
+// Append adds one reference to the end of the trace.
+func (t *Trace) Append(r Ref) { t.Refs = append(t.Refs, r) }
+
+// Len returns the number of references in the trace.
+func (t *Trace) Len() int { return len(t.Refs) }
+
+// Validate checks internal consistency: every reference has a valid kind
+// and a CPU index below t.CPUs. It returns the first problem found.
+func (t *Trace) Validate() error {
+	if t.CPUs <= 0 {
+		return fmt.Errorf("trace %q: non-positive CPU count %d", t.Name, t.CPUs)
+	}
+	if t.CPUs > MaxCPUs {
+		return fmt.Errorf("trace %q: CPU count %d exceeds limit %d", t.Name, t.CPUs, MaxCPUs)
+	}
+	for i, r := range t.Refs {
+		if !r.Kind.Valid() {
+			return fmt.Errorf("trace %q: ref %d: invalid kind %d", t.Name, i, r.Kind)
+		}
+		if int(r.CPU) >= t.CPUs {
+			return fmt.Errorf("trace %q: ref %d: CPU %d out of range [0,%d)", t.Name, i, r.CPU, t.CPUs)
+		}
+	}
+	return nil
+}
+
+// MaxCPUs bounds the number of processors in a trace. The limit comes from
+// the uint8 CPU field plus headroom checks in the protocol engines' bitsets;
+// it is far above anything the experiments use.
+const MaxCPUs = 256
+
+// ErrEmpty is returned by operations that need at least one reference.
+var ErrEmpty = errors.New("trace: empty trace")
+
+// Clone returns a deep copy of the trace.
+func (t *Trace) Clone() *Trace {
+	c := &Trace{Name: t.Name, CPUs: t.CPUs, Refs: make([]Ref, len(t.Refs))}
+	copy(c.Refs, t.Refs)
+	return c
+}
+
+// Source is a stream of references, the input type accepted by the
+// simulator. It abstracts over in-memory traces, codec readers, and filter
+// chains so multi-million-reference runs need not be materialized twice.
+type Source interface {
+	// Next returns the next reference. ok is false when the stream is
+	// exhausted, after which Next must keep returning ok == false.
+	Next() (r Ref, ok bool)
+	// CPUCount returns the number of processors in the stream.
+	CPUCount() int
+}
+
+// Iterator returns a Source that replays the trace from the beginning.
+func (t *Trace) Iterator() Source { return &sliceSource{refs: t.Refs, cpus: t.CPUs} }
+
+type sliceSource struct {
+	refs []Ref
+	cpus int
+	pos  int
+}
+
+func (s *sliceSource) Next() (Ref, bool) {
+	if s.pos >= len(s.refs) {
+		return Ref{}, false
+	}
+	r := s.refs[s.pos]
+	s.pos++
+	return r, true
+}
+
+func (s *sliceSource) CPUCount() int { return s.cpus }
+
+// Collect drains a Source into an in-memory trace with the given name.
+func Collect(name string, src Source) *Trace {
+	t := New(name, src.CPUCount())
+	for {
+		r, ok := src.Next()
+		if !ok {
+			return t
+		}
+		t.Append(r)
+	}
+}

@@ -1,0 +1,106 @@
+package trace
+
+import "testing"
+
+func mkTrace(cpus int, refs ...Ref) *Trace {
+	t := New("test", cpus)
+	for _, r := range refs {
+		t.Append(r)
+	}
+	return t
+}
+
+func TestValidateOK(t *testing.T) {
+	tr := mkTrace(2,
+		Ref{Addr: 0x10, CPU: 0, Kind: Read},
+		Ref{Addr: 0x20, CPU: 1, Kind: Write},
+		Ref{Addr: 0x30, CPU: 1, Kind: Instr},
+	)
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		tr   *Trace
+	}{
+		{"zero cpus", &Trace{Name: "x", CPUs: 0}},
+		{"too many cpus", &Trace{Name: "x", CPUs: MaxCPUs + 1}},
+		{"bad kind", mkTrace(1, Ref{Kind: Kind(9)})},
+		{"cpu out of range", mkTrace(1, Ref{CPU: 1, Kind: Read})},
+	}
+	for _, c := range cases {
+		if err := c.tr.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", c.name)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	tr := mkTrace(1, Ref{Addr: 1, Kind: Read})
+	c := tr.Clone()
+	c.Refs[0].Addr = 99
+	c.Name = "other"
+	if tr.Refs[0].Addr != 1 || tr.Name != "test" {
+		t.Error("Clone shares state with the original")
+	}
+}
+
+func TestIteratorReplaysInOrder(t *testing.T) {
+	tr := mkTrace(2,
+		Ref{Addr: 0x10, CPU: 0, Kind: Read},
+		Ref{Addr: 0x20, CPU: 1, Kind: Write},
+	)
+	it := tr.Iterator()
+	if it.CPUCount() != 2 {
+		t.Fatalf("CPUCount = %d, want 2", it.CPUCount())
+	}
+	var got []Ref
+	for {
+		r, ok := it.Next()
+		if !ok {
+			break
+		}
+		got = append(got, r)
+	}
+	if len(got) != 2 || got[0].Addr != 0x10 || got[1].Addr != 0x20 {
+		t.Fatalf("iterator replay mismatch: %v", got)
+	}
+	// Exhausted iterators keep returning ok == false.
+	if _, ok := it.Next(); ok {
+		t.Error("exhausted iterator returned a reference")
+	}
+}
+
+func TestCollect(t *testing.T) {
+	tr := mkTrace(3,
+		Ref{Addr: 0x10, CPU: 2, Kind: Read},
+		Ref{Addr: 0x20, CPU: 0, Kind: Instr},
+	)
+	got := Collect("copy", tr.Iterator())
+	if got.Name != "copy" || got.CPUs != 3 || got.Len() != 2 {
+		t.Fatalf("Collect produced %q cpus=%d len=%d", got.Name, got.CPUs, got.Len())
+	}
+	if got.Refs[0] != tr.Refs[0] || got.Refs[1] != tr.Refs[1] {
+		t.Error("Collect altered references")
+	}
+}
+
+func TestIteratorIndependence(t *testing.T) {
+	tr := mkTrace(1, Ref{Addr: 1, Kind: Read}, Ref{Addr: 2, Kind: Read})
+	a, b := tr.Iterator(), tr.Iterator()
+	ra, _ := a.Next()
+	rb, _ := b.Next()
+	if ra != rb {
+		t.Error("fresh iterators should start at the same position")
+	}
+	a.Next()
+	if _, ok := a.Next(); ok {
+		t.Error("iterator a should be exhausted")
+	}
+	if _, ok := b.Next(); !ok {
+		t.Error("iterator b should still have a reference")
+	}
+}

@@ -1,0 +1,58 @@
+package verify
+
+import (
+	"fmt"
+
+	"dirsim/internal/core"
+	"dirsim/internal/sim"
+	"dirsim/internal/trace"
+	"dirsim/internal/workload"
+)
+
+// Battery runs the standard correctness battery against a protocol
+// implementation, the suite a new engine must pass before the simulator
+// will trust it:
+//
+//  1. bounded-exhaustive model checking (every interleaving of 2 CPUs
+//     over 2 blocks to depth 5, invariants checked after every step);
+//  2. the microkernels with exactly known sharing (ping-pong, migratory,
+//     producer/consumer, read-shared, spin contention), value-checked;
+//  3. a full synthetic application trace (POPS at 4 CPUs), value-checked
+//     with periodic invariant validation.
+//
+// factory must build a fresh engine for any requested CPU count. Battery
+// returns nil when everything passes, or the first failure with enough
+// context to reproduce it.
+func Battery(factory func(ncpu int) core.Protocol) error {
+	// Stage 1: exhaustive bounded exploration.
+	_, err := Explore(func() core.Protocol { return factory(2) },
+		Config{CPUs: 2, Blocks: 2, Depth: 5, CheckEvery: true})
+	if err != nil {
+		return fmt.Errorf("model check: %w", err)
+	}
+	// Stage 2: microkernels with exactly known sharing.
+	kernels := []struct {
+		name string
+		tr   *trace.Trace
+	}{
+		{"pingpong", workload.PingPong(4000)},
+		{"migratory", workload.Migratory(4, 4, 300)},
+		{"prodcons", workload.ProducerConsumer(4, 8, 60)},
+		{"readshared", workload.ReadShared(4, 32, 30)},
+		{"spincontend", workload.SpinContention(4, 150, 6)},
+	}
+	for _, k := range kernels {
+		name, tr := k.name, k.tr
+		p := factory(tr.CPUs)
+		if _, err := sim.Simulate(p, tr.Iterator(), sim.Options{Check: true, InvariantEvery: 512}); err != nil {
+			return fmt.Errorf("kernel %s: %w", name, err)
+		}
+	}
+	// Stage 3: a full application trace.
+	app := workload.POPS(4, 120_000)
+	p := factory(app.CPUs)
+	if _, err := sim.Simulate(p, app.Iterator(), sim.Options{Check: true, InvariantEvery: 4096}); err != nil {
+		return fmt.Errorf("application trace: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,117 @@
+package vm
+
+// Alternative lock algorithms for the same locked-counter workload as
+// LockedCounter, enabling a lock-algorithm comparison on identical work:
+// the paper's Section 5.2 shows test-and-test-and-set spinning is what
+// breaks Dir1NB; ticket and array (Anderson) queue locks change *where*
+// the waiting loads land and therefore how much coherence traffic waiting
+// costs.
+//
+// Shared memory layout for both (word addresses):
+//
+//	0: next-ticket counter (fetch-and-increment)
+//	1: now-serving (ticket) / unused (array)
+//	8: the protected counter
+//	32+: the Anderson lock's slot array (slot i at word 32+i)
+
+// TicketCounter increments the shared counter at word 8 under a ticket
+// lock: acquire = fetch-and-increment of next-ticket (word 0), then spin
+// until now-serving (word 1) equals the ticket; release = now-serving++.
+// All waiters spin on the same word, so every release still invalidates
+// every waiter, but the TAS retry storm is gone.
+func TicketCounter(iters Word) *Program {
+	p := NewProgram("ticket")
+	const (
+		rIter   = 1
+		rTicket = 2
+		rTmp    = 3
+		rOne    = 4
+		rZero   = 5
+	)
+	p.Ldi(rIter, iters).
+		Ldi(rOne, 1).
+		Ldi(rZero, 0)
+	p.Label("loop").
+		Fai(rTicket, rZero, 0) // take a ticket
+	p.Label("wait").
+		Ld(rTmp, rZero, 1). // now-serving
+		Sub(rTmp, rTmp, rTicket).
+		Bnz(rTmp, "wait").
+		// Critical section.
+		Ld(rTmp, rZero, 8).
+		Add(rTmp, rTmp, rOne).
+		St(rTmp, rZero, 8).
+		// Release: now-serving++ (single writer: the lock holder).
+		Ld(rTmp, rZero, 1).
+		Add(rTmp, rTmp, rOne).
+		St(rTmp, rZero, 1).
+		Sub(rIter, rIter, rOne).
+		Bnz(rIter, "loop").
+		Done()
+	return p
+}
+
+// AndersonCounter increments the shared counter at word 8 under an
+// array-based queue lock (Anderson): each acquirer takes a slot index by
+// fetch-and-increment mod nslots and spins on its *own* slot word, so
+// waiting generates no coherence traffic at all after the first read —
+// the fix for the lock pathology the paper measures. The releaser writes
+// the next slot, transferring the lock with exactly one invalidation.
+// nslots must be a power of two at least the CPU count; slot i lives at
+// word 32+i, one per cache block (slots are spaced 2 words = 16 bytes
+// apart so two slots never share a block).
+func AndersonCounter(iters, nslots Word) *Program {
+	if nslots <= 0 || nslots&(nslots-1) != 0 {
+		panic("vm: AndersonCounter requires a power-of-two slot count")
+	}
+	p := NewProgram("anderson")
+	const (
+		rIter = 1
+		rSlot = 2
+		rTmp  = 3
+		rOne  = 4
+		rZero = 5
+		rAddr = 6
+	)
+	p.Ldi(rIter, iters).
+		Ldi(rOne, 1).
+		Ldi(rZero, 0)
+	// Slot 0 starts "open": the machine's zero-filled memory means all
+	// slots read 0, and we treat 0 as "go" for slot 0 only by seeding it
+	// via InitAndersonMemory (slot words hold 1 when it is the owner's
+	// turn).
+	p.Label("loop").
+		Fai(rSlot, rZero, 0). // my queue position
+		// rAddr = 32 + 2*(slot & (nslots-1)): my slot word.
+		Ldi(rTmp, nslots-1).
+		And(rSlot, rSlot, rTmp).
+		Add(rAddr, rSlot, rSlot). // 2*slot
+		Ldi(rTmp, 32).
+		Add(rAddr, rAddr, rTmp)
+	p.Label("await").
+		Ld(rTmp, rAddr, 0). // spin on MY slot
+		Bz(rTmp, "await").
+		// Got the lock: clear my slot for its next use.
+		St(rZero, rAddr, 0).
+		// Critical section.
+		Ld(rTmp, rZero, 8).
+		Add(rTmp, rTmp, rOne).
+		St(rTmp, rZero, 8).
+		// Release: set the next slot. next = 32 + 2*((slot+1) & mask).
+		Add(rSlot, rSlot, rOne).
+		Ldi(rTmp, nslots-1).
+		And(rSlot, rSlot, rTmp).
+		Add(rAddr, rSlot, rSlot).
+		Ldi(rTmp, 32).
+		Add(rAddr, rAddr, rTmp).
+		St(rOne, rAddr, 0).
+		Sub(rIter, rIter, rOne).
+		Bnz(rIter, "loop").
+		Done()
+	return p
+}
+
+// InitAndersonMemory opens slot 0 so the first acquirer proceeds.
+func InitAndersonMemory() Memory {
+	return Memory{32: 1}
+}

@@ -1,0 +1,161 @@
+package vm
+
+// Canonical parallel programs. Memory is word-addressed: the lock word
+// lives at word 0 and shared data from word 1 upward; r7 is preloaded
+// with the CPU id by the machine.
+
+// LockedCounter returns a program in which each CPU increments the shared
+// counter at word 8, iters times, under the test-and-test-and-set lock at
+// word 0. After a run with n CPUs the counter must equal n·iters — the
+// canonical mutual-exclusion check.
+func LockedCounter(iters Word) *Program {
+	p := NewProgram("counter")
+	const (
+		rIter = 1
+		rTmp  = 2
+		rOne  = 3
+		rZero = 4
+	)
+	p.Ldi(rIter, iters).
+		Ldi(rOne, 1).
+		Ldi(rZero, 0)
+	p.Label("loop").
+		// Test-and-test-and-set acquire.
+		Label("test").
+		Ld(rTmp, rZero, 0). // poll the lock word
+		Bnz(rTmp, "test").
+		Tas(rTmp, rZero, 0). // attempt the atomic
+		Bnz(rTmp, "test").   // lost the race: back to polling
+		// Critical section: counter++.
+		Ld(rTmp, rZero, 8).
+		Add(rTmp, rTmp, rOne).
+		St(rTmp, rZero, 8).
+		// Release.
+		St(rZero, rZero, 0).
+		// Loop control.
+		Sub(rIter, rIter, rOne).
+		Bnz(rIter, "loop").
+		Done()
+	return p
+}
+
+// Barrier returns a program executing rounds sense-reversing barriers: an
+// arrival counter at word 1 guarded by the lock at word 0, and the shared
+// sense at word 2. Each CPU also bumps its private progress word (3+cpu)
+// once per round, so the final memory state proves every CPU completed
+// every round.
+func Barrier(cpus, rounds Word) *Program {
+	p := NewProgram("barrier")
+	const (
+		rRound = 1
+		rTmp   = 2
+		rOne   = 3
+		rZero  = 4
+		rSense = 5
+		rSlot  = 6
+		rCPU   = 7
+	)
+	p.Ldi(rRound, rounds).
+		Ldi(rOne, 1).
+		Ldi(rZero, 0).
+		Ldi(rSense, 0).
+		// rSlot = 3 + cpu: this CPU's private progress word.
+		Ldi(rTmp, 3).
+		Add(rSlot, rTmp, rCPU)
+	p.Label("round").
+		// local sense flips each round.
+		Ldi(rTmp, 1).
+		Sub(rSense, rTmp, rSense). // sense = 1 - sense
+		// progress[cpu]++ (private, no lock needed).
+		Ld(rTmp, rSlot, 0).
+		Add(rTmp, rTmp, rOne).
+		St(rTmp, rSlot, 0).
+		// acquire the lock.
+		Label("btest").
+		Ld(rTmp, rZero, 0).
+		Bnz(rTmp, "btest").
+		Tas(rTmp, rZero, 0).
+		Bnz(rTmp, "btest").
+		// arrivals++ under the lock; last arrival resets and flips the
+		// shared sense word at 2 (word index).
+		Ld(rTmp, rZero, 1).
+		Add(rTmp, rTmp, rOne).
+		St(rTmp, rZero, 1)
+	p.Ldi(0, cpus).
+		Sub(rTmp, rTmp, 0). // rTmp = arrivals - cpus
+		Bnz(rTmp, "notlast").
+		// Last arrival: reset the counter, publish the new sense.
+		St(rZero, rZero, 1).
+		St(rSense, rZero, 2).
+		St(rZero, rZero, 0). // release
+		Jmp("joined")
+	p.Label("notlast").
+		St(rZero, rZero, 0) // release
+	p.Label("wait").
+		Ld(rTmp, rZero, 2).
+		Sub(rTmp, rTmp, rSense).
+		Bnz(rTmp, "wait")
+	p.Label("joined").
+		Sub(rRound, rRound, rOne).
+		Bnz(rRound, "round").
+		Done()
+	return p
+}
+
+// Reduce returns a program that sums the shared input array (words
+// 16..16+n-1, pre-seeded by InitReduceMemory) in contiguous per-CPU
+// chunks of k = n/cpus elements (n must be divisible by cpus) and then
+// accumulates the partial sum into the shared total at word 1 under the
+// lock at word 0.
+func Reduce(cpus, n Word) *Program {
+	if cpus <= 0 || n%cpus != 0 {
+		panic("vm: Reduce requires n divisible by cpus")
+	}
+	k := n / cpus
+	p := NewProgram("reduce")
+	const (
+		rIdx  = 1
+		rSum  = 2
+		rTmp  = 3
+		rOne  = 4
+		rZero = 5
+		rCnt  = 6
+		rCPU  = 7
+	)
+	p.Ldi(rOne, 1).
+		Ldi(rZero, 0).
+		Ldi(rSum, 0).
+		Ldi(rCnt, k).
+		// rIdx = cpu * k: the chunk base.
+		Ldi(rTmp, k).
+		Mul(rIdx, rCPU, rTmp)
+	p.Label("sumloop").
+		Bz(rCnt, "acc").
+		Ld(rTmp, rIdx, 16). // element at word 16+idx
+		Add(rSum, rSum, rTmp).
+		Add(rIdx, rIdx, rOne).
+		Sub(rCnt, rCnt, rOne).
+		Jmp("sumloop")
+	p.Label("acc").
+		Label("rtest").
+		Ld(rTmp, rZero, 0).
+		Bnz(rTmp, "rtest").
+		Tas(rTmp, rZero, 0).
+		Bnz(rTmp, "rtest").
+		Ld(rTmp, rZero, 1).
+		Add(rTmp, rTmp, rSum).
+		St(rTmp, rZero, 1).
+		St(rZero, rZero, 0).
+		Done()
+	return p
+}
+
+// InitReduceMemory returns the initial memory image for Reduce: input[i]
+// = i+1 at words 16..16+n-1, so the expected total is n(n+1)/2.
+func InitReduceMemory(n Word) Memory {
+	mem := Memory{}
+	for i := Word(0); i < n; i++ {
+		mem[16+i] = i + 1
+	}
+	return mem
+}

@@ -1,0 +1,255 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+
+	"dirsim/internal/core"
+	"dirsim/internal/sim"
+	"dirsim/internal/trace"
+)
+
+func sameProgram(p *Program, n int) []*Program {
+	out := make([]*Program, n)
+	for i := range out {
+		out[i] = p
+	}
+	return out
+}
+
+func TestOpcodeString(t *testing.T) {
+	if OpTas.String() != "tas" || OpLdi.String() != "ldi" {
+		t.Error("mnemonics wrong")
+	}
+	if !strings.Contains(Opcode(99).String(), "99") {
+		t.Error("unknown opcode formatting")
+	}
+}
+
+func TestLinkErrors(t *testing.T) {
+	p := NewProgram("bad")
+	p.Jmp("nowhere").Done()
+	m := &Machine{Programs: []*Program{p}}
+	if _, _, err := m.Run(); err == nil {
+		t.Error("undefined label accepted")
+	}
+}
+
+func TestMachineValidation(t *testing.T) {
+	if _, _, err := (&Machine{}).Run(); err == nil {
+		t.Error("no programs accepted")
+	}
+	if _, _, err := (&Machine{Programs: []*Program{nil}}).Run(); err == nil {
+		t.Error("nil program accepted")
+	}
+	if _, _, err := (&Machine{Programs: []*Program{NewProgram("empty")}}).Run(); err == nil {
+		t.Error("empty program accepted")
+	}
+}
+
+func TestStraightLineExecution(t *testing.T) {
+	p := NewProgram("arith")
+	p.Ldi(1, 6).Ldi(2, 7).Mul(3, 1, 2). // r3 = 42
+						Sub(3, 3, 2). // 35
+						Add(3, 3, 1). // 41
+						Ldi(4, 0).
+						St(3, 4, 5). // mem[5] = 41
+						Done()
+	tr, mem, err := (&Machine{Programs: []*Program{p}}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mem[5] != 41 {
+		t.Errorf("mem[5] = %d, want 41", mem[5])
+	}
+	// 8 instruction fetches + 1 data write.
+	if tr.Len() != 9 {
+		t.Errorf("trace length %d, want 9", tr.Len())
+	}
+}
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	p := NewProgram("ldst")
+	p.Ldi(1, 123).Ldi(2, 0).
+		St(1, 2, 9).
+		Ld(3, 2, 9).
+		St(3, 2, 10).
+		Done()
+	_, mem, err := (&Machine{Programs: []*Program{p}}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mem[9] != 123 || mem[10] != 123 {
+		t.Errorf("mem = %v", mem)
+	}
+}
+
+func TestInitMemIsCopied(t *testing.T) {
+	init := Memory{5: 50}
+	p := NewProgram("w")
+	p.Ldi(1, 99).Ldi(2, 0).St(1, 2, 5).Done()
+	_, mem, err := (&Machine{Programs: []*Program{p}, InitMem: init}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mem[5] != 99 {
+		t.Errorf("final mem[5] = %d", mem[5])
+	}
+	if init[5] != 50 {
+		t.Error("machine mutated the caller's init memory")
+	}
+}
+
+func TestLivelockGuard(t *testing.T) {
+	p := NewProgram("spin")
+	p.Label("x").Jmp("x")
+	m := &Machine{Programs: []*Program{p}, MaxSteps: 1000}
+	if _, _, err := m.Run(); err == nil || !strings.Contains(err.Error(), "livelock") {
+		t.Errorf("livelock not detected: %v", err)
+	}
+}
+
+func TestLockedCounterMutualExclusion(t *testing.T) {
+	// The canonical end-to-end check: n CPUs, k increments each, under a
+	// real TAS lock running on the VM. Any lost update means the lock or
+	// the machine is broken.
+	for _, cpus := range []int{1, 2, 4, 8} {
+		const iters = 50
+		m := &Machine{Programs: sameProgram(LockedCounter(iters), cpus), Seed: uint64(cpus)}
+		tr, mem, err := m.Run()
+		if err != nil {
+			t.Fatalf("%d cpus: %v", cpus, err)
+		}
+		if got := mem[8]; got != Word(cpus*iters) {
+			t.Errorf("%d cpus: counter = %d, want %d", cpus, got, cpus*iters)
+		}
+		if cpus > 1 {
+			s := trace.ComputeStats(tr)
+			if s.SpinReads == 0 {
+				t.Errorf("%d cpus: contended counter produced no spin reads", cpus)
+			}
+			if s.LockWrites == 0 {
+				t.Errorf("%d cpus: no acquire writes flagged", cpus)
+			}
+		}
+	}
+}
+
+func TestBarrierCompletesAllRounds(t *testing.T) {
+	const cpus, rounds = 4, 10
+	m := &Machine{Programs: sameProgram(Barrier(cpus, rounds), cpus), Seed: 7}
+	_, mem, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := Word(0); c < cpus; c++ {
+		if got := mem[3+c]; got != rounds {
+			t.Errorf("cpu %d completed %d rounds, want %d", c, got, rounds)
+		}
+	}
+	if mem[1] != 0 {
+		t.Errorf("arrival counter not reset: %d", mem[1])
+	}
+}
+
+func TestReduceComputesSum(t *testing.T) {
+	const cpus, n = 4, 64
+	m := &Machine{
+		Programs: sameProgram(Reduce(cpus, n), cpus),
+		InitMem:  InitReduceMemory(n),
+		Seed:     11,
+	}
+	_, mem, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := Word(n * (n + 1) / 2); mem[1] != want {
+		t.Errorf("total = %d, want %d", mem[1], want)
+	}
+}
+
+func TestReducePanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("indivisible n accepted")
+		}
+	}()
+	Reduce(3, 64)
+}
+
+func TestVMDeterminism(t *testing.T) {
+	run := func() *trace.Trace {
+		m := &Machine{Programs: sameProgram(LockedCounter(30), 4), Seed: 42}
+		tr, _, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	a, b := run(), run()
+	if a.Len() != b.Len() {
+		t.Fatalf("lengths differ: %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Refs {
+		if a.Refs[i] != b.Refs[i] {
+			t.Fatalf("ref %d differs", i)
+		}
+	}
+}
+
+// TestVMTracesAreCoherent closes the loop: traces produced by real
+// executing programs run through every protocol with value-coherence
+// checking.
+func TestVMTracesAreCoherent(t *testing.T) {
+	machines := map[string]*Machine{
+		"counter": {Programs: sameProgram(LockedCounter(40), 4), Seed: 3},
+		"barrier": {Programs: sameProgram(Barrier(4, 6), 4), Seed: 5},
+		"reduce": {Programs: sameProgram(Reduce(4, 32), 4),
+			InitMem: InitReduceMemory(32), Seed: 9},
+	}
+	for name, m := range machines {
+		tr, _, err := m.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, scheme := range []string{"Dir1NB", "Dir0B", "DirNNB", "WTI", "Dragon", "MESI", "Berkeley", "Firefly"} {
+			if _, err := sim.SimulateTrace(scheme, tr, sim.Options{Check: true}); err != nil {
+				t.Errorf("%s under %s: %v", name, scheme, err)
+			}
+		}
+	}
+}
+
+// TestVMLockBehaviourMatchesPaper reproduces the Section 5.2 phenomenon
+// from first principles: on the executed counter program, Dir1NB pays far
+// more for the lock traffic than Dir0B, and filtering the spin reads
+// closes most of the gap.
+func TestVMLockBehaviourMatchesPaper(t *testing.T) {
+	m := &Machine{Programs: sameProgram(LockedCounter(150), 4), Seed: 13}
+	tr, _, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := sim.SimulateTrace("Dir1NB", tr, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d0, err := sim.SimulateTrace("Dir0B", tr, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.PerRef("pipelined") <= d0.PerRef("pipelined") {
+		t.Error("Dir1NB should suffer on a contended lock")
+	}
+	p, err := core.NewByName("Dir1NB", tr.CPUs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noSpins, err := sim.Simulate(p, trace.WithoutSpins(tr.Iterator()), sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noSpins.PerRef("pipelined") >= d1.PerRef("pipelined") {
+		t.Error("removing spin reads should reduce Dir1NB's cost")
+	}
+}

@@ -1,0 +1,95 @@
+package workload
+
+import (
+	"testing"
+
+	"dirsim/internal/trace"
+)
+
+func migratingConfig(rate float64) Config {
+	p := POPSProfile()
+	p.MigrationRate = rate
+	return Config{Name: "mig", CPUs: 4, Refs: 80_000, Seed: 9, Profile: p}
+}
+
+func TestNoMigrationPinsProcesses(t *testing.T) {
+	tr := MustGenerate(migratingConfig(0))
+	for _, r := range tr.Refs {
+		if uint16(r.CPU) != r.Proc {
+			t.Fatalf("process %d ran on CPU %d without migration enabled", r.Proc, r.CPU)
+		}
+	}
+}
+
+func TestMigrationMovesProcesses(t *testing.T) {
+	tr := MustGenerate(migratingConfig(0.01))
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	cpusSeen := map[uint16]map[uint8]struct{}{}
+	for _, r := range tr.Refs {
+		m := cpusSeen[r.Proc]
+		if m == nil {
+			m = map[uint8]struct{}{}
+			cpusSeen[r.Proc] = m
+		}
+		m[r.CPU] = struct{}{}
+		if uint16(r.CPU) != r.Proc {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("migration rate 0.01 produced no migrated references")
+	}
+	for proc, cpus := range cpusSeen {
+		if len(cpus) < 2 {
+			t.Errorf("process %d never migrated", proc)
+		}
+	}
+}
+
+func TestMigrationKeepsCPUsBalanced(t *testing.T) {
+	// Swap-based migration preserves one process per CPU, so every CPU
+	// should keep issuing a healthy share of the references.
+	tr := MustGenerate(migratingConfig(0.02))
+	perCPU := make([]int, tr.CPUs)
+	for _, r := range tr.Refs {
+		perCPU[r.CPU]++
+	}
+	want := tr.Len() / tr.CPUs
+	for cpu, n := range perCPU {
+		if n < want/2 || n > want*2 {
+			t.Errorf("cpu %d issued %d refs, expected near %d", cpu, n, want)
+		}
+	}
+}
+
+func TestMigrationIncreasesProcessorSharing(t *testing.T) {
+	pinned := MustGenerate(migratingConfig(0))
+	moving := MustGenerate(migratingConfig(0.01))
+	cpuShared := func(tr *trace.Trace) int {
+		seen := map[trace.Block]map[uint8]struct{}{}
+		for _, r := range tr.Refs {
+			if !r.IsData() {
+				continue
+			}
+			m := seen[r.Block()]
+			if m == nil {
+				m = map[uint8]struct{}{}
+				seen[r.Block()] = m
+			}
+			m[r.CPU] = struct{}{}
+		}
+		n := 0
+		for _, m := range seen {
+			if len(m) > 1 {
+				n++
+			}
+		}
+		return n
+	}
+	if cpuShared(moving) <= cpuShared(pinned) {
+		t.Error("migration should induce extra processor-level sharing")
+	}
+}

@@ -1,0 +1,172 @@
+package workload
+
+import (
+	"fmt"
+
+	"dirsim/internal/trace"
+)
+
+// Profile parameterizes the behaviour of one synthetic parallel
+// application. The defaults in the POPS/THOR/PERO constructors are tuned so
+// the generated traces reproduce the structural statistics of the paper's
+// Table 3 and Table 4 (reference mix, spin-lock share, sharing intensity).
+type Profile struct {
+	// DataPerInstr is the average number of data references per
+	// instruction fetch; the paper's traces average 1.0.
+	DataPerInstr float64
+	// PrivateReadFrac is the fraction of private data accesses that are
+	// reads.
+	PrivateReadFrac float64
+	// SharedReadFrac is the fraction of unsynchronized shared-object
+	// accesses that are reads. Keep close to 1: writes to widely
+	// read-shared data invalidate many caches and the paper's Figure 1
+	// shows those are rare.
+	SharedReadFrac float64
+	// SharedFrac is the probability that a compute-mode data reference
+	// targets a shared object rather than private data.
+	SharedFrac float64
+	// LockRate is the per-data-reference probability of starting a
+	// critical section.
+	LockRate float64
+	// SysRate is the per-data-reference probability of entering an
+	// operating-system stretch; together with SysLen it sets the
+	// roughly-10% system share of the paper's traces.
+	SysRate float64
+	// SysLen is the length of a system stretch in data references.
+	SysLen int
+
+	// PrivBlocks is the maximum private working set, in blocks, per
+	// process. The set grows gradually (see GrowthRate) so
+	// first-reference misses are spread through the trace.
+	PrivBlocks int
+	// GrowthRate is the per-access probability of touching a brand-new
+	// private block while the working set is below PrivBlocks.
+	GrowthRate float64
+	// SharedObjects and ObjBlocks shape the read-shared heap: objects
+	// are chosen with a hot/cold skew, blocks within uniformly.
+	SharedObjects int
+	ObjBlocks     int
+
+	// Locks is the number of lock variables; acquisition is skewed so a
+	// few locks are hot and contended. Each lock guards a private
+	// migratory region of LockRegionBlocks blocks.
+	Locks            int
+	LockRegionBlocks int
+	// CSMin/CSMax bound critical-section lengths in data references.
+	CSMin, CSMax int
+	// CSWriteFrac is the fraction of critical-section accesses to the
+	// protected region that are writes (migratory read-modify-write).
+	CSWriteFrac float64
+	// CSFootprint is how many consecutive blocks of the protected
+	// region one critical section actually visits (a window chosen at
+	// acquire time). Values below LockRegionBlocks give critical
+	// sections locality, which keeps the per-CS miss cost realistic.
+	// Zero means the whole region.
+	CSFootprint int
+	// SpinBurst is how many lock-test reads a waiting process issues per
+	// scheduling turn; the paper's POPS and THOR spin heavily (about a
+	// third of all reads are lock tests).
+	SpinBurst int
+
+	// CodeBlocks is the per-process instruction footprint; LoopLen is
+	// the number of sequential fetches between jumps.
+	CodeBlocks int
+	LoopLen    int
+
+	// BurstMin/BurstMax bound the number of data references a process
+	// issues per scheduling turn, i.e. the interleaving granularity.
+	BurstMin, BurstMax int
+
+	// MigrationRate is the per-turn probability that a process migrates
+	// to a different CPU. The paper's traces contained a little
+	// migration-induced sharing, which it deliberately excluded by
+	// classifying sharing per process; this knob reproduces that
+	// phenomenon. Zero (the default) pins processes, making process-
+	// and processor-based classifications identical.
+	MigrationRate float64
+}
+
+// Validate reports the first problem with the profile.
+func (p Profile) Validate() error {
+	switch {
+	case p.DataPerInstr <= 0:
+		return fmt.Errorf("workload: DataPerInstr must be positive")
+	case p.PrivBlocks < 1:
+		return fmt.Errorf("workload: PrivBlocks must be at least 1")
+	case p.SharedObjects < 1 || p.ObjBlocks < 1:
+		return fmt.Errorf("workload: need at least one shared object and block")
+	case p.Locks < 1:
+		return fmt.Errorf("workload: need at least one lock")
+	case p.CSMin < 1 || p.CSMax < p.CSMin:
+		return fmt.Errorf("workload: bad critical section bounds [%d,%d]", p.CSMin, p.CSMax)
+	case p.SpinBurst < 1:
+		return fmt.Errorf("workload: SpinBurst must be at least 1")
+	case p.BurstMin < 1 || p.BurstMax < p.BurstMin:
+		return fmt.Errorf("workload: bad burst bounds [%d,%d]", p.BurstMin, p.BurstMax)
+	case p.CodeBlocks < 1 || p.LoopLen < 1:
+		return fmt.Errorf("workload: bad code shape")
+	case p.LockRegionBlocks < 1:
+		return fmt.Errorf("workload: LockRegionBlocks must be at least 1")
+	}
+	return nil
+}
+
+// Config identifies one generated trace: a named profile instantiated for
+// a machine size, length, and seed.
+type Config struct {
+	Name    string
+	CPUs    int
+	Refs    int // approximate total references (the generator stops at or just above this)
+	Seed    uint64
+	Profile Profile
+}
+
+// Address-space layout (byte addresses). Regions are spaced so they can
+// never collide for any sane parameter choice.
+const (
+	codeBase   = 0x0100_0000 // + proc * codeStride
+	codeStride = 0x0010_0000
+	privBase   = 0x2000_0000 // + proc * privStride
+	privStride = 0x0010_0000
+	sharedBase = 0x4000_0000
+	lockBase   = 0x5000_0000
+	lockGuard  = 0x5800_0000 // migratory regions guarded by locks
+	osShared   = 0x6000_0000 // read-shared kernel text/data
+	osMigrate  = 0x6100_0000 // kernel scheduler state, migratory
+)
+
+const (
+	osSharedBlocks  = 192
+	osMigrateBlocks = 24
+)
+
+// Generate synthesizes a trace from the configuration. The result is
+// deterministic in cfg.
+func Generate(cfg Config) (*trace.Trace, error) {
+	if cfg.CPUs < 1 || cfg.CPUs > trace.MaxCPUs {
+		return nil, fmt.Errorf("workload: cpu count %d out of range", cfg.CPUs)
+	}
+	if cfg.Refs < 1 {
+		return nil, fmt.Errorf("workload: non-positive trace length %d", cfg.Refs)
+	}
+	if err := cfg.Profile.Validate(); err != nil {
+		return nil, err
+	}
+	g := newGenerator(cfg)
+	g.run()
+	t := g.t
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: generated invalid trace: %w", err)
+	}
+	return t, nil
+}
+
+// MustGenerate is Generate for known-good configurations; it panics on
+// error. The app constructors use it.
+func MustGenerate(cfg Config) *trace.Trace {
+	t, err := Generate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}

@@ -1,0 +1,125 @@
+package workload
+
+import "testing"
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := newRNG(7), newRNG(7)
+	for i := 0; i < 1000; i++ {
+		if a.next() != b.next() {
+			t.Fatal("same seed must produce the same stream")
+		}
+	}
+	c := newRNG(8)
+	same := true
+	a = newRNG(7)
+	for i := 0; i < 10; i++ {
+		if a.next() != c.next() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds should produce different streams")
+	}
+}
+
+func TestRNGZeroSeed(t *testing.T) {
+	r := newRNG(0)
+	// A zero seed is remapped; the stream must not be all zeros.
+	if r.next() == 0 && r.next() == 0 {
+		t.Error("zero seed produced a degenerate stream")
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := newRNG(3)
+	for i := 0; i < 10000; i++ {
+		if v := r.intn(7); v < 0 || v >= 7 {
+			t.Fatalf("intn(7) = %d", v)
+		}
+	}
+	if r.intn(1) != 0 {
+		t.Error("intn(1) must be 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("intn(0) should panic")
+		}
+	}()
+	r.intn(0)
+}
+
+func TestFloatRange(t *testing.T) {
+	r := newRNG(5)
+	for i := 0; i < 10000; i++ {
+		if f := r.float(); f < 0 || f >= 1 {
+			t.Fatalf("float() = %v", f)
+		}
+	}
+}
+
+func TestChanceExtremes(t *testing.T) {
+	r := newRNG(11)
+	for i := 0; i < 100; i++ {
+		if r.chance(0) {
+			t.Fatal("chance(0) fired")
+		}
+		if !r.chance(1.1) {
+			t.Fatal("chance(>1) must always fire")
+		}
+	}
+}
+
+func TestChanceFrequency(t *testing.T) {
+	r := newRNG(13)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.chance(0.3) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if got < 0.28 || got > 0.32 {
+		t.Errorf("chance(0.3) frequency = %.3f", got)
+	}
+}
+
+func TestRangeInt(t *testing.T) {
+	r := newRNG(17)
+	for i := 0; i < 10000; i++ {
+		if v := r.rangeInt(3, 9); v < 3 || v > 9 {
+			t.Fatalf("rangeInt = %d", v)
+		}
+	}
+	if r.rangeInt(5, 5) != 5 {
+		t.Error("degenerate range should return its only value")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("empty range should panic")
+		}
+	}()
+	r.rangeInt(5, 4)
+}
+
+func TestZipfishSkew(t *testing.T) {
+	r := newRNG(19)
+	counts := make([]int, 16)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := r.zipfish(16)
+		if v < 0 || v >= 16 {
+			t.Fatalf("zipfish out of range: %d", v)
+		}
+		counts[v]++
+	}
+	if counts[0] <= counts[15]*3 {
+		t.Errorf("zipfish not skewed: first=%d last=%d", counts[0], counts[15])
+	}
+	if got := r.zipfish(1); got != 0 {
+		t.Errorf("zipfish(1) = %d", got)
+	}
+	if got := r.zipfish(0); got != 0 {
+		t.Errorf("zipfish(0) = %d", got)
+	}
+}
