@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: build vet test race check bench bench-json experiments clean
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The gate run before every commit: compile everything, vet, and run the
+# full suite under the race detector.
+check: build vet race
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Measure the execution engine under each executor and write the
+# machine-readable BENCH_engine.json at the repo root.
+bench-json:
+	DIRSIM_BENCH_JSON=1 $(GO) test -run TestWriteEngineBenchJSON -v .
+
+# Regenerate every table and figure concurrently on all cores.
+experiments:
+	$(GO) run ./cmd/experiments -run all -parallel 0
+
+clean:
+	$(GO) clean ./...

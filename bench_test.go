@@ -10,6 +10,7 @@ package dirsim_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"testing"
 
@@ -157,6 +158,35 @@ func BenchmarkAblationPointerVictim(b *testing.B) {
 				forced = float64(res.ForcedInvals) / float64(res.Counts.Total) * 1000
 			}
 			b.ReportMetric(forced, "forced_inv/1k_refs")
+		})
+	}
+}
+
+// BenchmarkEngineExecutors runs an identical batch — four schemes over the
+// three standard traces — through the execution engine under each
+// executor. A fresh engine per iteration keeps the caches cold, so the
+// parallel/sequential ratio is the genuine concurrency win on the full
+// generate-and-simulate pipeline (the results are asserted bit-identical
+// in internal/engine's determinism test).
+func BenchmarkEngineExecutors(b *testing.B) {
+	cfgs := workload.StandardConfigs(4, benchRefs)
+	schemes := []string{"Dir1NB", "WTI", "Dir0B", "Dragon"}
+	for _, bc := range []struct {
+		name string
+		exec dirsim.Executor
+	}{
+		{"sequential", dirsim.SequentialExecutor()},
+		{"parallel", dirsim.ParallelExecutor(0)},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng := dirsim.NewEngine(dirsim.EngineOptions{})
+				if _, err := eng.Compare(context.Background(), bc.exec, schemes, cfgs, false); err != nil {
+					b.Fatal(err)
+				}
+			}
+			total := float64(len(schemes) * len(cfgs) * benchRefs)
+			b.ReportMetric(total*float64(b.N)/b.Elapsed().Seconds(), "refs/s")
 		})
 	}
 }

@@ -3,10 +3,16 @@
 //
 // Usage:
 //
-//	experiments                 # run everything at the default size
+//	experiments                    # run everything at the default size
 //	experiments -run table4,fig1
-//	experiments -refs 2000000   # closer to the paper's 3M-ref traces
+//	experiments -refs 2000000      # closer to the paper's 3M-ref traces
+//	experiments -run all -parallel 8
 //	experiments -list
+//
+// With -parallel N (N > 1, or 0 for all cores) the experiments run
+// concurrently on the execution engine's worker pool, sharing one
+// content-addressed cache of traces and simulation results; the rendered
+// report is byte-identical to the serial run, just produced faster.
 package main
 
 import (
@@ -14,20 +20,25 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"strings"
+	"sync"
 
+	"dirsim/internal/engine"
 	"dirsim/internal/report"
 )
 
 func main() {
 	var (
-		run   = flag.String("run", "all", "comma-separated experiment IDs (or 'all')")
-		refs  = flag.Int("refs", 400_000, "approximate references per generated trace")
-		cpus  = flag.Int("cpus", 4, "processor count for the headline experiments")
-		check = flag.Bool("check", false, "enable coherence checking (slower)")
-		list  = flag.Bool("list", false, "list experiment IDs and exit")
+		run      = flag.String("run", "all", "comma-separated experiment IDs (or 'all')")
+		refs     = flag.Int("refs", 400_000, "approximate references per generated trace")
+		cpus     = flag.Int("cpus", 4, "processor count for the headline experiments")
+		check    = flag.Bool("check", false, "enable coherence checking (slower)")
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		parallel = flag.Int("parallel", 1, "simulation worker pool size; >1 runs experiments concurrently, 0 means all cores")
 	)
 	flag.Parse()
-	if err := runExperiments(os.Stdout, *run, *refs, *cpus, *check, *list); err != nil {
+	if err := runExperiments(os.Stdout, *run, *refs, *cpus, *check, *list, *parallel); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
@@ -35,7 +46,7 @@ func main() {
 
 // runExperiments drives the selected experiments, writing their rendered
 // output to w.
-func runExperiments(w io.Writer, sel string, refs, cpus int, check, list bool) error {
+func runExperiments(w io.Writer, sel string, refs, cpus int, check, list bool, parallel int) error {
 	if list {
 		for _, e := range report.Experiments() {
 			fmt.Fprintf(w, "%-10s %s\n", e.ID, e.Title)
@@ -44,16 +55,64 @@ func runExperiments(w io.Writer, sel string, refs, cpus int, check, list bool) e
 	}
 	exps, err := report.Lookup(sel)
 	if err != nil {
-		return err
+		return fmt.Errorf("%w\n\nvalid experiment IDs:\n%s\n(use -list to print this table)",
+			err, experimentTable())
 	}
-	ctx := report.NewContext(refs, cpus)
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	var exec engine.Executor = engine.Sequential{}
+	if parallel > 1 {
+		exec = engine.Parallel{Workers: parallel}
+	}
+	ctx := report.NewContextWith(refs, cpus, engine.New(engine.Options{Workers: parallel}), exec)
 	ctx.Check = check
-	for _, e := range exps {
-		out, err := e.Run(ctx)
-		if err != nil {
-			return fmt.Errorf("%s: %w", e.ID, err)
+
+	if parallel <= 1 {
+		for _, e := range exps {
+			out, err := e.Run(ctx)
+			if err != nil {
+				return fmt.Errorf("%s: %w", e.ID, err)
+			}
+			fmt.Fprintln(w, out)
 		}
-		fmt.Fprintln(w, out)
+		return nil
+	}
+
+	// Concurrent mode: every experiment renders into its own buffer while
+	// the engine's worker pool bounds the simulation concurrency and its
+	// caches deduplicate the shared runs; outputs print in paper order, so
+	// the report is byte-identical to the serial one.
+	type rendered struct {
+		out string
+		err error
+	}
+	outs := make([]rendered, len(exps))
+	var wg sync.WaitGroup
+	for i, e := range exps {
+		i, e := i, e
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out, err := e.Run(ctx)
+			outs[i] = rendered{out: out, err: err}
+		}()
+	}
+	wg.Wait()
+	for i, e := range exps {
+		if outs[i].err != nil {
+			return fmt.Errorf("%s: %w", e.ID, outs[i].err)
+		}
+		fmt.Fprintln(w, outs[i].out)
 	}
 	return nil
+}
+
+// experimentTable renders the id/title listing used in error messages.
+func experimentTable() string {
+	var b strings.Builder
+	for _, e := range report.Experiments() {
+		fmt.Fprintf(&b, "  %-10s %s\n", e.ID, e.Title)
+	}
+	return strings.TrimRight(b.String(), "\n")
 }

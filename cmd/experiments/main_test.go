@@ -8,7 +8,7 @@ import (
 
 func TestListExperiments(t *testing.T) {
 	var buf bytes.Buffer
-	if err := runExperiments(&buf, "all", 0, 0, false, true); err != nil {
+	if err := runExperiments(&buf, "all", 0, 0, false, true, 1); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -21,7 +21,7 @@ func TestListExperiments(t *testing.T) {
 
 func TestRunSubset(t *testing.T) {
 	var buf bytes.Buffer
-	if err := runExperiments(&buf, "table3,storage", 20_000, 4, false, false); err != nil {
+	if err := runExperiments(&buf, "table3,storage", 20_000, 4, false, false, 1); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -32,17 +32,47 @@ func TestRunSubset(t *testing.T) {
 
 func TestRunUnknownExperiment(t *testing.T) {
 	var buf bytes.Buffer
-	if err := runExperiments(&buf, "nonsense", 10_000, 4, false, false); err == nil {
-		t.Error("unknown experiment id accepted")
+	err := runExperiments(&buf, "nonsense", 10_000, 4, false, false, 1)
+	if err == nil {
+		t.Fatal("unknown experiment id accepted")
+	}
+	// The error must name the offender and list every valid ID so the
+	// failure is actionable straight from the terminal.
+	msg := err.Error()
+	if !strings.Contains(msg, "nonsense") {
+		t.Errorf("error does not name the unknown id: %v", err)
+	}
+	for _, id := range []string{"table3", "table4", "fig1", "fig5", "spinlocks", "coarse", "vm", "-list"} {
+		if !strings.Contains(msg, id) {
+			t.Errorf("error listing missing %q:\n%s", id, msg)
+		}
 	}
 }
 
 func TestRunWithChecking(t *testing.T) {
 	var buf bytes.Buffer
-	if err := runExperiments(&buf, "fig1", 20_000, 4, true, false); err != nil {
+	if err := runExperiments(&buf, "fig1", 20_000, 4, true, false, 1); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "at most one cache") {
 		t.Error("fig1 output missing its conclusion")
+	}
+}
+
+// TestParallelOutputIdentical asserts the acceptance property of the
+// execution engine: the concurrent run renders byte-identical output to
+// the serial one.
+func TestParallelOutputIdentical(t *testing.T) {
+	const sel = "table3,table4,fig1,fig2,fig3,spinlocks"
+	var serial, parallel bytes.Buffer
+	if err := runExperiments(&serial, sel, 25_000, 4, false, false, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := runExperiments(&parallel, sel, 25_000, 4, false, false, 8); err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != parallel.String() {
+		t.Errorf("parallel output differs from serial output\nserial:\n%s\nparallel:\n%s",
+			serial.String(), parallel.String())
 	}
 }

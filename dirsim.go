@@ -34,6 +34,7 @@
 package dirsim
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -43,6 +44,7 @@ import (
 	"dirsim/internal/contention"
 	"dirsim/internal/core"
 	"dirsim/internal/directory"
+	"dirsim/internal/engine"
 	"dirsim/internal/event"
 	"dirsim/internal/network"
 	"dirsim/internal/report"
@@ -152,6 +154,23 @@ func GenerateWorkload(name string, cpus, refs int) (*Trace, error) {
 // GenerateCustom builds a trace from an arbitrary profile configuration.
 func GenerateCustom(cfg WorkloadConfig) (*Trace, error) { return workload.Generate(cfg) }
 
+// POPSConfig, THORConfig and PEROConfig return the generation specs of
+// the standard workloads without materializing them — the currency of
+// the execution engine, which generates (or streams) a spec on demand
+// and caches by its content hash.
+func POPSConfig(cpus, refs int) WorkloadConfig { return workload.POPSConfig(cpus, refs) }
+
+// THORConfig returns the logic-simulator workload's generation spec.
+func THORConfig(cpus, refs int) WorkloadConfig { return workload.THORConfig(cpus, refs) }
+
+// PEROConfig returns the VLSI-router workload's generation spec.
+func PEROConfig(cpus, refs int) WorkloadConfig { return workload.PEROConfig(cpus, refs) }
+
+// StandardWorkloadConfigs returns all three standard specs in paper order.
+func StandardWorkloadConfigs(cpus, refs int) []WorkloadConfig {
+	return workload.StandardConfigs(cpus, refs)
+}
+
 // Run simulates the named scheme over the trace, pricing the run under
 // both of the paper's bus models.
 func Run(scheme string, t *Trace) (*Result, error) {
@@ -259,6 +278,57 @@ func Experiments() []Experiment { return report.Experiments() }
 // per generated trace and the headline machine size (the paper used 4).
 func NewExperimentContext(refs, cpus int) *ExperimentContext {
 	return report.NewContext(refs, cpus)
+}
+
+// Execution engine: experiments expressed as DAGs of jobs (trace
+// generation → per-scheme simulation → aggregation) run on a bounded
+// worker pool with content-addressed caching of traces and results, and
+// streamed trace delivery under the Parallel executor.
+type (
+	// Engine schedules simulation jobs and owns the result caches.
+	Engine = engine.Engine
+	// EngineOptions configures a new engine (worker pool size, streaming
+	// chunk geometry, trace retention).
+	EngineOptions = engine.Options
+	// EngineStats snapshots an engine's cache and execution counters.
+	EngineStats = engine.Stats
+	// Executor is a DAG execution strategy (sequential or parallel).
+	Executor = engine.Executor
+	// SimSpec identifies one simulation for batch submission: workload
+	// config × scheme × options, content-hashed for caching.
+	SimSpec = engine.SimSpec
+)
+
+// NewEngine builds an execution engine; the zero options give a
+// GOMAXPROCS-sized worker pool.
+func NewEngine(opts EngineOptions) *Engine { return engine.New(opts) }
+
+// SequentialExecutor runs jobs one at a time in deterministic order —
+// the reference path that concurrency is asserted against.
+func SequentialExecutor() Executor { return engine.Sequential{} }
+
+// ParallelExecutor runs jobs concurrently on a worker pool of the given
+// size (0 = the engine default).
+func ParallelExecutor(workers int) Executor { return engine.Parallel{Workers: workers} }
+
+// RunSchemes simulates several schemes over one workload configuration,
+// generating the trace once and streaming its references to all
+// simulators concurrently. It returns each scheme's result; use an
+// explicit Engine (NewEngine + Engine.Compare) to keep a result cache
+// across calls.
+func RunSchemes(schemes []string, cfg WorkloadConfig) (map[string]*Result, error) {
+	eng := engine.New(engine.Options{DiscardStreamedTraces: true})
+	return eng.Compare(context.Background(), engine.Parallel{}, schemes,
+		[]workload.Config{cfg}, false)
+}
+
+// NewParallelExperimentContext is NewExperimentContext backed by a
+// concurrent engine with the given worker count (0 = all cores):
+// experiments submitted through it run their independent simulations in
+// parallel while producing results identical to the serial context.
+func NewParallelExperimentContext(refs, cpus, workers int) *ExperimentContext {
+	return report.NewContextWith(refs, cpus,
+		engine.New(engine.Options{Workers: workers}), engine.Parallel{Workers: workers})
 }
 
 // WithoutSpins filters lock-test spin reads out of a source, the

@@ -1,0 +1,373 @@
+// Package engine executes experiment workloads concurrently. Every
+// experiment is expressed as a DAG of Jobs — trace generation feeding
+// per-scheme simulations feeding aggregation — run on a bounded worker
+// pool with cancellable contexts and per-job timing.
+//
+// Two properties make large sweeps cheap:
+//
+//   - Results are deduplicated and cached by a content hash of everything
+//     that can influence them (workload spec including seed and CPU
+//     count, scheme, cost options, block geometry), so a trace shared by
+//     twenty experiments is generated once and a scheme priced by five
+//     figures is simulated once.
+//   - Under the Parallel executor an uncached trace is not materialized
+//     first and replayed later: the generator streams references in
+//     chunks through bounded channels to all subscribed simulators
+//     running concurrently, so generation and simulation overlap and the
+//     peak footprint is a chunk window, not a full trace.
+//
+// The Sequential executor runs the identical DAG one job at a time with
+// materialized traces; because simulations are pure functions of the
+// reference sequence, both executors produce bit-identical results, which
+// the tests assert.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Options configures an Engine. The zero value is ready to use.
+type Options struct {
+	// Workers bounds the number of jobs executing concurrently under the
+	// Parallel executor; 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// ChunkRefs is the streaming granularity: references travel from
+	// generator to simulators in chunks of this many (default 4096).
+	ChunkRefs int
+	// ChunkWindow is the per-simulator channel capacity in chunks
+	// (default 16); it bounds how far the generator runs ahead of the
+	// slowest simulator before back-pressure stalls it.
+	ChunkWindow int
+	// DiscardStreamedTraces stops streamed generations from also being
+	// captured into the trace cache. The default (false) captures them,
+	// so a later experiment needing the raw trace — or the same trace
+	// under another scheme — finds it materialized; set it for
+	// lowest-memory batch sweeps over traces that will not be revisited.
+	DiscardStreamedTraces bool
+}
+
+// Engine schedules jobs and owns the content-addressed caches. An Engine
+// is safe for concurrent use by multiple goroutines; all submissions
+// share its caches and its worker bound.
+type Engine struct {
+	workers     int
+	chunkRefs   int
+	chunkWindow int
+	discard     bool
+
+	results *flightCache // Key → job output (typically *sim.Result)
+	traces  *flightCache // Key → *trace.Trace
+
+	jobsRun         atomic.Int64
+	cacheHits       atomic.Int64
+	cacheMisses     atomic.Int64
+	simsRun         atomic.Int64
+	tracesGenerated atomic.Int64
+	tracesStreamed  atomic.Int64
+}
+
+// New builds an engine with the given options.
+func New(opts Options) *Engine {
+	w := opts.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	cr := opts.ChunkRefs
+	if cr <= 0 {
+		cr = 4096
+	}
+	cw := opts.ChunkWindow
+	if cw <= 0 {
+		cw = 16
+	}
+	return &Engine{
+		workers:     w,
+		chunkRefs:   cr,
+		chunkWindow: cw,
+		discard:     opts.DiscardStreamedTraces,
+		results:     newFlightCache(),
+		traces:      newFlightCache(),
+	}
+}
+
+// Stats is a snapshot of the engine's lifetime counters.
+type Stats struct {
+	// JobsRun counts job bodies actually executed (cache hits excluded).
+	JobsRun int64
+	// CacheHits / CacheMisses count keyed lookups that were satisfied
+	// from (or claimed into) the result and trace caches.
+	CacheHits   int64
+	CacheMisses int64
+	// SimsRun counts protocol simulations executed.
+	SimsRun int64
+	// TracesGenerated counts materialized trace generations;
+	// TracesStreamed counts streamed (chunked multicast) generations.
+	TracesGenerated int64
+	TracesStreamed  int64
+	// CachedResults and CachedTraces are the current cache populations.
+	CachedResults int
+	CachedTraces  int
+}
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		JobsRun:         e.jobsRun.Load(),
+		CacheHits:       e.cacheHits.Load(),
+		CacheMisses:     e.cacheMisses.Load(),
+		SimsRun:         e.simsRun.Load(),
+		TracesGenerated: e.tracesGenerated.Load(),
+		TracesStreamed:  e.tracesStreamed.Load(),
+		CachedResults:   e.results.size(),
+		CachedTraces:    e.traces.size(),
+	}
+}
+
+// Job is one node of an execution DAG. Jobs are single-use: build a fresh
+// graph per Execute call (cached work is cheap to re-plan).
+type Job struct {
+	// ID names the job in errors and metrics, e.g. "sim:Dir0B@pops".
+	ID string
+	// Key, when non-zero, deduplicates and caches the output: the first
+	// job to claim the key runs, everyone else — in this batch, a
+	// concurrent batch, or a later one — reuses its output.
+	Key Key
+	// Deps run before this job; their outputs arrive in Run's in slice,
+	// in order.
+	Deps []*Job
+	// Run computes the output. It must honour ctx for long work.
+	Run func(ctx context.Context, in []any) (any, error)
+
+	out any
+	err error
+	met Metrics
+}
+
+// Metrics records one job's execution timeline.
+type Metrics struct {
+	// Started and Finished bound the job's execution (or its wait on a
+	// cache flight).
+	Started, Finished time.Time
+	// CacheHit is set when the output came from the result cache.
+	CacheHit bool
+}
+
+// Duration returns the wall-clock time the job took.
+func (m Metrics) Duration() time.Duration { return m.Finished.Sub(m.Started) }
+
+// Output returns the job's result after Execute has returned.
+func (j *Job) Output() (any, error) { return j.out, j.err }
+
+// Metrics returns the job's timing after Execute has returned.
+func (j *Job) Metrics() Metrics { return j.met }
+
+// Executor is a DAG execution strategy.
+type Executor interface {
+	// Name identifies the strategy in reports and flags.
+	Name() string
+	workerCount(engineDefault int) int
+	streams() bool
+}
+
+// Sequential executes jobs one at a time in deterministic dependency
+// order with materialized traces — the reference path used to assert
+// that concurrency does not change results.
+type Sequential struct{}
+
+// Name returns "sequential".
+func (Sequential) Name() string        { return "sequential" }
+func (Sequential) workerCount(int) int { return 1 }
+func (Sequential) streams() bool       { return false }
+
+// Parallel executes ready jobs concurrently on a bounded worker pool and
+// streams uncached traces to their simulators.
+type Parallel struct {
+	// Workers overrides the engine's pool size; 0 keeps the engine
+	// default (GOMAXPROCS).
+	Workers int
+}
+
+// Name returns "parallel".
+func (Parallel) Name() string { return "parallel" }
+func (p Parallel) workerCount(engineDefault int) int {
+	if p.Workers > 0 {
+		return p.Workers
+	}
+	return engineDefault
+}
+func (Parallel) streams() bool { return true }
+
+// Execute runs the given jobs and all their transitive dependencies,
+// returning the first error (with remaining work cancelled). A nil
+// executor means Sequential.
+func (e *Engine) Execute(ctx context.Context, exec Executor, roots ...*Job) error {
+	if exec == nil {
+		exec = Sequential{}
+	}
+	jobs, err := flatten(roots)
+	if err != nil {
+		return err
+	}
+	if w := exec.workerCount(e.workers); w > 1 {
+		return e.executePool(ctx, jobs, w)
+	}
+	return e.executeSerial(ctx, jobs)
+}
+
+// flatten returns the transitive closure of roots in deterministic
+// topological order (dependencies first), rejecting cycles.
+func flatten(roots []*Job) ([]*Job, error) {
+	const (
+		visiting = 1
+		done     = 2
+	)
+	state := make(map[*Job]int)
+	var order []*Job
+	var visit func(j *Job) error
+	visit = func(j *Job) error {
+		switch state[j] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("engine: dependency cycle through job %q", j.ID)
+		}
+		if j.Run == nil {
+			return fmt.Errorf("engine: job %q has no Run function", j.ID)
+		}
+		state[j] = visiting
+		for _, d := range j.Deps {
+			if err := visit(d); err != nil {
+				return err
+			}
+		}
+		state[j] = done
+		order = append(order, j)
+		return nil
+	}
+	for _, r := range roots {
+		if err := visit(r); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+func (e *Engine) executeSerial(ctx context.Context, jobs []*Job) error {
+	for _, j := range jobs {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := e.runJob(ctx, j); err != nil {
+			return fmt.Errorf("engine: job %s: %w", j.ID, err)
+		}
+	}
+	return nil
+}
+
+func (e *Engine) executePool(ctx context.Context, jobs []*Job, workers int) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	indeg := make(map[*Job]int, len(jobs))
+	children := make(map[*Job][]*Job, len(jobs))
+	for _, j := range jobs {
+		indeg[j] = len(j.Deps)
+		for _, d := range j.Deps {
+			children[d] = append(children[d], j)
+		}
+	}
+
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+
+	var start func(j *Job)
+	start = func(j *Job) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			var err error
+			if err = ctx.Err(); err == nil {
+				err = e.runJob(ctx, j)
+			}
+			<-sem
+			mu.Lock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("engine: job %s: %w", j.ID, err)
+				}
+				mu.Unlock()
+				cancel()
+				return
+			}
+			ready := make([]*Job, 0, len(children[j]))
+			for _, c := range children[j] {
+				indeg[c]--
+				if indeg[c] == 0 {
+					ready = append(ready, c)
+				}
+			}
+			mu.Unlock()
+			for _, c := range ready {
+				start(c)
+			}
+		}()
+	}
+	// Collect the initial ready set before starting anything: completion
+	// handlers mutate indeg concurrently once the first job is running.
+	initial := make([]*Job, 0, len(jobs))
+	for _, j := range jobs {
+		if indeg[j] == 0 {
+			initial = append(initial, j)
+		}
+	}
+	for _, j := range initial {
+		start(j)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// runJob executes one job, routing keyed jobs through the single-flight
+// result cache.
+func (e *Engine) runJob(ctx context.Context, j *Job) error {
+	j.met.Started = time.Now()
+	defer func() { j.met.Finished = time.Now() }()
+
+	if j.Key.IsZero() {
+		e.jobsRun.Add(1)
+		j.out, j.err = j.Run(ctx, e.inputs(j))
+		return j.err
+	}
+	f, owner := e.results.claim(j.Key)
+	if !owner {
+		e.cacheHits.Add(1)
+		j.met.CacheHit = true
+		j.out, j.err = f.wait(ctx)
+		return j.err
+	}
+	e.cacheMisses.Add(1)
+	e.jobsRun.Add(1)
+	out, err := j.Run(ctx, e.inputs(j))
+	e.results.fulfill(j.Key, f, out, err)
+	j.out, j.err = out, err
+	return err
+}
+
+func (e *Engine) inputs(j *Job) []any {
+	if len(j.Deps) == 0 {
+		return nil
+	}
+	in := make([]any, len(j.Deps))
+	for i, d := range j.Deps {
+		in[i] = d.out
+	}
+	return in
+}

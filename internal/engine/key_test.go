@@ -1,0 +1,135 @@
+package engine
+
+import (
+	"context"
+	"testing"
+
+	"dirsim/internal/workload"
+)
+
+// TestSimSpecKeySensitivity pins the cache-key contract: any input that
+// can change a simulation result must change the key, and inputs that
+// cannot (scheme-name case) must not.
+func TestSimSpecKeySensitivity(t *testing.T) {
+	base := SimSpec{Trace: workload.POPSConfig(4, 50_000), Scheme: "Dir0B"}
+
+	if base.Key() != base.Key() {
+		t.Fatal("identical spec hashed to different keys")
+	}
+	same := SimSpec{Trace: workload.POPSConfig(4, 50_000), Scheme: "Dir0B"}
+	if base.Key() != same.Key() {
+		t.Error("independently built identical specs hashed differently")
+	}
+	lower := base
+	lower.Scheme = "dir0b"
+	if base.Key() != lower.Key() {
+		t.Error("scheme-name case changed the key; lookup is case-insensitive")
+	}
+
+	variants := map[string]SimSpec{}
+	seed := base
+	seed.Trace.Seed += 1
+	variants["seed"] = seed
+	cpus := SimSpec{Trace: workload.POPSConfig(8, 50_000), Scheme: "Dir0B"}
+	variants["cpu count"] = cpus
+	refs := SimSpec{Trace: workload.POPSConfig(4, 60_000), Scheme: "Dir0B"}
+	variants["trace length"] = refs
+	scheme := base
+	scheme.Scheme = "Dir1NB"
+	variants["scheme"] = scheme
+	check := base
+	check.Check = true
+	variants["check option"] = check
+	block := base
+	block.BlockBytes = 16
+	variants["block size"] = block
+	prof := base
+	prof.Trace.Profile.SharedObjects += 1
+	variants["profile knob"] = prof
+	other := SimSpec{Trace: workload.THORConfig(4, 50_000), Scheme: "Dir0B"}
+	variants["workload"] = other
+
+	seen := map[Key]string{base.Key(): "base"}
+	for name, v := range variants {
+		k := v.Key()
+		if prev, dup := seen[k]; dup {
+			t.Errorf("spec differing only in %s collides with %s", name, prev)
+		}
+		seen[k] = name
+	}
+}
+
+func TestTraceKeySensitivity(t *testing.T) {
+	base := workload.POPSConfig(4, 50_000)
+	if TraceKey(base) != TraceKey(workload.POPSConfig(4, 50_000)) {
+		t.Error("identical configs hashed differently")
+	}
+	seeded := base
+	seeded.Seed += 1
+	if TraceKey(base) == TraceKey(seeded) {
+		t.Error("seed change did not change the trace key")
+	}
+	if TraceKey(base) == TraceKey(workload.POPSConfig(16, 50_000)) {
+		t.Error("CPU-count change did not change the trace key")
+	}
+}
+
+// TestCacheHitCountersAcrossBatches verifies — by counter, not by timing —
+// that a repeated batch is served from the result cache: no new
+// simulations or generations run, and the hit counter grows.
+func TestCacheHitCountersAcrossBatches(t *testing.T) {
+	e := New(Options{})
+	ctx := context.Background()
+	cfgs := workload.StandardConfigs(4, 30_000)
+
+	per1, merged1, err := e.SchemeOverTraces(ctx, Sequential{}, "Dir0B", cfgs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := e.Stats()
+	if first.SimsRun != int64(len(cfgs)) {
+		t.Fatalf("first batch ran %d sims, want %d", first.SimsRun, len(cfgs))
+	}
+	if first.TracesGenerated != int64(len(cfgs)) {
+		t.Fatalf("first batch generated %d traces, want %d", first.TracesGenerated, len(cfgs))
+	}
+
+	per2, merged2, err := e.SchemeOverTraces(ctx, Sequential{}, "Dir0B", cfgs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := e.Stats()
+	if second.SimsRun != first.SimsRun {
+		t.Errorf("repeat batch ran %d new sims, want 0", second.SimsRun-first.SimsRun)
+	}
+	if second.TracesGenerated != first.TracesGenerated {
+		t.Errorf("repeat batch regenerated traces (%d → %d)",
+			first.TracesGenerated, second.TracesGenerated)
+	}
+	if second.CacheHits <= first.CacheHits {
+		t.Errorf("repeat batch recorded no cache hits (%d → %d)",
+			first.CacheHits, second.CacheHits)
+	}
+	// Cached results come back as the same objects, not equal copies.
+	if merged1 != merged2 {
+		t.Error("merged result not served from cache (different pointers)")
+	}
+	for i := range per1 {
+		if per1[i] != per2[i] {
+			t.Errorf("per-trace result %d not served from cache", i)
+		}
+	}
+
+	// A different seed is a different workload: it must miss.
+	alt := make([]workload.Config, len(cfgs))
+	copy(alt, cfgs)
+	alt[0].Seed += 1
+	if _, _, err := e.SchemeOverTraces(ctx, Sequential{}, "Dir0B", alt, false); err != nil {
+		t.Fatal(err)
+	}
+	third := e.Stats()
+	if third.SimsRun != second.SimsRun+1 {
+		t.Errorf("seed-changed batch ran %d new sims, want exactly 1",
+			third.SimsRun-second.SimsRun)
+	}
+}

@@ -1,0 +1,473 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"dirsim/internal/core"
+	"dirsim/internal/sim"
+	"dirsim/internal/trace"
+	"dirsim/internal/workload"
+)
+
+// SimSpec fully identifies one simulation: a generated workload, a
+// coherence scheme, and the options that influence measured numbers. The
+// spec — not any materialized artifact — is the unit of caching: its
+// content hash keys the result cache.
+type SimSpec struct {
+	// Trace is the workload specification; the trace is regenerated or
+	// streamed on demand, never shipped with the spec.
+	Trace workload.Config
+	// Scheme is a protocol name accepted by core.NewByName
+	// (case-insensitive).
+	Scheme string
+	// Check enables value-coherence checking during the run.
+	Check bool
+	// BlockBytes rescales the trace to a non-standard block size before
+	// simulation; 0 means the native trace.BlockBytes.
+	BlockBytes int
+}
+
+// Key returns the spec's content hash. Any difference that can change the
+// result — a profile knob, the seed, the CPU count, the scheme, checking,
+// block size — yields a different key.
+func (s SimSpec) Key() Key {
+	return hashOf("sim",
+		canonicalScheme(s.Scheme, s.Trace.CPUs),
+		fmt.Sprintf("check=%t block=%d", s.Check, s.BlockBytes),
+		TraceKey(s.Trace).hex())
+}
+
+// Trace returns the materialized trace for cfg, generating it at most
+// once per engine (concurrent callers share one generation).
+func (e *Engine) Trace(ctx context.Context, cfg workload.Config) (*trace.Trace, error) {
+	k := TraceKey(cfg)
+	f, owner := e.traces.claim(k)
+	if !owner {
+		e.cacheHits.Add(1)
+		v, err := f.wait(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return v.(*trace.Trace), nil
+	}
+	e.cacheMisses.Add(1)
+	t, err := workload.Generate(cfg)
+	if err == nil {
+		e.tracesGenerated.Add(1)
+	}
+	e.traces.fulfill(k, f, t, err)
+	return t, err
+}
+
+// Results computes one *sim.Result per spec. Within the batch, specs
+// sharing a workload share one trace generation; across batches, results
+// (and materialized traces) are reused through the content-addressed
+// caches. Duplicate specs collapse to a single simulation.
+func (e *Engine) Results(ctx context.Context, exec Executor, specs []SimSpec) ([]*sim.Result, error) {
+	if exec == nil {
+		exec = Sequential{}
+	}
+	per, err := e.planSpecs(exec, specs)
+	if err != nil {
+		return nil, err
+	}
+	roots := dedupJobs(per)
+	if err := e.Execute(ctx, exec, roots...); err != nil {
+		return nil, err
+	}
+	return collectResults(per)
+}
+
+// SchemeOverTraces runs one scheme over several workloads and returns the
+// per-workload results plus their reference-weighted merge — the engine
+// counterpart of sim.SchemeOverTraces, executed as a trace → simulate →
+// aggregate DAG with every stage cached.
+func (e *Engine) SchemeOverTraces(ctx context.Context, exec Executor, scheme string,
+	cfgs []workload.Config, check bool) (per []*sim.Result, merged *sim.Result, err error) {
+	if exec == nil {
+		exec = Sequential{}
+	}
+	specs := make([]SimSpec, len(cfgs))
+	for i, cfg := range cfgs {
+		specs[i] = SimSpec{Trace: cfg, Scheme: scheme, Check: check}
+	}
+	perJobs, err := e.planSpecs(exec, specs)
+	if err != nil {
+		return nil, nil, err
+	}
+	mj := e.mergeJob(fmt.Sprintf("merge:%s", scheme), specs, perJobs)
+	if err := e.Execute(ctx, exec, mj); err != nil {
+		return nil, nil, err
+	}
+	if per, err = collectResults(perJobs); err != nil {
+		return nil, nil, err
+	}
+	out, err := mj.Output()
+	if err != nil {
+		return nil, nil, err
+	}
+	return per, out.(*sim.Result), nil
+}
+
+// Compare runs several schemes over the same set of workloads in one
+// batch — the shape of Table 4 and Figure 2 — and returns each scheme's
+// merged result. All schemes subscribe to one generation of each
+// uncached workload, streamed concurrently under the Parallel executor.
+func (e *Engine) Compare(ctx context.Context, exec Executor, schemes []string,
+	cfgs []workload.Config, check bool) (map[string]*sim.Result, error) {
+	if exec == nil {
+		exec = Sequential{}
+	}
+	specs := make([]SimSpec, 0, len(schemes)*len(cfgs))
+	for _, s := range schemes {
+		for _, cfg := range cfgs {
+			specs = append(specs, SimSpec{Trace: cfg, Scheme: s, Check: check})
+		}
+	}
+	perJobs, err := e.planSpecs(exec, specs)
+	if err != nil {
+		return nil, err
+	}
+	merges := make([]*Job, len(schemes))
+	for i, s := range schemes {
+		merges[i] = e.mergeJob(fmt.Sprintf("merge:%s", s),
+			specs[i*len(cfgs):(i+1)*len(cfgs)], perJobs[i*len(cfgs):(i+1)*len(cfgs)])
+	}
+	if err := e.Execute(ctx, exec, merges...); err != nil {
+		return nil, err
+	}
+	out := make(map[string]*sim.Result, len(schemes))
+	for i, s := range schemes {
+		v, err := merges[i].Output()
+		if err != nil {
+			return nil, err
+		}
+		out[s] = v.(*sim.Result)
+	}
+	return out, nil
+}
+
+// RunProtocolOverTraces simulates engines built by build over already
+// materialized traces (optionally filtered) and merges the results. It is
+// the engine's escape hatch for non-registry protocols and filtered
+// replays; the work parallelizes across traces but is uncached, since an
+// arbitrary builder or filter has no content identity.
+func (e *Engine) RunProtocolOverTraces(ctx context.Context, exec Executor,
+	build func(ncpu int) core.Protocol, traces []*trace.Trace,
+	filter func(trace.Source) trace.Source, opts sim.Options) (*sim.Result, error) {
+	if exec == nil {
+		exec = Sequential{}
+	}
+	if len(traces) == 0 {
+		return nil, fmt.Errorf("engine: no traces to run")
+	}
+	jobs := make([]*Job, len(traces))
+	for i, t := range traces {
+		t := t
+		jobs[i] = &Job{
+			ID: fmt.Sprintf("protocol:%s", t.Name),
+			Run: func(ctx context.Context, _ []any) (any, error) {
+				src := trace.Source(t.Iterator())
+				if filter != nil {
+					src = filter(src)
+				}
+				p := build(t.CPUs)
+				r, err := sim.Simulate(p, cancellable(ctx, src), opts)
+				if err != nil {
+					return nil, fmt.Errorf("%s over %s: %w", p.Name(), t.Name, err)
+				}
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				e.simsRun.Add(1)
+				r.Trace = t.Name
+				return r, nil
+			},
+		}
+	}
+	mj := &Job{
+		ID:   "merge:protocol",
+		Deps: jobs,
+		Run: func(_ context.Context, in []any) (any, error) {
+			rs := make([]*sim.Result, len(in))
+			for i, v := range in {
+				rs[i] = v.(*sim.Result)
+			}
+			return sim.Merge(rs...)
+		},
+	}
+	if err := e.Execute(ctx, exec, mj); err != nil {
+		return nil, err
+	}
+	out, err := mj.Output()
+	if err != nil {
+		return nil, err
+	}
+	return out.(*sim.Result), nil
+}
+
+// mergeJob aggregates the per-spec results of one scheme, cached by the
+// ordered combination of the inputs' keys.
+func (e *Engine) mergeJob(id string, specs []SimSpec, deps []*Job) *Job {
+	keys := make([]Key, len(specs))
+	for i, s := range specs {
+		keys[i] = s.Key()
+	}
+	return &Job{
+		ID:   id,
+		Key:  mergeKey(keys),
+		Deps: deps,
+		Run: func(_ context.Context, in []any) (any, error) {
+			rs := make([]*sim.Result, len(in))
+			for i, v := range in {
+				rs[i] = v.(*sim.Result)
+			}
+			return sim.Merge(rs...)
+		},
+	}
+}
+
+// planSpecs builds the trace-generation → simulation stages for a batch,
+// returning one result job per spec (duplicate specs share a job).
+// Delivery of each workload's references is chosen per trace group:
+//
+//   - already materialized (or a non-streaming executor): a trace job
+//     feeds per-scheme simulation jobs that replay it;
+//   - otherwise, under a streaming executor: a stream job generates the
+//     workload once and multicasts chunks to all of the group's
+//     simulators, which run concurrently inside the job; per-spec
+//     extraction jobs then publish each result under its own cache key.
+func (e *Engine) planSpecs(exec Executor, specs []SimSpec) ([]*Job, error) {
+	per := make([]*Job, len(specs))
+	byKey := make(map[Key]*Job)
+
+	type group struct {
+		cfg     workload.Config
+		specs   []SimSpec
+		keys    []Key
+		jobs    []*Job // filled in the second pass
+		indices []int  // positions in per
+	}
+	var groups []*group
+	byTrace := make(map[Key]*group)
+
+	for i, s := range specs {
+		if err := s.Trace.Validate(); err != nil {
+			return nil, err
+		}
+		if _, err := core.NewByName(s.Scheme, s.Trace.CPUs); err != nil {
+			return nil, err
+		}
+		k := s.Key()
+		if j, ok := byKey[k]; ok {
+			per[i] = j
+			continue
+		}
+		tk := TraceKey(s.Trace)
+		g, ok := byTrace[tk]
+		if !ok {
+			g = &group{cfg: s.Trace}
+			byTrace[tk] = g
+			groups = append(groups, g)
+		}
+		j := &Job{Key: k} // ID and Run assigned below, per delivery mode
+		byKey[k] = j
+		per[i] = j
+		g.specs = append(g.specs, s)
+		g.keys = append(g.keys, k)
+		g.jobs = append(g.jobs, j)
+	}
+
+	for _, g := range groups {
+		g := g
+		// Specs whose results are already cached (or in flight) must not
+		// force a generation: give them standalone recompute bodies that
+		// in practice resolve from the cache.
+		pending := make([]int, 0, len(g.specs))
+		for i := range g.specs {
+			if e.results.peek(g.keys[i]) {
+				e.bindMaterialized(g.jobs[i], g.specs[i], nil)
+				continue
+			}
+			pending = append(pending, i)
+		}
+		switch {
+		case len(pending) == 0:
+			// Nothing to generate for this workload.
+		case exec.streams() && !e.traces.peek(TraceKey(g.cfg)):
+			reqs := make([]SimSpec, len(pending))
+			keys := make([]Key, len(pending))
+			for n, i := range pending {
+				reqs[n], keys[n] = g.specs[i], g.keys[i]
+			}
+			stream := &Job{
+				ID: fmt.Sprintf("stream:%s", g.cfg.Name),
+				Run: func(ctx context.Context, _ []any) (any, error) {
+					return e.streamGroup(ctx, g.cfg, reqs, keys)
+				},
+			}
+			for n, i := range pending {
+				k := keys[n]
+				j := g.jobs[i]
+				j.ID = fmt.Sprintf("sim:%s@%s", g.specs[i].Scheme, g.cfg.Name)
+				j.Deps = []*Job{stream}
+				j.Run = func(_ context.Context, in []any) (any, error) {
+					r, ok := in[0].(map[Key]*sim.Result)[k]
+					if !ok || r == nil {
+						return nil, fmt.Errorf("stream produced no result")
+					}
+					return r, nil
+				}
+			}
+		default:
+			tj := &Job{
+				ID: fmt.Sprintf("trace:%s", g.cfg.Name),
+				Run: func(ctx context.Context, _ []any) (any, error) {
+					return e.Trace(ctx, g.cfg)
+				},
+			}
+			for _, i := range pending {
+				e.bindMaterialized(g.jobs[i], g.specs[i], tj)
+			}
+		}
+	}
+	return per, nil
+}
+
+// bindMaterialized gives a spec job a body that simulates over the
+// materialized trace — either the trace job's output (traceJob != nil) or
+// an engine-cache lookup (the cache-hit recompute path).
+func (e *Engine) bindMaterialized(j *Job, spec SimSpec, traceJob *Job) {
+	j.ID = fmt.Sprintf("sim:%s@%s", spec.Scheme, spec.Trace.Name)
+	if traceJob != nil {
+		j.Deps = []*Job{traceJob}
+		j.Run = func(ctx context.Context, in []any) (any, error) {
+			t := in[0].(*trace.Trace)
+			return e.simulateSource(ctx, spec, t.Iterator())
+		}
+		return
+	}
+	j.Run = func(ctx context.Context, _ []any) (any, error) {
+		t, err := e.Trace(ctx, spec.Trace)
+		if err != nil {
+			return nil, err
+		}
+		return e.simulateSource(ctx, spec, t.Iterator())
+	}
+}
+
+// streamGroup generates one workload and streams it to all pending
+// simulators of the group, which run concurrently; it returns the result
+// per spec key. Unless the engine discards streamed traces, the generated
+// reference stream is also captured into the trace cache, so later
+// experiments needing the raw trace find it materialized.
+func (e *Engine) streamGroup(ctx context.Context, cfg workload.Config,
+	specs []SimSpec, keys []Key) (map[Key]*sim.Result, error) {
+	gctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	b := newBroadcast(cfg, len(specs), e.chunkRefs, e.chunkWindow, !e.discard)
+	var produced *trace.Trace
+	var prodErr error
+	var pwg sync.WaitGroup
+	pwg.Add(1)
+	go func() {
+		defer pwg.Done()
+		produced, prodErr = b.run(gctx)
+	}()
+
+	results := make([]*sim.Result, len(specs))
+	errs := make([]error, len(specs))
+	var wg sync.WaitGroup
+	for i := range specs {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r, err := e.simulateSource(gctx, specs[i], b.subs[i])
+			if err != nil {
+				errs[i] = err
+				cancel() // unblock the producer and the other simulators
+				return
+			}
+			results[i] = r
+		}()
+	}
+	wg.Wait()
+	pwg.Wait()
+	e.tracesStreamed.Add(1)
+
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("%s over %s: %w", specs[i].Scheme, cfg.Name, err)
+		}
+	}
+	if prodErr != nil {
+		// The producer aborted, so every "successful" simulation above saw
+		// a truncated stream; none of it is trustworthy.
+		return nil, prodErr
+	}
+	if produced != nil {
+		k := TraceKey(cfg)
+		if f, owner := e.traces.claim(k); owner {
+			e.tracesGenerated.Add(1)
+			e.traces.fulfill(k, f, produced, nil)
+		}
+	}
+	out := make(map[Key]*sim.Result, len(specs))
+	for i, k := range keys {
+		out[k] = results[i]
+	}
+	return out, nil
+}
+
+// simulateSource runs one spec's protocol over a reference source.
+func (e *Engine) simulateSource(ctx context.Context, spec SimSpec, src trace.Source) (*sim.Result, error) {
+	p, err := core.NewByName(spec.Scheme, spec.Trace.CPUs)
+	if err != nil {
+		return nil, err
+	}
+	if spec.BlockBytes != 0 && spec.BlockBytes != trace.BlockBytes {
+		if src, err = trace.WithBlockSize(src, spec.BlockBytes); err != nil {
+			return nil, err
+		}
+	}
+	r, err := sim.Simulate(p, cancellable(ctx, src), sim.Options{Check: spec.Check})
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		// The source may have been cut short by cancellation; the partial
+		// result must not escape into the cache.
+		return nil, err
+	}
+	e.simsRun.Add(1)
+	r.Trace = spec.Trace.Name
+	return r, nil
+}
+
+func dedupJobs(jobs []*Job) []*Job {
+	seen := make(map[*Job]bool, len(jobs))
+	out := make([]*Job, 0, len(jobs))
+	for _, j := range jobs {
+		if !seen[j] {
+			seen[j] = true
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+func collectResults(jobs []*Job) ([]*sim.Result, error) {
+	out := make([]*sim.Result, len(jobs))
+	for i, j := range jobs {
+		v, err := j.Output()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v.(*sim.Result)
+	}
+	return out, nil
+}

@@ -1,0 +1,133 @@
+package engine
+
+import (
+	"context"
+
+	"dirsim/internal/trace"
+	"dirsim/internal/workload"
+)
+
+// broadcast fans one generated reference stream out to several
+// simulators through bounded chunk channels: the producer goroutine runs
+// workload.Stream, packs references into fixed-size chunks, and sends
+// each chunk to every subscriber. Chunks are immutable once sent, so all
+// subscribers share the same backing arrays; the channel capacity
+// (chunkWindow) is the only buffering, giving real back-pressure — the
+// generator stalls when it runs a window ahead of the slowest simulator.
+//
+// Subscribers must all be consuming concurrently (the stream jobs built
+// by planSpecs guarantee this); otherwise the producer would park on a
+// full channel forever.
+type broadcast struct {
+	cfg       workload.Config
+	chunkRefs int
+	retain    bool
+	subs      []*streamSource
+}
+
+func newBroadcast(cfg workload.Config, nsubs, chunkRefs, window int, retain bool) *broadcast {
+	b := &broadcast{cfg: cfg, chunkRefs: chunkRefs, retain: retain}
+	b.subs = make([]*streamSource, nsubs)
+	for i := range b.subs {
+		b.subs[i] = &streamSource{cpus: cfg.CPUs, ch: make(chan []trace.Ref, window)}
+	}
+	return b
+}
+
+// run generates the trace once, multicasting chunks to every subscriber,
+// and closes all subscriber channels when done. With retain set it also
+// accumulates the full reference slice and returns it as a materialized
+// trace. Cancelling ctx aborts generation; subscribers then observe a
+// truncated stream, which callers must discard (the group job does).
+func (b *broadcast) run(ctx context.Context) (*trace.Trace, error) {
+	var retained []trace.Ref
+	if b.retain {
+		retained = make([]trace.Ref, 0, b.cfg.Refs+b.cfg.Refs/8)
+	}
+	chunk := make([]trace.Ref, 0, b.chunkRefs)
+	flush := func() error {
+		if len(chunk) == 0 {
+			return nil
+		}
+		for _, s := range b.subs {
+			select {
+			case s.ch <- chunk:
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		if b.retain {
+			retained = append(retained, chunk...)
+		}
+		chunk = make([]trace.Ref, 0, b.chunkRefs)
+		return nil
+	}
+	err := workload.Stream(b.cfg, func(r trace.Ref) error {
+		chunk = append(chunk, r)
+		if len(chunk) == b.chunkRefs {
+			return flush()
+		}
+		return nil
+	})
+	if err == nil {
+		err = flush()
+	}
+	for _, s := range b.subs {
+		close(s.ch)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if !b.retain {
+		return nil, nil
+	}
+	t := &trace.Trace{Name: b.cfg.Name, CPUs: b.cfg.CPUs, Refs: retained}
+	return t, nil
+}
+
+// streamSource adapts one subscriber's chunk channel to trace.Source.
+type streamSource struct {
+	cpus int
+	ch   chan []trace.Ref
+	cur  []trace.Ref
+	pos  int
+}
+
+func (s *streamSource) Next() (trace.Ref, bool) {
+	for s.pos >= len(s.cur) {
+		c, ok := <-s.ch
+		if !ok {
+			return trace.Ref{}, false
+		}
+		s.cur, s.pos = c, 0
+	}
+	r := s.cur[s.pos]
+	s.pos++
+	return r, true
+}
+
+func (s *streamSource) CPUCount() int { return s.cpus }
+
+// cancellableSource wraps a Source so long replays of materialized traces
+// observe context cancellation; it checks every checkEvery references.
+type cancellableSource struct {
+	src trace.Source
+	ctx context.Context
+	n   int
+}
+
+const checkEvery = 8192
+
+func cancellable(ctx context.Context, src trace.Source) trace.Source {
+	return &cancellableSource{src: src, ctx: ctx}
+}
+
+func (c *cancellableSource) Next() (trace.Ref, bool) {
+	c.n++
+	if c.n%checkEvery == 0 && c.ctx.Err() != nil {
+		return trace.Ref{}, false
+	}
+	return c.src.Next()
+}
+
+func (c *cancellableSource) CPUCount() int { return c.src.CPUCount() }

@@ -1,0 +1,152 @@
+package engine
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+
+	"dirsim/internal/trace"
+	"dirsim/internal/workload"
+)
+
+// TestBroadcastDeliversExactSequence checks the streaming backbone: every
+// subscriber observes exactly the reference sequence a materialized
+// generation would produce, and the retained trace matches it too.
+func TestBroadcastDeliversExactSequence(t *testing.T) {
+	cfg := workload.POPSConfig(4, 20_000)
+	want, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const nsubs = 3
+	// A deliberately small chunk and window so chunk boundaries and
+	// back-pressure are actually exercised.
+	b := newBroadcast(cfg, nsubs, 64, 2, true)
+	var retained *trace.Trace
+	var prodErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		retained, prodErr = b.run(context.Background())
+	}()
+
+	got := make([][]trace.Ref, nsubs)
+	for i := 0; i < nsubs; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			src := b.subs[i]
+			if src.CPUCount() != cfg.CPUs {
+				t.Errorf("subscriber %d CPUCount = %d, want %d", i, src.CPUCount(), cfg.CPUs)
+			}
+			for {
+				r, ok := src.Next()
+				if !ok {
+					return
+				}
+				got[i] = append(got[i], r)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if prodErr != nil {
+		t.Fatal(prodErr)
+	}
+	for i := 0; i < nsubs; i++ {
+		if !reflect.DeepEqual(got[i], want.Refs) {
+			t.Errorf("subscriber %d saw %d refs differing from Generate's %d",
+				i, len(got[i]), len(want.Refs))
+		}
+	}
+	if retained == nil {
+		t.Fatal("retain=true returned no materialized trace")
+	}
+	if retained.Name != want.Name || retained.CPUs != want.CPUs ||
+		!reflect.DeepEqual(retained.Refs, want.Refs) {
+		t.Error("retained trace differs from Generate output")
+	}
+}
+
+func TestBroadcastDiscardReturnsNoTrace(t *testing.T) {
+	cfg := workload.POPSConfig(2, 5_000)
+	b := newBroadcast(cfg, 1, 256, 4, false)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var retained *trace.Trace
+	go func() {
+		defer wg.Done()
+		retained, _ = b.run(context.Background())
+	}()
+	for {
+		if _, ok := b.subs[0].Next(); !ok {
+			break
+		}
+	}
+	wg.Wait()
+	if retained != nil {
+		t.Error("retain=false still materialized a trace")
+	}
+}
+
+// TestStreamedBatchPopulatesTraceCache checks the retention contract at
+// the engine level: a Parallel batch streams its traces yet leaves them
+// materialized in the cache (unless DiscardStreamedTraces is set), so a
+// later Trace call costs nothing.
+func TestStreamedBatchPopulatesTraceCache(t *testing.T) {
+	ctx := context.Background()
+	cfg := workload.THORConfig(4, 20_000)
+	specs := []SimSpec{
+		{Trace: cfg, Scheme: "Dir0B"},
+		{Trace: cfg, Scheme: "WTI"},
+	}
+
+	e := New(Options{Workers: 4})
+	if _, err := e.Results(ctx, Parallel{}, specs); err != nil {
+		t.Fatal(err)
+	}
+	s := e.Stats()
+	if s.TracesStreamed != 1 {
+		t.Errorf("TracesStreamed = %d, want 1 (both schemes share one stream)", s.TracesStreamed)
+	}
+	if s.CachedTraces != 1 {
+		t.Errorf("CachedTraces = %d, want the streamed trace captured", s.CachedTraces)
+	}
+	gen := s.TracesGenerated
+	if _, err := e.Trace(ctx, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats().TracesGenerated != gen {
+		t.Error("Trace() after a retained stream regenerated the workload")
+	}
+
+	d := New(Options{Workers: 4, DiscardStreamedTraces: true})
+	if _, err := d.Results(ctx, Parallel{}, specs); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Stats().CachedTraces; got != 0 {
+		t.Errorf("DiscardStreamedTraces engine cached %d traces, want 0", got)
+	}
+}
+
+// TestWorkloadStreamMatchesGenerate pins the generator-level equivalence
+// the whole streaming design rests on.
+func TestWorkloadStreamMatchesGenerate(t *testing.T) {
+	for _, cfg := range workload.StandardConfigs(4, 15_000) {
+		want := workload.MustGenerate(cfg)
+		var got []trace.Ref
+		if err := workload.Stream(cfg, func(r trace.Ref) error {
+			got = append(got, r)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want.Refs) {
+			t.Errorf("%s: streamed refs differ from generated refs", cfg.Name)
+		}
+	}
+}

@@ -1,11 +1,11 @@
 package report
 
 import (
+	"context"
 	"fmt"
-	"sort"
-	"strings"
 
 	"dirsim/internal/core"
+	"dirsim/internal/engine"
 	"dirsim/internal/sim"
 	"dirsim/internal/trace"
 	"dirsim/internal/workload"
@@ -13,7 +13,13 @@ import (
 
 // Context supplies the inputs an experiment needs: the three standard
 // traces at the configured size, plus larger-machine traces for the
-// Section 6 scaling studies, generated lazily and cached.
+// Section 6 scaling studies. All simulation requests are submitted
+// through an execution engine, which deduplicates and caches traces and
+// results by content hash — e.g. Table 4 and Figure 2 share one
+// simulation per scheme, the same economy the paper notes (one run per
+// protocol, many cost models) — and, under a parallel executor, runs
+// independent simulations concurrently. A Context is safe for concurrent
+// use by multiple experiments.
 type Context struct {
 	// Refs is the approximate length of each generated trace.
 	Refs int
@@ -23,77 +29,85 @@ type Context struct {
 	// Check enables coherence checking during the runs (slower).
 	Check bool
 
-	std     []*trace.Trace
-	scaled  map[int][]*trace.Trace
-	results map[string]*sim.Result // cache: scheme "@" cpus
+	eng  *engine.Engine
+	exec engine.Executor
 }
 
-// NewContext returns a context with the given trace size. Sensible
-// defaults are applied for non-positive arguments (400k references,
-// 4 CPUs).
+// NewContext returns a context with the given trace size, backed by a
+// private engine and the Sequential executor (the historical serial
+// behaviour). Sensible defaults are applied for non-positive arguments
+// (400k references, 4 CPUs).
 func NewContext(refs, cpus int) *Context {
+	return NewContextWith(refs, cpus, nil, nil)
+}
+
+// NewContextWith is NewContext with an explicit execution engine and
+// strategy; nil values fall back to a private engine and the Sequential
+// executor. Passing a shared engine lets concurrent experiment batches
+// share one result cache; passing engine.Parallel runs each experiment's
+// independent simulations concurrently.
+func NewContextWith(refs, cpus int, eng *engine.Engine, exec engine.Executor) *Context {
 	if refs <= 0 {
 		refs = 400_000
 	}
 	if cpus <= 0 {
 		cpus = 4
 	}
-	return &Context{
-		Refs:    refs,
-		CPUs:    cpus,
-		scaled:  make(map[int][]*trace.Trace),
-		results: make(map[string]*sim.Result),
+	if eng == nil {
+		eng = engine.New(engine.Options{})
 	}
+	if exec == nil {
+		exec = engine.Sequential{}
+	}
+	return &Context{Refs: refs, CPUs: cpus, eng: eng, exec: exec}
+}
+
+// Engine returns the context's execution engine (for stats inspection).
+func (c *Context) Engine() *engine.Engine { return c.eng }
+
+// Executor returns the context's execution strategy.
+func (c *Context) Executor() engine.Executor { return c.exec }
+
+// StandardConfigs returns the generation configs of the standard
+// POPS/THOR/PERO traces at the given machine size.
+func (c *Context) StandardConfigs(cpus int) []workload.Config {
+	return workload.StandardConfigs(cpus, c.Refs)
 }
 
 // Traces returns the standard POPS/THOR/PERO traces at the headline
-// machine size.
-func (c *Context) Traces() []*trace.Trace {
-	if c.std == nil {
-		c.std = workload.Standard(c.CPUs, c.Refs)
-	}
-	return c.std
-}
+// machine size, materialized at most once per engine.
+func (c *Context) Traces() []*trace.Trace { return c.TracesAt(c.CPUs) }
 
 // TracesAt returns the standard traces regenerated for a different
 // machine size (the scaling studies).
 func (c *Context) TracesAt(cpus int) []*trace.Trace {
-	if cpus == c.CPUs {
-		return c.Traces()
+	cfgs := c.StandardConfigs(cpus)
+	out := make([]*trace.Trace, len(cfgs))
+	for i, cfg := range cfgs {
+		t, err := c.eng.Trace(context.Background(), cfg)
+		if err != nil {
+			// The standard profiles are known-good; generation cannot
+			// fail for them (mirrors workload.MustGenerate).
+			panic(err)
+		}
+		out[i] = t
 	}
-	if ts, ok := c.scaled[cpus]; ok {
-		return ts
-	}
-	ts := workload.Standard(cpus, c.Refs)
-	c.scaled[cpus] = ts
-	return ts
+	return out
 }
 
 // Merged returns the scheme's result merged over the standard traces,
-// cached across experiments so e.g. Table 4 and Figure 2 share one
-// simulation per scheme, the same economy the paper notes (one run per
-// protocol, many cost models).
+// cached across experiments.
 func (c *Context) Merged(scheme string) (*sim.Result, error) {
-	key := scheme + "@std"
-	if r, ok := c.results[key]; ok {
-		return r, nil
-	}
-	_, merged, err := sim.SchemeOverTraces(scheme, c.Traces(), c.opts())
-	if err != nil {
-		return nil, err
-	}
-	c.results[key] = merged
-	return merged, nil
+	_, merged, err := c.eng.SchemeOverTraces(context.Background(), c.exec,
+		scheme, c.StandardConfigs(c.CPUs), c.Check)
+	return merged, err
 }
 
 // PerTrace returns the scheme's per-trace results on the standard traces.
 func (c *Context) PerTrace(scheme string) ([]*sim.Result, error) {
-	per, merged, err := sim.SchemeOverTraces(scheme, c.Traces(), c.opts())
-	if err != nil {
-		return nil, err
-	}
-	c.results[scheme+"@std"] = merged
-	return per, nil
+	per, _, err := c.eng.SchemeOverTraces(context.Background(), c.exec,
+		scheme, c.StandardConfigs(c.CPUs), c.Check)
+	return per, err
 }
 
 func (c *Context) opts() sim.Options {
@@ -103,30 +117,25 @@ func (c *Context) opts() sim.Options {
 // RunProtocol runs engines built by build over the given traces (with an
 // optional source filter) and merges the results. It is the escape hatch
 // for experiments that need non-registry protocols (coarse vector) or
-// filtered traces (the spin-lock study).
+// filtered traces (the spin-lock study); the work parallelizes across
+// traces but is not cached.
 func (c *Context) RunProtocol(build func(ncpu int) core.Protocol, traces []*trace.Trace,
 	filter func(trace.Source) trace.Source) (*sim.Result, error) {
-	var results []*sim.Result
-	for _, t := range traces {
-		src := trace.Source(t.Iterator())
-		if filter != nil {
-			src = filter(src)
-		}
-		p := build(t.CPUs)
-		r, err := sim.Simulate(p, src, c.opts())
-		if err != nil {
-			return nil, fmt.Errorf("report: %s over %s: %w", p.Name(), t.Name, err)
-		}
-		r.Trace = t.Name
-		results = append(results, r)
+	r, err := c.eng.RunProtocolOverTraces(context.Background(), c.exec,
+		build, traces, filter, c.opts())
+	if err != nil {
+		return nil, fmt.Errorf("report: %w", err)
 	}
-	return sim.Merge(results...)
+	return r, nil
 }
 
 // MergedScheme runs a registry scheme over arbitrary traces with an
 // optional filter (uncached; use Merged for the standard runs).
 func (c *Context) MergedScheme(scheme string, traces []*trace.Trace,
 	filter func(trace.Source) trace.Source) (*sim.Result, error) {
+	if _, err := core.NewByName(scheme, 1); err != nil {
+		return nil, err
+	}
 	return c.RunProtocol(func(ncpu int) core.Protocol {
 		p, err := core.NewByName(scheme, ncpu)
 		if err != nil {
@@ -144,55 +153,4 @@ type Experiment struct {
 	Title string
 	// Run performs the simulations and renders the comparison.
 	Run func(c *Context) (string, error)
-}
-
-var registry []Experiment
-
-func register(e Experiment) { registry = append(registry, e) }
-
-// Experiments returns all registered experiments in registration order
-// (which follows the paper).
-func Experiments() []Experiment {
-	out := make([]Experiment, len(registry))
-	copy(out, registry)
-	return out
-}
-
-// Lookup finds experiments by comma-separated IDs; "all" or an empty
-// string selects everything.
-func Lookup(ids string) ([]Experiment, error) {
-	ids = strings.TrimSpace(ids)
-	if ids == "" || ids == "all" {
-		return Experiments(), nil
-	}
-	want := map[string]bool{}
-	for _, id := range strings.Split(ids, ",") {
-		want[strings.TrimSpace(strings.ToLower(id))] = true
-	}
-	var out []Experiment
-	for _, e := range registry {
-		if want[e.ID] {
-			out = append(out, e)
-			delete(want, e.ID)
-		}
-	}
-	if len(want) > 0 {
-		var missing []string
-		for id := range want {
-			missing = append(missing, id)
-		}
-		sort.Strings(missing)
-		return nil, fmt.Errorf("report: unknown experiment(s) %s (have: %s)",
-			strings.Join(missing, ", "), strings.Join(IDs(), ", "))
-	}
-	return out, nil
-}
-
-// IDs lists all registered experiment IDs.
-func IDs() []string {
-	out := make([]string, len(registry))
-	for i, e := range registry {
-		out[i] = e.ID
-	}
-	return out
 }

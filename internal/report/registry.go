@@ -1,5 +1,62 @@
 package report
 
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// Experiments returns all registered experiments in registration order
+// (which follows the paper).
+func Experiments() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// Lookup finds experiments by comma-separated IDs; "all" or an empty
+// string selects everything.
+func Lookup(ids string) ([]Experiment, error) {
+	ids = strings.TrimSpace(ids)
+	if ids == "" || ids == "all" {
+		return Experiments(), nil
+	}
+	want := map[string]bool{}
+	for _, id := range strings.Split(ids, ",") {
+		want[strings.TrimSpace(strings.ToLower(id))] = true
+	}
+	var out []Experiment
+	for _, e := range registry {
+		if want[e.ID] {
+			out = append(out, e)
+			delete(want, e.ID)
+		}
+	}
+	if len(want) > 0 {
+		var missing []string
+		for id := range want {
+			missing = append(missing, id)
+		}
+		sort.Strings(missing)
+		return nil, fmt.Errorf("report: unknown experiment(s) %s (have: %s)",
+			strings.Join(missing, ", "), strings.Join(IDs(), ", "))
+	}
+	return out, nil
+}
+
+// IDs lists all registered experiment IDs.
+func IDs() []string {
+	out := make([]string, len(registry))
+	for i, e := range registry {
+		out[i] = e.ID
+	}
+	return out
+}
+
 // The experiments are registered centrally, in the order the paper
 // presents its results: the methodology tables first, then the Section 5
 // evaluation figures, then the Section 5.1/5.2 analyses and the Section 6

@@ -128,23 +128,40 @@ func ScaleProfile(p Profile, cpus int) Profile {
 	return p
 }
 
-// POPS generates the POPS-like trace.
-func POPS(cpus, refs int) *trace.Trace {
-	return MustGenerate(Config{Name: "pops", CPUs: cpus, Refs: refs, Seed: SeedPOPS,
-		Profile: ScaleProfile(POPSProfile(), cpus)})
+// POPSConfig is the generation configuration of the standard POPS trace;
+// the configuration (not the materialized trace) is what identifies a
+// workload to the execution engine's content-addressed caches.
+func POPSConfig(cpus, refs int) Config {
+	return Config{Name: "pops", CPUs: cpus, Refs: refs, Seed: SeedPOPS,
+		Profile: ScaleProfile(POPSProfile(), cpus)}
 }
+
+// THORConfig is the generation configuration of the standard THOR trace.
+func THORConfig(cpus, refs int) Config {
+	return Config{Name: "thor", CPUs: cpus, Refs: refs, Seed: SeedTHOR,
+		Profile: ScaleProfile(THORProfile(), cpus)}
+}
+
+// PEROConfig is the generation configuration of the standard PERO trace.
+func PEROConfig(cpus, refs int) Config {
+	return Config{Name: "pero", CPUs: cpus, Refs: refs, Seed: SeedPERO,
+		Profile: ScaleProfile(PEROProfile(), cpus)}
+}
+
+// StandardConfigs returns the configurations of the three paper traces at
+// the given size, in paper order.
+func StandardConfigs(cpus, refs int) []Config {
+	return []Config{POPSConfig(cpus, refs), THORConfig(cpus, refs), PEROConfig(cpus, refs)}
+}
+
+// POPS generates the POPS-like trace.
+func POPS(cpus, refs int) *trace.Trace { return MustGenerate(POPSConfig(cpus, refs)) }
 
 // THOR generates the THOR-like trace.
-func THOR(cpus, refs int) *trace.Trace {
-	return MustGenerate(Config{Name: "thor", CPUs: cpus, Refs: refs, Seed: SeedTHOR,
-		Profile: ScaleProfile(THORProfile(), cpus)})
-}
+func THOR(cpus, refs int) *trace.Trace { return MustGenerate(THORConfig(cpus, refs)) }
 
 // PERO generates the PERO-like trace.
-func PERO(cpus, refs int) *trace.Trace {
-	return MustGenerate(Config{Name: "pero", CPUs: cpus, Refs: refs, Seed: SeedPERO,
-		Profile: ScaleProfile(PEROProfile(), cpus)})
-}
+func PERO(cpus, refs int) *trace.Trace { return MustGenerate(PEROConfig(cpus, refs)) }
 
 // Standard returns the three paper traces at the given size. The headline
 // experiments use cpus = 4 to match the ATUM machine.

@@ -4,12 +4,16 @@ import "dirsim/internal/trace"
 
 // generator drives one synthetic run: a set of per-CPU process state
 // machines scheduled round-robin with randomized burst lengths, sharing a
-// global lock table and shared heap.
+// global lock table and shared heap. References leave through the out
+// callback, so the same machinery serves both materialized generation
+// (out appends to a trace) and streaming delivery (out feeds a channel).
 type generator struct {
 	cfg  Config
 	prof Profile
 	rng  *rng
-	t    *trace.Trace
+	out  func(trace.Ref)
+	n    int  // references emitted so far
+	stop bool // set by the out wrapper to abort generation early
 
 	procs []*proc
 	locks []*lockState
@@ -59,12 +63,12 @@ type proc struct {
 	hasPending   bool
 }
 
-func newGenerator(cfg Config) *generator {
+func newGenerator(cfg Config, out func(trace.Ref)) *generator {
 	g := &generator{
 		cfg:  cfg,
 		prof: cfg.Profile,
 		rng:  newRNG(cfg.Seed),
-		t:    trace.New(cfg.Name, cfg.CPUs),
+		out:  out,
 	}
 	g.locks = make([]*lockState, cfg.Profile.Locks)
 	for i := range g.locks {
@@ -88,16 +92,16 @@ func newGenerator(cfg Config) *generator {
 			lastLock: 0,
 		}
 	}
-	g.t.Refs = make([]trace.Ref, 0, cfg.Refs+cfg.Refs/8)
 	return g
 }
 
-// run interleaves the processes until the target length is reached.
+// run interleaves the processes until the target length is reached (or
+// the consumer stops the stream).
 func (g *generator) run() {
-	for g.t.Len() < g.cfg.Refs {
+	for g.n < g.cfg.Refs && !g.stop {
 		for _, p := range g.procs {
 			g.turn(p)
-			if g.t.Len() >= g.cfg.Refs {
+			if g.n >= g.cfg.Refs || g.stop {
 				break
 			}
 		}
@@ -119,23 +123,24 @@ func (g *generator) turn(p *proc) {
 		return
 	}
 	burst := g.rng.rangeInt(g.prof.BurstMin, g.prof.BurstMax)
-	for i := 0; i < burst && p.mode != modeSpin; i++ {
+	for i := 0; i < burst && p.mode != modeSpin && !g.stop; i++ {
 		g.step(p)
 	}
 }
 
-// emit appends a reference from p's context, applying the system flag.
+// emit delivers a reference from p's context, applying the system flag.
 func (g *generator) emit(p *proc, kind trace.Kind, addr uint64, flags trace.Flag) {
 	if p.sysLeft > 0 {
 		flags |= trace.FlagSystem
 	}
-	g.t.Append(trace.Ref{
+	g.out(trace.Ref{
 		Addr:  addr,
 		Proc:  uint16(p.id),
 		CPU:   uint8(p.cpu),
 		Kind:  kind,
 		Flags: flags,
 	})
+	g.n++
 }
 
 // instr issues the instruction fetches that precede a data reference,
@@ -274,7 +279,7 @@ func (g *generator) spinTurn(p *proc) {
 	// Continue with a short burst inside the critical section so lock
 	// handoff does not consume a whole turn.
 	burst := g.rng.rangeInt(g.prof.BurstMin, g.prof.BurstMax)
-	for i := 0; i < burst && p.mode == modeCS; i++ {
+	for i := 0; i < burst && p.mode == modeCS && !g.stop; i++ {
 		g.step(p)
 	}
 }

@@ -140,25 +140,55 @@ const (
 	osMigrateBlocks = 24
 )
 
+// Validate reports the first problem with the configuration.
+func (cfg Config) Validate() error {
+	if cfg.CPUs < 1 || cfg.CPUs > trace.MaxCPUs {
+		return fmt.Errorf("workload: cpu count %d out of range", cfg.CPUs)
+	}
+	if cfg.Refs < 1 {
+		return fmt.Errorf("workload: non-positive trace length %d", cfg.Refs)
+	}
+	return cfg.Profile.Validate()
+}
+
 // Generate synthesizes a trace from the configuration. The result is
 // deterministic in cfg.
 func Generate(cfg Config) (*trace.Trace, error) {
-	if cfg.CPUs < 1 || cfg.CPUs > trace.MaxCPUs {
-		return nil, fmt.Errorf("workload: cpu count %d out of range", cfg.CPUs)
-	}
-	if cfg.Refs < 1 {
-		return nil, fmt.Errorf("workload: non-positive trace length %d", cfg.Refs)
-	}
-	if err := cfg.Profile.Validate(); err != nil {
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	g := newGenerator(cfg)
+	t := trace.New(cfg.Name, cfg.CPUs)
+	t.Refs = make([]trace.Ref, 0, cfg.Refs+cfg.Refs/8)
+	g := newGenerator(cfg, t.Append)
 	g.run()
-	t := g.t
 	if err := t.Validate(); err != nil {
 		return nil, fmt.Errorf("workload: generated invalid trace: %w", err)
 	}
 	return t, nil
+}
+
+// Stream synthesizes the reference sequence of Generate(cfg) but delivers
+// each reference to emit as it is produced instead of materializing a
+// trace, so arbitrarily long traces can feed simulators in constant
+// memory. Generation stops early when emit returns a non-nil error, which
+// Stream returns unchanged.
+func Stream(cfg Config, emit func(trace.Ref) error) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	var g *generator
+	var failed error
+	g = newGenerator(cfg, func(r trace.Ref) {
+		if failed != nil {
+			return
+		}
+		if err := emit(r); err != nil {
+			failed = err
+			g.stop = true
+		}
+	})
+	g.run()
+	return failed
 }
 
 // MustGenerate is Generate for known-good configurations; it panics on

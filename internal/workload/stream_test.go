@@ -1,0 +1,61 @@
+package workload
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"dirsim/internal/trace"
+)
+
+// TestStreamEquivalentToGenerate: Stream must emit exactly the reference
+// sequence Generate materializes — the execution engine's streamed and
+// materialized delivery modes rest on this.
+func TestStreamEquivalentToGenerate(t *testing.T) {
+	for _, cfg := range StandardConfigs(4, 20_000) {
+		want := MustGenerate(cfg)
+		var got []trace.Ref
+		if err := Stream(cfg, func(r trace.Ref) error {
+			got = append(got, r)
+			return nil
+		}); err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		if !reflect.DeepEqual(got, want.Refs) {
+			t.Errorf("%s: streamed sequence differs from generated trace", cfg.Name)
+		}
+	}
+}
+
+// TestStreamEarlyStop: an emit error must stop generation promptly and
+// surface unchanged from Stream.
+func TestStreamEarlyStop(t *testing.T) {
+	stop := errors.New("enough")
+	const limit = 1000
+	n := 0
+	err := Stream(POPSConfig(4, 100_000), func(trace.Ref) error {
+		n++
+		if n >= limit {
+			return stop
+		}
+		return nil
+	})
+	if !errors.Is(err, stop) {
+		t.Fatalf("Stream error = %v, want the emit error", err)
+	}
+	// The generator may finish its current burst but must not run on to
+	// the configured length.
+	if n < limit || n > limit+100 {
+		t.Errorf("emitted %d refs; want to stop at ~%d", n, limit)
+	}
+}
+
+func TestStreamRejectsInvalidConfig(t *testing.T) {
+	bad := POPSConfig(0, 10_000)
+	if err := Stream(bad, func(trace.Ref) error { return nil }); err == nil {
+		t.Error("Stream accepted a zero-CPU config")
+	}
+	if err := bad.Validate(); err == nil {
+		t.Error("Validate accepted a zero-CPU config")
+	}
+}
