@@ -9,7 +9,9 @@
 // With -stats the trace characteristics (Table 3 style) are printed too;
 // -nospins removes lock-test reads first (the Section 5.2 experiment);
 // -conformance runs the correctness battery on each scheme instead of a
-// simulation.
+// simulation; -journal streams structured JSONL events (one
+// simulate.finish per scheme with its wall time and headline numbers) to
+// a file or stderr.
 package main
 
 import (
@@ -17,8 +19,10 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"dirsim/internal/core"
+	"dirsim/internal/obs"
 	"dirsim/internal/sim"
 	"dirsim/internal/trace"
 	"dirsim/internal/verify"
@@ -38,6 +42,7 @@ func main() {
 		check   = flag.Bool("check", false, "run with coherence checking enabled")
 		csvOut  = flag.String("csv", "", "additionally write results as CSV to this file ('-' for stdout)")
 		conform = flag.Bool("conformance", false, "run the full correctness battery (model check + kernels + application trace) on each scheme instead of a simulation")
+		journal = flag.String("journal", "", "write a JSONL run journal to this file ('-' or 'stderr' for standard error)")
 	)
 	flag.Parse()
 	if *conform {
@@ -47,7 +52,7 @@ func main() {
 		}
 		return
 	}
-	if err := run(*wl, *traceIn, *cpus, *refs, *schemes, *stats, *events, *nospins, *check, *csvOut); err != nil {
+	if err := run(*wl, *traceIn, *cpus, *refs, *schemes, *stats, *events, *nospins, *check, *csvOut, *journal); err != nil {
 		fmt.Fprintln(os.Stderr, "dirsim:", err)
 		os.Exit(1)
 	}
@@ -79,11 +84,21 @@ func runConformance(schemes string) error {
 	return nil
 }
 
-func run(wl, traceIn string, cpus, refs int, schemes string, stats, events, nospins, check bool, csvOut string) error {
+func run(wl, traceIn string, cpus, refs int, schemes string, stats, events, nospins, check bool, csvOut, journal string) error {
+	var jnl *obs.Journal
+	if journal != "" {
+		var err error
+		if jnl, err = obs.OpenJournal(journal); err != nil {
+			return err
+		}
+		defer jnl.Close()
+	}
 	t, err := loadTrace(wl, traceIn, cpus, refs)
 	if err != nil {
 		return err
 	}
+	jnl.Event("run.start", "trace", t.Name, "cpus", t.CPUs, "refs", len(t.Refs),
+		"schemes", schemes, "nospins", nospins, "check", check)
 	if stats {
 		fmt.Print(trace.ComputeStats(t))
 	}
@@ -101,14 +116,27 @@ func run(wl, traceIn string, cpus, refs int, schemes string, stats, events, nosp
 		if err != nil {
 			return err
 		}
-		res, err := sim.Simulate(p, src, sim.Options{Check: check})
+		opts := sim.Options{Check: check}
+		var simRefs int64
+		var simTime time.Duration
+		if jnl != nil {
+			opts.Observer = func(refs int64, elapsed time.Duration) {
+				simRefs, simTime = refs, elapsed
+			}
+		}
+		res, err := sim.Simulate(p, src, opts)
 		if err != nil {
+			jnl.Error("error", err, "scheme", scheme, "trace", t.Name)
 			return err
 		}
 		res.Trace = t.Name
+		jnl.Event("simulate.finish", "scheme", res.Scheme, "trace", t.Name,
+			"refs", simRefs, "dur_us", simTime.Microseconds(),
+			"cycles_per_ref", res.PerRef("pipelined"))
 		results = append(results, res)
 		printResult(res, events)
 	}
+	jnl.Event("run.finish", "schemes_run", len(results))
 	if csvOut != "" {
 		w := os.Stdout
 		if csvOut != "-" {

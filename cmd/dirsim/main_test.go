@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -53,7 +54,7 @@ func TestLoadTraceFromFile(t *testing.T) {
 func TestRunEndToEnd(t *testing.T) {
 	dir := t.TempDir()
 	csvPath := filepath.Join(dir, "out.csv")
-	if err := run("pingpong", "", 2, 2000, "Dir0B,Dragon", true, true, false, true, csvPath); err != nil {
+	if err := run("pingpong", "", 2, 2000, "Dir0B,Dragon", true, true, false, true, csvPath, ""); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(csvPath)
@@ -67,10 +68,10 @@ func TestRunEndToEnd(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("pingpong", "", 2, 100, "NotAScheme", false, false, false, false, ""); err == nil {
+	if err := run("pingpong", "", 2, 100, "NotAScheme", false, false, false, false, "", ""); err == nil {
 		t.Error("unknown scheme accepted")
 	}
-	if err := run("bogus", "", 2, 100, "Dir0B", false, false, false, false, ""); err == nil {
+	if err := run("bogus", "", 2, 100, "Dir0B", false, false, false, false, "", ""); err == nil {
 		t.Error("unknown workload accepted")
 	}
 }
@@ -85,7 +86,45 @@ func TestRunConformance(t *testing.T) {
 }
 
 func TestRunWithSpinsFiltered(t *testing.T) {
-	if err := run("spincontend", "", 4, 2000, "Dir1NB", false, false, true, false, ""); err != nil {
+	if err := run("spincontend", "", 4, 2000, "Dir1NB", false, false, true, false, "", ""); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunWithJournal checks the journal carries the run bracket and one
+// simulate.finish span per scheme, each with its wall time.
+func TestRunWithJournal(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "run.jsonl")
+	if err := run("pingpong", "", 2, 2000, "Dir0B,Dragon", false, false, false, false, "", journal); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var msgs []string
+	var sims int
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("journal line not valid JSON: %v\n%s", err, line)
+		}
+		msg := m["msg"].(string)
+		msgs = append(msgs, msg)
+		if msg == "simulate.finish" {
+			sims++
+			if m["refs"].(float64) <= 0 || m["dur_us"].(float64) < 0 {
+				t.Errorf("simulate.finish span fields wrong: %v", m)
+			}
+			if m["scheme"] == "" || m["trace"] != "pingpong" {
+				t.Errorf("simulate.finish identity wrong: %v", m)
+			}
+		}
+	}
+	if msgs[0] != "run.start" || msgs[len(msgs)-1] != "run.finish" {
+		t.Errorf("journal not bracketed by run events: %v", msgs)
+	}
+	if sims != 2 {
+		t.Errorf("simulate.finish events = %d, want 2", sims)
 	}
 }

@@ -7,15 +7,29 @@
 //	experiments -run table4,fig1
 //	experiments -refs 2000000      # closer to the paper's 3M-ref traces
 //	experiments -run all -parallel 8
+//	experiments -run all -parallel 0 -journal run.jsonl -manifest run.json
 //	experiments -list
 //
 // With -parallel N (N > 1, or 0 for all cores) the experiments run
 // concurrently on the execution engine's worker pool, sharing one
 // content-addressed cache of traces and simulation results; the rendered
 // report is byte-identical to the serial run, just produced faster.
+//
+// The observability flags instrument the run: -journal streams typed
+// JSONL events (engine job spans, streamed generations, experiment
+// brackets) to a file or stderr, -metrics writes the instrument
+// registry's text exposition after the run, -pprof captures CPU and heap
+// profiles, and -manifest records the run's configuration, seeds,
+// per-experiment wall times, and engine counters as JSON. Any of them
+// also prints a per-phase timing and cache summary to stderr.
+//
+// When experiments fail, every failure is reported (not just the first),
+// a final "error" journal event summarizes them, and the exit code is
+// non-zero; the surviving experiments still print.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -23,41 +37,76 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"time"
 
 	"dirsim/internal/engine"
+	"dirsim/internal/obs"
 	"dirsim/internal/report"
+	"dirsim/internal/workload"
 )
 
+// config carries the command's flags.
+type config struct {
+	sel      string
+	refs     int
+	cpus     int
+	check    bool
+	list     bool
+	parallel int
+	journal  string
+	metrics  string
+	pprofDir string
+	manifest string
+}
+
 func main() {
-	var (
-		run      = flag.String("run", "all", "comma-separated experiment IDs (or 'all')")
-		refs     = flag.Int("refs", 400_000, "approximate references per generated trace")
-		cpus     = flag.Int("cpus", 4, "processor count for the headline experiments")
-		check    = flag.Bool("check", false, "enable coherence checking (slower)")
-		list     = flag.Bool("list", false, "list experiment IDs and exit")
-		parallel = flag.Int("parallel", 1, "simulation worker pool size; >1 runs experiments concurrently, 0 means all cores")
-	)
+	var cfg config
+	flag.StringVar(&cfg.sel, "run", "all", "comma-separated experiment IDs (or 'all')")
+	flag.IntVar(&cfg.refs, "refs", 400_000, "approximate references per generated trace")
+	flag.IntVar(&cfg.cpus, "cpus", 4, "processor count for the headline experiments")
+	flag.BoolVar(&cfg.check, "check", false, "enable coherence checking (slower)")
+	flag.BoolVar(&cfg.list, "list", false, "list experiment IDs and exit")
+	flag.IntVar(&cfg.parallel, "parallel", 1, "simulation worker pool size; >1 runs experiments concurrently, 0 means all cores")
+	flag.StringVar(&cfg.journal, "journal", "", "write a JSONL run journal to this file ('-' or 'stderr' for standard error)")
+	flag.StringVar(&cfg.metrics, "metrics", "", "write the metric registry's text exposition to this file after the run ('-' for stdout)")
+	flag.StringVar(&cfg.pprofDir, "pprof", "", "capture cpu.pprof and heap.pprof into this directory")
+	flag.StringVar(&cfg.manifest, "manifest", "", "write a JSON run manifest to this file after the run ('-' for stdout)")
 	flag.Parse()
-	if err := runExperiments(os.Stdout, *run, *refs, *cpus, *check, *list, *parallel); err != nil {
+	if err := runExperiments(os.Stdout, os.Stderr, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
 // runExperiments drives the selected experiments, writing their rendered
-// output to w.
-func runExperiments(w io.Writer, sel string, refs, cpus int, check, list bool, parallel int) error {
-	if list {
+// output to w and the observability summary (when enabled) to ew.
+func runExperiments(w, ew io.Writer, cfg config) error {
+	if cfg.list {
 		for _, e := range report.Experiments() {
 			fmt.Fprintf(w, "%-10s %s\n", e.ID, e.Title)
 		}
 		return nil
 	}
-	exps, err := report.Lookup(sel)
+	exps, err := report.Lookup(cfg.sel)
 	if err != nil {
 		return fmt.Errorf("%w\n\nvalid experiment IDs:\n%s\n(use -list to print this table)",
 			err, experimentTable())
 	}
+	return runSelected(w, ew, cfg, exps)
+}
+
+// rendered is one experiment's outcome.
+type rendered struct {
+	out string
+	err error
+	dur time.Duration
+}
+
+// runSelected executes the experiments with the configured executor and
+// observability sinks. All failures are collected and reported together;
+// successful outputs always print, in paper order.
+func runSelected(w, ew io.Writer, cfg config, exps []report.Experiment) error {
+	parallel := cfg.parallel
 	if parallel <= 0 {
 		parallel = runtime.GOMAXPROCS(0)
 	}
@@ -65,47 +114,194 @@ func runExperiments(w io.Writer, sel string, refs, cpus int, check, list bool, p
 	if parallel > 1 {
 		exec = engine.Parallel{Workers: parallel}
 	}
-	ctx := report.NewContextWith(refs, cpus, engine.New(engine.Options{Workers: parallel}), exec)
-	ctx.Check = check
 
-	if parallel <= 1 {
-		for _, e := range exps {
-			out, err := e.Run(ctx)
-			if err != nil {
-				return fmt.Errorf("%s: %w", e.ID, err)
-			}
-			fmt.Fprintln(w, out)
+	observing := cfg.journal != "" || cfg.metrics != "" || cfg.pprofDir != "" || cfg.manifest != ""
+	reg := obs.NewRegistry()
+	var jnl *obs.Journal
+	if cfg.journal != "" {
+		var err error
+		if jnl, err = obs.OpenJournal(cfg.journal); err != nil {
+			return err
 		}
-		return nil
+		defer jnl.Close()
+	}
+	var rec *obs.Recorder
+	opts := engine.Options{Workers: parallel, Metrics: reg}
+	if observing {
+		rec = obs.NewRecorder(reg, jnl)
+		opts.Observer = rec
+	}
+	var prof *obs.Profiler
+	if cfg.pprofDir != "" {
+		var err error
+		if prof, err = obs.StartProfiling(cfg.pprofDir); err != nil {
+			return err
+		}
 	}
 
-	// Concurrent mode: every experiment renders into its own buffer while
-	// the engine's worker pool bounds the simulation concurrency and its
-	// caches deduplicate the shared runs; outputs print in paper order, so
-	// the report is byte-identical to the serial one.
-	type rendered struct {
-		out string
-		err error
-	}
+	eng := engine.New(opts)
+	ctx := report.NewContextWith(cfg.refs, cfg.cpus, eng, exec)
+	ctx.Check = cfg.check
+	ctx.Observe(rec)
+
+	start := time.Now()
+	jnl.Event("run.start", "run", cfg.sel, "refs", ctx.Refs, "cpus", ctx.CPUs,
+		"check", ctx.Check, "parallel", parallel, "executor", exec.Name())
+
 	outs := make([]rendered, len(exps))
-	var wg sync.WaitGroup
-	for i, e := range exps {
-		i, e := i, e
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			out, err := e.Run(ctx)
-			outs[i] = rendered{out: out, err: err}
-		}()
+	runOne := func(i int) {
+		t0 := time.Now()
+		out, err := ctx.RunExperiment(exps[i])
+		outs[i] = rendered{out: out, err: err, dur: time.Since(t0)}
 	}
-	wg.Wait()
+	if parallel <= 1 {
+		// Serial mode streams each success as it lands but keeps going
+		// past failures, so one bad experiment in a -run list cannot
+		// suppress the report of the others.
+		for i := range exps {
+			runOne(i)
+			if outs[i].err == nil {
+				fmt.Fprintln(w, outs[i].out)
+			}
+		}
+	} else {
+		// Concurrent mode: every experiment renders into its own slot
+		// while the engine's worker pool bounds the simulation
+		// concurrency and its caches deduplicate the shared runs;
+		// outputs print in paper order afterwards, so the report is
+		// byte-identical to the serial one.
+		var wg sync.WaitGroup
+		for i := range exps {
+			i := i
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				runOne(i)
+			}()
+		}
+		wg.Wait()
+		for i := range exps {
+			if outs[i].err == nil {
+				fmt.Fprintln(w, outs[i].out)
+			}
+		}
+	}
+	wall := time.Since(start)
+	if err := prof.Stop(); err != nil {
+		fmt.Fprintln(ew, "experiments: pprof:", err)
+	}
+
+	var errs []error
+	var failed []string
 	for i, e := range exps {
 		if outs[i].err != nil {
-			return fmt.Errorf("%s: %w", e.ID, outs[i].err)
+			errs = append(errs, fmt.Errorf("%s: %w", e.ID, outs[i].err))
+			failed = append(failed, e.ID)
 		}
-		fmt.Fprintln(w, outs[i].out)
 	}
-	return nil
+	stats := eng.Stats()
+	if len(errs) > 0 {
+		jnl.Error("error", errors.Join(errs...), "failed", strings.Join(failed, ","))
+	}
+	jnl.Event("run.finish", "wall_us", wall.Microseconds(),
+		"experiments", len(exps), "failed", len(failed),
+		"cache_hits", stats.CacheHits, "cache_misses", stats.CacheMisses)
+
+	if cfg.metrics != "" {
+		if err := writeMetrics(w, reg, cfg.metrics); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	if cfg.manifest != "" {
+		m := buildManifest(cfg, ctx, exec, parallel, exps, outs, stats, rec, start, wall)
+		if err := m.Write(cfg.manifest); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	if observing {
+		printSummary(ew, rec, stats, wall, exps, outs)
+	}
+	return errors.Join(errs...)
+}
+
+// writeMetrics writes the registry's text exposition to path ("-" means
+// the report writer).
+func writeMetrics(w io.Writer, reg *obs.Registry, path string) error {
+	if path == "-" {
+		return reg.WriteText(w)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return reg.WriteText(f)
+}
+
+// buildManifest assembles the run manifest: configuration and seeds,
+// per-experiment outcomes, engine counters, cache hit ratio, phases.
+func buildManifest(cfg config, ctx *report.Context, exec engine.Executor, parallel int,
+	exps []report.Experiment, outs []rendered, stats engine.Stats,
+	rec *obs.Recorder, start time.Time, wall time.Duration) *obs.RunManifest {
+	seeds := make(map[string]uint64)
+	for _, wc := range workload.StandardConfigs(ctx.CPUs, ctx.Refs) {
+		seeds[wc.Name] = wc.Seed
+	}
+	runs := make([]obs.ExperimentRun, len(exps))
+	for i, e := range exps {
+		runs[i] = obs.ExperimentRun{ID: e.ID, Seconds: outs[i].dur.Seconds()}
+		if outs[i].err != nil {
+			runs[i].Error = outs[i].err.Error()
+		}
+	}
+	m := &obs.RunManifest{
+		Command:     "experiments",
+		Start:       start,
+		WallSeconds: wall.Seconds(),
+		Config: obs.ManifestConfig{
+			Run:      cfg.sel,
+			Refs:     ctx.Refs,
+			CPUs:     ctx.CPUs,
+			Check:    ctx.Check,
+			Parallel: parallel,
+			Executor: exec.Name(),
+			Seeds:    seeds,
+		},
+		Experiments:   runs,
+		Engine:        ctx.Engine().Metrics().Snapshot().Counters,
+		CacheHitRatio: obs.HitRatio(stats.CacheHits, stats.CacheMisses),
+	}
+	if rec != nil {
+		m.Phases = rec.Phases()
+	}
+	return m
+}
+
+// printSummary renders the human-readable wrap-up: wall time, cache
+// economics, engine counters, and the per-phase and per-experiment time
+// breakdowns.
+func printSummary(ew io.Writer, rec *obs.Recorder, stats engine.Stats,
+	wall time.Duration, exps []report.Experiment, outs []rendered) {
+	fmt.Fprintf(ew, "\n== run summary ==\n")
+	fmt.Fprintf(ew, "wall time    %s\n", wall.Round(time.Millisecond))
+	fmt.Fprintf(ew, "cache        %d hits / %d misses (%.1f%% hit rate)\n",
+		stats.CacheHits, stats.CacheMisses,
+		100*obs.HitRatio(stats.CacheHits, stats.CacheMisses))
+	fmt.Fprintf(ew, "engine       %d jobs, %d sims, %d traces generated, %d streamed (%d chunks, %d back-pressure stalls)\n",
+		stats.JobsRun, stats.SimsRun, stats.TracesGenerated, stats.TracesStreamed,
+		stats.StreamChunks, stats.StreamStalls)
+	fmt.Fprintf(ew, "phases:\n")
+	for _, p := range rec.Phases() {
+		fmt.Fprintf(ew, "  %-12s %5d spans  %s\n", p.Phase, p.Count, p.Total.Round(time.Millisecond))
+	}
+	fmt.Fprintf(ew, "experiments:\n")
+	for i, e := range exps {
+		status := ""
+		if outs[i].err != nil {
+			status = "  FAILED: " + outs[i].err.Error()
+		}
+		fmt.Fprintf(ew, "  %-10s %8s%s\n", e.ID, outs[i].dur.Round(time.Millisecond), status)
+	}
 }
 
 // experimentTable renders the id/title listing used in error messages.

@@ -1,14 +1,22 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"dirsim/internal/report"
 )
 
 func TestListExperiments(t *testing.T) {
 	var buf bytes.Buffer
-	if err := runExperiments(&buf, "all", 0, 0, false, true, 1); err != nil {
+	if err := runExperiments(&buf, io.Discard, config{sel: "all", list: true, parallel: 1}); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -21,7 +29,7 @@ func TestListExperiments(t *testing.T) {
 
 func TestRunSubset(t *testing.T) {
 	var buf bytes.Buffer
-	if err := runExperiments(&buf, "table3,storage", 20_000, 4, false, false, 1); err != nil {
+	if err := runExperiments(&buf, io.Discard, config{sel: "table3,storage", refs: 20_000, cpus: 4, parallel: 1}); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -32,7 +40,7 @@ func TestRunSubset(t *testing.T) {
 
 func TestRunUnknownExperiment(t *testing.T) {
 	var buf bytes.Buffer
-	err := runExperiments(&buf, "nonsense", 10_000, 4, false, false, 1)
+	err := runExperiments(&buf, io.Discard, config{sel: "nonsense", refs: 10_000, cpus: 4, parallel: 1})
 	if err == nil {
 		t.Fatal("unknown experiment id accepted")
 	}
@@ -51,7 +59,7 @@ func TestRunUnknownExperiment(t *testing.T) {
 
 func TestRunWithChecking(t *testing.T) {
 	var buf bytes.Buffer
-	if err := runExperiments(&buf, "fig1", 20_000, 4, true, false, 1); err != nil {
+	if err := runExperiments(&buf, io.Discard, config{sel: "fig1", refs: 20_000, cpus: 4, check: true, parallel: 1}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "at most one cache") {
@@ -65,14 +73,201 @@ func TestRunWithChecking(t *testing.T) {
 func TestParallelOutputIdentical(t *testing.T) {
 	const sel = "table3,table4,fig1,fig2,fig3,spinlocks"
 	var serial, parallel bytes.Buffer
-	if err := runExperiments(&serial, sel, 25_000, 4, false, false, 1); err != nil {
+	if err := runExperiments(&serial, io.Discard, config{sel: sel, refs: 25_000, cpus: 4, parallel: 1}); err != nil {
 		t.Fatal(err)
 	}
-	if err := runExperiments(&parallel, sel, 25_000, 4, false, false, 8); err != nil {
+	if err := runExperiments(&parallel, io.Discard, config{sel: sel, refs: 25_000, cpus: 4, parallel: 8}); err != nil {
 		t.Fatal(err)
 	}
 	if serial.String() != parallel.String() {
 		t.Errorf("parallel output differs from serial output\nserial:\n%s\nparallel:\n%s",
 			serial.String(), parallel.String())
+	}
+}
+
+// failing fabricates a failing experiment for the error-path tests.
+func failing(id string) report.Experiment {
+	return report.Experiment{ID: id, Title: id,
+		Run: func(*report.Context) (string, error) { return "", errors.New(id + " exploded") }}
+}
+
+func succeeding(id, out string) report.Experiment {
+	return report.Experiment{ID: id, Title: id,
+		Run: func(*report.Context) (string, error) { return out, nil }}
+}
+
+// TestAllFailuresReported runs a list with two failing experiments under
+// both executors: every failure must surface in the returned error, the
+// surviving experiment must still print, and the journal must carry a
+// final error event naming the failures.
+func TestAllFailuresReported(t *testing.T) {
+	for _, parallel := range []int{1, 4} {
+		exps := []report.Experiment{failing("bad1"), succeeding("good", "good-output"), failing("bad2")}
+		var out bytes.Buffer
+		journal := filepath.Join(t.TempDir(), "run.jsonl")
+		err := runSelected(&out, io.Discard, config{journal: journal, parallel: parallel}, exps)
+		if err == nil {
+			t.Fatalf("parallel=%d: failures did not produce an error", parallel)
+		}
+		for _, want := range []string{"bad1 exploded", "bad2 exploded"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("parallel=%d: error missing %q: %v", parallel, want, err)
+			}
+		}
+		if !strings.Contains(out.String(), "good-output") {
+			t.Errorf("parallel=%d: surviving experiment's output suppressed", parallel)
+		}
+
+		events := readJournal(t, journal)
+		var errEvents []map[string]any
+		for _, e := range events {
+			if e["msg"] == "error" {
+				errEvents = append(errEvents, e)
+			}
+		}
+		if len(errEvents) != 1 {
+			t.Fatalf("parallel=%d: %d error journal events, want 1", parallel, len(errEvents))
+		}
+		if failed, _ := errEvents[0]["failed"].(string); failed != "bad1,bad2" {
+			t.Errorf("parallel=%d: error event failed=%q, want bad1,bad2", parallel, failed)
+		}
+		// The error event closes the journal's lifecycle: only the
+		// run.finish bookkeeping event may follow it.
+		if events[len(events)-1]["msg"] != "run.finish" || events[len(events)-2]["msg"] != "error" {
+			t.Errorf("parallel=%d: error event not final: last events %v / %v",
+				parallel, events[len(events)-2]["msg"], events[len(events)-1]["msg"])
+		}
+	}
+}
+
+// readJournal decodes every JSONL line of a journal file.
+func readJournal(t *testing.T, path string) []map[string]any {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var out []map[string]any
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("journal line %d not valid JSON: %v\n%s", len(out)+1, err, sc.Text())
+		}
+		out = append(out, m)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestJournalAndSummary runs two experiments with the journal enabled
+// and checks the JSONL decodes, carries the full event lifecycle, and
+// that the per-phase + cache summary lands on the summary writer.
+func TestJournalAndSummary(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "run.jsonl")
+	var out, summary bytes.Buffer
+	cfg := config{sel: "table3,fig1", refs: 15_000, cpus: 4, parallel: 4, journal: journal}
+	if err := runExperiments(&out, &summary, cfg); err != nil {
+		t.Fatal(err)
+	}
+	events := readJournal(t, journal)
+	seen := map[string]int{}
+	for _, e := range events {
+		seen[e["msg"].(string)]++
+	}
+	if seen["run.start"] != 1 || seen["run.finish"] != 1 {
+		t.Errorf("run bracket events wrong: %v", seen)
+	}
+	if seen["experiment.start"] != 2 || seen["experiment.finish"] != 2 {
+		t.Errorf("experiment bracket events wrong: %v", seen)
+	}
+	if seen["job.finish"] == 0 || seen["job.scheduled"] == 0 {
+		t.Errorf("engine job events missing: %v", seen)
+	}
+	// Every job.finish carries its span fields.
+	for _, e := range events {
+		if e["msg"] != "job.finish" {
+			continue
+		}
+		if _, ok := e["dur_us"].(float64); !ok {
+			t.Fatalf("job.finish without dur_us: %v", e)
+		}
+		if _, ok := e["cache_hit"].(bool); !ok {
+			t.Fatalf("job.finish without cache_hit: %v", e)
+		}
+	}
+
+	s := summary.String()
+	for _, want := range []string{"run summary", "hit rate", "phases:", "experiments:", "table3"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestManifestFlag checks the run manifest decodes and carries config,
+// seeds, per-experiment timings, and engine counters.
+func TestManifestFlag(t *testing.T) {
+	manifest := filepath.Join(t.TempDir(), "run.json")
+	var out bytes.Buffer
+	cfg := config{sel: "table3", refs: 15_000, cpus: 4, parallel: 2, manifest: manifest}
+	if err := runExperiments(&out, io.Discard, cfg); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m struct {
+		Config struct {
+			Refs     int               `json:"refs"`
+			Executor string            `json:"executor"`
+			Seeds    map[string]uint64 `json:"seeds"`
+		} `json:"config"`
+		Experiments []struct {
+			ID      string  `json:"id"`
+			Seconds float64 `json:"seconds"`
+		} `json:"experiments"`
+		Engine        map[string]int64 `json:"engine_counters"`
+		CacheHitRatio float64          `json:"cache_hit_ratio"`
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("manifest not valid JSON: %v", err)
+	}
+	if m.Config.Refs != 15_000 || m.Config.Executor != "parallel" {
+		t.Errorf("manifest config wrong: %+v", m.Config)
+	}
+	if len(m.Config.Seeds) == 0 {
+		t.Error("manifest missing workload seeds")
+	}
+	if len(m.Experiments) != 1 || m.Experiments[0].ID != "table3" || m.Experiments[0].Seconds <= 0 {
+		t.Errorf("manifest experiments wrong: %+v", m.Experiments)
+	}
+	// table3 is generation-only: traces are produced but no sim jobs run.
+	if m.Engine["engine.traces.generated"] == 0 {
+		t.Errorf("manifest engine counters wrong: %v", m.Engine)
+	}
+}
+
+// TestMetricsFlag checks the text exposition is written and readable.
+func TestMetricsFlag(t *testing.T) {
+	metrics := filepath.Join(t.TempDir(), "metrics.txt")
+	var out bytes.Buffer
+	cfg := config{sel: "table3", refs: 15_000, cpus: 4, parallel: 1, metrics: metrics}
+	if err := runExperiments(&out, io.Discard, cfg); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"engine.jobs.run ", "engine.cache."} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("exposition missing %q:\n%s", want, data)
+		}
 	}
 }

@@ -26,9 +26,11 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
+
+	"dirsim/internal/obs"
 )
 
 // Options configures an Engine. The zero value is ready to use.
@@ -49,6 +51,38 @@ type Options struct {
 	// under another scheme — finds it materialized; set it for
 	// lowest-memory batch sweeps over traces that will not be revisited.
 	DiscardStreamedTraces bool
+	// Metrics is the registry the engine's lifetime counters live on,
+	// shared with whatever else the caller instruments; nil means a
+	// private registry (reachable via Engine.Metrics).
+	Metrics *obs.Registry
+	// Observer receives job and stream lifecycle notifications. nil (the
+	// default) disables observation entirely; the only cost left on the
+	// hot path is a nil check.
+	Observer Observer
+}
+
+// Observer receives the engine's execution events: one JobScheduled per
+// DAG node at submission, a JobStarted/JobFinished span around every job
+// body (cache hits included, flagged as such), and one StreamEnded per
+// streamed generation with its chunk count and producer back-pressure
+// stalls. kind classifies the job (see JobKind); key is the short content
+// hash of keyed jobs, empty otherwise. Implementations must be safe for
+// concurrent use — under the Parallel executor, jobs finish on many
+// goroutines at once. obs.Recorder satisfies this interface.
+type Observer interface {
+	JobScheduled(id, kind, key string)
+	JobStarted(id, kind, key string)
+	JobFinished(id, kind, key string, d time.Duration, cacheHit bool, err error)
+	StreamEnded(trace string, chunks, stalls int64)
+}
+
+// JobKind classifies a job by its ID prefix — "trace", "stream", "sim",
+// "merge", "protocol" — or "" for ad-hoc jobs without one.
+func JobKind(id string) string {
+	if i := strings.IndexByte(id, ':'); i > 0 {
+		return id[:i]
+	}
+	return ""
 }
 
 // Engine schedules jobs and owns the content-addressed caches. An Engine
@@ -63,12 +97,19 @@ type Engine struct {
 	results *flightCache // Key → job output (typically *sim.Result)
 	traces  *flightCache // Key → *trace.Trace
 
-	jobsRun         atomic.Int64
-	cacheHits       atomic.Int64
-	cacheMisses     atomic.Int64
-	simsRun         atomic.Int64
-	tracesGenerated atomic.Int64
-	tracesStreamed  atomic.Int64
+	reg *obs.Registry // metrics registry the counters below live on
+	obs Observer      // nil disables observation
+
+	// Lifetime counters, resolved from the registry once at construction
+	// so every update is a single atomic add.
+	jobsRun         *obs.Counter
+	cacheHits       *obs.Counter
+	cacheMisses     *obs.Counter
+	simsRun         *obs.Counter
+	tracesGenerated *obs.Counter
+	tracesStreamed  *obs.Counter
+	streamChunks    *obs.Counter
+	streamStalls    *obs.Counter
 }
 
 // New builds an engine with the given options.
@@ -85,13 +126,27 @@ func New(opts Options) *Engine {
 	if cw <= 0 {
 		cw = 16
 	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	return &Engine{
-		workers:     w,
-		chunkRefs:   cr,
-		chunkWindow: cw,
-		discard:     opts.DiscardStreamedTraces,
-		results:     newFlightCache(),
-		traces:      newFlightCache(),
+		workers:         w,
+		chunkRefs:       cr,
+		chunkWindow:     cw,
+		discard:         opts.DiscardStreamedTraces,
+		results:         newFlightCache(),
+		traces:          newFlightCache(),
+		reg:             reg,
+		obs:             opts.Observer,
+		jobsRun:         reg.Counter("engine.jobs.run"),
+		cacheHits:       reg.Counter("engine.cache.hits"),
+		cacheMisses:     reg.Counter("engine.cache.misses"),
+		simsRun:         reg.Counter("engine.sims.run"),
+		tracesGenerated: reg.Counter("engine.traces.generated"),
+		tracesStreamed:  reg.Counter("engine.traces.streamed"),
+		streamChunks:    reg.Counter("engine.stream.chunks"),
+		streamStalls:    reg.Counter("engine.stream.stalls"),
 	}
 }
 
@@ -109,6 +164,12 @@ type Stats struct {
 	// TracesStreamed counts streamed (chunked multicast) generations.
 	TracesGenerated int64
 	TracesStreamed  int64
+	// StreamChunks counts chunks multicast by streamed generations;
+	// StreamStalls counts producer sends that found a subscriber's
+	// channel full and had to block — the back-pressure signal that
+	// drives ChunkWindow tuning.
+	StreamChunks int64
+	StreamStalls int64
 	// CachedResults and CachedTraces are the current cache populations.
 	CachedResults int
 	CachedTraces  int
@@ -117,16 +178,21 @@ type Stats struct {
 // Stats returns a snapshot of the engine's counters.
 func (e *Engine) Stats() Stats {
 	return Stats{
-		JobsRun:         e.jobsRun.Load(),
-		CacheHits:       e.cacheHits.Load(),
-		CacheMisses:     e.cacheMisses.Load(),
-		SimsRun:         e.simsRun.Load(),
-		TracesGenerated: e.tracesGenerated.Load(),
-		TracesStreamed:  e.tracesStreamed.Load(),
+		JobsRun:         e.jobsRun.Value(),
+		CacheHits:       e.cacheHits.Value(),
+		CacheMisses:     e.cacheMisses.Value(),
+		SimsRun:         e.simsRun.Value(),
+		TracesGenerated: e.tracesGenerated.Value(),
+		TracesStreamed:  e.tracesStreamed.Value(),
+		StreamChunks:    e.streamChunks.Value(),
+		StreamStalls:    e.streamStalls.Value(),
 		CachedResults:   e.results.size(),
 		CachedTraces:    e.traces.size(),
 	}
 }
+
+// Metrics returns the registry the engine's counters live on.
+func (e *Engine) Metrics() *obs.Registry { return e.reg }
 
 // Job is one node of an execution DAG. Jobs are single-use: build a fresh
 // graph per Execute call (cached work is cheap to re-plan).
@@ -212,6 +278,11 @@ func (e *Engine) Execute(ctx context.Context, exec Executor, roots ...*Job) erro
 	jobs, err := flatten(roots)
 	if err != nil {
 		return err
+	}
+	if e.obs != nil {
+		for _, j := range jobs {
+			e.obs.JobScheduled(j.ID, JobKind(j.ID), observedKey(j.Key))
+		}
 	}
 	if w := exec.workerCount(e.workers); w > 1 {
 		return e.executePool(ctx, jobs, w)
@@ -335,11 +406,29 @@ func (e *Engine) executePool(ctx context.Context, jobs []*Job, workers int) erro
 	return firstErr
 }
 
+// observedKey renders a job key for observers: the short hex form, or
+// empty for uncached jobs.
+func observedKey(k Key) string {
+	if k.IsZero() {
+		return ""
+	}
+	return k.String()
+}
+
 // runJob executes one job, routing keyed jobs through the single-flight
 // result cache.
 func (e *Engine) runJob(ctx context.Context, j *Job) error {
 	j.met.Started = time.Now()
-	defer func() { j.met.Finished = time.Now() }()
+	if e.obs != nil {
+		e.obs.JobStarted(j.ID, JobKind(j.ID), observedKey(j.Key))
+	}
+	defer func() {
+		j.met.Finished = time.Now()
+		if e.obs != nil {
+			e.obs.JobFinished(j.ID, JobKind(j.ID), observedKey(j.Key),
+				j.met.Duration(), j.met.CacheHit, j.err)
+		}
+	}()
 
 	if j.Key.IsZero() {
 		e.jobsRun.Add(1)

@@ -398,6 +398,11 @@ func (e *Engine) streamGroup(ctx context.Context, cfg workload.Config,
 	wg.Wait()
 	pwg.Wait()
 	e.tracesStreamed.Add(1)
+	e.streamChunks.Add(b.chunks)
+	e.streamStalls.Add(b.stalls)
+	if e.obs != nil {
+		e.obs.StreamEnded(cfg.Name, b.chunks, b.stalls)
+	}
 
 	for i, err := range errs {
 		if err != nil {

@@ -23,6 +23,13 @@ type broadcast struct {
 	chunkRefs int
 	retain    bool
 	subs      []*streamSource
+
+	// chunks counts chunks multicast; stalls counts sends that found a
+	// subscriber's channel full and had to block — the generator waiting
+	// on the slowest simulator. Both are written only by the producer
+	// goroutine inside run and read after it returns.
+	chunks int64
+	stalls int64
 }
 
 func newBroadcast(cfg workload.Config, nsubs, chunkRefs, window int, retain bool) *broadcast {
@@ -49,7 +56,16 @@ func (b *broadcast) run(ctx context.Context) (*trace.Trace, error) {
 		if len(chunk) == 0 {
 			return nil
 		}
+		b.chunks++
 		for _, s := range b.subs {
+			select {
+			case s.ch <- chunk:
+				continue
+			default:
+				// The subscriber's window is full: the generator is about
+				// to park on it. Counted so chunk-window tuning has data.
+				b.stalls++
+			}
 			select {
 			case s.ch <- chunk:
 			case <-ctx.Done():

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+)
+
+// Journal is a structured run journal: typed events written as JSON
+// Lines through log/slog, one object per line, each carrying the slog
+// time/level/msg envelope plus the event's attributes. A nil *Journal is
+// a valid no-op sink, so callers thread an optional journal without nil
+// checks at every emission site.
+//
+// Event names form a small schema:
+//
+//	run.start / run.finish      one pair per CLI invocation
+//	experiment.start / .finish  one pair per experiment (report pipeline)
+//	job.scheduled / .start / .finish
+//	                            engine job lifecycle (kind, key, dur_us,
+//	                            cache_hit)
+//	stream.end                  one per streamed generation (chunks,
+//	                            stalls)
+//	simulate.finish             one per dirsim scheme run
+//	error                       terminal failure summary
+type Journal struct {
+	log    *slog.Logger
+	closer io.Closer
+}
+
+// NewJournal writes events to w. The slog JSON handler serializes
+// concurrent writes, so one journal can be shared by every goroutine of
+// a run.
+func NewJournal(w io.Writer) *Journal {
+	return &Journal{log: slog.New(slog.NewJSONHandler(w, nil))}
+}
+
+// OpenJournal opens a JSONL journal at path; "-" and "stderr" select
+// standard error. File journals are truncated, not appended: one file
+// describes one run.
+func OpenJournal(path string) (*Journal, error) {
+	if path == "-" || path == "stderr" {
+		return NewJournal(os.Stderr), nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: journal: %w", err)
+	}
+	j := NewJournal(f)
+	j.closer = f
+	return j, nil
+}
+
+// Event emits one informational event. Attributes follow slog's
+// alternating key/value convention. No-op on a nil journal.
+func (j *Journal) Event(name string, attrs ...any) {
+	if j == nil {
+		return
+	}
+	j.log.Info(name, attrs...)
+}
+
+// Error emits one error-level event carrying err under the "error" key.
+// No-op on a nil journal.
+func (j *Journal) Error(name string, err error, attrs ...any) {
+	if j == nil {
+		return
+	}
+	j.log.Error(name, append([]any{slog.String("error", err.Error())}, attrs...)...)
+}
+
+// Close releases the underlying file, if the journal owns one. No-op on
+// a nil journal or a borrowed writer.
+func (j *Journal) Close() error {
+	if j == nil || j.closer == nil {
+		return nil
+	}
+	return j.closer.Close()
+}

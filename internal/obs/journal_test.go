@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// decodeLines decodes every JSONL line into a generic map, failing the
+// test on any malformed line.
+func decodeLines(t *testing.T, data []byte) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", len(out)+1, err, sc.Text())
+		}
+		out = append(out, m)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestJournalRoundTrip writes typed events and decodes them back from
+// the JSONL stream, checking the envelope and attribute values survive.
+func TestJournalRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf)
+	j.Event("run.start", "run", "all", "refs", 400000)
+	j.Event("job.finish", "job", "sim:Dir0B@pops", "kind", "sim",
+		"dur_us", int64(1234), "cache_hit", false)
+	j.Error("error", errors.New("boom"), "failed", "table4")
+
+	events := decodeLines(t, buf.Bytes())
+	if len(events) != 3 {
+		t.Fatalf("got %d events, want 3", len(events))
+	}
+	if events[0]["msg"] != "run.start" || events[0]["run"] != "all" ||
+		events[0]["refs"] != float64(400000) {
+		t.Errorf("run.start event wrong: %v", events[0])
+	}
+	if _, ok := events[0]["time"]; !ok {
+		t.Error("event missing time field")
+	}
+	if events[1]["job"] != "sim:Dir0B@pops" || events[1]["dur_us"] != float64(1234) ||
+		events[1]["cache_hit"] != false {
+		t.Errorf("job.finish event wrong: %v", events[1])
+	}
+	if events[2]["level"] != "ERROR" || events[2]["error"] != "boom" ||
+		events[2]["failed"] != "table4" {
+		t.Errorf("error event wrong: %v", events[2])
+	}
+}
+
+func TestJournalNilIsNoop(t *testing.T) {
+	var j *Journal
+	j.Event("x")
+	j.Error("y", errors.New("e"))
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJournalConcurrentWritersProduceWholeLines(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				j.Event("job.finish", "g", g, "i", i)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := decodeLines(t, data)
+	if len(events) != 8*50 {
+		t.Errorf("got %d events, want %d", len(events), 8*50)
+	}
+}
+
+func TestOpenJournalStderrAliases(t *testing.T) {
+	for _, alias := range []string{"-", "stderr"} {
+		j, err := OpenJournal(alias)
+		if err != nil {
+			t.Fatalf("%q: %v", alias, err)
+		}
+		if j.closer != nil {
+			t.Errorf("%q: journal owns a closer for a borrowed stream", alias)
+		}
+	}
+}
+
+func TestJournalErrorLevelIsFilterable(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf)
+	j.Error("error", errors.New("two experiments failed"))
+	if !strings.Contains(buf.String(), `"level":"ERROR"`) {
+		t.Errorf("error event not emitted at error level: %s", buf.String())
+	}
+}

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// RunManifest records everything needed to understand (and re-run) one
+// cmd/experiments invocation: the configuration and workload seeds, the
+// per-experiment wall times, the engine's lifetime counters, the cache
+// hit ratio, and the per-phase time breakdown.
+type RunManifest struct {
+	Command     string           `json:"command"`
+	Start       time.Time        `json:"start"`
+	WallSeconds float64          `json:"wall_seconds"`
+	Config      ManifestConfig   `json:"config"`
+	Experiments []ExperimentRun  `json:"experiments"`
+	Engine      map[string]int64 `json:"engine_counters"`
+	// CacheHitRatio is hits / (hits + misses) over the engine's keyed
+	// lookups; 0 when the run performed none.
+	CacheHitRatio float64     `json:"cache_hit_ratio"`
+	Phases        []PhaseStat `json:"phases"`
+}
+
+// ManifestConfig is the run's input configuration.
+type ManifestConfig struct {
+	Run      string            `json:"run"`
+	Refs     int               `json:"refs"`
+	CPUs     int               `json:"cpus"`
+	Check    bool              `json:"check"`
+	Parallel int               `json:"parallel"`
+	Executor string            `json:"executor"`
+	Seeds    map[string]uint64 `json:"seeds,omitempty"`
+}
+
+// ExperimentRun is one experiment's outcome.
+type ExperimentRun struct {
+	ID      string  `json:"id"`
+	Seconds float64 `json:"seconds"`
+	Error   string  `json:"error,omitempty"`
+}
+
+// HitRatio computes hits / (hits + misses), zero when there were no
+// lookups.
+func HitRatio(hits, misses int64) float64 {
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
+}
+
+// Write serializes the manifest as indented JSON to path; "-" selects
+// standard output.
+func (m *RunManifest) Write(path string) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: manifest: %w", err)
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("obs: manifest: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentCounters hammers shared instruments from many goroutines;
+// under -race this doubles as the data-race check for the hot paths.
+func TestConcurrentCounters(t *testing.T) {
+	r := NewRegistry()
+	const goroutines, perG = 16, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("test.counter")
+			ga := r.Gauge("test.gauge")
+			h := r.Histogram("test.hist", []int64{10, 100, 1000})
+			for i := 0; i < perG; i++ {
+				c.Inc()
+				ga.Add(1)
+				h.Observe(int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := r.Counter("test.counter").Value(); got != goroutines*perG {
+		t.Errorf("counter = %d, want %d", got, goroutines*perG)
+	}
+	if got := r.Gauge("test.gauge").Value(); got != goroutines*perG {
+		t.Errorf("gauge = %d, want %d", got, goroutines*perG)
+	}
+	h := r.Histogram("test.hist", nil).Snapshot()
+	if h.Count != goroutines*perG {
+		t.Errorf("histogram count = %d, want %d", h.Count, goroutines*perG)
+	}
+	// Per goroutine: values 0..10 land ≤10 (11 of them), 11..100 in the
+	// next bucket (90), 101..999 in the third (899), rest overflow.
+	want := []int64{11 * goroutines, 90 * goroutines, 899 * goroutines, 0}
+	for i, w := range want {
+		if h.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, h.Counts[i], w)
+		}
+	}
+	var sum int64
+	for i := int64(0); i < perG; i++ {
+		sum += i
+	}
+	if h.Sum != sum*goroutines {
+		t.Errorf("histogram sum = %d, want %d", h.Sum, sum*goroutines)
+	}
+}
+
+func TestRegistryHandlesAreStable(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("x") != r.Counter("x") {
+		t.Error("same name resolved to different counters")
+	}
+	if r.Histogram("h", []int64{1, 2}) != r.Histogram("h", nil) {
+		t.Error("same name resolved to different histograms")
+	}
+}
+
+func TestHistogramRejectsUnsortedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unsorted bounds accepted")
+		}
+	}()
+	newHistogram([]int64{10, 10})
+}
+
+func TestWriteText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.counter").Add(7)
+	r.Gauge("a.gauge").Set(-3)
+	h := r.Histogram("c.hist", []int64{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(500)
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"a.gauge -3",
+		"b.counter 7",
+		"c.hist.count 3",
+		"c.hist.le.10 1",
+		"c.hist.le.100 2",
+		"c.hist.le.inf 3",
+		"c.hist.sum 555",
+		"",
+	}, "\n")
+	if b.String() != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+func TestSnapshotIsACopy(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Inc()
+	s := r.Snapshot()
+	r.Counter("c").Inc()
+	if s.Counters["c"] != 1 {
+		t.Errorf("snapshot mutated by later increments: %d", s.Counters["c"])
+	}
+}

@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profiler captures CPU and heap profiles for one run: StartProfiling
+// begins a CPU profile at <dir>/cpu.pprof, Stop ends it and writes a
+// heap profile to <dir>/heap.pprof.
+type Profiler struct {
+	dir string
+	cpu *os.File
+}
+
+// StartProfiling creates dir (if needed) and starts the CPU profile.
+func StartProfiling(dir string) (*Profiler, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("obs: pprof: %w", err)
+	}
+	f, err := os.Create(filepath.Join(dir, "cpu.pprof"))
+	if err != nil {
+		return nil, fmt.Errorf("obs: pprof: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("obs: pprof: %w", err)
+	}
+	return &Profiler{dir: dir, cpu: f}, nil
+}
+
+// Stop ends the CPU profile and captures the heap profile (after a GC,
+// so the numbers reflect live memory, not garbage). No-op on nil.
+func (p *Profiler) Stop() error {
+	if p == nil {
+		return nil
+	}
+	pprof.StopCPUProfile()
+	if err := p.cpu.Close(); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(p.dir, "heap.pprof"))
+	if err != nil {
+		return fmt.Errorf("obs: pprof: %w", err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("obs: pprof: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// unmarshalStrict decodes JSON rejecting unknown fields, so schema and
+// struct stay in lockstep.
+func unmarshalStrict(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+func TestProfilerWritesProfiles(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "pprof")
+	p, err := StartProfiling(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has something to sample.
+	x := 0
+	for i := 0; i < 1_000_000; i++ {
+		x += i * i
+	}
+	_ = x
+	if err := p.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"cpu.pprof", "heap.pprof"} {
+		fi, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Errorf("%s missing: %v", name, err)
+			continue
+		}
+		if name == "heap.pprof" && fi.Size() == 0 {
+			t.Errorf("%s is empty", name)
+		}
+	}
+}
+
+func TestProfilerNilStop(t *testing.T) {
+	var p *Profiler
+	if err := p.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}

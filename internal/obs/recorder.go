@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"time"
+)
+
+// Recorder binds a Registry, an optional Journal, and a per-phase time
+// breakdown into one sink. Its method set structurally satisfies the
+// execution engine's Observer interface (the engine imports obs, not the
+// other way round), and the report pipeline opens experiment spans on it,
+// so one recorder sees a whole run: every engine job, every streamed
+// generation, every experiment render.
+type Recorder struct {
+	reg    *Registry
+	jnl    *Journal
+	phases Phases
+}
+
+// NewRecorder builds a recorder over the registry and journal; a nil
+// registry gets a private one, a nil journal disables event emission
+// (metrics and phases still accumulate).
+func NewRecorder(reg *Registry, jnl *Journal) *Recorder {
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	return &Recorder{reg: reg, jnl: jnl}
+}
+
+// Registry returns the recorder's instrument registry.
+func (r *Recorder) Registry() *Registry { return r.reg }
+
+// Journal returns the recorder's journal (nil when none is attached).
+func (r *Recorder) Journal() *Journal { return r.jnl }
+
+// Phases returns the per-phase time breakdown accumulated so far.
+func (r *Recorder) Phases() []PhaseStat { return r.phases.Stats() }
+
+// StartSpan opens a span whose End records into the recorder's phase
+// breakdown and journal; a "<phase>.start" event is emitted immediately.
+func (r *Recorder) StartSpan(phase, name string) *Span {
+	r.jnl.Event(phase+".start", "name", name)
+	return &Span{Phase: phase, Name: name, start: time.Now(), phases: &r.phases, jnl: r.jnl}
+}
+
+// phaseOf maps an engine job kind onto the run's phase breakdown.
+func phaseOf(kind string) string {
+	switch kind {
+	case "trace", "stream":
+		return "generate"
+	case "sim", "protocol":
+		return "simulate"
+	case "merge":
+		return "merge"
+	case "":
+		return "other"
+	}
+	return kind
+}
+
+// JobScheduled implements the engine's Observer: one call per DAG node
+// when a batch is submitted.
+func (r *Recorder) JobScheduled(id, kind, key string) {
+	r.reg.Counter("engine.jobs.scheduled").Inc()
+	r.jnl.Event("job.scheduled", "job", id, "kind", kind, "key", key)
+}
+
+// JobStarted implements the engine's Observer.
+func (r *Recorder) JobStarted(id, kind, key string) {
+	r.jnl.Event("job.start", "job", id, "kind", kind, "key", key)
+}
+
+// JobFinished implements the engine's Observer: it closes the job's
+// span, feeding the per-phase breakdown, a per-kind duration histogram,
+// and the journal.
+func (r *Recorder) JobFinished(id, kind, key string, d time.Duration, cacheHit bool, err error) {
+	r.phases.Record(phaseOf(kind), d)
+	r.reg.Histogram("engine.job."+phaseOf(kind)+".us", DurationBucketsUS).ObserveDuration(d)
+	if err != nil {
+		r.jnl.Error("job.finish", err, "job", id, "kind", kind, "key", key,
+			"dur_us", d.Microseconds(), "cache_hit", cacheHit)
+		return
+	}
+	r.jnl.Event("job.finish", "job", id, "kind", kind, "key", key,
+		"dur_us", d.Microseconds(), "cache_hit", cacheHit)
+}
+
+// StreamEnded implements the engine's Observer: one call per streamed
+// generation with its chunk count and producer back-pressure stalls.
+func (r *Recorder) StreamEnded(trace string, chunks, stalls int64) {
+	r.reg.Histogram("engine.stream.chunks", []int64{16, 64, 256, 1024, 4096, 16384}).Observe(chunks)
+	r.jnl.Event("stream.end", "trace", trace, "chunks", chunks, "stalls", stalls)
+}

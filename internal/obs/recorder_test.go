@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestRecorderJobFlow(t *testing.T) {
+	var buf bytes.Buffer
+	rec := NewRecorder(nil, NewJournal(&buf))
+
+	rec.JobScheduled("trace:pops", "trace", "abc123")
+	rec.JobStarted("trace:pops", "trace", "abc123")
+	rec.JobFinished("trace:pops", "trace", "abc123", 5*time.Millisecond, false, nil)
+	rec.JobFinished("sim:Dir0B@pops", "sim", "def456", 7*time.Millisecond, true, nil)
+	rec.JobFinished("merge:Dir0B", "merge", "", time.Millisecond, false, errors.New("boom"))
+	rec.StreamEnded("pops", 12, 3)
+
+	events := decodeLines(t, buf.Bytes())
+	var msgs []string
+	for _, e := range events {
+		msgs = append(msgs, e["msg"].(string))
+	}
+	want := []string{"job.scheduled", "job.start", "job.finish", "job.finish", "job.finish", "stream.end"}
+	if len(msgs) != len(want) {
+		t.Fatalf("events = %v, want %v", msgs, want)
+	}
+	for i := range want {
+		if msgs[i] != want[i] {
+			t.Errorf("event %d = %q, want %q", i, msgs[i], want[i])
+		}
+	}
+	if events[4]["level"] != "ERROR" || events[4]["error"] != "boom" {
+		t.Errorf("failed job not journaled at error level: %v", events[4])
+	}
+	if events[5]["chunks"] != float64(12) || events[5]["stalls"] != float64(3) {
+		t.Errorf("stream.end attrs wrong: %v", events[5])
+	}
+
+	// Job kinds fold into the phase breakdown: trace → generate,
+	// sim → simulate, merge → merge.
+	phases := map[string]PhaseStat{}
+	for _, s := range rec.Phases() {
+		phases[s.Phase] = s
+	}
+	if phases["generate"].Count != 1 || phases["generate"].Total != 5*time.Millisecond {
+		t.Errorf("generate phase = %+v", phases["generate"])
+	}
+	if phases["simulate"].Count != 1 || phases["simulate"].Total != 7*time.Millisecond {
+		t.Errorf("simulate phase = %+v", phases["simulate"])
+	}
+	if phases["merge"].Count != 1 {
+		t.Errorf("merge phase = %+v", phases["merge"])
+	}
+
+	// And into per-phase duration histograms on the registry.
+	h := rec.Registry().Histogram("engine.job.simulate.us", nil)
+	if h.Count() != 1 {
+		t.Errorf("simulate histogram count = %d, want 1", h.Count())
+	}
+}
+
+func TestRecorderSpan(t *testing.T) {
+	var buf bytes.Buffer
+	rec := NewRecorder(NewRegistry(), NewJournal(&buf))
+	sp := rec.StartSpan("experiment", "table4")
+	d := sp.End(nil)
+	if d < 0 {
+		t.Errorf("span duration negative: %v", d)
+	}
+	events := decodeLines(t, buf.Bytes())
+	if len(events) != 2 || events[0]["msg"] != "experiment.start" ||
+		events[1]["msg"] != "experiment.finish" || events[1]["name"] != "table4" {
+		t.Errorf("span events wrong: %v", events)
+	}
+	if len(rec.Phases()) != 1 || rec.Phases()[0].Phase != "experiment" {
+		t.Errorf("phases = %v", rec.Phases())
+	}
+}
+
+func TestFreestandingSpan(t *testing.T) {
+	sp := StartSpan("x", "y")
+	if d := sp.End(nil); d < 0 {
+		t.Errorf("duration negative: %v", d)
+	}
+}
+
+func TestHitRatio(t *testing.T) {
+	if got := HitRatio(0, 0); got != 0 {
+		t.Errorf("HitRatio(0,0) = %v", got)
+	}
+	if got := HitRatio(3, 1); got != 0.75 {
+		t.Errorf("HitRatio(3,1) = %v", got)
+	}
+}
+
+func TestManifestWrite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "manifest.json")
+	m := &RunManifest{
+		Command:       "experiments",
+		WallSeconds:   1.5,
+		Config:        ManifestConfig{Run: "all", Refs: 400000, CPUs: 4, Parallel: 8, Executor: "parallel"},
+		Experiments:   []ExperimentRun{{ID: "table4", Seconds: 0.8}},
+		Engine:        map[string]int64{"engine.cache.hits": 10},
+		CacheHitRatio: 0.5,
+		Phases:        []PhaseStat{{Phase: "simulate", Count: 4, Total: time.Second}},
+	}
+	if err := m.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back RunManifest
+	if err := unmarshalStrict(data, &back); err != nil {
+		t.Fatalf("manifest does not round-trip: %v", err)
+	}
+	if back.Config.Run != "all" || back.Experiments[0].ID != "table4" ||
+		back.Engine["engine.cache.hits"] != 10 || back.Phases[0].Phase != "simulate" {
+		t.Errorf("round-tripped manifest wrong: %+v", back)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"dirsim/internal/core"
 	"dirsim/internal/engine"
+	"dirsim/internal/obs"
 	"dirsim/internal/sim"
 	"dirsim/internal/trace"
 	"dirsim/internal/workload"
@@ -31,6 +32,7 @@ type Context struct {
 
 	eng  *engine.Engine
 	exec engine.Executor
+	rec  *obs.Recorder
 }
 
 // NewContext returns a context with the given trace size, backed by a
@@ -60,6 +62,25 @@ func NewContextWith(refs, cpus int, eng *engine.Engine, exec engine.Executor) *C
 		exec = engine.Sequential{}
 	}
 	return &Context{Refs: refs, CPUs: cpus, eng: eng, exec: exec}
+}
+
+// Observe attaches an observability recorder: RunExperiment then wraps
+// every experiment in a span, feeding the journal and the per-phase time
+// breakdown. nil detaches.
+func (c *Context) Observe(rec *obs.Recorder) { c.rec = rec }
+
+// RunExperiment runs one experiment through the context. With a recorder
+// attached (see Observe) the run is bracketed by experiment.start /
+// experiment.finish journal events and its wall time lands in the
+// "experiment" phase of the breakdown; without one it is exactly e.Run.
+func (c *Context) RunExperiment(e Experiment) (string, error) {
+	if c.rec == nil {
+		return e.Run(c)
+	}
+	sp := c.rec.StartSpan("experiment", e.ID)
+	out, err := e.Run(c)
+	sp.End(err)
+	return out, err
 }
 
 // Engine returns the context's execution engine (for stats inspection).

@@ -1,0 +1,56 @@
+package report
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"dirsim/internal/obs"
+)
+
+// TestRunExperimentObserved checks the report pipeline's observability
+// wiring: with a recorder attached, RunExperiment brackets the run in
+// experiment events and contributes to the phase breakdown; without one
+// it is a plain call.
+func TestRunExperimentObserved(t *testing.T) {
+	c := NewContext(10_000, 4)
+	var buf bytes.Buffer
+	rec := obs.NewRecorder(nil, obs.NewJournal(&buf))
+	c.Observe(rec)
+
+	e := Experiment{ID: "fake", Title: "fake",
+		Run: func(*Context) (string, error) { return "rendered", nil }}
+	out, err := c.RunExperiment(e)
+	if err != nil || out != "rendered" {
+		t.Fatalf("RunExperiment = %q, %v", out, err)
+	}
+	log := buf.String()
+	if !strings.Contains(log, "experiment.start") || !strings.Contains(log, "experiment.finish") {
+		t.Errorf("experiment events missing:\n%s", log)
+	}
+	if !strings.Contains(log, `"name":"fake"`) {
+		t.Errorf("events do not carry the experiment ID:\n%s", log)
+	}
+	phases := rec.Phases()
+	if len(phases) != 1 || phases[0].Phase != "experiment" || phases[0].Count != 1 {
+		t.Errorf("phase breakdown = %+v", phases)
+	}
+
+	// Failures propagate and land in the journal at error level.
+	buf.Reset()
+	bad := Experiment{ID: "bad", Title: "bad",
+		Run: func(*Context) (string, error) { return "", errors.New("boom") }}
+	if _, err := c.RunExperiment(bad); err == nil {
+		t.Fatal("failure swallowed")
+	}
+	if !strings.Contains(buf.String(), `"level":"ERROR"`) {
+		t.Errorf("failed experiment not journaled at error level:\n%s", buf.String())
+	}
+
+	// Detached recorder: plain passthrough, no panic.
+	c.Observe(nil)
+	if out, err := c.RunExperiment(e); err != nil || out != "rendered" {
+		t.Fatalf("detached RunExperiment = %q, %v", out, err)
+	}
+}

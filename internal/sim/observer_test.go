@@ -1,0 +1,49 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"dirsim/internal/workload"
+)
+
+// TestSimulateObserver checks the completion hook fires exactly once
+// with the reference count actually simulated, and that enabling it does
+// not perturb the measured result (results must stay pure functions of
+// the reference sequence).
+func TestSimulateObserver(t *testing.T) {
+	tr := workload.PingPong(2_000)
+
+	var calls int
+	var refs int64
+	var elapsed time.Duration
+	observed, err := SimulateTrace("Dir0B", tr, Options{
+		Observer: func(r int64, d time.Duration) {
+			calls++
+			refs, elapsed = r, d
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("observer called %d times, want 1", calls)
+	}
+	if refs != observed.Counts.Total {
+		t.Errorf("observer refs = %d, want %d", refs, observed.Counts.Total)
+	}
+	if elapsed < 0 {
+		t.Errorf("observer elapsed negative: %v", elapsed)
+	}
+
+	plain, err := SimulateTrace("Dir0B", tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if observed.Counts != plain.Counts {
+		t.Error("observer changed the measured event counts")
+	}
+	if observed.PerRef("pipelined") != plain.PerRef("pipelined") {
+		t.Error("observer changed the measured bus cycles")
+	}
+}

@@ -6,6 +6,7 @@ package sim
 
 import (
 	"fmt"
+	"time"
 
 	"dirsim/internal/bus"
 	"dirsim/internal/core"
@@ -29,6 +30,13 @@ type Options struct {
 	// InvariantEvery is how many references pass between invariant
 	// checks when Check is set (default 8192).
 	InvariantEvery int
+	// Observer, when set, receives one completion notification with the
+	// number of references simulated and the wall time — the span hook
+	// the CLIs use for per-simulation timing. Timing lives here rather
+	// than on Result so results stay pure functions of the reference
+	// sequence (the engine's executors assert bit-identity on them).
+	// nil skips the clock reads entirely.
+	Observer func(refs int64, elapsed time.Duration)
 }
 
 func (o Options) models() []bus.Model {
@@ -116,6 +124,10 @@ func Simulate(p core.Protocol, src trace.Source, opts Options) (*Result, error) 
 	if every <= 0 {
 		every = 8192
 	}
+	var start time.Time
+	if opts.Observer != nil {
+		start = time.Now()
+	}
 	n := 0
 	for {
 		r, ok := src.Next()
@@ -138,6 +150,9 @@ func Simulate(p core.Protocol, src trace.Source, opts Options) (*Result, error) 
 		if err := checker.Err(); err != nil {
 			return nil, err
 		}
+	}
+	if opts.Observer != nil {
+		opts.Observer(int64(n), time.Since(start))
 	}
 	return res, nil
 }
