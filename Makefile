@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race check bench bench-json experiments clean
+.PHONY: build vet test race check bench bench-json bench-hotpath experiments clean
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,11 @@ bench:
 # machine-readable BENCH_engine.json at the repo root.
 bench-json:
 	DIRSIM_BENCH_JSON=1 $(GO) test -run TestWriteEngineBenchJSON -v .
+
+# Measure the batched simulation hot path against the per-reference
+# baseline at workers=1 and write BENCH_hotpath.json at the repo root.
+bench-hotpath:
+	DIRSIM_BENCH_JSON=1 $(GO) test -run TestWriteHotpathBenchJSON -v ./internal/sim
 
 # Regenerate every table and figure concurrently on all cores.
 experiments:

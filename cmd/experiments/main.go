@@ -53,6 +53,7 @@ type config struct {
 	check    bool
 	list     bool
 	parallel int
+	batch    int
 	journal  string
 	metrics  string
 	pprofDir string
@@ -67,6 +68,7 @@ func main() {
 	flag.BoolVar(&cfg.check, "check", false, "enable coherence checking (slower)")
 	flag.BoolVar(&cfg.list, "list", false, "list experiment IDs and exit")
 	flag.IntVar(&cfg.parallel, "parallel", 1, "simulation worker pool size; >1 runs experiments concurrently, 0 means all cores")
+	flag.IntVar(&cfg.batch, "batch", 0, "simulation batch size in references; 0 means the engine's chunk size (results never depend on it)")
 	flag.StringVar(&cfg.journal, "journal", "", "write a JSONL run journal to this file ('-' or 'stderr' for standard error)")
 	flag.StringVar(&cfg.metrics, "metrics", "", "write the metric registry's text exposition to this file after the run ('-' for stdout)")
 	flag.StringVar(&cfg.pprofDir, "pprof", "", "capture cpu.pprof and heap.pprof into this directory")
@@ -126,7 +128,7 @@ func runSelected(w, ew io.Writer, cfg config, exps []report.Experiment) error {
 		defer jnl.Close()
 	}
 	var rec *obs.Recorder
-	opts := engine.Options{Workers: parallel, Metrics: reg}
+	opts := engine.Options{Workers: parallel, BatchRefs: cfg.batch, Metrics: reg}
 	if observing {
 		rec = obs.NewRecorder(reg, jnl)
 		opts.Observer = rec
@@ -264,6 +266,7 @@ func buildManifest(cfg config, ctx *report.Context, exec engine.Executor, parall
 			CPUs:     ctx.CPUs,
 			Check:    ctx.Check,
 			Parallel: parallel,
+			Batch:    ctx.Engine().BatchRefs(),
 			Executor: exec.Name(),
 			Seeds:    seeds,
 		},

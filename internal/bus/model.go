@@ -198,7 +198,12 @@ func (b Breakdown) Scale(f float64) Breakdown {
 // misses are excluded from the multiprocessing overhead, as in the paper,
 // and cost nothing.
 func (m Model) Cost(res event.Result) (b Breakdown, transaction bool) {
-	if res.Type.IsFirstRef() {
+	if res.Type.IsFirstRef() || res.Quiet() {
+		// Free references — hits, instruction fetches, excluded
+		// first-reference misses — skip the category arithmetic
+		// entirely. Prices are non-negative, so a quiet result could
+		// only ever have produced an all-zero breakdown; returning it
+		// without the additions below is bit-identical.
 		return b, false
 	}
 	// Invalidation delivery. Update protocols (Dragon, WTI) pay for the

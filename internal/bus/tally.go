@@ -28,11 +28,14 @@ func NewTally(m Model) *Tally { return &Tally{Model: m} }
 // Add prices one result and accumulates it.
 func (t *Tally) Add(res event.Result) {
 	b, txn := t.Model.Cost(res)
-	t.Cycles = t.Cycles.Add(b)
 	t.Refs++
-	if txn {
-		t.Transactions++
+	if !txn {
+		// A non-transaction's breakdown is all zeros (prices are
+		// non-negative), so accumulating it would change nothing.
+		return
 	}
+	t.Cycles = t.Cycles.Add(b)
+	t.Transactions++
 }
 
 // Merge folds another tally (priced under the same model) into t.

@@ -44,6 +44,19 @@ type Protocol interface {
 	CheckInvariants() error
 }
 
+// AccessBatch applies every reference in refs to p in order, appending
+// each classification to out and returning the extended slice. It is the
+// batch-friendly form of the Access loop: callers reuse one results
+// buffer (pass out[:0]) so a simulation's inner loop performs no
+// per-reference allocation, and the single call site keeps the
+// ref-fetch/classify stage separate from whatever accounting follows.
+func AccessBatch(p Protocol, refs []trace.Ref, out []event.Result) []event.Result {
+	for _, r := range refs {
+		out = append(out, p.Access(r))
+	}
+	return out
+}
+
 // checkCPUs validates a processor count for an engine constructor.
 func checkCPUs(ncpu int) {
 	if ncpu <= 0 || ncpu > MaxCPUs {

@@ -45,6 +45,11 @@ type Options struct {
 	// (default 16); it bounds how far the generator runs ahead of the
 	// slowest simulator before back-pressure stalls it.
 	ChunkWindow int
+	// BatchRefs is the simulation hot-loop batch size handed to
+	// sim.Options.BatchRefs: how many references each simulator pulls
+	// from its source per call. 0 means ChunkRefs, so streamed chunks
+	// are consumed whole. Results never depend on it.
+	BatchRefs int
 	// DiscardStreamedTraces stops streamed generations from also being
 	// captured into the trace cache. The default (false) captures them,
 	// so a later experiment needing the raw trace — or the same trace
@@ -92,6 +97,7 @@ type Engine struct {
 	workers     int
 	chunkRefs   int
 	chunkWindow int
+	batchRefs   int
 	discard     bool
 
 	results *flightCache // Key → job output (typically *sim.Result)
@@ -126,6 +132,10 @@ func New(opts Options) *Engine {
 	if cw <= 0 {
 		cw = 16
 	}
+	br := opts.BatchRefs
+	if br <= 0 {
+		br = cr
+	}
 	reg := opts.Metrics
 	if reg == nil {
 		reg = obs.NewRegistry()
@@ -134,6 +144,7 @@ func New(opts Options) *Engine {
 		workers:         w,
 		chunkRefs:       cr,
 		chunkWindow:     cw,
+		batchRefs:       br,
 		discard:         opts.DiscardStreamedTraces,
 		results:         newFlightCache(),
 		traces:          newFlightCache(),
@@ -193,6 +204,10 @@ func (e *Engine) Stats() Stats {
 
 // Metrics returns the registry the engine's counters live on.
 func (e *Engine) Metrics() *obs.Registry { return e.reg }
+
+// BatchRefs returns the resolved simulation batch size: Options.BatchRefs,
+// or the chunk size when that was left zero.
+func (e *Engine) BatchRefs() int { return e.batchRefs }
 
 // Job is one node of an execution DAG. Jobs are single-use: build a fresh
 // graph per Execute call (cached work is cheap to re-plan).

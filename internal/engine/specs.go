@@ -439,7 +439,7 @@ func (e *Engine) simulateSource(ctx context.Context, spec SimSpec, src trace.Sou
 			return nil, err
 		}
 	}
-	r, err := sim.Simulate(p, cancellable(ctx, src), sim.Options{Check: spec.Check})
+	r, err := sim.Simulate(p, cancellable(ctx, src), sim.Options{Check: spec.Check, BatchRefs: e.batchRefs})
 	if err != nil {
 		return nil, err
 	}

@@ -2,18 +2,34 @@ package engine
 
 import (
 	"context"
+	"sync"
+	"sync/atomic"
 
 	"dirsim/internal/trace"
 	"dirsim/internal/workload"
 )
 
+// refChunk is one multicast unit of a streamed generation: a fixed-size
+// block of references plus the number of subscribers still reading it.
+// Chunks are recycled through the broadcast's pool — the last subscriber
+// to finish a chunk returns it — so a steady-state stream allocates
+// nothing per chunk regardless of trace length.
+type refChunk struct {
+	refs []trace.Ref
+	// live is the number of subscribers that have not finished the chunk
+	// yet; it is set by the producer before the chunk is sent and
+	// decremented by each subscriber exactly once.
+	live atomic.Int32
+}
+
 // broadcast fans one generated reference stream out to several
 // simulators through bounded chunk channels: the producer goroutine runs
-// workload.Stream, packs references into fixed-size chunks, and sends
-// each chunk to every subscriber. Chunks are immutable once sent, so all
-// subscribers share the same backing arrays; the channel capacity
-// (chunkWindow) is the only buffering, giving real back-pressure — the
-// generator stalls when it runs a window ahead of the slowest simulator.
+// workload.StreamBatches, copies each batch into a pool-recycled chunk,
+// and sends the chunk to every subscriber. A chunk is immutable from send
+// until its last subscriber releases it, so all subscribers share the
+// same backing array; the channel capacity (chunkWindow) is the only
+// buffering, giving real back-pressure — the generator stalls when it
+// runs a window ahead of the slowest simulator.
 //
 // Subscribers must all be consuming concurrently (the stream jobs built
 // by planSpecs guarantee this); otherwise the producer would park on a
@@ -23,20 +39,25 @@ type broadcast struct {
 	chunkRefs int
 	retain    bool
 	subs      []*streamSource
+	pool      sync.Pool // *refChunk, capacity chunkRefs
 
 	// chunks counts chunks multicast; stalls counts sends that found a
 	// subscriber's channel full and had to block — the generator waiting
 	// on the slowest simulator. Both are written only by the producer
-	// goroutine inside run and read after it returns.
+	// goroutine inside run, once per chunk (never per reference), and
+	// read after it returns.
 	chunks int64
 	stalls int64
 }
 
 func newBroadcast(cfg workload.Config, nsubs, chunkRefs, window int, retain bool) *broadcast {
 	b := &broadcast{cfg: cfg, chunkRefs: chunkRefs, retain: retain}
+	b.pool.New = func() any {
+		return &refChunk{refs: make([]trace.Ref, 0, chunkRefs)}
+	}
 	b.subs = make([]*streamSource, nsubs)
 	for i := range b.subs {
-		b.subs[i] = &streamSource{cpus: cfg.CPUs, ch: make(chan []trace.Ref, window)}
+		b.subs[i] = &streamSource{cpus: cfg.CPUs, pool: &b.pool, ch: make(chan *refChunk, window)}
 	}
 	return b
 }
@@ -51,15 +72,17 @@ func (b *broadcast) run(ctx context.Context) (*trace.Trace, error) {
 	if b.retain {
 		retained = make([]trace.Ref, 0, b.cfg.Refs+b.cfg.Refs/8)
 	}
-	chunk := make([]trace.Ref, 0, b.chunkRefs)
-	flush := func() error {
-		if len(chunk) == 0 {
-			return nil
-		}
+	err := workload.StreamBatches(b.cfg, b.chunkRefs, func(batch []trace.Ref) error {
+		// The generator reuses batch, so it is copied once into a chunk
+		// that stays immutable until the last subscriber releases it back
+		// to the pool.
+		c := b.pool.Get().(*refChunk)
+		c.refs = append(c.refs[:0], batch...)
+		c.live.Store(int32(len(b.subs)))
 		b.chunks++
 		for _, s := range b.subs {
 			select {
-			case s.ch <- chunk:
+			case s.ch <- c:
 				continue
 			default:
 				// The subscriber's window is full: the generator is about
@@ -67,27 +90,16 @@ func (b *broadcast) run(ctx context.Context) (*trace.Trace, error) {
 				b.stalls++
 			}
 			select {
-			case s.ch <- chunk:
+			case s.ch <- c:
 			case <-ctx.Done():
 				return ctx.Err()
 			}
 		}
 		if b.retain {
-			retained = append(retained, chunk...)
-		}
-		chunk = make([]trace.Ref, 0, b.chunkRefs)
-		return nil
-	}
-	err := workload.Stream(b.cfg, func(r trace.Ref) error {
-		chunk = append(chunk, r)
-		if len(chunk) == b.chunkRefs {
-			return flush()
+			retained = append(retained, batch...)
 		}
 		return nil
 	})
-	if err == nil {
-		err = flush()
-	}
 	for _, s := range b.subs {
 		close(s.ch)
 	}
@@ -101,33 +113,72 @@ func (b *broadcast) run(ctx context.Context) (*trace.Trace, error) {
 	return t, nil
 }
 
-// streamSource adapts one subscriber's chunk channel to trace.Source.
+// streamSource adapts one subscriber's chunk channel to trace.Source and
+// trace.BatchSource. It is used by a single simulator goroutine.
 type streamSource struct {
 	cpus int
-	ch   chan []trace.Ref
-	cur  []trace.Ref
+	pool *sync.Pool
+	ch   chan *refChunk
+	cur  *refChunk
 	pos  int
 }
 
-func (s *streamSource) Next() (trace.Ref, bool) {
-	for s.pos >= len(s.cur) {
+// release hands the finished chunk back; the last subscriber out returns
+// it to the pool for the producer to refill.
+func (s *streamSource) release() {
+	c := s.cur
+	s.cur, s.pos = nil, 0
+	if c != nil && c.live.Add(-1) == 0 {
+		s.pool.Put(c)
+	}
+}
+
+// advance ensures s.cur holds unread references, blocking on the channel
+// when the current chunk is drained. It reports false at end of stream.
+func (s *streamSource) advance() bool {
+	for s.cur == nil || s.pos >= len(s.cur.refs) {
+		if s.cur != nil {
+			s.release()
+		}
 		c, ok := <-s.ch
 		if !ok {
-			return trace.Ref{}, false
+			return false
 		}
 		s.cur, s.pos = c, 0
 	}
-	r := s.cur[s.pos]
+	return true
+}
+
+func (s *streamSource) Next() (trace.Ref, bool) {
+	if !s.advance() {
+		return trace.Ref{}, false
+	}
+	r := s.cur.refs[s.pos]
 	s.pos++
 	return r, true
+}
+
+// NextBatch copies the remainder of the current chunk (receiving the next
+// one when drained) into buf. It never blocks while it holds undelivered
+// references, so a consumer with a batch size other than the producer's
+// chunk size still makes progress chunk by chunk.
+func (s *streamSource) NextBatch(buf []trace.Ref) int {
+	if !s.advance() {
+		return 0
+	}
+	n := copy(buf, s.cur.refs[s.pos:])
+	s.pos += n
+	return n
 }
 
 func (s *streamSource) CPUCount() int { return s.cpus }
 
 // cancellableSource wraps a Source so long replays of materialized traces
-// observe context cancellation; it checks every checkEvery references.
+// observe context cancellation; the per-reference path checks every
+// checkEvery references, the batched path once per batch.
 type cancellableSource struct {
 	src trace.Source
+	b   trace.BatchSource
 	ctx context.Context
 	n   int
 }
@@ -135,7 +186,7 @@ type cancellableSource struct {
 const checkEvery = 8192
 
 func cancellable(ctx context.Context, src trace.Source) trace.Source {
-	return &cancellableSource{src: src, ctx: ctx}
+	return &cancellableSource{src: src, b: trace.Batched(src), ctx: ctx}
 }
 
 func (c *cancellableSource) Next() (trace.Ref, bool) {
@@ -144,6 +195,13 @@ func (c *cancellableSource) Next() (trace.Ref, bool) {
 		return trace.Ref{}, false
 	}
 	return c.src.Next()
+}
+
+func (c *cancellableSource) NextBatch(buf []trace.Ref) int {
+	if c.ctx.Err() != nil {
+		return 0
+	}
+	return c.b.NextBatch(buf)
 }
 
 func (c *cancellableSource) CPUCount() int { return c.src.CPUCount() }

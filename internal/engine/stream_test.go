@@ -133,6 +133,78 @@ func TestStreamedBatchPopulatesTraceCache(t *testing.T) {
 	}
 }
 
+// TestBroadcastBatchedConsumption drains subscribers through NextBatch
+// with buffer sizes smaller than, equal to, and larger than the producer's
+// chunk, checking the sequence survives chunk recycling in every regime.
+// With a tiny window and concurrent consumers this also forces chunks
+// back through the pool while others are still in flight.
+func TestBroadcastBatchedConsumption(t *testing.T) {
+	cfg := workload.POPSConfig(4, 20_000)
+	want, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bufSizes := []int{17, 64, 300} // chunkRefs is 64
+	b := newBroadcast(cfg, len(bufSizes), 64, 2, false)
+	var prodErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, prodErr = b.run(context.Background())
+	}()
+	got := make([][]trace.Ref, len(bufSizes))
+	for i, size := range bufSizes {
+		i, size := i, size
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]trace.Ref, size)
+			for {
+				n := b.subs[i].NextBatch(buf)
+				if n == 0 {
+					return
+				}
+				got[i] = append(got[i], buf[:n]...)
+			}
+		}()
+	}
+	wg.Wait()
+	if prodErr != nil {
+		t.Fatal(prodErr)
+	}
+	for i, size := range bufSizes {
+		if !reflect.DeepEqual(got[i], want.Refs) {
+			t.Errorf("subscriber with %d-ref buffer saw a different sequence", size)
+		}
+	}
+}
+
+// TestMismatchedBatchAndChunkSizesIdentical runs the parallel executor
+// with a simulation batch size that is prime relative to the streaming
+// chunk, against a plain sequential engine — results must not notice.
+func TestMismatchedBatchAndChunkSizesIdentical(t *testing.T) {
+	ctx := context.Background()
+	cfgs := workload.StandardConfigs(4, 25_000)
+
+	seq := New(Options{})
+	odd := New(Options{Workers: 4, ChunkRefs: 512, ChunkWindow: 2, BatchRefs: 97})
+	_, want, err := seq.SchemeOverTraces(ctx, Sequential{}, "Dir1NB", cfgs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, got, err := odd.SchemeOverTraces(ctx, Parallel{Workers: 4}, "Dir1NB", cfgs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("odd batch/chunk sizing changed the merged result")
+	}
+	if odd.Stats().TracesStreamed == 0 {
+		t.Error("parallel engine never streamed; the comparison did not exercise the pool")
+	}
+}
+
 // TestWorkloadStreamMatchesGenerate pins the generator-level equivalence
 // the whole streaming design rests on.
 func TestWorkloadStreamMatchesGenerate(t *testing.T) {

@@ -163,3 +163,15 @@ type Result struct {
 	// flushed a dirty victim to memory — finite-cache engines only.
 	EvictWB bool
 }
+
+// Quiet reports whether the result records no coherence action at all: no
+// miss fill, no invalidation or update, no write-back, no directory query,
+// no control traffic. Quiet results — cache hits and instruction fetches,
+// the overwhelming majority of any trace — cost nothing under every cost
+// model, so pricing hot loops branch on this before touching category
+// arithmetic.
+func (r Result) Quiet() bool {
+	return !r.Broadcast && !r.WriteBack && !r.DirCheck && !r.Update &&
+		!r.EvictWB && r.Inval == 0 && r.ForcedInval == 0 && r.Control == 0 &&
+		!r.Type.IsMiss()
+}

@@ -51,7 +51,9 @@ func (t *Tally) msg(n, w int) {
 // as everywhere in the evaluation.
 func (t *Tally) Add(res event.Result) {
 	t.Refs++
-	if res.Type.IsFirstRef() {
+	if res.Type.IsFirstRef() || res.Quiet() {
+		// Quiet results send no messages; every branch below would add
+		// zero.
 		return
 	}
 	if res.Type.IsMiss() {

@@ -1,0 +1,211 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"dirsim/internal/bus"
+	"dirsim/internal/core"
+	"dirsim/internal/event"
+	"dirsim/internal/network"
+	"dirsim/internal/trace"
+	"dirsim/internal/workload"
+)
+
+// referenceSimulate is the seed's per-reference simulation loop, kept
+// verbatim as the oracle for the batched hot path: one Next call per
+// reference and map iteration over the tallies in record. Any divergence
+// between this and Simulate is a correctness bug, not a tuning artifact.
+func referenceSimulate(p core.Protocol, src trace.Source, opts Options) (*Result, error) {
+	if src.CPUCount() > p.CPUs() {
+		return nil, fmt.Errorf("sim: trace has %d CPUs but %s engine simulates %d",
+			src.CPUCount(), p.Name(), p.CPUs())
+	}
+	res := &Result{
+		Scheme:  p.Name(),
+		Tallies: make(map[string]*bus.Tally),
+	}
+	for _, m := range opts.models() {
+		res.Tallies[m.Name] = bus.NewTally(m)
+	}
+	if len(opts.Topologies) > 0 {
+		res.NetTallies = make(map[string]*network.Tally)
+		for _, topo := range opts.Topologies {
+			res.NetTallies[topo.Name] = network.NewTally(topo)
+		}
+	}
+	for {
+		r, ok := src.Next()
+		if !ok {
+			break
+		}
+		out := p.Access(r)
+		res.Counts.Add(out.Type)
+		switch out.Type {
+		case event.WrHitClean, event.WrMissClean:
+			res.InvalClean.Observe(out.Holders)
+			res.HoldersAtInval.Observe(out.Holders)
+		case event.WrMissDirty, event.RdMissDirty:
+			res.HoldersAtInval.Observe(out.Holders)
+		}
+		if out.Broadcast && !out.Update {
+			res.Broadcasts++
+		}
+		res.SeqInvals += int64(out.Inval)
+		res.ForcedInvals += int64(out.ForcedInval)
+		if out.WriteBack {
+			res.WriteBacks++
+		}
+		for _, t := range res.Tallies {
+			t.Add(out)
+		}
+		for _, t := range res.NetTallies {
+			t.Add(out)
+		}
+	}
+	return res, nil
+}
+
+// batchTestOpts prices bus models and two topologies so the equivalence
+// covers the NetTallies slice path too.
+func batchTestOpts() Options {
+	return Options{Topologies: []network.Topology{network.Bus(4), network.Mesh(2, 2)}}
+}
+
+// TestBatchedEquivalence is the tentpole's oracle: for every paper scheme
+// over the three standard workloads, the batched Simulate produces a
+// Result bit-identical to the seed's per-reference loop, bus and network
+// tallies included.
+func TestBatchedEquivalence(t *testing.T) {
+	schemes := []string{"Dir1NB", "WTI", "Dir0B", "Dragon", "DirNNB"}
+	for _, cfg := range workload.StandardConfigs(4, 30_000) {
+		tr, err := workload.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, scheme := range schemes {
+			want, err := runReference(scheme, tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := core.NewByName(scheme, tr.CPUs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := Simulate(p, tr.Iterator(), batchTestOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s over %s: batched result differs from per-ref reference",
+					scheme, cfg.Name)
+			}
+		}
+	}
+}
+
+func runReference(scheme string, tr *trace.Trace) (*Result, error) {
+	p, err := core.NewByName(scheme, tr.CPUs)
+	if err != nil {
+		return nil, err
+	}
+	return referenceSimulate(p, tr.Iterator(), batchTestOpts())
+}
+
+// TestBatchSizeInvariance checks that awkward batch sizes — 1, a prime
+// that never divides the trace, and sizes forcing a short final batch —
+// all produce the identical Result. The trace length is chosen so every
+// size below ends on a partial batch.
+func TestBatchSizeInvariance(t *testing.T) {
+	cfg := workload.POPSConfig(4, 10_001)
+	tr, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := runReference("Dir1NB", tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, batch := range []int{1, 7, 1000, 4096, 1 << 20} {
+		p, err := core.NewByName("Dir1NB", tr.CPUs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := batchTestOpts()
+		opts.BatchRefs = batch
+		got, err := Simulate(p, tr.Iterator(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("batch size %d: result differs from per-ref reference", batch)
+		}
+	}
+}
+
+// TestBatchedCheckedRun covers the checked (per-reference) path of the
+// batched loop against the reference loop with checking off — checking
+// must never change measurements.
+func TestBatchedCheckedRun(t *testing.T) {
+	tr, err := workload.Generate(workload.POPSConfig(4, 8_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := runReference("Dir0B", tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.NewByName("Dir0B", tr.CPUs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := batchTestOpts()
+	opts.Check = true
+	opts.BatchRefs = 513
+	got, err := Simulate(p, tr.Iterator(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("checked batched run differs from unchecked per-ref reference")
+	}
+}
+
+// TestMergeRejectsTallyMismatch is the regression test for Merge silently
+// dropping tallies: a result set where some results price topologies (or
+// models) and others do not must error in both directions, mirroring the
+// existing "missing from first result" case.
+func TestMergeRejectsTallyMismatch(t *testing.T) {
+	tr := workload.PingPong(200)
+	plain, err := SimulateTrace("Dir0B", tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	priced, err := SimulateTrace("Dir0B", tr, Options{Topologies: []network.Topology{network.Bus(2)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Merge(plain, priced); err == nil {
+		t.Error("merge accepted topologies missing from the first result")
+	}
+	if _, err := Merge(priced, plain); err == nil {
+		t.Error("merge accepted topologies missing from a later result")
+	}
+
+	oneModel, err := SimulateTrace("Dir0B", tr, Options{Models: []bus.Model{bus.Pipelined()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Merge(plain, oneModel); err == nil {
+		t.Error("merge accepted a result priced under fewer cost models")
+	}
+	if _, err := Merge(oneModel, plain); err == nil {
+		t.Error("merge accepted a result priced under extra cost models")
+	}
+
+	// Matching sets still merge.
+	if _, err := Merge(priced, priced); err != nil {
+		t.Errorf("merge of matching results failed: %v", err)
+	}
+}

@@ -15,11 +15,22 @@ import (
 	"dirsim/internal/trace"
 )
 
+// DefaultBatchRefs is the number of references Simulate pulls from the
+// source per NextBatch call when Options.BatchRefs is zero. It matches
+// the engine's default streaming chunk so a streamed simulation consumes
+// whole chunks without re-buffering.
+const DefaultBatchRefs = 4096
+
 // Options configures a simulation run.
 type Options struct {
 	// Models are the bus cost models to price the run under. When
 	// empty, the paper's pipelined and non-pipelined models are used.
 	Models []bus.Model
+	// BatchRefs is the hot-loop batch size: how many references Simulate
+	// pulls from the source per NextBatch call (default
+	// DefaultBatchRefs). Results are bit-identical for every batch size —
+	// the knob tunes amortization only.
+	BatchRefs int
 	// Topologies additionally prices the run on interconnection
 	// networks (the Section 6 scalability analysis); results land in
 	// Result.NetTallies keyed by topology name.
@@ -120,28 +131,67 @@ func Simulate(p core.Protocol, src trace.Source, opts Options) (*Result, error) 
 			return nil, fmt.Errorf("sim: %s does not support coherence checking", p.Name())
 		}
 	}
-	every := opts.InvariantEvery
+	every := int64(opts.InvariantEvery)
 	if every <= 0 {
 		every = 8192
+	}
+	batch := opts.BatchRefs
+	if batch <= 0 {
+		batch = DefaultBatchRefs
+	}
+	// The Tallies/NetTallies maps are the stable public shape of the
+	// result, but iterating them per reference costs more than pricing
+	// does; the hot loop walks these slices instead, bound once here.
+	// Accumulation order across tallies is irrelevant — each tally only
+	// ever adds to itself — so results stay bit-identical.
+	busTallies := make([]*bus.Tally, 0, len(res.Tallies))
+	for _, t := range res.Tallies {
+		busTallies = append(busTallies, t)
+	}
+	var netTallies []*network.Tally
+	if len(res.NetTallies) > 0 {
+		netTallies = make([]*network.Tally, 0, len(res.NetTallies))
+		for _, t := range res.NetTallies {
+			netTallies = append(netTallies, t)
+		}
 	}
 	var start time.Time
 	if opts.Observer != nil {
 		start = time.Now()
 	}
-	n := 0
+	// References move in batches through two reusable buffers (refs in,
+	// classifications out), so the steady-state loop allocates nothing
+	// and pays the Source interface dispatch once per batch instead of
+	// once per reference.
+	bsrc := trace.Batched(src)
+	buf := make([]trace.Ref, batch)
+	outs := make([]event.Result, 0, batch)
+	var n int64
 	for {
-		r, ok := src.Next()
-		if !ok {
+		k := bsrc.NextBatch(buf)
+		if k == 0 {
 			break
 		}
-		out := p.Access(r)
-		res.record(out)
-		n++
-		if opts.Check && n%every == 0 {
-			if err := p.CheckInvariants(); err != nil {
-				return nil, fmt.Errorf("sim: after %d refs: %w", n, err)
+		if opts.Check {
+			// The checked path stays per-reference so invariant
+			// violations are pinned to the exact reference count that
+			// exposed them, batch boundaries notwithstanding.
+			for _, r := range buf[:k] {
+				res.record(p.Access(r), busTallies, netTallies)
+				n++
+				if n%every == 0 {
+					if err := p.CheckInvariants(); err != nil {
+						return nil, fmt.Errorf("sim: after %d refs: %w", n, err)
+					}
+				}
 			}
+			continue
 		}
+		outs = core.AccessBatch(p, buf[:k], outs[:0])
+		for i := range outs {
+			res.record(outs[i], busTallies, netTallies)
+		}
+		n += int64(k)
 	}
 	if opts.Check {
 		if err := p.CheckInvariants(); err != nil {
@@ -152,12 +202,15 @@ func Simulate(p core.Protocol, src trace.Source, opts Options) (*Result, error) 
 		}
 	}
 	if opts.Observer != nil {
-		opts.Observer(int64(n), time.Since(start))
+		opts.Observer(n, time.Since(start))
 	}
 	return res, nil
 }
 
-func (r *Result) record(out event.Result) {
+// record accumulates one classified reference. The tally lists are the
+// pre-resolved values of r.Tallies/r.NetTallies; Simulate binds them once
+// so this stays free of map iteration.
+func (r *Result) record(out event.Result, busTallies []*bus.Tally, netTallies []*network.Tally) {
 	r.Counts.Add(out.Type)
 	switch out.Type {
 	case event.WrHitClean, event.WrMissClean:
@@ -165,6 +218,19 @@ func (r *Result) record(out event.Result) {
 		r.HoldersAtInval.Observe(out.Holders)
 	case event.WrMissDirty, event.RdMissDirty:
 		r.HoldersAtInval.Observe(out.Holders)
+	}
+	if out.Quiet() {
+		// Hits and instruction fetches — the bulk of every trace — touch
+		// no traffic counter, and every cost model prices them at zero;
+		// each tally just sees one more free reference. Checking once
+		// here spares pricing the result under every model separately.
+		for _, t := range busTallies {
+			t.Refs++
+		}
+		for _, t := range netTallies {
+			t.Refs++
+		}
+		return
 	}
 	if out.Broadcast && !out.Update {
 		r.Broadcasts++
@@ -174,10 +240,10 @@ func (r *Result) record(out event.Result) {
 	if out.WriteBack {
 		r.WriteBacks++
 	}
-	for _, t := range r.Tallies {
+	for _, t := range busTallies {
 		t.Add(out)
 	}
-	for _, t := range r.NetTallies {
+	for _, t := range netTallies {
 		t.Add(out)
 	}
 }
@@ -239,12 +305,24 @@ func Merge(results ...*Result) (*Result, error) {
 			}
 			dst.Merge(t)
 		}
+		// The reverse mismatch — the first result priced a model this one
+		// did not — would otherwise merge silently and skew the
+		// reference-weighted averages (the missing tally's Refs never
+		// arrive).
+		if len(r.Tallies) != len(out.Tallies) {
+			return nil, fmt.Errorf("sim: result %q has %d cost models, first has %d",
+				r.Trace, len(r.Tallies), len(out.Tallies))
+		}
 		for name, t := range r.NetTallies {
 			dst := out.NetTallies[name]
 			if dst == nil {
 				return nil, fmt.Errorf("sim: topology %q missing from first result", name)
 			}
 			dst.Merge(t)
+		}
+		if len(r.NetTallies) != len(out.NetTallies) {
+			return nil, fmt.Errorf("sim: result %q has %d topologies, first has %d",
+				r.Trace, len(r.NetTallies), len(out.NetTallies))
 		}
 	}
 	return out, nil

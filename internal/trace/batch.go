@@ -1,0 +1,56 @@
+package trace
+
+// BatchSource extends Source with bulk delivery: NextBatch moves many
+// references per call, amortizing the per-reference interface dispatch
+// that dominates tight simulation loops. Implementations must keep the
+// two views consistent — interleaved Next and NextBatch calls drain the
+// same underlying stream.
+type BatchSource interface {
+	Source
+	// NextBatch fills buf from the front of the stream and returns the
+	// number of references written. It returns 0 only when the stream is
+	// exhausted (and must keep returning 0 afterwards); a short return
+	// with more data pending is allowed, so callers loop until 0. The
+	// implementation must not retain buf after returning.
+	NextBatch(buf []Ref) int
+}
+
+// Batched returns a BatchSource view of src: src itself when it already
+// implements NextBatch natively, otherwise an adapter that fills batches
+// with repeated Next calls. The adapter changes delivery granularity
+// only — the reference sequence is identical either way.
+func Batched(src Source) BatchSource {
+	if b, ok := src.(BatchSource); ok {
+		return b
+	}
+	return &batchAdapter{src: src}
+}
+
+type batchAdapter struct {
+	src Source
+}
+
+func (a *batchAdapter) Next() (Ref, bool) { return a.src.Next() }
+
+func (a *batchAdapter) CPUCount() int { return a.src.CPUCount() }
+
+func (a *batchAdapter) NextBatch(buf []Ref) int {
+	n := 0
+	for n < len(buf) {
+		r, ok := a.src.Next()
+		if !ok {
+			break
+		}
+		buf[n] = r
+		n++
+	}
+	return n
+}
+
+// NextBatch copies up to len(buf) references out of the trace slice — a
+// straight memmove, the fastest path into the simulator.
+func (s *sliceSource) NextBatch(buf []Ref) int {
+	n := copy(buf, s.refs[s.pos:])
+	s.pos += n
+	return n
+}

@@ -8,11 +8,12 @@ type FilterFunc func(Ref) bool
 // Filtered wraps src, yielding only references for which keep returns true.
 // The CPU count is preserved.
 func Filtered(src Source, keep FilterFunc) Source {
-	return &filterSource{src: src, keep: keep}
+	return &filterSource{src: src, b: Batched(src), keep: keep}
 }
 
 type filterSource struct {
 	src  Source
+	b    BatchSource // batched view of src, for NextBatch
 	keep FilterFunc
 }
 
@@ -29,6 +30,28 @@ func (f *filterSource) Next() (Ref, bool) {
 }
 
 func (f *filterSource) CPUCount() int { return f.src.CPUCount() }
+
+// NextBatch pulls a batch from the underlying source and compacts the
+// surviving references in place, retrying until at least one reference
+// passes the filter or the source is exhausted.
+func (f *filterSource) NextBatch(buf []Ref) int {
+	for {
+		n := f.b.NextBatch(buf)
+		if n == 0 {
+			return 0
+		}
+		k := 0
+		for i := 0; i < n; i++ {
+			if f.keep(buf[i]) {
+				buf[k] = buf[i]
+				k++
+			}
+		}
+		if k > 0 {
+			return k
+		}
+	}
+}
 
 // WithoutSpins removes lock-test spin reads, reproducing the Section 5.2
 // experiment ("excluding all the tests on locks"). Acquire and release
@@ -51,11 +74,12 @@ func OnlyCPU(src Source, cpu uint8) Source {
 // Map transforms each reference of src with fn. The CPU count is preserved,
 // so fn must not move references onto CPUs outside the original range.
 func Map(src Source, fn func(Ref) Ref) Source {
-	return &mapSource{src: src, fn: fn}
+	return &mapSource{src: src, b: Batched(src), fn: fn}
 }
 
 type mapSource struct {
 	src Source
+	b   BatchSource // batched view of src, for NextBatch
 	fn  func(Ref) Ref
 }
 
@@ -68,6 +92,16 @@ func (m *mapSource) Next() (Ref, bool) {
 }
 
 func (m *mapSource) CPUCount() int { return m.src.CPUCount() }
+
+// NextBatch pulls a batch from the underlying source and transforms it in
+// place.
+func (m *mapSource) NextBatch(buf []Ref) int {
+	n := m.b.NextBatch(buf)
+	for i := 0; i < n; i++ {
+		buf[i] = m.fn(buf[i])
+	}
+	return n
+}
 
 // ProcessToCPU remaps every reference's process id to its CPU number,
 // collapsing process-based sharing onto processor-based sharing. The paper
@@ -114,11 +148,12 @@ func WithBlockSize(src Source, size int) (Source, error) {
 
 // Limit yields at most n references from src.
 func Limit(src Source, n int) Source {
-	return &limitSource{src: src, left: n}
+	return &limitSource{src: src, b: Batched(src), left: n}
 }
 
 type limitSource struct {
 	src  Source
+	b    BatchSource // batched view of src, for NextBatch
 	left int
 }
 
@@ -131,3 +166,16 @@ func (l *limitSource) Next() (Ref, bool) {
 }
 
 func (l *limitSource) CPUCount() int { return l.src.CPUCount() }
+
+// NextBatch pulls at most the remaining quota in one underlying batch.
+func (l *limitSource) NextBatch(buf []Ref) int {
+	if l.left <= 0 {
+		return 0
+	}
+	if l.left < len(buf) {
+		buf = buf[:l.left]
+	}
+	n := l.b.NextBatch(buf)
+	l.left -= n
+	return n
+}

@@ -4,19 +4,37 @@ import "dirsim/internal/trace"
 
 // generator drives one synthetic run: a set of per-CPU process state
 // machines scheduled round-robin with randomized burst lengths, sharing a
-// global lock table and shared heap. References leave through the out
-// callback, so the same machinery serves both materialized generation
-// (out appends to a trace) and streaming delivery (out feeds a channel).
+// global lock table and shared heap. References are written straight into
+// an internal batch buffer and handed to the sink one full batch at a
+// time, so the same machinery serves materialized generation (the sink
+// appends to a trace) and streaming delivery (the sink feeds a channel)
+// without a per-reference callback on the hot path.
 type generator struct {
 	cfg  Config
 	prof Profile
 	rng  *rng
-	out  func(trace.Ref)
-	n    int  // references emitted so far
-	stop bool // set by the out wrapper to abort generation early
+	buf  []trace.Ref             // in-flight batch; flushed at cap(buf)
+	sink func([]trace.Ref) error // receives each full batch; the slice is reused
+	err  error                   // first sink error; aborts generation
+	n    int                     // references emitted so far
+	stop bool                    // set by flush on sink error
 
 	procs []*proc
 	locks []*lockState
+}
+
+// flush hands the buffered batch to the sink and resets the buffer. A
+// sink error stops generation; the error is surfaced by run's caller.
+func (g *generator) flush() {
+	if len(g.buf) == 0 || g.err != nil {
+		return
+	}
+	if err := g.sink(g.buf); err != nil {
+		g.err = err
+		g.stop = true
+		return
+	}
+	g.buf = g.buf[:0]
 }
 
 // lockState is one test-and-test-and-set lock and the migratory region it
@@ -63,12 +81,13 @@ type proc struct {
 	hasPending   bool
 }
 
-func newGenerator(cfg Config, out func(trace.Ref)) *generator {
+func newGenerator(cfg Config, batchRefs int, sink func([]trace.Ref) error) *generator {
 	g := &generator{
 		cfg:  cfg,
 		prof: cfg.Profile,
 		rng:  newRNG(cfg.Seed),
-		out:  out,
+		buf:  make([]trace.Ref, 0, batchRefs),
+		sink: sink,
 	}
 	g.locks = make([]*lockState, cfg.Profile.Locks)
 	for i := range g.locks {
@@ -96,7 +115,7 @@ func newGenerator(cfg Config, out func(trace.Ref)) *generator {
 }
 
 // run interleaves the processes until the target length is reached (or
-// the consumer stops the stream).
+// the sink stops the stream), then flushes the final partial batch.
 func (g *generator) run() {
 	for g.n < g.cfg.Refs && !g.stop {
 		for _, p := range g.procs {
@@ -106,6 +125,7 @@ func (g *generator) run() {
 			}
 		}
 	}
+	g.flush()
 }
 
 // turn lets one process issue a burst of references, possibly migrating
@@ -129,11 +149,14 @@ func (g *generator) turn(p *proc) {
 }
 
 // emit delivers a reference from p's context, applying the system flag.
+// The reference lands directly in the batch buffer; a full buffer is
+// flushed to the sink in place, so emission costs one bounds-checked
+// append in the common case.
 func (g *generator) emit(p *proc, kind trace.Kind, addr uint64, flags trace.Flag) {
 	if p.sysLeft > 0 {
 		flags |= trace.FlagSystem
 	}
-	g.out(trace.Ref{
+	g.buf = append(g.buf, trace.Ref{
 		Addr:  addr,
 		Proc:  uint16(p.id),
 		CPU:   uint8(p.cpu),
@@ -141,6 +164,9 @@ func (g *generator) emit(p *proc, kind trace.Kind, addr uint64, flags trace.Flag
 		Flags: flags,
 	})
 	g.n++
+	if len(g.buf) == cap(g.buf) {
+		g.flush()
+	}
 }
 
 // instr issues the instruction fetches that precede a data reference,

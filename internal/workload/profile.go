@@ -151,6 +151,11 @@ func (cfg Config) Validate() error {
 	return cfg.Profile.Validate()
 }
 
+// DefaultBatchRefs is the generator's batch granularity when a caller
+// passes a non-positive size: references are buffered and handed to sinks
+// this many at a time. It matches the engine's default streaming chunk.
+const DefaultBatchRefs = 4096
+
 // Generate synthesizes a trace from the configuration. The result is
 // deterministic in cfg.
 func Generate(cfg Config) (*trace.Trace, error) {
@@ -159,7 +164,10 @@ func Generate(cfg Config) (*trace.Trace, error) {
 	}
 	t := trace.New(cfg.Name, cfg.CPUs)
 	t.Refs = make([]trace.Ref, 0, cfg.Refs+cfg.Refs/8)
-	g := newGenerator(cfg, t.Append)
+	g := newGenerator(cfg, DefaultBatchRefs, func(batch []trace.Ref) error {
+		t.Refs = append(t.Refs, batch...)
+		return nil
+	})
 	g.run()
 	if err := t.Validate(); err != nil {
 		return nil, fmt.Errorf("workload: generated invalid trace: %w", err)
@@ -167,28 +175,39 @@ func Generate(cfg Config) (*trace.Trace, error) {
 	return t, nil
 }
 
-// Stream synthesizes the reference sequence of Generate(cfg) but delivers
-// each reference to emit as it is produced instead of materializing a
-// trace, so arbitrarily long traces can feed simulators in constant
-// memory. Generation stops early when emit returns a non-nil error, which
-// Stream returns unchanged.
-func Stream(cfg Config, emit func(trace.Ref) error) error {
+// StreamBatches synthesizes the reference sequence of Generate(cfg) but
+// delivers it to emit in batches of up to batchRefs references (the final
+// batch may be short; non-positive sizes mean DefaultBatchRefs) instead
+// of materializing a trace, so arbitrarily long traces can feed
+// simulators in constant memory with no per-reference callback. The batch
+// slice is owned by the generator and reused between calls: emit must
+// copy or fully consume it before returning. Generation stops early when
+// emit returns a non-nil error, which StreamBatches returns unchanged.
+func StreamBatches(cfg Config, batchRefs int, emit func([]trace.Ref) error) error {
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
-	var g *generator
-	var failed error
-	g = newGenerator(cfg, func(r trace.Ref) {
-		if failed != nil {
-			return
-		}
-		if err := emit(r); err != nil {
-			failed = err
-			g.stop = true
-		}
-	})
+	if batchRefs <= 0 {
+		batchRefs = DefaultBatchRefs
+	}
+	g := newGenerator(cfg, batchRefs, emit)
 	g.run()
-	return failed
+	return g.err
+}
+
+// Stream is the per-reference form of StreamBatches, kept for consumers
+// that inspect references one at a time (analyses, codec writers).
+// Generation stops early when emit returns a non-nil error, which Stream
+// returns unchanged; emit is never called again after it fails.
+func Stream(cfg Config, emit func(trace.Ref) error) error {
+	return StreamBatches(cfg, DefaultBatchRefs, func(batch []trace.Ref) error {
+		for _, r := range batch {
+			if err := emit(r); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
 }
 
 // MustGenerate is Generate for known-good configurations; it panics on
