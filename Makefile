@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race check bench bench-json bench-hotpath experiments clean
+.PHONY: build vet test race check soak bench bench-json bench-hotpath experiments clean
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,16 @@ race:
 # The gate run before every commit: compile everything, vet, and run the
 # full suite under the race detector.
 check: build vet race
+
+# Run the fault-injection soak under the race detector: the widened
+# fixed-seed fault matrix (DIRSIM_SOAK=1) plus every fault and hardening
+# test in the engine, faults, and CLI packages. Asserts the two fault-run
+# invariants — same seed, same failure set; survivors bit-identical to a
+# clean run — with races checked throughout.
+soak:
+	DIRSIM_SOAK=1 $(GO) test -race -count=1 \
+		-run 'Fault|Panic|Retry|Timeout|Truncat|Corrupt|Poison|Cancel|Refcount|ExecuteAll|Leak|Spec' \
+		./internal/engine ./internal/faults ./cmd/experiments
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"dirsim/internal/engine"
+	"dirsim/internal/faults"
 	"dirsim/internal/obs"
 	"dirsim/internal/report"
 	"dirsim/internal/workload"
@@ -47,17 +48,22 @@ import (
 
 // config carries the command's flags.
 type config struct {
-	sel      string
-	refs     int
-	cpus     int
-	check    bool
-	list     bool
-	parallel int
-	batch    int
-	journal  string
-	metrics  string
-	pprofDir string
-	manifest string
+	sel       string
+	refs      int
+	cpus      int
+	check     bool
+	list      bool
+	parallel  int
+	batch     int
+	journal   string
+	metrics   string
+	pprofDir  string
+	manifest  string
+	faults    string
+	faultSeed uint64
+	verify    bool
+	retries   int
+	timeout   time.Duration
 }
 
 func main() {
@@ -73,6 +79,11 @@ func main() {
 	flag.StringVar(&cfg.metrics, "metrics", "", "write the metric registry's text exposition to this file after the run ('-' for stdout)")
 	flag.StringVar(&cfg.pprofDir, "pprof", "", "capture cpu.pprof and heap.pprof into this directory")
 	flag.StringVar(&cfg.manifest, "manifest", "", "write a JSON run manifest to this file after the run ('-' for stdout)")
+	flag.StringVar(&cfg.faults, "faults", "", "inject deterministic faults, e.g. 'panic=0.05,error=0.1,truncate=0.1,corrupt=0.1,slow=0.01,poison=0.05' (implies -verify)")
+	flag.Uint64Var(&cfg.faultSeed, "faultseed", 1, "seed for the fault-injection schedule (same spec+seed replays the same faults)")
+	flag.BoolVar(&cfg.verify, "verify", false, "validate stream checksums, reference counts, and cached results during the run")
+	flag.IntVar(&cfg.retries, "retries", 0, "re-attempts per job body after a retryable failure")
+	flag.DurationVar(&cfg.timeout, "timeout", 0, "per-job deadline (0 disables)")
 	flag.Parse()
 	if err := runExperiments(os.Stdout, os.Stderr, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -128,7 +139,17 @@ func runSelected(w, ew io.Writer, cfg config, exps []report.Experiment) error {
 		defer jnl.Close()
 	}
 	var rec *obs.Recorder
-	opts := engine.Options{Workers: parallel, BatchRefs: cfg.batch, Metrics: reg}
+	opts := engine.Options{Workers: parallel, BatchRefs: cfg.batch, Metrics: reg,
+		Verify: cfg.verify, Retries: cfg.retries, JobTimeout: cfg.timeout}
+	if cfg.faults != "" {
+		fcfg, err := faults.ParseSpec(cfg.faults, cfg.faultSeed)
+		if err != nil {
+			return err
+		}
+		if fcfg.Enabled() {
+			opts.Faults = faults.New(fcfg)
+		}
+	}
 	if observing {
 		rec = obs.NewRecorder(reg, jnl)
 		opts.Observer = rec
@@ -204,6 +225,18 @@ func runSelected(w, ew io.Writer, cfg config, exps []report.Experiment) error {
 	stats := eng.Stats()
 	if len(errs) > 0 {
 		jnl.Error("error", errors.Join(errs...), "failed", strings.Join(failed, ","))
+		// The per-experiment causes always reach stderr — not only under
+		// the observability summary — so a partially failed sweep is
+		// diagnosable from the terminal alone. Partial failures (some
+		// simulations of an experiment sank, the rest survived) render
+		// their per-unit breakdown on the indented lines.
+		fmt.Fprintf(ew, "\n%d of %d experiments failed:\n", len(failed), len(exps))
+		for i, e := range exps {
+			if outs[i].err != nil {
+				fmt.Fprintf(ew, "  %s: %s\n", e.ID,
+					strings.ReplaceAll(outs[i].err.Error(), "\n", "\n    "))
+			}
+		}
 	}
 	jnl.Event("run.finish", "wall_us", wall.Microseconds(),
 		"experiments", len(exps), "failed", len(failed),
@@ -273,6 +306,10 @@ func buildManifest(cfg config, ctx *report.Context, exec engine.Executor, parall
 		Experiments:   runs,
 		Engine:        ctx.Engine().Metrics().Snapshot().Counters,
 		CacheHitRatio: obs.HitRatio(stats.CacheHits, stats.CacheMisses),
+	}
+	if cfg.faults != "" {
+		m.Config.Faults = cfg.faults
+		m.Config.FaultSeed = cfg.faultSeed
 	}
 	if rec != nil {
 		m.Phases = rec.Phases()

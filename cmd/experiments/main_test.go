@@ -140,6 +140,82 @@ func TestAllFailuresReported(t *testing.T) {
 	}
 }
 
+// TestFaultRunFailureReport: with every job attempt panicking, the run
+// must fail, print the per-experiment causes on the error writer, and
+// record the fault spec (and the failure) in the manifest so the run is
+// reproducible from its artifacts.
+func TestFaultRunFailureReport(t *testing.T) {
+	manifest := filepath.Join(t.TempDir(), "run.json")
+	var out, ew bytes.Buffer
+	cfg := config{sel: "table4", refs: 10_000, cpus: 4, parallel: 4,
+		faults: "panic=1", faultSeed: 7, manifest: manifest}
+	err := runExperiments(&out, &ew, cfg)
+	if err == nil {
+		t.Fatal("run with guaranteed panics reported success")
+	}
+	msg := ew.String()
+	if !strings.Contains(msg, "1 of 1 experiments failed:") {
+		t.Errorf("error writer missing the failure block:\n%s", msg)
+	}
+	if !strings.Contains(msg, "table4:") || !strings.Contains(msg, "panic") {
+		t.Errorf("failure block does not name the experiment and cause:\n%s", msg)
+	}
+
+	data, err := os.ReadFile(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m struct {
+		Config struct {
+			Faults    string `json:"faults"`
+			FaultSeed uint64 `json:"fault_seed"`
+		} `json:"config"`
+		Experiments []struct {
+			ID    string `json:"id"`
+			Error string `json:"error"`
+		} `json:"experiments"`
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("manifest not valid JSON: %v", err)
+	}
+	if m.Config.Faults != "panic=1" || m.Config.FaultSeed != 7 {
+		t.Errorf("manifest fault config = %+v, want panic=1 seed 7", m.Config)
+	}
+	if len(m.Experiments) != 1 || m.Experiments[0].Error == "" {
+		t.Errorf("manifest does not record the failure: %+v", m.Experiments)
+	}
+}
+
+// TestFaultRunRecovery: spurious failures under a retry budget must not
+// sink the run — the output is the same report a clean run prints.
+func TestFaultRunRecovery(t *testing.T) {
+	var clean, faulty bytes.Buffer
+	if err := runExperiments(&clean, io.Discard, config{
+		sel: "table4", refs: 10_000, cpus: 4, parallel: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runExperiments(&faulty, io.Discard, config{
+		sel: "table4", refs: 10_000, cpus: 4, parallel: 4,
+		faults: "error=0.2", faultSeed: 1, retries: 6}); err != nil {
+		t.Fatalf("retries did not absorb spurious failures: %v", err)
+	}
+	if clean.String() != faulty.String() {
+		t.Errorf("recovered fault run differs from clean run\nclean:\n%s\nfaulty:\n%s",
+			clean.String(), faulty.String())
+	}
+}
+
+// TestBadFaultSpecRejected: a malformed -faults spec is a usage error,
+// reported before anything runs.
+func TestBadFaultSpecRejected(t *testing.T) {
+	var out bytes.Buffer
+	err := runExperiments(&out, io.Discard, config{
+		sel: "table4", refs: 10_000, cpus: 4, parallel: 1, faults: "bogus=1"})
+	if err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Errorf("bad fault spec error = %v, want it to name the bad key", err)
+	}
+}
+
 // readJournal decodes every JSONL line of a journal file.
 func readJournal(t *testing.T, path string) []map[string]any {
 	t.Helper()

@@ -20,6 +20,14 @@ type flight struct {
 	done chan struct{}
 	val  any
 	err  error
+	// sum is the integrity stamp recorded when the value entered the
+	// cache (a content fingerprint of the result or trace); stamped marks
+	// it valid. In verification mode every later hit recomputes the
+	// fingerprint and compares: a mismatch means the cached value mutated
+	// after the fact, and the entry is evicted and recomputed instead of
+	// served.
+	sum     uint64
+	stamped bool
 }
 
 func newFlightCache() *flightCache {
@@ -50,13 +58,31 @@ func (c *flightCache) peek(k Key) bool {
 // fulfill publishes the owner's result to all waiters. Errors evict the
 // entry first, so the computation can be retried by a later claimant.
 func (c *flightCache) fulfill(k Key, f *flight, val any, err error) {
+	c.fulfillStamped(k, f, val, err, 0, false)
+}
+
+// fulfillStamped is fulfill plus an integrity stamp recorded alongside
+// the value.
+func (c *flightCache) fulfillStamped(k Key, f *flight, val any, err error, sum uint64, stamped bool) {
 	if err != nil {
 		c.mu.Lock()
 		delete(c.m, k)
 		c.mu.Unlock()
 	}
+	f.sum, f.stamped = sum, stamped && err == nil
 	f.val, f.err = val, err
 	close(f.done)
+}
+
+// evict removes k if it still maps to f, so a reader that found the entry
+// corrupted can force a recompute without racing a fresh claimant that
+// already replaced it.
+func (c *flightCache) evict(k Key, f *flight) {
+	c.mu.Lock()
+	if c.m[k] == f {
+		delete(c.m, k)
+	}
+	c.mu.Unlock()
 }
 
 // wait blocks until the flight is fulfilled or the context is cancelled.

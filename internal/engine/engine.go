@@ -24,13 +24,18 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"strings"
 	"sync"
 	"time"
 
+	"dirsim/internal/faults"
 	"dirsim/internal/obs"
+	"dirsim/internal/sim"
+	"dirsim/internal/trace"
 )
 
 // Options configures an Engine. The zero value is ready to use.
@@ -62,8 +67,32 @@ type Options struct {
 	Metrics *obs.Registry
 	// Observer receives job and stream lifecycle notifications. nil (the
 	// default) disables observation entirely; the only cost left on the
-	// hot path is a nil check.
+	// hot path is a nil check. An Observer that also implements
+	// FaultObserver additionally receives retry, panic, and
+	// cache-rejection events.
 	Observer Observer
+
+	// JobTimeout bounds each job-body attempt; 0 means no per-job
+	// deadline. A per-Job Timeout overrides it.
+	JobTimeout time.Duration
+	// Retries is how many additional attempts a job body gets when it
+	// fails with a retryable error (one with Retryable() true, or a
+	// per-attempt deadline expiry). 0 means fail on the first error. A
+	// per-Job Retries overrides it.
+	Retries int
+	// RetryBackoff is the sleep before the first retry, doubling per
+	// attempt (default 10ms when Retries > 0).
+	RetryBackoff time.Duration
+	// Faults, when non-nil, injects deterministic faults into job bodies,
+	// streams, and cache stores, and switches Verify on. nil — the
+	// default — costs a nil check per site and nothing more.
+	Faults *faults.Injector
+	// Verify turns on integrity checking without fault injection: cached
+	// results and traces are fingerprinted when stored and revalidated on
+	// every hit, streamed chunks carry checksums validated before
+	// simulation, and streamed reference counts are reconciled against
+	// what the producer emitted.
+	Verify bool
 }
 
 // Observer receives the engine's execution events: one JobScheduled per
@@ -79,6 +108,23 @@ type Observer interface {
 	JobStarted(id, kind, key string)
 	JobFinished(id, kind, key string, d time.Duration, cacheHit bool, err error)
 	StreamEnded(trace string, chunks, stalls int64)
+}
+
+// FaultObserver extends Observer with the engine's failure-path events.
+// It is optional: the engine type-asserts the configured Observer once at
+// construction, so existing Observer implementations keep working
+// unchanged. Implementations must be safe for concurrent use.
+type FaultObserver interface {
+	// JobRetried fires before each retry sleep: the attempt that failed
+	// (0-based), the backoff about to be taken, and the error that
+	// triggered it.
+	JobRetried(id string, attempt int, backoff time.Duration, err error)
+	// JobPanicked fires when a job body's panic is recovered, with the
+	// stack captured at the recovery site.
+	JobPanicked(id string, stack []byte)
+	// CacheRejected fires when a cached entry failed integrity
+	// revalidation and was evicted for recompute.
+	CacheRejected(key string)
 }
 
 // JobKind classifies a job by its ID prefix — "trace", "stream", "sim",
@@ -100,11 +146,18 @@ type Engine struct {
 	batchRefs   int
 	discard     bool
 
+	jobTimeout time.Duration
+	retries    int
+	backoff    time.Duration
+	faults     *faults.Injector // nil disables injection
+	verify     bool             // integrity validation (implied by faults)
+
 	results *flightCache // Key → job output (typically *sim.Result)
 	traces  *flightCache // Key → *trace.Trace
 
-	reg *obs.Registry // metrics registry the counters below live on
-	obs Observer      // nil disables observation
+	reg  *obs.Registry // metrics registry the counters below live on
+	obs  Observer      // nil disables observation
+	fobs FaultObserver // obs narrowed to failure events, nil when not implemented
 
 	// Lifetime counters, resolved from the registry once at construction
 	// so every update is a single atomic add.
@@ -116,6 +169,11 @@ type Engine struct {
 	tracesStreamed  *obs.Counter
 	streamChunks    *obs.Counter
 	streamStalls    *obs.Counter
+	jobPanics       *obs.Counter
+	jobRetries      *obs.Counter
+	jobTimeouts     *obs.Counter
+	cacheRejected   *obs.Counter
+	integrityFaults *obs.Counter
 }
 
 // New builds an engine with the given options.
@@ -140,16 +198,27 @@ func New(opts Options) *Engine {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
+	bo := opts.RetryBackoff
+	if bo <= 0 {
+		bo = 10 * time.Millisecond
+	}
+	fobs, _ := opts.Observer.(FaultObserver)
 	return &Engine{
 		workers:         w,
 		chunkRefs:       cr,
 		chunkWindow:     cw,
 		batchRefs:       br,
 		discard:         opts.DiscardStreamedTraces,
+		jobTimeout:      opts.JobTimeout,
+		retries:         opts.Retries,
+		backoff:         bo,
+		faults:          opts.Faults,
+		verify:          opts.Verify || opts.Faults != nil,
 		results:         newFlightCache(),
 		traces:          newFlightCache(),
 		reg:             reg,
 		obs:             opts.Observer,
+		fobs:            fobs,
 		jobsRun:         reg.Counter("engine.jobs.run"),
 		cacheHits:       reg.Counter("engine.cache.hits"),
 		cacheMisses:     reg.Counter("engine.cache.misses"),
@@ -158,6 +227,11 @@ func New(opts Options) *Engine {
 		tracesStreamed:  reg.Counter("engine.traces.streamed"),
 		streamChunks:    reg.Counter("engine.stream.chunks"),
 		streamStalls:    reg.Counter("engine.stream.stalls"),
+		jobPanics:       reg.Counter("engine.jobs.panics"),
+		jobRetries:      reg.Counter("engine.jobs.retries"),
+		jobTimeouts:     reg.Counter("engine.jobs.timeouts"),
+		cacheRejected:   reg.Counter("engine.cache.rejected"),
+		integrityFaults: reg.Counter("engine.stream.integrity"),
 	}
 }
 
@@ -181,6 +255,18 @@ type Stats struct {
 	// drives ChunkWindow tuning.
 	StreamChunks int64
 	StreamStalls int64
+	// JobPanics counts job-body panics recovered; JobRetries counts
+	// re-attempts after retryable failures; JobTimeouts counts per-job
+	// deadline expiries.
+	JobPanics   int64
+	JobRetries  int64
+	JobTimeouts int64
+	// CacheRejected counts cached entries that failed integrity
+	// revalidation and were evicted for recompute; IntegrityFaults counts
+	// stream-integrity violations detected (checksum mismatches,
+	// reference-count shortfalls, refcount corruption).
+	CacheRejected   int64
+	IntegrityFaults int64
 	// CachedResults and CachedTraces are the current cache populations.
 	CachedResults int
 	CachedTraces  int
@@ -197,6 +283,11 @@ func (e *Engine) Stats() Stats {
 		TracesStreamed:  e.tracesStreamed.Value(),
 		StreamChunks:    e.streamChunks.Value(),
 		StreamStalls:    e.streamStalls.Value(),
+		JobPanics:       e.jobPanics.Value(),
+		JobRetries:      e.jobRetries.Value(),
+		JobTimeouts:     e.jobTimeouts.Value(),
+		CacheRejected:   e.cacheRejected.Value(),
+		IntegrityFaults: e.integrityFaults.Value(),
 		CachedResults:   e.results.size(),
 		CachedTraces:    e.traces.size(),
 	}
@@ -223,6 +314,13 @@ type Job struct {
 	Deps []*Job
 	// Run computes the output. It must honour ctx for long work.
 	Run func(ctx context.Context, in []any) (any, error)
+	// Timeout bounds each attempt of this job's body, overriding the
+	// engine's JobTimeout; 0 inherits the engine default.
+	Timeout time.Duration
+	// Retries overrides the engine's retry budget for this job; 0
+	// inherits the engine's Retries, negative disables retries for this
+	// job even when the engine allows them.
+	Retries int
 
 	out any
 	err error
@@ -236,6 +334,8 @@ type Metrics struct {
 	Started, Finished time.Time
 	// CacheHit is set when the output came from the result cache.
 	CacheHit bool
+	// Attempts is how many times the body ran (0 for cache hits).
+	Attempts int
 }
 
 // Duration returns the wall-clock time the job took.
@@ -287,6 +387,22 @@ func (Parallel) streams() bool { return true }
 // returning the first error (with remaining work cancelled). A nil
 // executor means Sequential.
 func (e *Engine) Execute(ctx context.Context, exec Executor, roots ...*Job) error {
+	return e.execute(ctx, exec, roots, true)
+}
+
+// ExecuteAll runs the given jobs and all their transitive dependencies to
+// completion, tolerating job failures: a failed job does not cancel its
+// siblings, only its own dependents (which fail with a *JobError wrapping
+// the dependency's failure, without running). ExecuteAll returns an error
+// only when the graph itself is unrunnable (a cycle, a missing Run
+// function) or the context dies; per-job outcomes — success or structured
+// failure — are on each Job's Output. It is the foundation of the batch
+// helpers' partial-result semantics.
+func (e *Engine) ExecuteAll(ctx context.Context, exec Executor, roots ...*Job) error {
+	return e.execute(ctx, exec, roots, false)
+}
+
+func (e *Engine) execute(ctx context.Context, exec Executor, roots []*Job, failFast bool) error {
 	if exec == nil {
 		exec = Sequential{}
 	}
@@ -300,9 +416,9 @@ func (e *Engine) Execute(ctx context.Context, exec Executor, roots ...*Job) erro
 		}
 	}
 	if w := exec.workerCount(e.workers); w > 1 {
-		return e.executePool(ctx, jobs, w)
+		return e.executePool(ctx, jobs, w, failFast)
 	}
-	return e.executeSerial(ctx, jobs)
+	return e.executeSerial(ctx, jobs, failFast)
 }
 
 // flatten returns the transitive closure of roots in deterministic
@@ -343,19 +459,19 @@ func flatten(roots []*Job) ([]*Job, error) {
 	return order, nil
 }
 
-func (e *Engine) executeSerial(ctx context.Context, jobs []*Job) error {
+func (e *Engine) executeSerial(ctx context.Context, jobs []*Job, failFast bool) error {
 	for _, j := range jobs {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		if err := e.runJob(ctx, j); err != nil {
+		if err := e.runOrSkip(ctx, j, failFast); err != nil && failFast {
 			return fmt.Errorf("engine: job %s: %w", j.ID, err)
 		}
 	}
 	return nil
 }
 
-func (e *Engine) executePool(ctx context.Context, jobs []*Job, workers int) error {
+func (e *Engine) executePool(ctx context.Context, jobs []*Job, workers int, failFast bool) error {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -381,11 +497,13 @@ func (e *Engine) executePool(ctx context.Context, jobs []*Job, workers int) erro
 			sem <- struct{}{}
 			var err error
 			if err = ctx.Err(); err == nil {
-				err = e.runJob(ctx, j)
+				err = e.runOrSkip(ctx, j, failFast)
+			} else {
+				j.err = err
 			}
 			<-sem
-			mu.Lock()
-			if err != nil {
+			if err != nil && failFast {
+				mu.Lock()
 				if firstErr == nil {
 					firstErr = fmt.Errorf("engine: job %s: %w", j.ID, err)
 				}
@@ -393,6 +511,10 @@ func (e *Engine) executePool(ctx context.Context, jobs []*Job, workers int) erro
 				cancel()
 				return
 			}
+			// In keep-going mode a failed job still releases its
+			// dependents: they observe the dependency failure and record
+			// it as their own structured error without running.
+			mu.Lock()
 			ready := make([]*Job, 0, len(children[j]))
 			for _, c := range children[j] {
 				indeg[c]--
@@ -418,7 +540,45 @@ func (e *Engine) executePool(ctx context.Context, jobs []*Job, workers int) erro
 		start(j)
 	}
 	wg.Wait()
+	if firstErr == nil {
+		firstErr = ctx.Err()
+	}
 	return firstErr
+}
+
+// runOrSkip runs the job, except that in keep-going mode a job whose
+// dependency failed is skipped: its body never runs and its error records
+// which dependency sank it.
+func (e *Engine) runOrSkip(ctx context.Context, j *Job, failFast bool) error {
+	if !failFast {
+		for _, d := range j.Deps {
+			if d.err != nil {
+				return e.skipJob(j, d)
+			}
+		}
+	}
+	return e.runJob(ctx, j)
+}
+
+// skipJob marks j failed because dependency d failed, emitting the usual
+// observer span so traces show the skip.
+func (e *Engine) skipJob(j, d *Job) error {
+	j.met.Started = time.Now()
+	if e.obs != nil {
+		e.obs.JobStarted(j.ID, JobKind(j.ID), observedKey(j.Key))
+	}
+	j.err = &JobError{
+		ID:   j.ID,
+		Kind: JobKind(j.ID),
+		Key:  observedKey(j.Key),
+		Err:  fmt.Errorf("dependency %s failed: %w", d.ID, d.err),
+	}
+	j.met.Finished = time.Now()
+	if e.obs != nil {
+		e.obs.JobFinished(j.ID, JobKind(j.ID), observedKey(j.Key),
+			j.met.Duration(), false, j.err)
+	}
+	return j.err
 }
 
 // observedKey renders a job key for observers: the short hex form, or
@@ -431,7 +591,10 @@ func observedKey(k Key) string {
 }
 
 // runJob executes one job, routing keyed jobs through the single-flight
-// result cache.
+// result cache. In verification mode every cache hit is revalidated
+// against the integrity stamp recorded at store time; a mismatch evicts
+// the entry and loops back to re-claim, so a corrupted cached value is
+// recomputed rather than served.
 func (e *Engine) runJob(ctx context.Context, j *Job) error {
 	j.met.Started = time.Now()
 	if e.obs != nil {
@@ -446,23 +609,174 @@ func (e *Engine) runJob(ctx context.Context, j *Job) error {
 	}()
 
 	if j.Key.IsZero() {
-		e.jobsRun.Add(1)
-		j.out, j.err = j.Run(ctx, e.inputs(j))
+		j.out, j.err = e.runBody(ctx, j)
 		return j.err
 	}
-	f, owner := e.results.claim(j.Key)
-	if !owner {
+	for {
+		f, owner := e.results.claim(j.Key)
+		if owner {
+			e.cacheMisses.Add(1)
+			out, err := e.runBody(ctx, j)
+			sum, stamped := e.stampFor(observedKey(j.Key), out)
+			e.results.fulfillStamped(j.Key, f, out, err, sum, stamped)
+			j.out, j.err = out, err
+			return err
+		}
+		out, err := f.wait(ctx)
+		if err == nil && e.verify && f.stamped {
+			if sum, ok := fingerprintOf(out); ok && sum != f.sum {
+				e.cacheRejected.Add(1)
+				if e.fobs != nil {
+					e.fobs.CacheRejected(observedKey(j.Key))
+				}
+				e.results.evict(j.Key, f)
+				continue
+			}
+		}
 		e.cacheHits.Add(1)
 		j.met.CacheHit = true
-		j.out, j.err = f.wait(ctx)
-		return j.err
+		j.out, j.err = out, err
+		return err
 	}
-	e.cacheMisses.Add(1)
+}
+
+// runBody executes a job's body with panic isolation, a per-attempt
+// deadline, and bounded retry-with-backoff for retryable failures.
+func (e *Engine) runBody(ctx context.Context, j *Job) (any, error) {
+	retries := e.retries
+	if j.Retries > 0 {
+		retries = j.Retries
+	} else if j.Retries < 0 {
+		retries = 0
+	}
+	backoff := e.backoff
+	for attempt := 0; ; attempt++ {
+		out, err := e.attempt(ctx, j, attempt)
+		j.met.Attempts = attempt + 1
+		if err == nil {
+			return out, nil
+		}
+		je := &JobError{
+			ID:       j.ID,
+			Kind:     JobKind(j.ID),
+			Key:      observedKey(j.Key),
+			Attempts: attempt + 1,
+			Err:      err,
+		}
+		var pe *panicError
+		var te *timeoutError
+		switch {
+		case errors.As(err, &pe):
+			je.Panicked, je.Stack, je.Err = true, pe.stack, pe
+		case errors.As(err, &te):
+			je.Timeout, je.Err = true, te.cause
+		}
+		if attempt >= retries || ctx.Err() != nil || !je.Retryable() {
+			return nil, je
+		}
+		e.jobRetries.Add(1)
+		if e.fobs != nil {
+			e.fobs.JobRetried(j.ID, attempt, backoff, je.Err)
+		}
+		t := time.NewTimer(backoff)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return nil, je
+		}
+		backoff *= 2
+	}
+}
+
+// panicError carries a recovered panic value and the stack captured at
+// the recovery site.
+type panicError struct {
+	val   any
+	stack []byte
+}
+
+func (p *panicError) Error() string { return fmt.Sprintf("panic: %v", p.val) }
+
+// timeoutError marks an attempt that died to its own per-job deadline
+// (as opposed to the run's context).
+type timeoutError struct{ cause error }
+
+func (t *timeoutError) Error() string { return t.cause.Error() }
+func (t *timeoutError) Unwrap() error { return t.cause }
+
+// attempt runs the job body once: under its per-attempt deadline, with
+// fault injection when configured, and with panics recovered into a
+// *panicError rather than unwinding through the worker pool.
+func (e *Engine) attempt(ctx context.Context, j *Job, attempt int) (out any, err error) {
+	timeout := j.Timeout
+	if timeout <= 0 {
+		timeout = e.jobTimeout
+	}
+	attemptCtx := ctx
+	var cancel context.CancelFunc
+	if timeout > 0 {
+		attemptCtx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			stack := debug.Stack()
+			e.jobPanics.Add(1)
+			if e.fobs != nil {
+				e.fobs.JobPanicked(j.ID, stack)
+			}
+			out, err = nil, &panicError{val: r, stack: stack}
+		}
+	}()
 	e.jobsRun.Add(1)
-	out, err := j.Run(ctx, e.inputs(j))
-	e.results.fulfill(j.Key, f, out, err)
-	j.out, j.err = out, err
-	return err
+	if ferr := e.faults.JobFault(j.ID, attempt); ferr != nil {
+		return nil, ferr
+	}
+	out, err = j.Run(attemptCtx, e.inputs(j))
+	// A deadline expiry of the attempt's own context — while the overall
+	// run is still alive — is a per-job timeout, a retryable condition
+	// distinct from the run being cancelled.
+	if err != nil && attemptCtx != ctx && attemptCtx.Err() != nil && ctx.Err() == nil &&
+		errors.Is(err, context.DeadlineExceeded) {
+		e.jobTimeouts.Add(1)
+		return nil, &timeoutError{cause: err}
+	}
+	return out, err
+}
+
+// stampFor fingerprints values the engine knows how to validate —
+// simulation results and traces — for cache-integrity stamps. In fault
+// mode the stamp may be deliberately poisoned, modelling an entry
+// corrupted between store and hit.
+func (e *Engine) stampFor(key string, v any) (uint64, bool) {
+	if !e.verify {
+		return 0, false
+	}
+	sum, ok := fingerprintOf(v)
+	if !ok {
+		return 0, false
+	}
+	if e.faults.PoisonStamp(key) {
+		sum = ^sum
+	}
+	return sum, true
+}
+
+// fingerprintOf computes the content fingerprint of cacheable value
+// types; ok is false for types without one.
+func fingerprintOf(v any) (uint64, bool) {
+	switch t := v.(type) {
+	case *sim.Result:
+		if t != nil {
+			return t.Fingerprint(), true
+		}
+	case *trace.Trace:
+		if t != nil {
+			return t.Fingerprint(), true
+		}
+	}
+	return 0, false
 }
 
 func (e *Engine) inputs(j *Job) []any {

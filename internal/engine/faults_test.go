@@ -1,0 +1,655 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dirsim/internal/faults"
+	"dirsim/internal/obs"
+	"dirsim/internal/sim"
+	"dirsim/internal/trace"
+	"dirsim/internal/workload"
+)
+
+// The run recorder must receive the engine's failure-path events.
+var _ FaultObserver = (*obs.Recorder)(nil)
+
+// transientErr is a self-declared retryable failure for the retry tests.
+type transientErr struct{}
+
+func (transientErr) Error() string   { return "transient blip" }
+func (transientErr) Retryable() bool { return true }
+
+// TestPanicIsolation: a panicking job body must surface as a structured
+// *JobError carrying the recovered stack — never unwind through the
+// executor — under both executors.
+func TestPanicIsolation(t *testing.T) {
+	for _, exec := range []Executor{Sequential{}, Parallel{Workers: 4}} {
+		e := New(Options{})
+		j := &Job{ID: "boom", Run: func(context.Context, []any) (any, error) {
+			panic("kaboom")
+		}}
+		err := e.Execute(context.Background(), exec, j)
+		if err == nil {
+			t.Fatalf("%s: panic did not fail the run", exec.Name())
+		}
+		var je *JobError
+		if !errors.As(err, &je) {
+			t.Fatalf("%s: error is not a *JobError: %v", exec.Name(), err)
+		}
+		if !je.Panicked || je.ID != "boom" {
+			t.Errorf("%s: JobError = %+v, want Panicked for job boom", exec.Name(), je)
+		}
+		if !strings.Contains(string(je.Stack), "faults_test") {
+			t.Errorf("%s: stack does not point at the panic site:\n%s", exec.Name(), je.Stack)
+		}
+		if !strings.Contains(err.Error(), "kaboom") {
+			t.Errorf("%s: error loses the panic value: %v", exec.Name(), err)
+		}
+		if got := e.Stats().JobPanics; got != 1 {
+			t.Errorf("%s: JobPanics = %d, want 1", exec.Name(), got)
+		}
+	}
+}
+
+// TestExecuteAllKeepsGoing: in keep-going mode a failed job sinks only
+// its own dependents — which record the dependency failure without
+// running — while independent jobs complete.
+func TestExecuteAllKeepsGoing(t *testing.T) {
+	for _, exec := range []Executor{Sequential{}, Parallel{Workers: 4}} {
+		e := New(Options{})
+		bad := &Job{ID: "bad", Run: func(context.Context, []any) (any, error) {
+			return nil, errors.New("broken")
+		}}
+		depRan := false
+		dep := &Job{ID: "dep", Deps: []*Job{bad}, Run: func(context.Context, []any) (any, error) {
+			depRan = true
+			return "never", nil
+		}}
+		good := &Job{ID: "good", Run: func(context.Context, []any) (any, error) {
+			return 42, nil
+		}}
+		if err := e.ExecuteAll(context.Background(), exec, dep, good); err != nil {
+			t.Fatalf("%s: ExecuteAll returned %v; job failures belong on Output", exec.Name(), err)
+		}
+		if v, err := good.Output(); err != nil || v != 42 {
+			t.Errorf("%s: independent job: %v, %v", exec.Name(), v, err)
+		}
+		if depRan {
+			t.Errorf("%s: dependent body ran despite failed dependency", exec.Name())
+		}
+		_, err := dep.Output()
+		var je *JobError
+		if !errors.As(err, &je) || !strings.Contains(err.Error(), "dependency bad failed") {
+			t.Errorf("%s: dependent error = %v, want JobError naming dependency bad", exec.Name(), err)
+		}
+		if _, err := bad.Output(); err == nil || !strings.Contains(err.Error(), "broken") {
+			t.Errorf("%s: failing job error = %v", exec.Name(), err)
+		}
+	}
+}
+
+// TestRetryRecoversTransient: a body failing with a retryable error is
+// re-attempted with backoff until it succeeds, within the budget.
+func TestRetryRecoversTransient(t *testing.T) {
+	e := New(Options{Retries: 3, RetryBackoff: time.Millisecond})
+	calls := 0
+	j := &Job{ID: "flaky", Run: func(context.Context, []any) (any, error) {
+		calls++
+		if calls < 3 {
+			return nil, transientErr{}
+		}
+		return "ok", nil
+	}}
+	if err := e.Execute(context.Background(), Sequential{}, j); err != nil {
+		t.Fatalf("retryable failure not recovered: %v", err)
+	}
+	if v, _ := j.Output(); v != "ok" {
+		t.Errorf("output = %v", v)
+	}
+	if j.Metrics().Attempts != 3 {
+		t.Errorf("Attempts = %d, want 3", j.Metrics().Attempts)
+	}
+	if got := e.Stats().JobRetries; got != 2 {
+		t.Errorf("JobRetries = %d, want 2", got)
+	}
+}
+
+// TestRetryBudgetExhausted: a persistently failing retryable body gives
+// up after the budget, reporting the attempt count.
+func TestRetryBudgetExhausted(t *testing.T) {
+	e := New(Options{Retries: 2, RetryBackoff: time.Millisecond})
+	j := &Job{ID: "doomed", Run: func(context.Context, []any) (any, error) {
+		return nil, transientErr{}
+	}}
+	err := e.Execute(context.Background(), Sequential{}, j)
+	var je *JobError
+	if !errors.As(err, &je) || je.Attempts != 3 {
+		t.Fatalf("error = %v, want JobError after 3 attempts", err)
+	}
+	if !strings.Contains(err.Error(), "after 3 attempts") {
+		t.Errorf("error does not report attempts: %v", err)
+	}
+}
+
+// TestPlainErrorsNotRetried: only errors that declare themselves
+// retryable (or per-job deadline expiries) consume the retry budget; a
+// plain failure keeps failing fast even with retries configured.
+func TestPlainErrorsNotRetried(t *testing.T) {
+	e := New(Options{Retries: 3, RetryBackoff: time.Millisecond})
+	calls := 0
+	j := &Job{ID: "hard", Run: func(context.Context, []any) (any, error) {
+		calls++
+		return nil, errors.New("deterministic failure")
+	}}
+	if err := e.Execute(context.Background(), Sequential{}, j); err == nil {
+		t.Fatal("failure swallowed")
+	}
+	if calls != 1 {
+		t.Errorf("non-retryable body ran %d times, want 1", calls)
+	}
+}
+
+// TestPerJobRetryOverride: Job.Retries overrides the engine budget in
+// both directions — more attempts, or none at all.
+func TestPerJobRetryOverride(t *testing.T) {
+	e := New(Options{Retries: 5, RetryBackoff: time.Millisecond})
+	calls := 0
+	noRetry := &Job{ID: "noretry", Retries: -1, Run: func(context.Context, []any) (any, error) {
+		calls++
+		return nil, transientErr{}
+	}}
+	if err := e.Execute(context.Background(), Sequential{}, noRetry); err == nil {
+		t.Fatal("failure swallowed")
+	}
+	if calls != 1 {
+		t.Errorf("Retries<0 job ran %d times, want 1", calls)
+	}
+}
+
+// TestJobTimeout: a body exceeding its per-job deadline fails with a
+// structured timeout while the run itself stays alive — and the expiry
+// is retryable, so a budget grants it another attempt.
+func TestJobTimeout(t *testing.T) {
+	e := New(Options{JobTimeout: 20 * time.Millisecond, Retries: 1, RetryBackoff: time.Millisecond})
+	j := &Job{ID: "stuck", Run: func(ctx context.Context, _ []any) (any, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}}
+	err := e.Execute(context.Background(), Sequential{}, j)
+	var je *JobError
+	if !errors.As(err, &je) {
+		t.Fatalf("error = %v, want *JobError", err)
+	}
+	if !je.Timeout || je.Panicked {
+		t.Errorf("JobError = %+v, want Timeout", je)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("timeout does not unwrap to DeadlineExceeded: %v", err)
+	}
+	if je.Attempts != 2 {
+		t.Errorf("Attempts = %d, want 2 (timeouts are retryable)", je.Attempts)
+	}
+	if got := e.Stats().JobTimeouts; got != 2 {
+		t.Errorf("JobTimeouts = %d, want 2", got)
+	}
+	if !strings.Contains(err.Error(), "timed out") {
+		t.Errorf("error does not say timed out: %v", err)
+	}
+}
+
+// faultMatrixSchemes/Configs are the workloads shared by the injected
+// fault tests below: small enough to keep the matrix cheap, large enough
+// to stream several chunks per trace.
+var faultMatrixSchemes = []string{"Dir0B", "WTI"}
+
+func faultMatrixConfigs() []workload.Config { return workload.StandardConfigs(4, 10_000) }
+
+// cleanCompare computes the fault-free baseline the degraded runs are
+// judged against.
+func cleanCompare(t *testing.T, exec Executor, schemes []string, cfgs []workload.Config) map[string]*sim.Result {
+	t.Helper()
+	e := New(Options{Workers: 4, ChunkRefs: 1024})
+	out, err := e.Compare(context.Background(), exec, schemes, cfgs, false)
+	if err != nil {
+		t.Fatalf("clean baseline failed: %v", err)
+	}
+	return out
+}
+
+// faultyCompare runs one Compare under the given fault schedule and
+// returns the surviving results plus the set of failed schemes.
+func faultyCompare(t *testing.T, exec Executor, fc faults.Config, schemes []string,
+	cfgs []workload.Config) (map[string]*sim.Result, map[string]error) {
+	t.Helper()
+	e := New(Options{Workers: 4, ChunkRefs: 1024, Retries: 1, RetryBackoff: time.Millisecond,
+		Faults: faults.New(fc)})
+	out, err := e.Compare(context.Background(), exec, schemes, cfgs, false)
+	if err == nil {
+		return out, nil
+	}
+	p, ok := AsPartial(err)
+	if !ok {
+		t.Fatalf("%s under %+v: non-partial failure: %v", exec.Name(), fc, err)
+	}
+	return out, p.Failed
+}
+
+// TestComparePartialOnInjectedPanic is the headline acceptance property:
+// an injected panic inside one scheme's pipeline yields a *Partial that
+// names the failed scheme while the survivors' merged results are
+// bit-identical to a clean run — and the same seed reproduces the same
+// failure set.
+func TestComparePartialOnInjectedPanic(t *testing.T) {
+	schemes := []string{"Dir0B", "WTI", "Dragon"}
+	cfgs := faultMatrixConfigs()
+	for _, exec := range []Executor{Sequential{}, Parallel{Workers: 4}} {
+		clean := cleanCompare(t, exec, schemes, cfgs)
+		// The schedule is a pure function of the seed, so probing seeds for
+		// one that fails some schemes but not all is itself deterministic.
+		var seed uint64
+		var out map[string]*sim.Result
+		var failed map[string]error
+		for s := uint64(1); s <= 300; s++ {
+			fc := faults.Config{Seed: s, Panic: 0.2}
+			out, failed = faultyCompare(t, exec, fc, schemes, cfgs)
+			if len(failed) > 0 && len(out) > 0 {
+				seed = s
+				break
+			}
+		}
+		if seed == 0 {
+			t.Fatalf("%s: no seed in 1..300 produced a partial comparison", exec.Name())
+		}
+		for s, r := range out {
+			if !reflect.DeepEqual(r, clean[s]) {
+				t.Errorf("%s seed %d: surviving scheme %s diverged from the clean run", exec.Name(), seed, s)
+			}
+		}
+		sawPanic := false
+		for s, err := range failed {
+			if _, ok := out[s]; ok {
+				t.Errorf("%s seed %d: scheme %s both failed and delivered", exec.Name(), seed, s)
+			}
+			if strings.Contains(err.Error(), "injected panic") {
+				sawPanic = true
+			}
+		}
+		if !sawPanic {
+			t.Errorf("%s seed %d: no failure names the injected panic: %v", exec.Name(), seed, failed)
+		}
+		// Same seed, fresh engine: identical failure set.
+		_, failed2 := faultyCompare(t, exec, faults.Config{Seed: seed, Panic: 0.2}, schemes, cfgs)
+		if !sameKeys(failed, failed2) {
+			t.Errorf("%s seed %d: failure set not reproducible: %v vs %v",
+				exec.Name(), seed, keysOf(failed), keysOf(failed2))
+		}
+	}
+}
+
+func sameKeys(a, b map[string]error) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if _, ok := b[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func keysOf(m map[string]error) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestCachePoisoningDetected mutates a cached result behind the engine's
+// back: the next hit must fail stamp revalidation, evict the entry, and
+// recompute — serving the corrupted value is the one forbidden outcome.
+func TestCachePoisoningDetected(t *testing.T) {
+	ctx := context.Background()
+	e := New(Options{Verify: true})
+	spec := SimSpec{Trace: workload.POPSConfig(4, 6_000), Scheme: "Dir0B"}
+	res, err := e.Results(ctx, Sequential{}, []SimSpec{spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := res[0].Fingerprint()
+	baseTotal := res[0].Counts.Total
+	// Corrupt the cached object in place (res[0] aliases the cache entry).
+	res[0].Counts.Total += 17
+
+	res2, err := e.Results(ctx, Sequential{}, []SimSpec{spec})
+	if err != nil {
+		t.Fatalf("recompute after poisoning failed: %v", err)
+	}
+	if got := e.Stats().CacheRejected; got < 1 {
+		t.Fatalf("CacheRejected = %d, want >= 1", got)
+	}
+	if res2[0] == res[0] {
+		t.Fatal("poisoned cache entry was served instead of recomputed")
+	}
+	if res2[0].Fingerprint() != base || res2[0].Counts.Total != baseTotal {
+		t.Errorf("recomputed result differs from the original: fingerprint %x vs %x",
+			res2[0].Fingerprint(), base)
+	}
+}
+
+// TestPoisonedStampForcesRecompute drives the same defense through the
+// injector: with every store's stamp poisoned, every hit is rejected and
+// recomputed, and the caller still only ever sees correct results.
+func TestPoisonedStampForcesRecompute(t *testing.T) {
+	ctx := context.Background()
+	spec := SimSpec{Trace: workload.POPSConfig(4, 6_000), Scheme: "Dir0B"}
+	clean := New(Options{})
+	want, err := clean.Results(ctx, Sequential{}, []SimSpec{spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e := New(Options{Faults: faults.New(faults.Config{Seed: 1, Poison: 1})})
+	for round := 0; round < 3; round++ {
+		got, err := e.Results(ctx, Sequential{}, []SimSpec{spec})
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if !reflect.DeepEqual(got[0], want[0]) {
+			t.Fatalf("round %d: poisoned-cache result differs from clean run", round)
+		}
+	}
+	if got := e.Stats().CacheRejected; got < 2 {
+		t.Errorf("CacheRejected = %d, want >= 2 (rounds 2 and 3 must reject)", got)
+	}
+}
+
+// TestStreamChecksumCorruptionDetected: with one chunk guaranteed to be
+// corrupted after stamping, every subscriber must catch the mismatch and
+// fail its spec rather than price a damaged reference stream.
+func TestStreamChecksumCorruptionDetected(t *testing.T) {
+	cfg := workload.POPSConfig(4, 40_000)
+	e := New(Options{Workers: 4, ChunkRefs: 2048,
+		Faults: faults.New(faults.Config{Seed: 3, Corrupt: 1})})
+	out, err := e.Compare(context.Background(), Parallel{Workers: 4},
+		faultMatrixSchemes, []workload.Config{cfg}, false)
+	p, ok := AsPartial(err)
+	if !ok {
+		t.Fatalf("corrupted stream not reported as partial: %v (out=%d)", err, len(out))
+	}
+	if len(p.Failed) != len(faultMatrixSchemes) {
+		t.Errorf("failed schemes = %v, want all of %v", keysOf(p.Failed), faultMatrixSchemes)
+	}
+	for s, err := range p.Failed {
+		if !strings.Contains(err.Error(), "checksum") {
+			t.Errorf("scheme %s: failure does not name the checksum: %v", s, err)
+		}
+	}
+	if got := e.Stats().IntegrityFaults; got < int64(len(faultMatrixSchemes)) {
+		t.Errorf("IntegrityFaults = %d, want >= %d", got, len(faultMatrixSchemes))
+	}
+	// The trace captured from the stream is taken before the injected
+	// corruption: replaying it must match a clean generation.
+	captured, err := e.Trace(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := workload.MustGenerate(cfg); captured.Fingerprint() != want.Fingerprint() {
+		t.Error("retained trace was captured after corruption")
+	}
+}
+
+// TestTruncationDetected: a silently shortened reference stream must be
+// caught by reference accounting on both delivery paths — materialized
+// replay (Sequential) and chunked streaming (Parallel).
+func TestTruncationDetected(t *testing.T) {
+	cfg := workload.POPSConfig(4, 10_000)
+	for _, exec := range []Executor{Sequential{}, Parallel{Workers: 4}} {
+		found := false
+		for seed := uint64(1); seed <= 20 && !found; seed++ {
+			e := New(Options{Workers: 4, ChunkRefs: 1024,
+				Faults: faults.New(faults.Config{Seed: seed, Truncate: 1})})
+			_, err := e.Results(context.Background(), exec, []SimSpec{{Trace: cfg, Scheme: "Dir0B"}})
+			p, ok := AsPartial(err)
+			if !ok {
+				t.Fatalf("%s seed %d: truncated stream did not fail: %v", exec.Name(), seed, err)
+			}
+			for _, err := range p.Failed {
+				if strings.Contains(err.Error(), "truncated") {
+					found = true
+				}
+			}
+			if found && e.Stats().IntegrityFaults < 1 {
+				t.Errorf("%s seed %d: truncation found but IntegrityFaults = 0", exec.Name(), seed)
+			}
+		}
+		if !found {
+			t.Errorf("%s: no seed in 1..20 produced a detected truncation", exec.Name())
+		}
+	}
+}
+
+// TestCancellationMidStreamReleasesChunks cancels a broadcast while its
+// subscribers are mid-chunk and unevenly behind: after the drains, every
+// pooled chunk must be back (outstanding == 0) and no refcount fault
+// recorded.
+func TestCancellationMidStreamReleasesChunks(t *testing.T) {
+	cfg := workload.POPSConfig(4, 200_000)
+	b := newBroadcast(cfg, 2, 1024, 2, false)
+	ctx, cancel := context.WithCancel(context.Background())
+	prodErr := make(chan error, 1)
+	go func() {
+		_, err := b.run(ctx)
+		prodErr <- err
+	}()
+	// Leave subscriber 0 mid-chunk and subscriber 1 several chunks ahead,
+	// so the cancel lands with shares in every state: consumed, queued,
+	// and never-delivered.
+	for i := 0; i < 100; i++ {
+		if _, ok := b.subs[0].Next(); !ok {
+			break
+		}
+	}
+	buf := make([]trace.Ref, 1024)
+	for i := 0; i < 2; i++ {
+		if b.subs[1].NextBatch(buf) == 0 {
+			break
+		}
+	}
+	cancel()
+	for _, s := range b.subs {
+		s.drain()
+	}
+	if err := <-prodErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("producer error = %v, want context.Canceled", err)
+	}
+	if n := b.outstanding.Load(); n != 0 {
+		t.Errorf("%d chunks still outside the pool after cancel + drain", n)
+	}
+	if err := b.faultErr(); err != nil {
+		t.Errorf("spurious refcount fault on the cancel path: %v", err)
+	}
+}
+
+// TestCancelledCompareLeaksNothing cancels a full streamed comparison
+// mid-flight and asserts every goroutine the engine started exits.
+func TestCancelledCompareLeaksNothing(t *testing.T) {
+	snap := faults.Goroutines()
+	for i := 0; i < 3; i++ {
+		e := New(Options{Workers: 4, ChunkRefs: 512, ChunkWindow: 2})
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func() {
+			_, err := e.Compare(ctx, Parallel{Workers: 4}, []string{"Dir0B", "WTI", "Dragon"},
+				workload.StandardConfigs(4, 400_000), false)
+			done <- err
+		}()
+		time.Sleep(time.Duration(1+2*i) * time.Millisecond)
+		cancel()
+		if err := <-done; err == nil {
+			t.Fatalf("run %d: cancellation produced no error", i)
+		}
+	}
+	if err := snap.Leaked(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRefcountUnderflowDetected: releasing a chunk past its last reader
+// must record a fault on the broadcast (discrediting the whole group)
+// instead of recycling a chunk someone may still be reading.
+func TestRefcountUnderflowDetected(t *testing.T) {
+	b := newBroadcast(workload.POPSConfig(2, 100), 1, 64, 2, false)
+	c := &refChunk{idx: 7}
+	c.live.Store(1)
+	b.outstanding.Add(1)
+	s := b.subs[0]
+	s.curRelease(c)
+	if err := b.faultErr(); err != nil {
+		t.Fatalf("legitimate release recorded a fault: %v", err)
+	}
+	if b.outstanding.Load() != 0 {
+		t.Fatalf("outstanding = %d after final release", b.outstanding.Load())
+	}
+	s.curRelease(c) // double release: the bug the refcount guard exists for
+	err := b.faultErr()
+	if err == nil {
+		t.Fatal("double release went undetected")
+	}
+	if !strings.Contains(err.Error(), "chunk 7") || !strings.Contains(err.Error(), "released") {
+		t.Errorf("fault does not identify the chunk: %v", err)
+	}
+	first := err
+	s.curRelease(c)
+	if b.faultErr() != first {
+		t.Error("later fault displaced the first recorded one")
+	}
+}
+
+// eventSink records the engine's failure-path callbacks.
+type eventSink struct {
+	mu      sync.Mutex
+	retries int
+	panics  int
+	rejects int
+}
+
+func (s *eventSink) JobScheduled(string, string, string) {}
+func (s *eventSink) JobStarted(string, string, string)   {}
+func (s *eventSink) JobFinished(string, string, string, time.Duration, bool, error) {
+}
+func (s *eventSink) StreamEnded(string, int64, int64) {}
+func (s *eventSink) JobRetried(string, int, time.Duration, error) {
+	s.mu.Lock()
+	s.retries++
+	s.mu.Unlock()
+}
+func (s *eventSink) JobPanicked(string, []byte) {
+	s.mu.Lock()
+	s.panics++
+	s.mu.Unlock()
+}
+func (s *eventSink) CacheRejected(string) {
+	s.mu.Lock()
+	s.rejects++
+	s.mu.Unlock()
+}
+
+// TestFaultObserverEvents: an Observer that also implements
+// FaultObserver receives retry, panic, and cache-rejection events.
+func TestFaultObserverEvents(t *testing.T) {
+	ctx := context.Background()
+	sink := &eventSink{}
+	e := New(Options{Observer: sink, Verify: true, Retries: 1, RetryBackoff: time.Millisecond})
+
+	calls := 0
+	flaky := &Job{ID: "flaky", Run: func(context.Context, []any) (any, error) {
+		if calls++; calls == 1 {
+			return nil, transientErr{}
+		}
+		return "ok", nil
+	}}
+	boom := &Job{ID: "boom", Retries: -1, Run: func(context.Context, []any) (any, error) {
+		panic("observed")
+	}}
+	if err := e.ExecuteAll(ctx, Sequential{}, flaky, boom); err != nil {
+		t.Fatal(err)
+	}
+
+	spec := SimSpec{Trace: workload.POPSConfig(4, 5_000), Scheme: "Dir0B"}
+	res, err := e.Results(ctx, Sequential{}, []SimSpec{spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res[0].Counts.Total++ // corrupt the cached entry
+	if _, err := e.Results(ctx, Sequential{}, []SimSpec{spec}); err != nil {
+		t.Fatal(err)
+	}
+
+	if sink.retries != 1 || sink.panics != 1 || sink.rejects < 1 {
+		t.Errorf("events = %d retries, %d panics, %d rejects; want 1, 1, >=1",
+			sink.retries, sink.panics, sink.rejects)
+	}
+}
+
+// TestFaultMatrixSoak sweeps every fault class (and a mixed schedule)
+// over both executors with fixed seeds. For each cell it asserts the two
+// invariants that make fault runs trustworthy: the same seed reproduces
+// the same failure set, and every surviving result is bit-identical to a
+// clean run — degraded, never wrong. DIRSIM_SOAK=1 widens the seed
+// sweep; -short narrows it.
+func TestFaultMatrixSoak(t *testing.T) {
+	matrix := []struct {
+		name string
+		cfg  faults.Config
+	}{
+		{"panic", faults.Config{Panic: 0.2}},
+		{"spurious", faults.Config{Spurious: 0.3}},
+		{"truncate", faults.Config{Truncate: 0.5}},
+		{"corrupt", faults.Config{Corrupt: 0.5}},
+		{"slow", faults.Config{Slow: 0.2, SlowDelay: 100 * time.Microsecond}},
+		{"poison", faults.Config{Poison: 1}},
+		{"mixed", faults.Config{Panic: 0.1, Spurious: 0.2, Truncate: 0.2, Corrupt: 0.2, Poison: 0.3}},
+	}
+	seeds := []uint64{1, 2}
+	if os.Getenv("DIRSIM_SOAK") != "" {
+		seeds = []uint64{1, 2, 3, 4, 5, 6}
+	} else if testing.Short() {
+		seeds = []uint64{1}
+	}
+	cfgs := faultMatrixConfigs()
+	clean := cleanCompare(t, Sequential{}, faultMatrixSchemes, cfgs)
+
+	for _, exec := range []Executor{Sequential{}, Parallel{Workers: 4}} {
+		for _, m := range matrix {
+			for _, seed := range seeds {
+				t.Run(fmt.Sprintf("%s/%s/seed%d", exec.Name(), m.name, seed), func(t *testing.T) {
+					fc := m.cfg
+					fc.Seed = seed
+					out1, failed1 := faultyCompare(t, exec, fc, faultMatrixSchemes, cfgs)
+					out2, failed2 := faultyCompare(t, exec, fc, faultMatrixSchemes, cfgs)
+					if !sameKeys(failed1, failed2) {
+						t.Errorf("failure set not reproducible: %v vs %v",
+							keysOf(failed1), keysOf(failed2))
+					}
+					for _, out := range []map[string]*sim.Result{out1, out2} {
+						for s, r := range out {
+							if !reflect.DeepEqual(r, clean[s]) {
+								t.Errorf("surviving scheme %s diverged from the clean run", s)
+							}
+						}
+					}
+				})
+			}
+		}
+	}
+}

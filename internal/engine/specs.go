@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"fmt"
+	"runtime/debug"
 	"sync"
 
 	"dirsim/internal/core"
@@ -40,31 +41,51 @@ func (s SimSpec) Key() Key {
 }
 
 // Trace returns the materialized trace for cfg, generating it at most
-// once per engine (concurrent callers share one generation).
+// once per engine (concurrent callers share one generation). In
+// verification mode every hit revalidates the trace against the
+// fingerprint recorded when it was stored; a mismatch evicts the entry
+// and regenerates instead of serving the corrupted trace.
 func (e *Engine) Trace(ctx context.Context, cfg workload.Config) (*trace.Trace, error) {
 	k := TraceKey(cfg)
-	f, owner := e.traces.claim(k)
-	if !owner {
-		e.cacheHits.Add(1)
+	for {
+		f, owner := e.traces.claim(k)
+		if owner {
+			e.cacheMisses.Add(1)
+			t, err := workload.Generate(cfg)
+			if err == nil {
+				e.tracesGenerated.Add(1)
+			}
+			sum, stamped := e.stampFor(observedKey(k), t)
+			e.traces.fulfillStamped(k, f, t, err, sum, stamped)
+			return t, err
+		}
 		v, err := f.wait(ctx)
 		if err != nil {
 			return nil, err
 		}
-		return v.(*trace.Trace), nil
+		t := v.(*trace.Trace)
+		if e.verify && f.stamped && t.Fingerprint() != f.sum {
+			e.cacheRejected.Add(1)
+			if e.fobs != nil {
+				e.fobs.CacheRejected(observedKey(k))
+			}
+			e.traces.evict(k, f)
+			continue
+		}
+		e.cacheHits.Add(1)
+		return t, nil
 	}
-	e.cacheMisses.Add(1)
-	t, err := workload.Generate(cfg)
-	if err == nil {
-		e.tracesGenerated.Add(1)
-	}
-	e.traces.fulfill(k, f, t, err)
-	return t, err
 }
 
 // Results computes one *sim.Result per spec. Within the batch, specs
 // sharing a workload share one trace generation; across batches, results
 // (and materialized traces) are reused through the content-addressed
 // caches. Duplicate specs collapse to a single simulation.
+//
+// The batch degrades rather than voids: when some simulations fail the
+// successes are still returned (failed positions nil) together with a
+// *Partial error mapping each failed job to its cause. A non-Partial
+// error means the batch could not run at all.
 func (e *Engine) Results(ctx context.Context, exec Executor, specs []SimSpec) ([]*sim.Result, error) {
 	if exec == nil {
 		exec = Sequential{}
@@ -74,10 +95,25 @@ func (e *Engine) Results(ctx context.Context, exec Executor, specs []SimSpec) ([
 		return nil, err
 	}
 	roots := dedupJobs(per)
-	if err := e.Execute(ctx, exec, roots...); err != nil {
+	if err := e.ExecuteAll(ctx, exec, roots...); err != nil {
 		return nil, err
 	}
-	return collectResults(per)
+	out := make([]*sim.Result, len(per))
+	failed := make(map[string]error)
+	done := 0
+	for i, j := range per {
+		v, err := j.Output()
+		if err != nil {
+			failed[j.ID] = err
+			continue
+		}
+		out[i] = v.(*sim.Result)
+		done++
+	}
+	if len(failed) > 0 {
+		return out, &Partial{Failed: failed, Done: done}
+	}
+	return out, nil
 }
 
 // SchemeOverTraces runs one scheme over several workloads and returns the
@@ -98,15 +134,29 @@ func (e *Engine) SchemeOverTraces(ctx context.Context, exec Executor, scheme str
 		return nil, nil, err
 	}
 	mj := e.mergeJob(fmt.Sprintf("merge:%s", scheme), specs, perJobs)
-	if err := e.Execute(ctx, exec, mj); err != nil {
+	if err := e.ExecuteAll(ctx, exec, mj); err != nil {
 		return nil, nil, err
 	}
-	if per, err = collectResults(perJobs); err != nil {
-		return nil, nil, err
+	per = make([]*sim.Result, len(perJobs))
+	failed := make(map[string]error)
+	done := 0
+	for i, j := range perJobs {
+		v, jerr := j.Output()
+		if jerr != nil {
+			failed[specs[i].Trace.Name] = jerr
+			continue
+		}
+		per[i] = v.(*sim.Result)
+		done++
+	}
+	if len(failed) > 0 {
+		// The merge is skipped when any input failed; the surviving
+		// per-trace results are still delivered.
+		return per, nil, &Partial{Failed: failed, Done: done}
 	}
 	out, err := mj.Output()
 	if err != nil {
-		return nil, nil, err
+		return per, nil, err
 	}
 	return per, out.(*sim.Result), nil
 }
@@ -135,16 +185,25 @@ func (e *Engine) Compare(ctx context.Context, exec Executor, schemes []string,
 		merges[i] = e.mergeJob(fmt.Sprintf("merge:%s", s),
 			specs[i*len(cfgs):(i+1)*len(cfgs)], perJobs[i*len(cfgs):(i+1)*len(cfgs)])
 	}
-	if err := e.Execute(ctx, exec, merges...); err != nil {
+	if err := e.ExecuteAll(ctx, exec, merges...); err != nil {
 		return nil, err
 	}
 	out := make(map[string]*sim.Result, len(schemes))
+	failed := make(map[string]error)
 	for i, s := range schemes {
 		v, err := merges[i].Output()
 		if err != nil {
-			return nil, err
+			// One scheme sinking — a panicking simulator, a poisoned
+			// stream — must not void the comparison: the other schemes'
+			// merged results are still delivered alongside a *Partial
+			// naming the failed scheme and its cause.
+			failed[s] = err
+			continue
 		}
 		out[s] = v.(*sim.Result)
+	}
+	if len(failed) > 0 {
+		return out, &Partial{Failed: failed, Done: len(out)}
 	}
 	return out, nil
 }
@@ -314,11 +373,14 @@ func (e *Engine) planSpecs(exec Executor, specs []SimSpec) ([]*Job, error) {
 				j.ID = fmt.Sprintf("sim:%s@%s", g.specs[i].Scheme, g.cfg.Name)
 				j.Deps = []*Job{stream}
 				j.Run = func(_ context.Context, in []any) (any, error) {
-					r, ok := in[0].(map[Key]*sim.Result)[k]
-					if !ok || r == nil {
+					o, ok := in[0].(map[Key]specOutcome)[k]
+					if !ok {
 						return nil, fmt.Errorf("stream produced no result")
 					}
-					return r, nil
+					if o.err != nil {
+						return nil, o.err
+					}
+					return o.res, nil
 				}
 			}
 		default:
@@ -345,7 +407,7 @@ func (e *Engine) bindMaterialized(j *Job, spec SimSpec, traceJob *Job) {
 		j.Deps = []*Job{traceJob}
 		j.Run = func(ctx context.Context, in []any) (any, error) {
 			t := in[0].(*trace.Trace)
-			return e.simulateSource(ctx, spec, t.Iterator())
+			return e.simulateSource(ctx, spec, t.Iterator(), int64(len(t.Refs)))
 		}
 		return
 	}
@@ -354,21 +416,35 @@ func (e *Engine) bindMaterialized(j *Job, spec SimSpec, traceJob *Job) {
 		if err != nil {
 			return nil, err
 		}
-		return e.simulateSource(ctx, spec, t.Iterator())
+		return e.simulateSource(ctx, spec, t.Iterator(), int64(len(t.Refs)))
 	}
 }
 
+// specOutcome is one spec's result or failure inside a streamed group:
+// the group job carries every outcome so one failed simulation degrades
+// the group to its survivors instead of voiding it.
+type specOutcome struct {
+	res *sim.Result
+	err error
+}
+
 // streamGroup generates one workload and streams it to all pending
-// simulators of the group, which run concurrently; it returns the result
-// per spec key. Unless the engine discards streamed traces, the generated
-// reference stream is also captured into the trace cache, so later
-// experiments needing the raw trace find it materialized.
+// simulators of the group, which run concurrently; it returns the
+// outcome per spec key. A simulator that fails — or whose stream fails
+// validation — sinks only its own spec: its subscriber drains the rest
+// of the stream (keeping the producer unblocked) while the others run to
+// completion. Only producer failures and refcount corruption discredit
+// the whole group. Unless the engine discards streamed traces, the
+// generated reference stream is also captured into the trace cache, so
+// later experiments needing the raw trace find it materialized.
 func (e *Engine) streamGroup(ctx context.Context, cfg workload.Config,
-	specs []SimSpec, keys []Key) (map[Key]*sim.Result, error) {
+	specs []SimSpec, keys []Key) (map[Key]specOutcome, error) {
 	gctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
 	b := newBroadcast(cfg, len(specs), e.chunkRefs, e.chunkWindow, !e.discard)
+	b.verify = e.verify
+	b.inj = e.faults
 	var produced *trace.Trace
 	var prodErr error
 	var pwg sync.WaitGroup
@@ -386,10 +462,19 @@ func (e *Engine) streamGroup(ctx context.Context, cfg workload.Config,
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			r, err := e.simulateSource(gctx, specs[i], b.subs[i])
+			// Deferred in reverse run order: the recover stops a panicking
+			// simulator first, then the drain releases this subscriber's
+			// remaining chunks so the producer and the chunk pool are not
+			// left hanging on a dead consumer.
+			defer b.subs[i].drain()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[i] = &panicError{val: r, stack: debug.Stack()}
+				}
+			}()
+			r, err := e.simulateSource(gctx, specs[i], b.subs[i], -1)
 			if err != nil {
 				errs[i] = err
-				cancel() // unblock the producer and the other simulators
 				return
 			}
 			results[i] = r
@@ -404,35 +489,62 @@ func (e *Engine) streamGroup(ctx context.Context, cfg workload.Config,
 		e.obs.StreamEnded(cfg.Name, b.chunks, b.stalls)
 	}
 
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("%s over %s: %w", specs[i].Scheme, cfg.Name, err)
-		}
+	if fault := b.faultErr(); fault != nil {
+		// Refcount corruption means chunks may have been recycled under
+		// live readers; no outcome of this generation is trustworthy.
+		e.integrityFaults.Add(1)
+		return nil, fault
 	}
 	if prodErr != nil {
 		// The producer aborted, so every "successful" simulation above saw
 		// a truncated stream; none of it is trustworthy.
 		return nil, prodErr
 	}
+	out := make(map[Key]specOutcome, len(specs))
+	for i, k := range keys {
+		err := errs[i]
+		if err == nil && b.subs[i].err != nil {
+			e.integrityFaults.Add(1)
+			err = b.subs[i].err
+		}
+		if err == nil && b.verify && b.subs[i].consumed != b.refsEmitted {
+			e.integrityFaults.Add(1)
+			err = fmt.Errorf("engine: %s over %s consumed %d of %d streamed refs (stream truncated)",
+				specs[i].Scheme, cfg.Name, b.subs[i].consumed, b.refsEmitted)
+		}
+		if err != nil {
+			out[k] = specOutcome{err: fmt.Errorf("%s over %s: %w", specs[i].Scheme, cfg.Name, err)}
+			continue
+		}
+		out[k] = specOutcome{res: results[i]}
+	}
 	if produced != nil {
 		k := TraceKey(cfg)
 		if f, owner := e.traces.claim(k); owner {
 			e.tracesGenerated.Add(1)
-			e.traces.fulfill(k, f, produced, nil)
+			sum, stamped := e.stampFor(observedKey(k), produced)
+			e.traces.fulfillStamped(k, f, produced, nil, sum, stamped)
 		}
-	}
-	out := make(map[Key]*sim.Result, len(specs))
-	for i, k := range keys {
-		out[k] = results[i]
 	}
 	return out, nil
 }
 
-// simulateSource runs one spec's protocol over a reference source.
-func (e *Engine) simulateSource(ctx context.Context, spec SimSpec, src trace.Source) (*sim.Result, error) {
+// simulateSource runs one spec's protocol over a reference source. expect
+// is the reference count the source should deliver (negative when
+// unknown, e.g. streamed sources, whose accounting the stream group
+// reconciles itself); in verification mode a shortfall is reported as a
+// truncation error instead of returning the silently partial result.
+func (e *Engine) simulateSource(ctx context.Context, spec SimSpec, src trace.Source, expect int64) (*sim.Result, error) {
 	p, err := core.NewByName(spec.Scheme, spec.Trace.CPUs)
 	if err != nil {
 		return nil, err
+	}
+	if e.faults != nil {
+		approx := expect
+		if approx < 0 {
+			approx = int64(spec.Trace.Refs)
+		}
+		src = e.faults.WrapSource(fmt.Sprintf("sim:%s@%s", spec.Scheme, spec.Trace.Name), src, approx)
 	}
 	if spec.BlockBytes != 0 && spec.BlockBytes != trace.BlockBytes {
 		if src, err = trace.WithBlockSize(src, spec.BlockBytes); err != nil {
@@ -447,6 +559,11 @@ func (e *Engine) simulateSource(ctx context.Context, spec SimSpec, src trace.Sou
 		// The source may have been cut short by cancellation; the partial
 		// result must not escape into the cache.
 		return nil, err
+	}
+	if e.verify && expect >= 0 && r.Counts.Total != expect {
+		e.integrityFaults.Add(1)
+		return nil, fmt.Errorf("engine: %s over %s simulated %d of %d refs (trace truncated)",
+			spec.Scheme, spec.Trace.Name, r.Counts.Total, expect)
 	}
 	e.simsRun.Add(1)
 	r.Trace = spec.Trace.Name
@@ -463,16 +580,4 @@ func dedupJobs(jobs []*Job) []*Job {
 		}
 	}
 	return out
-}
-
-func collectResults(jobs []*Job) ([]*sim.Result, error) {
-	out := make([]*sim.Result, len(jobs))
-	for i, j := range jobs {
-		v, err := j.Output()
-		if err != nil {
-			return nil, err
-		}
-		out[i] = v.(*sim.Result)
-	}
-	return out, nil
 }

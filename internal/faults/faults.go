@@ -1,0 +1,269 @@
+// Package faults is a deterministic, seed-driven fault-injection layer
+// for the execution engine. An Injector decides — purely as a function of
+// its seed, a site name, and a per-site counter — whether a given fault
+// fires: a job body panics or fails with a retryable spurious error, a
+// simulation's reference stream is cut short, a streamed chunk is
+// corrupted after its checksum is taken, chunk delivery is delayed, or a
+// cache entry is stored with a mismatched integrity stamp.
+//
+// Every decision is stateless (a hash of seed × site × counter), so the
+// fault schedule is reproducible from the seed alone and independent of
+// goroutine interleaving: two runs over the same job graph inject exactly
+// the same faults at exactly the same places, which is what makes fault
+// runs debuggable and the soak matrix assertable. A nil *Injector is
+// valid and injects nothing; with faults off the engine pays only nil
+// checks, never hashing.
+package faults
+
+import (
+	"fmt"
+	"time"
+
+	"dirsim/internal/trace"
+)
+
+// Config sets the per-site probabilities of each fault class. The zero
+// value injects nothing. Probabilities are clamped to [0, 1] at decision
+// time.
+type Config struct {
+	// Seed drives the whole schedule; two injectors with equal Config
+	// make identical decisions everywhere.
+	Seed uint64
+	// Panic is the probability, per job-body attempt, that the body
+	// panics at entry (exercising the engine's panic isolation).
+	Panic float64
+	// Spurious is the probability, per job-body attempt, that the body
+	// fails at entry with a retryable *Spurious error (exercising
+	// retry-with-backoff).
+	Spurious float64
+	// Truncate is the probability, per simulation source, that the
+	// reference stream is silently cut short at a seed-chosen point
+	// (exercising the engine's reference-count integrity check).
+	Truncate float64
+	// Corrupt is the probability, per streamed generation, that one
+	// seed-chosen chunk has a reference mutated after its checksum was
+	// taken (exercising per-chunk checksum validation).
+	Corrupt float64
+	// Slow is the probability, per chunk, that delivery is delayed by
+	// SlowDelay (exercising back-pressure and deadlines).
+	Slow float64
+	// SlowDelay is the injected per-chunk delay (default 200µs).
+	SlowDelay time.Duration
+	// Poison is the probability, per cache store, that the entry is
+	// stamped with a corrupted checksum, so every subsequent hit is
+	// rejected and recomputed (exercising cache-poisoning defense).
+	Poison float64
+}
+
+// Enabled reports whether any fault class has a non-zero probability.
+func (c Config) Enabled() bool {
+	return c.Panic > 0 || c.Spurious > 0 || c.Truncate > 0 ||
+		c.Corrupt > 0 || c.Slow > 0 || c.Poison > 0
+}
+
+// Injector makes deterministic fault decisions. All methods are safe on a
+// nil receiver (no fault fires) and for concurrent use: decisions are
+// pure functions of (seed, site, counter).
+type Injector struct {
+	cfg Config
+}
+
+// New returns an injector for the configuration. The caller keeps the
+// convention that a nil *Injector means "faults off"; New itself always
+// returns a usable injector, even for a zero Config.
+func New(cfg Config) *Injector {
+	if cfg.SlowDelay <= 0 {
+		cfg.SlowDelay = 200 * time.Microsecond
+	}
+	return &Injector{cfg: cfg}
+}
+
+// Config returns the injector's configuration (zero Config when nil).
+func (i *Injector) Config() Config {
+	if i == nil {
+		return Config{}
+	}
+	return i.cfg
+}
+
+// roll returns a uniform draw in [0, 1) for the decision identified by
+// (kind, site, n). It is the package's only randomness: FNV-1a over the
+// identifying tuple, finalized with a splitmix64 mix so near-identical
+// sites decorrelate.
+func (i *Injector) roll(kind, site string, n int64) float64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	step := func(b byte) {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	for j := 0; j < len(kind); j++ {
+		step(kind[j])
+	}
+	step(0)
+	for j := 0; j < len(site); j++ {
+		step(site[j])
+	}
+	step(0)
+	h ^= uint64(n)
+	h *= prime64
+	h ^= i.cfg.Seed
+	h *= prime64
+	// splitmix64 finalizer.
+	h += 0x9e3779b97f4a7c15
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	h ^= h >> 31
+	return float64(h>>11) / (1 << 53)
+}
+
+// Panic is the value an injected panic carries, so recovery sites can
+// recognize (and tests can assert) injected panics.
+type Panic struct {
+	Site    string
+	Attempt int
+}
+
+func (p *Panic) String() string {
+	return fmt.Sprintf("faults: injected panic at %s (attempt %d)", p.Site, p.Attempt)
+}
+
+// Spurious is an injected transient failure. It is retryable: a
+// subsequent attempt at the same site draws independently and typically
+// succeeds.
+type Spurious struct {
+	Site    string
+	Attempt int
+}
+
+func (e *Spurious) Error() string {
+	return fmt.Sprintf("faults: injected spurious failure at %s (attempt %d)", e.Site, e.Attempt)
+}
+
+// Retryable marks the error as worth re-attempting; the engine's
+// retry-with-backoff keys off this.
+func (e *Spurious) Retryable() bool { return true }
+
+// JobFault decides the fate of one job-body attempt at the given site: it
+// panics with a *Panic, returns a *Spurious error, or returns nil. Each
+// attempt draws independently, so a spurious failure on attempt 0 can
+// succeed on attempt 1 — exactly the transient failures retry exists for.
+func (i *Injector) JobFault(site string, attempt int) error {
+	if i == nil {
+		return nil
+	}
+	if i.cfg.Panic > 0 && i.roll("panic", site, int64(attempt)) < i.cfg.Panic {
+		panic(&Panic{Site: site, Attempt: attempt})
+	}
+	if i.cfg.Spurious > 0 && i.roll("spurious", site, int64(attempt)) < i.cfg.Spurious {
+		return &Spurious{Site: site, Attempt: attempt}
+	}
+	return nil
+}
+
+// TruncateAfter reports whether the stream at site should be cut short,
+// and after how many references. limit is the stream's approximate
+// length; the cut point is uniform in [0, limit).
+func (i *Injector) TruncateAfter(site string, limit int64) (int64, bool) {
+	if i == nil || i.cfg.Truncate <= 0 || limit <= 0 {
+		return 0, false
+	}
+	if i.roll("truncate", site, 0) >= i.cfg.Truncate {
+		return 0, false
+	}
+	return int64(i.roll("truncate.at", site, 1) * float64(limit)), true
+}
+
+// WrapSource applies the site's stream faults to src: when the truncation
+// schedule targets this site, the returned source ends the stream early
+// at the seed-chosen point. Otherwise src is returned unchanged.
+// approxLen is the expected stream length (a workload's configured
+// reference count).
+func (i *Injector) WrapSource(site string, src trace.Source, approxLen int64) trace.Source {
+	if n, ok := i.TruncateAfter(site, approxLen); ok {
+		return &truncatedSource{src: trace.Batched(src), left: n}
+	}
+	return src
+}
+
+// truncatedSource delivers at most the first `left` references of the
+// underlying stream, then reports clean end-of-stream — the signature of
+// a silently truncated trace.
+type truncatedSource struct {
+	src  trace.BatchSource
+	left int64
+}
+
+func (s *truncatedSource) Next() (trace.Ref, bool) {
+	if s.left <= 0 {
+		return trace.Ref{}, false
+	}
+	r, ok := s.src.Next()
+	if ok {
+		s.left--
+	}
+	return r, ok
+}
+
+func (s *truncatedSource) NextBatch(buf []trace.Ref) int {
+	if s.left <= 0 {
+		return 0
+	}
+	if int64(len(buf)) > s.left {
+		buf = buf[:s.left]
+	}
+	n := s.src.NextBatch(buf)
+	s.left -= int64(n)
+	return n
+}
+
+func (s *truncatedSource) CPUCount() int { return s.src.CPUCount() }
+
+// CorruptChunk mutates one reference of the chunk in place when the
+// stream's fault schedule targets chunk idx, and reports whether it did.
+// The caller computes the chunk's checksum before calling, so the
+// corruption models exactly what the checksum defends against: the
+// buffer changing between producer and consumer. expectChunks is the
+// approximate chunk count of the stream; the target chunk is uniform in
+// [0, expectChunks).
+func (i *Injector) CorruptChunk(site string, idx, expectChunks int64, refs []trace.Ref) bool {
+	if i == nil || i.cfg.Corrupt <= 0 || len(refs) == 0 {
+		return false
+	}
+	if i.roll("corrupt", site, 0) >= i.cfg.Corrupt {
+		return false
+	}
+	if expectChunks < 1 {
+		expectChunks = 1
+	}
+	if idx != int64(i.roll("corrupt.chunk", site, 1)*float64(expectChunks)) {
+		return false
+	}
+	j := int(i.roll("corrupt.ref", site, 2) * float64(len(refs)))
+	refs[j].Addr ^= 1 << 40
+	return true
+}
+
+// ChunkDelay returns the injected delay before delivering chunk idx of
+// the stream at site (zero for no delay).
+func (i *Injector) ChunkDelay(site string, idx int64) time.Duration {
+	if i == nil || i.cfg.Slow <= 0 {
+		return 0
+	}
+	if i.roll("slow", site, idx) < i.cfg.Slow {
+		return i.cfg.SlowDelay
+	}
+	return 0
+}
+
+// PoisonStamp reports whether the cache entry stored under key should be
+// stamped with a corrupted checksum. The decision is per key, so a
+// poisoned slot stays poisoned: every hit on it is rejected and the work
+// recomputed — the cache degrades to a recompute, never to serving bad
+// data.
+func (i *Injector) PoisonStamp(key string) bool {
+	return i != nil && i.cfg.Poison > 0 && i.roll("poison", key, 0) < i.cfg.Poison
+}

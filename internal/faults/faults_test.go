@@ -1,0 +1,266 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"dirsim/internal/trace"
+	"dirsim/internal/workload"
+)
+
+// TestNilInjectorIsInert checks every hook on a nil receiver: no faults,
+// no panics, sources returned untouched.
+func TestNilInjectorIsInert(t *testing.T) {
+	var inj *Injector
+	if err := inj.JobFault("job", 0); err != nil {
+		t.Errorf("nil injector returned job fault: %v", err)
+	}
+	if _, ok := inj.TruncateAfter("s", 1000); ok {
+		t.Error("nil injector truncates")
+	}
+	src := workload.POPS(4, 100).Iterator()
+	if got := inj.WrapSource("s", src, 100); got != src {
+		t.Error("nil injector wrapped source")
+	}
+	refs := []trace.Ref{{Addr: 64}}
+	if inj.CorruptChunk("s", 0, 1, refs) || refs[0].Addr != 64 {
+		t.Error("nil injector corrupted chunk")
+	}
+	if d := inj.ChunkDelay("s", 0); d != 0 {
+		t.Errorf("nil injector delays: %v", d)
+	}
+	if inj.PoisonStamp("k") {
+		t.Error("nil injector poisons")
+	}
+}
+
+// TestDeterministicSchedule replays every decision class with the same
+// seed and checks the outcomes are identical, and that a different seed
+// produces a different schedule somewhere.
+func TestDeterministicSchedule(t *testing.T) {
+	cfg := Config{Seed: 42, Panic: 0.1, Spurious: 0.2, Truncate: 0.3, Corrupt: 0.3, Slow: 0.2, Poison: 0.2}
+	record := func(inj *Injector) []string {
+		var out []string
+		for i := 0; i < 200; i++ {
+			site := "job" + string(rune('a'+i%7))
+			err := func() (err error) {
+				defer func() {
+					if r := recover(); r != nil {
+						err = errors.New("panic")
+					}
+				}()
+				return inj.JobFault(site, i)
+			}()
+			switch {
+			case err == nil:
+				out = append(out, "ok")
+			default:
+				out = append(out, err.Error())
+			}
+			if n, ok := inj.TruncateAfter(site, 10_000); ok {
+				out = append(out, "trunc", string(rune(n%256)))
+			}
+			out = append(out, inj.ChunkDelay(site, int64(i)).String())
+			if inj.PoisonStamp(site) {
+				out = append(out, "poison")
+			}
+		}
+		return out
+	}
+	a := record(New(cfg))
+	b := record(New(cfg))
+	if len(a) != len(b) {
+		t.Fatalf("schedules differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedule diverged at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+	cfg.Seed = 43
+	c := record(New(cfg))
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical schedules")
+	}
+}
+
+// TestJobFaultRates sanity-checks that the probabilities roughly hold and
+// that attempts draw independently (a spurious failure can clear on
+// retry).
+func TestJobFaultRates(t *testing.T) {
+	inj := New(Config{Seed: 7, Spurious: 0.5})
+	failures, recovered := 0, 0
+	for i := 0; i < 400; i++ {
+		site := "site" + string(rune('0'+i%10)) + string(rune('0'+i/10%10)) + string(rune('0'+i/100))
+		if err := inj.JobFault(site, 0); err != nil {
+			failures++
+			var sp *Spurious
+			if !errors.As(err, &sp) {
+				t.Fatalf("unexpected error type: %T", err)
+			}
+			if !sp.Retryable() {
+				t.Fatal("spurious error not retryable")
+			}
+			if inj.JobFault(site, 1) == nil {
+				recovered++
+			}
+		}
+	}
+	if failures < 120 || failures > 280 {
+		t.Errorf("spurious rate off: %d/400 at p=0.5", failures)
+	}
+	if recovered == 0 {
+		t.Error("no site recovered on retry; attempts not independent")
+	}
+}
+
+// TestTruncatedSource checks the wrapper cuts the stream at the scheduled
+// point under both scalar and batched reads.
+func TestTruncatedSource(t *testing.T) {
+	inj := New(Config{Seed: 1, Truncate: 1})
+	n, ok := inj.TruncateAfter("cut", 5000)
+	if !ok {
+		t.Fatal("p=1 truncation did not fire")
+	}
+	if n < 0 || n >= 5000 {
+		t.Fatalf("cut point out of range: %d", n)
+	}
+
+	count := func(src trace.Source) int64 {
+		b := trace.Batched(src)
+		buf := make([]trace.Ref, 512)
+		var total int64
+		for {
+			got := b.NextBatch(buf)
+			if got == 0 {
+				return total
+			}
+			total += int64(got)
+		}
+	}
+	tr := workload.POPS(4, 5000)
+	if got := count(inj.WrapSource("cut", tr.Iterator(), 5000)); got != n {
+		t.Errorf("batched read delivered %d refs, want %d", got, n)
+	}
+	scalar := inj.WrapSource("cut", tr.Iterator(), 5000)
+	var total int64
+	for {
+		if _, ok := scalar.Next(); !ok {
+			break
+		}
+		total++
+	}
+	if total != n {
+		t.Errorf("scalar read delivered %d refs, want %d", total, n)
+	}
+	if got := count(inj.WrapSource("clean", workload.POPS(4, 1000).Iterator(), 0)); got != 1000 {
+		t.Errorf("zero-length hint must disable truncation, got %d refs", got)
+	}
+}
+
+// TestCorruptChunk checks exactly one chunk of a stream gets exactly one
+// reference mutated, deterministically.
+func TestCorruptChunk(t *testing.T) {
+	inj := New(Config{Seed: 3, Corrupt: 1})
+	const chunks = 10
+	hit := -1
+	for idx := int64(0); idx < chunks; idx++ {
+		refs := refChunk(64, idx)
+		clean := refChunk(64, idx)
+		if inj.CorruptChunk("stream", idx, chunks, refs) {
+			if hit >= 0 {
+				t.Fatalf("corruption fired on chunks %d and %d", hit, idx)
+			}
+			hit = int(idx)
+			diff := 0
+			for i := range refs {
+				if refs[i] != clean[i] {
+					diff++
+				}
+			}
+			if diff != 1 {
+				t.Errorf("corruption changed %d refs, want 1", diff)
+			}
+			if trace.Checksum(refs) == trace.Checksum(clean) {
+				t.Error("corruption invisible to checksum")
+			}
+		} else if !equalRefs(refs, clean) {
+			t.Errorf("chunk %d mutated without reporting corruption", idx)
+		}
+	}
+	if hit < 0 {
+		t.Fatal("p=1 corruption never fired")
+	}
+	// Same schedule replays to the same chunk.
+	refs := refChunk(64, int64(hit))
+	if !New(Config{Seed: 3, Corrupt: 1}).CorruptChunk("stream", int64(hit), chunks, refs) {
+		t.Error("corruption schedule not reproducible")
+	}
+}
+
+func refChunk(n int, salt int64) []trace.Ref {
+	refs := make([]trace.Ref, n)
+	for i := range refs {
+		refs[i] = trace.Ref{Addr: uint64(salt)<<20 | uint64(i)*8, CPU: uint8(i % 4)}
+	}
+	return refs
+}
+
+func equalRefs(a, b []trace.Ref) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestParseSpec(t *testing.T) {
+	cfg, err := ParseSpec("panic=0.05, error=0.2,truncate=0.1,corrupt=0.15,slow=0.01,slowdelay=1ms,poison=0.3", 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Config{Seed: 99, Panic: 0.05, Spurious: 0.2, Truncate: 0.1,
+		Corrupt: 0.15, Slow: 0.01, SlowDelay: time.Millisecond, Poison: 0.3}
+	if cfg != want {
+		t.Errorf("ParseSpec = %+v, want %+v", cfg, want)
+	}
+	if !cfg.Enabled() {
+		t.Error("parsed config not Enabled")
+	}
+	empty, err := ParseSpec("  ", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.Enabled() {
+		t.Error("empty spec enabled faults")
+	}
+	for _, bad := range []string{"panic", "panic=2", "panic=x", "bogus=0.1", "slowdelay=fast"} {
+		if _, err := ParseSpec(bad, 0); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestGoroutineLeakHelper(t *testing.T) {
+	snap := Goroutines()
+	done := make(chan struct{})
+	go func() { <-done }()
+	if err := snap.Leaked(20 * time.Millisecond); err == nil {
+		t.Error("helper blind to a live extra goroutine")
+	}
+	close(done)
+	if err := snap.Leaked(2 * time.Second); err != nil {
+		t.Errorf("helper reported leak after goroutine exited: %v", err)
+	}
+}

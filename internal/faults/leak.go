@@ -1,0 +1,44 @@
+package faults
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// GoroutineSnapshot records the goroutine population at a point in time,
+// for asserting that an operation left no goroutines behind. Take one
+// before the operation under test and call Leaked after it.
+type GoroutineSnapshot struct {
+	n int
+}
+
+// Goroutines snapshots the current goroutine count.
+func Goroutines() GoroutineSnapshot {
+	return GoroutineSnapshot{n: runtime.NumGoroutine()}
+}
+
+// Leaked polls until the goroutine count returns to at most the
+// snapshot's baseline, or the timeout elapses. Goroutines unwind
+// asynchronously after a cancel, so a single immediate count would flag
+// leaks that are merely slow exits; polling separates "still shutting
+// down" from "stuck". On timeout it returns an error carrying a full
+// stack dump of every live goroutine, so the stuck one is identifiable
+// from the failure alone.
+func (s GoroutineSnapshot) Leaked(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= s.n {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			return fmt.Errorf("faults: %d goroutines leaked (%d now, %d at baseline); stacks:\n%s",
+				n-s.n, n, s.n, buf)
+		}
+		runtime.Gosched()
+		time.Sleep(2 * time.Millisecond)
+	}
+}

@@ -22,6 +22,11 @@ import (
 //	                            cache_hit)
 //	stream.end                  one per streamed generation (chunks,
 //	                            stalls)
+//	job.retry                   one per job re-attempt (attempt,
+//	                            backoff_us, error)
+//	job.panic                   one per recovered job-body panic (stack)
+//	cache.reject                one per cached entry failing integrity
+//	                            revalidation (key)
 //	simulate.finish             one per dirsim scheme run
 //	error                       terminal failure summary
 type Journal struct {

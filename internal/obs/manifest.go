@@ -36,6 +36,12 @@ type ManifestConfig struct {
 	Batch    int               `json:"batch"`
 	Executor string            `json:"executor"`
 	Seeds    map[string]uint64 `json:"seeds,omitempty"`
+	// Faults is the fault-injection spec the run was executed under and
+	// FaultSeed the seed driving its schedule; both empty/zero for clean
+	// runs. Together they make a fault run reproducible: the same spec
+	// and seed replay the identical fault schedule.
+	Faults    string `json:"faults,omitempty"`
+	FaultSeed uint64 `json:"fault_seed,omitempty"`
 }
 
 // ExperimentRun is one experiment's outcome.

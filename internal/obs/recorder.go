@@ -90,3 +90,26 @@ func (r *Recorder) StreamEnded(trace string, chunks, stalls int64) {
 	r.reg.Histogram("engine.stream.chunks", []int64{16, 64, 256, 1024, 4096, 16384}).Observe(chunks)
 	r.jnl.Event("stream.end", "trace", trace, "chunks", chunks, "stalls", stalls)
 }
+
+// The failure-path events below implement the engine's FaultObserver.
+// They journal only: the engine's own registry counters (engine.jobs.
+// panics/retries/timeouts, engine.cache.rejected) already count these, so
+// counting here again would double-report on a shared registry.
+
+// JobRetried records a retry decision: the attempt that failed, the
+// backoff about to be taken, and the triggering error.
+func (r *Recorder) JobRetried(id string, attempt int, backoff time.Duration, err error) {
+	r.jnl.Error("job.retry", err, "job", id, "attempt", attempt,
+		"backoff_us", backoff.Microseconds())
+}
+
+// JobPanicked records a recovered job-body panic with its stack, so a
+// crashed simulator is diagnosable from the journal alone.
+func (r *Recorder) JobPanicked(id string, stack []byte) {
+	r.jnl.Event("job.panic", "job", id, "stack", string(stack))
+}
+
+// CacheRejected records a cached entry failing integrity revalidation.
+func (r *Recorder) CacheRejected(key string) {
+	r.jnl.Event("cache.reject", "key", key)
+}

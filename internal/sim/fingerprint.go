@@ -1,0 +1,89 @@
+package sim
+
+import (
+	"math"
+	"sort"
+)
+
+// sumHash is FNV-1a folded over 64-bit words, matching trace.Checksum's
+// construction.
+type sumHash uint64
+
+const (
+	sumOffset = 14695981039346656037
+	sumPrime  = 1099511628211
+)
+
+func (h *sumHash) word(v uint64) {
+	*h ^= sumHash(v)
+	*h *= sumPrime
+}
+
+func (h *sumHash) str(s string) {
+	for i := 0; i < len(s); i++ {
+		h.word(uint64(s[i]))
+	}
+	h.word(uint64(len(s)))
+}
+
+func (h *sumHash) hist(buckets []int64) {
+	h.word(uint64(len(buckets)))
+	for _, b := range buckets {
+		h.word(uint64(b))
+	}
+}
+
+// Fingerprint hashes every measured field of the result — event counts,
+// histograms, traffic counters, and all bus and network tallies — into 64
+// bits. Results are pure functions of the reference sequence, so a
+// result's fingerprint is stable across executors and batch sizes; the
+// execution engine records it when a result enters the cache and, in
+// verification mode, revalidates it on every hit, so an entry corrupted
+// after the fact (a stray write, a mutated aggregate) is rejected and
+// recomputed instead of served. Map-valued fields are folded in sorted
+// key order, so the fingerprint does not depend on map iteration.
+func (r *Result) Fingerprint() uint64 {
+	h := sumHash(sumOffset)
+	h.str(r.Scheme)
+	h.str(r.Trace)
+	for _, n := range r.Counts.N {
+		h.word(uint64(n))
+	}
+	h.word(uint64(r.Counts.Total))
+	h.hist(r.InvalClean.Buckets)
+	h.hist(r.HoldersAtInval.Buckets)
+	h.word(uint64(r.Broadcasts))
+	h.word(uint64(r.SeqInvals))
+	h.word(uint64(r.ForcedInvals))
+	h.word(uint64(r.WriteBacks))
+
+	names := make([]string, 0, len(r.Tallies))
+	for name := range r.Tallies {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t := r.Tallies[name]
+		h.str(name)
+		h.word(uint64(t.Refs))
+		h.word(uint64(t.Transactions))
+		for _, c := range t.Cycles {
+			h.word(math.Float64bits(c))
+		}
+	}
+
+	names = names[:0]
+	for name := range r.NetTallies {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t := r.NetTallies[name]
+		h.str(name)
+		h.word(math.Float64bits(t.Cycles))
+		h.word(uint64(t.Messages))
+		h.word(uint64(t.Floods))
+		h.word(uint64(t.Refs))
+	}
+	return uint64(h)
+}

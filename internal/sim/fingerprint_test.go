@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"testing"
+
+	"dirsim/internal/network"
+	"dirsim/internal/workload"
+)
+
+// TestFingerprintStableAndSensitive runs a real simulation twice: the two
+// results must share a fingerprint, and mutating any measured field must
+// change it.
+func TestFingerprintStableAndSensitive(t *testing.T) {
+	tr := workload.POPS(4, 20_000)
+	opts := Options{Topologies: []network.Topology{network.Mesh(2, 2)}}
+	a, err := SimulateTrace("Dir0B", tr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateTrace("Dir0B", tr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := a.Fingerprint()
+	if b.Fingerprint() != base {
+		t.Fatal("identical runs produced different fingerprints")
+	}
+
+	mutations := []struct {
+		name string
+		do   func(r *Result)
+	}{
+		{"scheme", func(r *Result) { r.Scheme += "x" }},
+		{"trace", func(r *Result) { r.Trace += "x" }},
+		{"counts", func(r *Result) { r.Counts.N[0]++ }},
+		{"total", func(r *Result) { r.Counts.Total++ }},
+		{"hist", func(r *Result) { r.InvalClean.Observe(1) }},
+		{"broadcasts", func(r *Result) { r.Broadcasts++ }},
+		{"seqinvals", func(r *Result) { r.SeqInvals++ }},
+		{"writebacks", func(r *Result) { r.WriteBacks++ }},
+		{"tally refs", func(r *Result) {
+			for _, tl := range r.Tallies {
+				tl.Refs++
+				break
+			}
+		}},
+		{"tally cycles", func(r *Result) {
+			for _, tl := range r.Tallies {
+				tl.Cycles[0] += 1
+				break
+			}
+		}},
+		{"net cycles", func(r *Result) {
+			for _, tl := range r.NetTallies {
+				tl.Cycles += 1
+			}
+		}},
+	}
+	for _, m := range mutations {
+		mut, err := SimulateTrace("Dir0B", tr, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.do(mut)
+		if mut.Fingerprint() == base {
+			t.Errorf("fingerprint blind to %s mutation", m.name)
+		}
+	}
+}
+
+// TestFingerprintDistinguishesSchemes checks that two different runs do
+// not collide on the obvious axis.
+func TestFingerprintDistinguishesSchemes(t *testing.T) {
+	tr := workload.POPS(4, 15_000)
+	a, err := SimulateTrace("Dir0B", tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateTrace("Dragon", tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error("different schemes share a fingerprint")
+	}
+}
