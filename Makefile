@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race check soak bench bench-json bench-hotpath experiments clean
+.PHONY: build vet test race check soak bench bench-json bench-hotpath bench-obs trace-demo experiments clean
 
 build:
 	$(GO) build ./...
@@ -42,6 +42,21 @@ bench-json:
 # baseline at workers=1 and write BENCH_hotpath.json at the repo root.
 bench-hotpath:
 	DIRSIM_BENCH_JSON=1 $(GO) test -run TestWriteHotpathBenchJSON -v ./internal/sim
+
+# Measure the observability overhead on the hot path — telemetry off
+# (the default nil path, must stay within noise of BENCH_hotpath.json)
+# and on (ProtoSampler at stride 64) — and write BENCH_obs.json.
+bench-obs:
+	DIRSIM_BENCH_JSON=1 $(GO) test -run TestWriteObsBenchJSON -v ./internal/sim
+
+# Produce a sample execution trace from the POPS workload: trace-demo.json
+# is Chrome trace-event JSON — open it in Perfetto (ui.perfetto.dev) or
+# chrome://tracing to see the scheme simulations and sampled coherence
+# events (see EXPERIMENTS.md, "Reading a run trace").
+trace-demo:
+	$(GO) run ./cmd/dirsim -workload pops -cpus 4 -refs 200000 \
+		-schemes Dir1NB,Dir0B,Dragon -tracejson trace-demo.json -protosample 32
+	@echo "wrote trace-demo.json — open it at https://ui.perfetto.dev"
 
 # Regenerate every table and figure concurrently on all cores.
 experiments:

@@ -12,6 +12,15 @@
 // simulation; -journal streams structured JSONL events (one
 // simulate.finish per scheme with its wall time and headline numbers) to
 // a file or stderr.
+//
+// -tracejson exports the run's timeline — one span per simulated scheme
+// plus sampled coherence-protocol instants (invalidations of clean
+// shared blocks, broadcasts, forced invalidations) — as Chrome
+// trace-event JSON loadable in Perfetto or chrome://tracing. (-trace is
+// the binary *input* trace; the JSON *output* trace is -tracejson.)
+// -protosample tunes the telemetry stride: every Nth coherence event
+// becomes a trace instant (0 auto-enables 64 with -tracejson, negative
+// disables).
 package main
 
 import (
@@ -23,6 +32,7 @@ import (
 
 	"dirsim/internal/core"
 	"dirsim/internal/obs"
+	exectrace "dirsim/internal/obs/trace"
 	"dirsim/internal/sim"
 	"dirsim/internal/trace"
 	"dirsim/internal/verify"
@@ -43,6 +53,8 @@ func main() {
 		csvOut  = flag.String("csv", "", "additionally write results as CSV to this file ('-' for stdout)")
 		conform = flag.Bool("conformance", false, "run the full correctness battery (model check + kernels + application trace) on each scheme instead of a simulation")
 		journal = flag.String("journal", "", "write a JSONL run journal to this file ('-' or 'stderr' for standard error)")
+		traceJS = flag.String("tracejson", "", "export a Chrome trace-event JSON timeline to this file ('-' for stdout; load in Perfetto or chrome://tracing)")
+		protoN  = flag.Int("protosample", 0, "coherence-telemetry stride: every Nth coherence event becomes a trace instant (0 auto-enables 64 with -tracejson, negative disables)")
 	)
 	flag.Parse()
 	if *conform {
@@ -52,7 +64,7 @@ func main() {
 		}
 		return
 	}
-	if err := run(*wl, *traceIn, *cpus, *refs, *schemes, *stats, *events, *nospins, *check, *csvOut, *journal); err != nil {
+	if err := run(*wl, *traceIn, *cpus, *refs, *schemes, *stats, *events, *nospins, *check, *csvOut, *journal, *traceJS, *protoN); err != nil {
 		fmt.Fprintln(os.Stderr, "dirsim:", err)
 		os.Exit(1)
 	}
@@ -84,7 +96,7 @@ func runConformance(schemes string) error {
 	return nil
 }
 
-func run(wl, traceIn string, cpus, refs int, schemes string, stats, events, nospins, check bool, csvOut, journal string) error {
+func run(wl, traceIn string, cpus, refs int, schemes string, stats, events, nospins, check bool, csvOut, journal, traceJS string, protoN int) error {
 	var jnl *obs.Journal
 	if journal != "" {
 		var err error
@@ -93,6 +105,19 @@ func run(wl, traceIn string, cpus, refs int, schemes string, stats, events, nosp
 		}
 		defer jnl.Close()
 	}
+	// Telemetry defaults on (stride 64) when a trace export will show it,
+	// off otherwise; the nil Telemetry path costs the simulator nothing.
+	if protoN == 0 && traceJS != "" {
+		protoN = 64
+	}
+	if protoN < 0 {
+		protoN = 0
+	}
+	var tr *exectrace.Tracer
+	if traceJS != "" {
+		tr = exectrace.New()
+	}
+	reg := obs.NewRegistry()
 	t, err := loadTrace(wl, traceIn, cpus, refs)
 	if err != nil {
 		return err
@@ -124,7 +149,19 @@ func run(wl, traceIn string, cpus, refs int, schemes string, stats, events, nosp
 				simRefs, simTime = refs, elapsed
 			}
 		}
+		lane := tr.Lane()
+		var span *exectrace.Span
+		if lane != nil {
+			span = lane.Span(0, "sim", "simulate:"+scheme+"@"+t.Name)
+		}
+		if protoN > 0 {
+			opts.Telemetry = obs.NewProtoSampler(reg, scheme, protoN, lane, span.ID())
+		}
 		res, err := sim.Simulate(p, src, opts)
+		if span != nil {
+			span.Arg("refs", len(t.Refs)).End(err)
+			lane.Release()
+		}
 		if err != nil {
 			jnl.Error("error", err, "scheme", scheme, "trace", t.Name)
 			return err
@@ -137,6 +174,11 @@ func run(wl, traceIn string, cpus, refs int, schemes string, stats, events, nosp
 		printResult(res, events)
 	}
 	jnl.Event("run.finish", "schemes_run", len(results))
+	if traceJS != "" {
+		if err := tr.WriteFile(traceJS); err != nil {
+			return fmt.Errorf("tracejson: %w", err)
+		}
+	}
 	if csvOut != "" {
 		w := os.Stdout
 		if csvOut != "-" {

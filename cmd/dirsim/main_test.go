@@ -54,7 +54,7 @@ func TestLoadTraceFromFile(t *testing.T) {
 func TestRunEndToEnd(t *testing.T) {
 	dir := t.TempDir()
 	csvPath := filepath.Join(dir, "out.csv")
-	if err := run("pingpong", "", 2, 2000, "Dir0B,Dragon", true, true, false, true, csvPath, ""); err != nil {
+	if err := run("pingpong", "", 2, 2000, "Dir0B,Dragon", true, true, false, true, csvPath, "", "", 0); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(csvPath)
@@ -68,10 +68,10 @@ func TestRunEndToEnd(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("pingpong", "", 2, 100, "NotAScheme", false, false, false, false, "", ""); err == nil {
+	if err := run("pingpong", "", 2, 100, "NotAScheme", false, false, false, false, "", "", "", 0); err == nil {
 		t.Error("unknown scheme accepted")
 	}
-	if err := run("bogus", "", 2, 100, "Dir0B", false, false, false, false, "", ""); err == nil {
+	if err := run("bogus", "", 2, 100, "Dir0B", false, false, false, false, "", "", "", 0); err == nil {
 		t.Error("unknown workload accepted")
 	}
 }
@@ -86,8 +86,50 @@ func TestRunConformance(t *testing.T) {
 }
 
 func TestRunWithSpinsFiltered(t *testing.T) {
-	if err := run("spincontend", "", 4, 2000, "Dir1NB", false, false, true, false, "", ""); err != nil {
+	if err := run("spincontend", "", 4, 2000, "Dir1NB", false, false, true, false, "", "", "", 0); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunWithTraceJSON checks -tracejson writes a valid Chrome
+// trace-event file with one simulate span per scheme and sampled
+// protocol instants.
+func TestRunWithTraceJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := run("pingpong", "", 2, 4000, "Dir0B,WTI", false, false, false, false, "", "", path, 4); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Cat  string `json:"cat"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &tf); err != nil {
+		t.Fatalf("trace not valid JSON: %v", err)
+	}
+	spans := map[string]bool{}
+	instants := 0
+	for _, ev := range tf.TraceEvents {
+		if ev.Ph == "X" {
+			spans[ev.Name] = true
+		}
+		if ev.Ph == "i" && ev.Cat == "proto" {
+			instants++
+		}
+	}
+	for _, want := range []string{"simulate:Dir0B@pingpong", "simulate:WTI@pingpong"} {
+		if !spans[want] {
+			t.Errorf("missing span %q", want)
+		}
+	}
+	if instants == 0 {
+		t.Error("no sampled protocol instants in trace (pingpong writes shared data; stride 4 must sample some)")
 	}
 }
 
@@ -95,7 +137,7 @@ func TestRunWithSpinsFiltered(t *testing.T) {
 // simulate.finish span per scheme, each with its wall time.
 func TestRunWithJournal(t *testing.T) {
 	journal := filepath.Join(t.TempDir(), "run.jsonl")
-	if err := run("pingpong", "", 2, 2000, "Dir0B,Dragon", false, false, false, false, "", journal); err != nil {
+	if err := run("pingpong", "", 2, 2000, "Dir0B,Dragon", false, false, false, false, "", journal, "", 0); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(journal)

@@ -23,6 +23,15 @@
 // per-experiment wall times, and engine counters as JSON. Any of them
 // also prints a per-phase timing and cache summary to stderr.
 //
+// -trace exports the run's execution timeline — job DAG, worker
+// occupancy, stream back-pressure, retries, sampled protocol events — as
+// Chrome trace-event JSON loadable in Perfetto (ui.perfetto.dev) or
+// chrome://tracing. -listen starts a live HTTP monitor serving /metrics
+// (Prometheus text exposition), /runz (JSON run progress), and
+// /debug/pprof/*. Either flag auto-enables sampled coherence-protocol
+// telemetry; -protosample tunes its stride (every Nth coherence event
+// lands as a trace instant) or forces it on without the other flags.
+//
 // When experiments fail, every failure is reported (not just the first),
 // a final "error" journal event summarizes them, and the exit code is
 // non-zero; the surviving experiments still print.
@@ -42,6 +51,8 @@ import (
 	"dirsim/internal/engine"
 	"dirsim/internal/faults"
 	"dirsim/internal/obs"
+	"dirsim/internal/obs/httpmon"
+	exectrace "dirsim/internal/obs/trace"
 	"dirsim/internal/report"
 	"dirsim/internal/workload"
 )
@@ -64,6 +75,10 @@ type config struct {
 	verify    bool
 	retries   int
 	timeout   time.Duration
+
+	trace       string
+	listen      string
+	protoSample int
 }
 
 func main() {
@@ -84,6 +99,9 @@ func main() {
 	flag.BoolVar(&cfg.verify, "verify", false, "validate stream checksums, reference counts, and cached results during the run")
 	flag.IntVar(&cfg.retries, "retries", 0, "re-attempts per job body after a retryable failure")
 	flag.DurationVar(&cfg.timeout, "timeout", 0, "per-job deadline (0 disables)")
+	flag.StringVar(&cfg.trace, "trace", "", "export the run's execution timeline as Chrome trace-event JSON to this file ('-' for stdout; load in Perfetto or chrome://tracing)")
+	flag.StringVar(&cfg.listen, "listen", "", "serve a live HTTP monitor on this address (e.g. ':8080'): /metrics, /runz, /debug/pprof/")
+	flag.IntVar(&cfg.protoSample, "protosample", 0, "coherence-telemetry stride: every Nth coherence event becomes a trace instant (0 auto-enables 64 with -trace or -listen, negative disables)")
 	flag.Parse()
 	if err := runExperiments(os.Stdout, os.Stderr, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -130,6 +148,20 @@ func runSelected(w, ew io.Writer, cfg config, exps []report.Experiment) error {
 
 	observing := cfg.journal != "" || cfg.metrics != "" || cfg.pprofDir != "" || cfg.manifest != ""
 	reg := obs.NewRegistry()
+	// Protocol telemetry defaults on (stride 64) whenever someone is
+	// looking — a trace export or a live monitor — and stays off otherwise
+	// so the plain CLI path keeps its zero-cost hot loop.
+	protoSample := cfg.protoSample
+	if protoSample == 0 && (cfg.trace != "" || cfg.listen != "") {
+		protoSample = 64
+	}
+	if protoSample < 0 {
+		protoSample = 0
+	}
+	var tr *exectrace.Tracer
+	if cfg.trace != "" {
+		tr = exectrace.New()
+	}
 	var jnl *obs.Journal
 	if cfg.journal != "" {
 		var err error
@@ -140,7 +172,8 @@ func runSelected(w, ew io.Writer, cfg config, exps []report.Experiment) error {
 	}
 	var rec *obs.Recorder
 	opts := engine.Options{Workers: parallel, BatchRefs: cfg.batch, Metrics: reg,
-		Verify: cfg.verify, Retries: cfg.retries, JobTimeout: cfg.timeout}
+		Verify: cfg.verify, Retries: cfg.retries, JobTimeout: cfg.timeout,
+		Tracer: tr, ProtoSample: protoSample}
 	if cfg.faults != "" {
 		fcfg, err := faults.ParseSpec(cfg.faults, cfg.faultSeed)
 		if err != nil {
@@ -166,6 +199,20 @@ func runSelected(w, ew io.Writer, cfg config, exps []report.Experiment) error {
 	ctx := report.NewContextWith(cfg.refs, cfg.cpus, eng, exec)
 	ctx.Check = cfg.check
 	ctx.Observe(rec)
+
+	status := obs.NewRunStatus()
+	ctx.Track(status)
+	if cfg.listen != "" {
+		mon, err := httpmon.Start(cfg.listen, httpmon.Options{
+			Metrics: reg,
+			Runz:    func() any { return status.Report(reg) },
+		})
+		if err != nil {
+			return err
+		}
+		defer mon.Close()
+		fmt.Fprintf(ew, "experiments: monitoring on http://%s (/metrics, /runz, /debug/pprof/)\n", mon.Addr())
+	}
 
 	start := time.Now()
 	jnl.Event("run.start", "run", cfg.sel, "refs", ctx.Refs, "cpus", ctx.CPUs,
@@ -242,12 +289,18 @@ func runSelected(w, ew io.Writer, cfg config, exps []report.Experiment) error {
 		"experiments", len(exps), "failed", len(failed),
 		"cache_hits", stats.CacheHits, "cache_misses", stats.CacheMisses)
 
+	if cfg.trace != "" {
+		if err := tr.WriteFile(cfg.trace); err != nil {
+			errs = append(errs, fmt.Errorf("trace: %w", err))
+		}
+	}
 	if cfg.metrics != "" {
 		if err := writeMetrics(w, reg, cfg.metrics); err != nil {
 			errs = append(errs, err)
 		}
 	}
 	if cfg.manifest != "" {
+		cfg.protoSample = protoSample // record the resolved stride, not the flag
 		m := buildManifest(cfg, ctx, exec, parallel, exps, outs, stats, rec, start, wall)
 		if err := m.Write(cfg.manifest); err != nil {
 			errs = append(errs, err)
@@ -290,18 +343,22 @@ func buildManifest(cfg config, ctx *report.Context, exec engine.Executor, parall
 		}
 	}
 	m := &obs.RunManifest{
+		Schema:      obs.SchemaVersion,
 		Command:     "experiments",
 		Start:       start,
 		WallSeconds: wall.Seconds(),
 		Config: obs.ManifestConfig{
-			Run:      cfg.sel,
-			Refs:     ctx.Refs,
-			CPUs:     ctx.CPUs,
-			Check:    ctx.Check,
-			Parallel: parallel,
-			Batch:    ctx.Engine().BatchRefs(),
-			Executor: exec.Name(),
-			Seeds:    seeds,
+			Run:         cfg.sel,
+			Refs:        ctx.Refs,
+			CPUs:        ctx.CPUs,
+			Check:       ctx.Check,
+			Parallel:    parallel,
+			Batch:       ctx.Engine().BatchRefs(),
+			Executor:    exec.Name(),
+			Seeds:       seeds,
+			Trace:       cfg.trace,
+			Listen:      cfg.listen,
+			ProtoSample: cfg.protoSample,
 		},
 		Experiments:   runs,
 		Engine:        ctx.Engine().Metrics().Snapshot().Counters,

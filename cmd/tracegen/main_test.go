@@ -1,10 +1,13 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
+	"dirsim/internal/obs"
 	"dirsim/internal/trace"
 	"dirsim/internal/workload"
 )
@@ -40,15 +43,15 @@ func TestGenerateInspectConvertRoundTrip(t *testing.T) {
 	txt := filepath.Join(dir, "t.txt")
 
 	// Generate binary.
-	if err := run("pops", 2, 3000, 0, bin, "binary", "", ""); err != nil {
+	if err := run("pops", 2, 3000, 0, bin, "binary", "", "", ""); err != nil {
 		t.Fatal(err)
 	}
 	// Inspect it (writes stats to stdout).
-	if err := run("", 0, 0, 0, "", "", bin, ""); err != nil {
+	if err := run("", 0, 0, 0, "", "", bin, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	// Convert binary -> text.
-	if err := run("", 0, 0, 0, txt, "text", "", bin); err != nil {
+	if err := run("", 0, 0, 0, txt, "text", "", bin, ""); err != nil {
 		t.Fatal(err)
 	}
 	// The text file must parse back to the same trace.
@@ -75,14 +78,68 @@ func TestGenerateInspectConvertRoundTrip(t *testing.T) {
 	}
 }
 
+// TestRunWithJournal checks -journal brackets the run with valid JSONL
+// carrying the schema version and a generate.finish event with the
+// resolved seed.
+func TestRunWithJournal(t *testing.T) {
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "run.jsonl")
+	bin := filepath.Join(dir, "t.trc")
+	if err := run("pops", 2, 3000, 0, bin, "binary", "", "", journal); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var msgs []string
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("journal line not valid JSON: %v\n%s", err, line)
+		}
+		if int(m["schema"].(float64)) != obs.SchemaVersion {
+			t.Errorf("journal line missing schema %d: %v", obs.SchemaVersion, m)
+		}
+		msgs = append(msgs, m["msg"].(string))
+		if m["msg"] == "generate.finish" {
+			if m["trace"] != "pops" || m["refs"].(float64) <= 0 || m["seed"].(float64) == 0 {
+				t.Errorf("generate.finish fields wrong: %v", m)
+			}
+		}
+	}
+	want := []string{"run.start", "generate.finish", "run.finish"}
+	if len(msgs) != len(want) {
+		t.Fatalf("journal events = %v, want %v", msgs, want)
+	}
+	for i := range want {
+		if msgs[i] != want[i] {
+			t.Fatalf("journal events = %v, want %v", msgs, want)
+		}
+	}
+
+	// Errors land in the journal too.
+	journal2 := filepath.Join(dir, "err.jsonl")
+	if err := run("bogus", 2, 100, 0, "", "binary", "", "", journal2); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	data, err = os.ReadFile(journal2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"level":"ERROR"`) {
+		t.Errorf("journal has no error event:\n%s", data)
+	}
+}
+
 func TestRunErrorsTracegen(t *testing.T) {
-	if err := run("", 0, 0, 0, "", "binary", "", ""); err == nil {
+	if err := run("", 0, 0, 0, "", "binary", "", "", ""); err == nil {
 		t.Error("no action should be an error")
 	}
-	if err := run("pops", 2, 100, 0, "", "xml", "", ""); err == nil {
+	if err := run("pops", 2, 100, 0, "", "xml", "", "", ""); err == nil {
 		t.Error("unknown format accepted")
 	}
-	if err := run("", 0, 0, 0, "", "", "/nonexistent/file", ""); err == nil {
+	if err := run("", 0, 0, 0, "", "", "/nonexistent/file", "", ""); err == nil {
 		t.Error("missing inspect file accepted")
 	}
 }

@@ -34,6 +34,7 @@ import (
 
 	"dirsim/internal/faults"
 	"dirsim/internal/obs"
+	exectrace "dirsim/internal/obs/trace"
 	"dirsim/internal/sim"
 	"dirsim/internal/trace"
 )
@@ -71,6 +72,18 @@ type Options struct {
 	// FaultObserver additionally receives retry, panic, and
 	// cache-rejection events.
 	Observer Observer
+	// Tracer, when non-nil, records the run's execution timeline: a span
+	// per job, attempt, stream production/consumption, and simulation,
+	// plus instants for retries, back-pressure stalls, and streamed
+	// chunks, exportable as Chrome trace-event JSON. nil (the default)
+	// disables tracing; the only cost left anywhere is a nil check.
+	Tracer *exectrace.Tracer
+	// ProtoSample, when positive, attaches sampled coherence-protocol
+	// telemetry to every simulation: per-scheme counters and the live
+	// invalidation histogram on the engine's registry, plus — when Tracer
+	// is also set — one trace instant per ProtoSample coherence events.
+	// 0 (the default) disables telemetry entirely.
+	ProtoSample int
 
 	// JobTimeout bounds each job-body attempt; 0 means no per-job
 	// deadline. A per-Job Timeout overrides it.
@@ -155,9 +168,12 @@ type Engine struct {
 	results *flightCache // Key → job output (typically *sim.Result)
 	traces  *flightCache // Key → *trace.Trace
 
-	reg  *obs.Registry // metrics registry the counters below live on
-	obs  Observer      // nil disables observation
-	fobs FaultObserver // obs narrowed to failure events, nil when not implemented
+	reg    *obs.Registry     // metrics registry the counters below live on
+	obs    Observer          // nil disables observation
+	fobs   FaultObserver     // obs narrowed to failure events, nil when not implemented
+	tracer *exectrace.Tracer // nil disables execution tracing
+	// protoSample is the coherence-telemetry stride; 0 disables it.
+	protoSample int
 
 	// Lifetime counters, resolved from the registry once at construction
 	// so every update is a single atomic add.
@@ -165,6 +181,7 @@ type Engine struct {
 	cacheHits       *obs.Counter
 	cacheMisses     *obs.Counter
 	simsRun         *obs.Counter
+	refsSimulated   *obs.Counter
 	tracesGenerated *obs.Counter
 	tracesStreamed  *obs.Counter
 	streamChunks    *obs.Counter
@@ -219,10 +236,13 @@ func New(opts Options) *Engine {
 		reg:             reg,
 		obs:             opts.Observer,
 		fobs:            fobs,
+		tracer:          opts.Tracer,
+		protoSample:     opts.ProtoSample,
 		jobsRun:         reg.Counter("engine.jobs.run"),
 		cacheHits:       reg.Counter("engine.cache.hits"),
 		cacheMisses:     reg.Counter("engine.cache.misses"),
 		simsRun:         reg.Counter("engine.sims.run"),
+		refsSimulated:   reg.Counter("engine.refs.simulated"),
 		tracesGenerated: reg.Counter("engine.traces.generated"),
 		tracesStreamed:  reg.Counter("engine.traces.streamed"),
 		streamChunks:    reg.Counter("engine.stream.chunks"),
@@ -243,8 +263,10 @@ type Stats struct {
 	// from (or claimed into) the result and trace caches.
 	CacheHits   int64
 	CacheMisses int64
-	// SimsRun counts protocol simulations executed.
-	SimsRun int64
+	// SimsRun counts protocol simulations executed; RefsSimulated totals
+	// the references they processed — the numerator of refs/s.
+	SimsRun       int64
+	RefsSimulated int64
 	// TracesGenerated counts materialized trace generations;
 	// TracesStreamed counts streamed (chunked multicast) generations.
 	TracesGenerated int64
@@ -279,6 +301,7 @@ func (e *Engine) Stats() Stats {
 		CacheHits:       e.cacheHits.Value(),
 		CacheMisses:     e.cacheMisses.Value(),
 		SimsRun:         e.simsRun.Value(),
+		RefsSimulated:   e.refsSimulated.Value(),
 		TracesGenerated: e.tracesGenerated.Value(),
 		TracesStreamed:  e.tracesStreamed.Value(),
 		StreamChunks:    e.streamChunks.Value(),
@@ -561,18 +584,22 @@ func (e *Engine) runOrSkip(ctx context.Context, j *Job, failFast bool) error {
 }
 
 // skipJob marks j failed because dependency d failed, emitting the usual
-// observer span so traces show the skip.
+// observer span (and a short trace span) so traces show the skip.
 func (e *Engine) skipJob(j, d *Job) error {
 	j.met.Started = time.Now()
 	if e.obs != nil {
 		e.obs.JobStarted(j.ID, JobKind(j.ID), observedKey(j.Key))
 	}
+	lane := e.tracer.Lane()
+	span := lane.Span(0, "job", j.ID).Arg("kind", JobKind(j.ID)).Arg("skipped", true)
 	j.err = &JobError{
 		ID:   j.ID,
 		Kind: JobKind(j.ID),
 		Key:  observedKey(j.Key),
 		Err:  fmt.Errorf("dependency %s failed: %w", d.ID, d.err),
 	}
+	span.End(j.err)
+	lane.Release()
 	j.met.Finished = time.Now()
 	if e.obs != nil {
 		e.obs.JobFinished(j.ID, JobKind(j.ID), observedKey(j.Key),
@@ -600,8 +627,26 @@ func (e *Engine) runJob(ctx context.Context, j *Job) error {
 	if e.obs != nil {
 		e.obs.JobStarted(j.ID, JobKind(j.ID), observedKey(j.Key))
 	}
+	// The job's root span lives on a lane owned by this worker goroutine
+	// for the job's whole duration; the lane+span travel down through the
+	// context so attempts and simulations parent correctly. With tracing
+	// off (nil tracer) every step here is a nil-check no-op and the
+	// context is left untouched.
+	lane := e.tracer.Lane()
+	var span *exectrace.Span
+	if lane != nil {
+		span = lane.Span(0, "job", j.ID).Arg("kind", JobKind(j.ID))
+		if k := observedKey(j.Key); k != "" {
+			span.Arg("key", k)
+		}
+		ctx = exectrace.NewContext(ctx, lane, span.ID())
+	}
 	defer func() {
 		j.met.Finished = time.Now()
+		if span != nil {
+			span.Arg("cache_hit", j.met.CacheHit).End(j.err)
+			lane.Release()
+		}
 		if e.obs != nil {
 			e.obs.JobFinished(j.ID, JobKind(j.ID), observedKey(j.Key),
 				j.met.Duration(), j.met.CacheHit, j.err)
@@ -678,6 +723,10 @@ func (e *Engine) runBody(ctx context.Context, j *Job) (any, error) {
 		if e.fobs != nil {
 			e.fobs.JobRetried(j.ID, attempt, backoff, je.Err)
 		}
+		if lane, parent := exectrace.FromContext(ctx); lane != nil {
+			lane.Instant(parent, "engine", "retry",
+				"attempt", attempt, "backoff_us", backoff.Microseconds(), "error", je.Err.Error())
+		}
 		t := time.NewTimer(backoff)
 		select {
 		case <-t.C:
@@ -718,6 +767,15 @@ func (e *Engine) attempt(ctx context.Context, j *Job, attempt int) (out any, err
 	if timeout > 0 {
 		attemptCtx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
+	}
+	// The attempt span is registered before the recover defer below, so it
+	// runs after it (LIFO) and records the error the recovery produced.
+	// The attempt's context carries the attempt span as the new parent,
+	// so simulation spans nest under the attempt that ran them.
+	if lane, parent := exectrace.FromContext(ctx); lane != nil {
+		sp := lane.Span(parent, "attempt", fmt.Sprintf("attempt:%d", attempt))
+		attemptCtx = exectrace.NewContext(attemptCtx, lane, sp.ID())
+		defer func() { sp.End(err) }()
 	}
 	defer func() {
 		if r := recover(); r != nil {

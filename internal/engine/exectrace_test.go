@@ -1,0 +1,251 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"testing"
+
+	exectrace "dirsim/internal/obs/trace"
+	"dirsim/internal/workload"
+)
+
+// traceEvent mirrors the Chrome trace-event fields the acceptance
+// criteria require: pid/tid/ph/ts/dur, plus name and the args map the
+// exporter uses for parent links.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   *float64       `json:"ts"`
+	Dur  *float64       `json:"dur"`
+	PID  *int           `json:"pid"`
+	TID  *int           `json:"tid"`
+	ID   uint64         `json:"id"`
+	Args map[string]any `json:"args"`
+}
+
+type traceFile struct {
+	TraceEvents []traceEvent `json:"traceEvents"`
+}
+
+type flakyErr struct{ n int }
+
+func (e flakyErr) Error() string   { return fmt.Sprintf("transient failure %d", e.n) }
+func (e flakyErr) Retryable() bool { return true }
+
+// TestEngineTraceExport runs a real concurrent sweep — streamed
+// generation, several schemes, plus a flaky job that needs two retries —
+// with the tracer on, exports the trace, and validates the Chrome
+// trace-event JSON end to end: required fields on every event, every
+// scheduled job and every retry attempt represented as spans, and child
+// spans contained within their parents' intervals.
+func TestEngineTraceExport(t *testing.T) {
+	tr := exectrace.New()
+	e := New(Options{Workers: 4, Tracer: tr, ProtoSample: 64, Retries: 2, RetryBackoff: 1})
+
+	cfgs := workload.StandardConfigs(4, 20_000)[:2]
+	schemes := []string{"Dir0B", "Dir4NB", "WTI"}
+	ctx := context.Background()
+	if _, err := e.Compare(ctx, Parallel{}, schemes, cfgs, false); err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+
+	// A job that fails twice with a retryable error before succeeding:
+	// the trace must show all three attempts plus two retry instants.
+	fails := 0
+	flaky := &Job{
+		ID: "sim:flaky@test",
+		Run: func(context.Context, []any) (any, error) {
+			if fails < 2 {
+				fails++
+				return nil, flakyErr{n: fails}
+			}
+			return "ok", nil
+		},
+	}
+	if err := e.Execute(ctx, Sequential{}, flaky); err != nil {
+		t.Fatalf("flaky job: %v", err)
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var tf traceFile
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v", err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		t.Fatal("empty trace")
+	}
+
+	spans := map[uint64]traceEvent{}
+	spanNames := map[string]int{}
+	retryInstants := 0
+	for _, ev := range tf.TraceEvents {
+		if ev.PID == nil || ev.TID == nil || ev.Ph == "" || ev.TS == nil {
+			t.Fatalf("event %q missing required field: %+v", ev.Name, ev)
+		}
+		switch ev.Ph {
+		case "M":
+			continue
+		case "X":
+			if ev.Dur == nil {
+				t.Fatalf("complete event %q has no dur", ev.Name)
+			}
+			spans[ev.ID] = ev
+			spanNames[ev.Name]++
+		case "i":
+			if ev.Name == "retry" {
+				retryInstants++
+			}
+		default:
+			t.Fatalf("unexpected phase %q on %q", ev.Ph, ev.Name)
+		}
+	}
+
+	// Every scheduled job is represented as a span named by its ID: the
+	// stream jobs, one sim job per (scheme, workload), the merge jobs,
+	// and the flaky ad-hoc job.
+	var wantJobs []string
+	for _, cfg := range cfgs {
+		wantJobs = append(wantJobs, "stream:"+cfg.Name)
+		for _, s := range schemes {
+			wantJobs = append(wantJobs, fmt.Sprintf("sim:%s@%s", s, cfg.Name))
+		}
+	}
+	for _, s := range schemes {
+		wantJobs = append(wantJobs, "merge:"+s)
+	}
+	wantJobs = append(wantJobs, "sim:flaky@test")
+	for _, id := range wantJobs {
+		if spanNames[id] == 0 {
+			t.Errorf("job %q has no span in the trace", id)
+		}
+	}
+
+	// Every retry attempt is represented: the flaky job ran three
+	// attempts (attempt:0 through attempt:2) and fired two retry
+	// instants. Attempt spans also exist for every other executed job.
+	if spanNames["attempt:0"] == 0 || spanNames["attempt:1"] == 0 || spanNames["attempt:2"] == 0 {
+		t.Errorf("missing attempt spans: %v", spanNames)
+	}
+	if retryInstants != 2 {
+		t.Errorf("got %d retry instants, want 2", retryInstants)
+	}
+
+	// The streamed sweep's structure is visible: per-subscriber consume
+	// spans and per-simulation simulate spans.
+	for _, cfg := range cfgs {
+		if spanNames["produce:"+cfg.Name] == 0 {
+			t.Errorf("no producer span for %s", cfg.Name)
+		}
+		for _, s := range schemes {
+			if spanNames[fmt.Sprintf("consume:%s@%s", s, cfg.Name)] == 0 {
+				t.Errorf("no consume span for %s@%s", s, cfg.Name)
+			}
+			if spanNames[fmt.Sprintf("simulate:%s@%s", s, cfg.Name)] == 0 {
+				t.Errorf("no simulate span for %s@%s", s, cfg.Name)
+			}
+		}
+	}
+
+	// Span nesting is consistent: every child with a same-lane parent
+	// lies within the parent's [ts, ts+dur] interval (small epsilon for
+	// the ns→µs float conversion).
+	const eps = 1e-3
+	nested := 0
+	for _, ev := range spans {
+		pid, ok := ev.Args["parent"].(float64)
+		if !ok {
+			continue
+		}
+		p, ok := spans[uint64(pid)]
+		if !ok {
+			continue // parent is an instant or on a lane-crossing link
+		}
+		if *ev.TID != *p.TID {
+			continue // cross-lane parent: containment not required
+		}
+		nested++
+		if *ev.TS < *p.TS-eps || *ev.TS+*ev.Dur > *p.TS+*p.Dur+eps {
+			t.Errorf("span %q [%v, %v] escapes parent %q [%v, %v]",
+				ev.Name, *ev.TS, *ev.TS+*ev.Dur, p.Name, *p.TS, *p.TS+*p.Dur)
+		}
+	}
+	if nested == 0 {
+		t.Error("no same-lane parent/child span pairs found — nesting unverified")
+	}
+
+	// Sampled protocol telemetry landed on the engine registry.
+	snap := e.Metrics().Snapshot()
+	if snap.Counters["sim.proto.dir0b.clean_writes"] == 0 {
+		t.Error("protocol telemetry counters absent with ProtoSample on")
+	}
+	if h := snap.Histograms["sim.proto.dir0b.invals_clean_write"]; h.Count == 0 {
+		t.Error("invalidation histogram empty with ProtoSample on")
+	}
+	if snap.Counters["engine.refs.simulated"] == 0 {
+		t.Error("engine.refs.simulated not counted")
+	}
+}
+
+// TestTracedRunMatchesUntraced pins the zero-interference property: the
+// same sweep with tracing and telemetry on produces bit-identical
+// results to an untraced run.
+func TestTracedRunMatchesUntraced(t *testing.T) {
+	cfgs := workload.StandardConfigs(4, 15_000)[:2]
+	schemes := []string{"Dir1B", "Dragon"}
+	ctx := context.Background()
+
+	plain := New(Options{Workers: 4})
+	want, err := plain.Compare(ctx, Parallel{}, schemes, cfgs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced := New(Options{Workers: 4, Tracer: exectrace.New(), ProtoSample: 16})
+	got, err := traced.Compare(ctx, Parallel{}, schemes, cfgs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range schemes {
+		if want[s].Fingerprint() != got[s].Fingerprint() {
+			t.Errorf("scheme %s: traced run diverged from untraced", s)
+		}
+	}
+}
+
+// TestJobErrorLandsOnSpan checks failed jobs carry their error into the
+// exported args.
+func TestJobErrorLandsOnSpan(t *testing.T) {
+	tr := exectrace.New()
+	e := New(Options{Tracer: tr})
+	boom := errors.New("boom")
+	j := &Job{ID: "sim:bad@x", Run: func(context.Context, []any) (any, error) { return nil, boom }}
+	if err := e.Execute(context.Background(), Sequential{}, j); err == nil {
+		t.Fatal("job unexpectedly succeeded")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tf traceFile
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, ev := range tf.TraceEvents {
+		if ev.Name == "sim:bad@x" && ev.Ph == "X" {
+			if s, _ := ev.Args["error"].(string); s == "" {
+				t.Errorf("job span has no error arg: %v", ev.Args)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Error("failed job has no span")
+	}
+}

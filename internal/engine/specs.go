@@ -7,6 +7,8 @@ import (
 	"sync"
 
 	"dirsim/internal/core"
+	"dirsim/internal/obs"
+	exectrace "dirsim/internal/obs/trace"
 	"dirsim/internal/sim"
 	"dirsim/internal/trace"
 	"dirsim/internal/workload"
@@ -241,6 +243,7 @@ func (e *Engine) RunProtocolOverTraces(ctx context.Context, exec Executor,
 					return nil, err
 				}
 				e.simsRun.Add(1)
+				e.refsSimulated.Add(r.Counts.Total)
 				r.Trace = t.Name
 				return r, nil
 			},
@@ -442,6 +445,12 @@ func (e *Engine) streamGroup(ctx context.Context, cfg workload.Config,
 	gctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	// The producer and every subscriber run on their own goroutines, so
+	// each acquires its own trace lane; their spans all parent to the
+	// stream job's span (carried by ctx), keeping the fan-out visible as
+	// one subtree even though it occupies several timeline rows.
+	_, jobSpan := exectrace.FromContext(ctx)
+
 	b := newBroadcast(cfg, len(specs), e.chunkRefs, e.chunkWindow, !e.discard)
 	b.verify = e.verify
 	b.inj = e.faults
@@ -451,7 +460,17 @@ func (e *Engine) streamGroup(ctx context.Context, cfg workload.Config,
 	pwg.Add(1)
 	go func() {
 		defer pwg.Done()
+		plane := e.tracer.Lane()
+		var pspan *exectrace.Span
+		if plane != nil {
+			pspan = plane.Span(jobSpan, "stream", "produce:"+cfg.Name).Arg("subs", len(specs))
+			b.tlane, b.tspan = plane, pspan.ID()
+		}
 		produced, prodErr = b.run(gctx)
+		if pspan != nil {
+			pspan.Arg("chunks", b.chunks).Arg("stalls", b.stalls).End(prodErr)
+			plane.Release()
+		}
 	}()
 
 	results := make([]*sim.Result, len(specs))
@@ -462,17 +481,29 @@ func (e *Engine) streamGroup(ctx context.Context, cfg workload.Config,
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			slane := e.tracer.Lane()
+			var sspan *exectrace.Span
+			sctx := gctx
+			if slane != nil {
+				sspan = slane.Span(jobSpan, "stream",
+					fmt.Sprintf("consume:%s@%s", specs[i].Scheme, cfg.Name))
+				b.subs[i].tlane, b.subs[i].tspan = slane, sspan.ID()
+				sctx = exectrace.NewContext(gctx, slane, sspan.ID())
+				defer slane.Release()
+				defer func() { sspan.End(errs[i]) }()
+			}
 			// Deferred in reverse run order: the recover stops a panicking
 			// simulator first, then the drain releases this subscriber's
 			// remaining chunks so the producer and the chunk pool are not
-			// left hanging on a dead consumer.
+			// left hanging on a dead consumer (and the span/lane teardown
+			// above runs last, after the error is known).
 			defer b.subs[i].drain()
 			defer func() {
 				if r := recover(); r != nil {
 					errs[i] = &panicError{val: r, stack: debug.Stack()}
 				}
 			}()
-			r, err := e.simulateSource(gctx, specs[i], b.subs[i], -1)
+			r, err := e.simulateSource(sctx, specs[i], b.subs[i], -1)
 			if err != nil {
 				errs[i] = err
 				return
@@ -534,7 +565,18 @@ func (e *Engine) streamGroup(ctx context.Context, cfg workload.Config,
 // unknown, e.g. streamed sources, whose accounting the stream group
 // reconciles itself); in verification mode a shortfall is reported as a
 // truncation error instead of returning the silently partial result.
-func (e *Engine) simulateSource(ctx context.Context, spec SimSpec, src trace.Source, expect int64) (*sim.Result, error) {
+func (e *Engine) simulateSource(ctx context.Context, spec SimSpec, src trace.Source, expect int64) (res *sim.Result, err error) {
+	lane, parent := exectrace.FromContext(ctx)
+	var sp *exectrace.Span
+	if lane != nil {
+		sp = lane.Span(parent, "sim", fmt.Sprintf("simulate:%s@%s", spec.Scheme, spec.Trace.Name))
+		defer func() {
+			if res != nil {
+				sp.Arg("refs", res.Counts.Total)
+			}
+			sp.End(err)
+		}()
+	}
 	p, err := core.NewByName(spec.Scheme, spec.Trace.CPUs)
 	if err != nil {
 		return nil, err
@@ -551,7 +593,15 @@ func (e *Engine) simulateSource(ctx context.Context, spec SimSpec, src trace.Sou
 			return nil, err
 		}
 	}
-	r, err := sim.Simulate(p, cancellable(ctx, src), sim.Options{Check: spec.Check, BatchRefs: e.batchRefs})
+	opts := sim.Options{Check: spec.Check, BatchRefs: e.batchRefs}
+	if e.protoSample > 0 {
+		// The sampler is per-simulation (its instants land on this
+		// goroutine's lane, under the simulate span) but its instruments
+		// are per-scheme on the engine's registry, so concurrent runs
+		// accumulate into one family.
+		opts.Telemetry = obs.NewProtoSampler(e.reg, spec.Scheme, e.protoSample, lane, sp.ID())
+	}
+	r, err := sim.Simulate(p, cancellable(ctx, src), opts)
 	if err != nil {
 		return nil, err
 	}
@@ -566,6 +616,7 @@ func (e *Engine) simulateSource(ctx context.Context, spec SimSpec, src trace.Sou
 			spec.Scheme, spec.Trace.Name, r.Counts.Total, expect)
 	}
 	e.simsRun.Add(1)
+	e.refsSimulated.Add(r.Counts.Total)
 	r.Trace = spec.Trace.Name
 	return r, nil
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"dirsim/internal/faults"
+	exectrace "dirsim/internal/obs/trace"
 	"dirsim/internal/trace"
 	"dirsim/internal/workload"
 )
@@ -58,6 +59,12 @@ type broadcast struct {
 	// when non-nil, injects stream faults. Both are set before run.
 	verify bool
 	inj    *faults.Injector
+
+	// tlane/tspan, when set (by the producer goroutine before run),
+	// record a back-pressure stall instant each time a send finds a
+	// subscriber's window full. Only the producer touches them.
+	tlane *exectrace.Lane
+	tspan exectrace.SpanID
 
 	// chunks counts chunks multicast; stalls counts sends that found a
 	// subscriber's channel full and had to block — the generator waiting
@@ -161,6 +168,9 @@ func (b *broadcast) run(ctx context.Context) (*trace.Trace, error) {
 				// The subscriber's window is full: the generator is about
 				// to park on it. Counted so chunk-window tuning has data.
 				b.stalls++
+				if b.tlane != nil {
+					b.tlane.Instant(b.tspan, "stream", "stall", "chunk", c.idx, "sub", si)
+				}
 			}
 			select {
 			case s.ch <- c:
@@ -205,6 +215,11 @@ type streamSource struct {
 	// err is set when the subscriber detects chunk corruption; the stream
 	// then ends early and the group surfaces the error for this spec.
 	err error
+	// tlane/tspan, when set (by the subscriber goroutine before it starts
+	// consuming), record a chunk-received instant per chunk. Only the
+	// consuming goroutine touches them.
+	tlane *exectrace.Lane
+	tspan exectrace.SpanID
 }
 
 // release hands the finished chunk back; the last subscriber out returns
@@ -266,6 +281,9 @@ func (s *streamSource) advance() bool {
 			s.cur = c
 			s.release()
 			return false
+		}
+		if s.tlane != nil {
+			s.tlane.Instant(s.tspan, "stream", "chunk", "idx", c.idx, "refs", len(c.refs))
 		}
 		s.cur, s.pos = c, 0
 	}

@@ -1,0 +1,90 @@
+// Package httpmon is the opt-in live HTTP monitor the CLIs start behind
+// -listen: /metrics serves the run's registry in Prometheus text
+// exposition, /runz a JSON snapshot of run progress (per-experiment
+// state, cache hit ratio, refs/s), and /debug/pprof/* the standard Go
+// profiling handlers. Everything is read-only and served from a private
+// mux, so importing this package never touches http.DefaultServeMux's
+// routing of another server.
+package httpmon
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"dirsim/internal/obs"
+)
+
+// Options configures a monitor. Nil fields disable their endpoint's
+// content, not the endpoint: /metrics with no registry serves an empty
+// exposition, /runz with no Runz serves {}.
+type Options struct {
+	// Metrics is the registry /metrics exposes.
+	Metrics *obs.Registry
+	// Runz returns the current run-progress value for /runz; it is
+	// called per request and must be safe for concurrent use
+	// (obs.RunStatus.Report is).
+	Runz func() any
+}
+
+// Server is a running monitor. Close it when the run ends.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Start listens on addr (":0" picks a free port, reported by Addr) and
+// serves the monitor endpoints until Close.
+func Start(addr string, opts Options) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("httpmon: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if opts.Metrics != nil {
+			opts.Metrics.WritePrometheus(w)
+		}
+	})
+	mux.HandleFunc("/runz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var v any = struct{}{}
+		if opts.Runz != nil {
+			v = opts.Runz()
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(v)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprint(w, `<html><body><h1>dirsim monitor</h1><ul>
+<li><a href="/runz">/runz</a> — live run progress</li>
+<li><a href="/metrics">/metrics</a> — Prometheus text exposition</li>
+<li><a href="/debug/pprof/">/debug/pprof/</a> — Go profiling</li>
+</ul></body></html>`)
+	})
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the address the monitor is listening on, with the real
+// port when Start was given ":0".
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server, interrupting in-flight requests.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -34,11 +34,18 @@ type Journal struct {
 	closer io.Closer
 }
 
+// SchemaVersion identifies the shape of the observability outputs: the
+// journal's event envelope and the run manifest. Every journal line and
+// manifest carries it as "schema", so downstream parsers can detect
+// format changes instead of guessing. Bump it whenever either format
+// changes incompatibly (see DESIGN.md for the version history).
+const SchemaVersion = 2
+
 // NewJournal writes events to w. The slog JSON handler serializes
 // concurrent writes, so one journal can be shared by every goroutine of
-// a run.
+// a run. Every line carries the journal schema version.
 func NewJournal(w io.Writer) *Journal {
-	return &Journal{log: slog.New(slog.NewJSONHandler(w, nil))}
+	return &Journal{log: slog.New(slog.NewJSONHandler(w, nil)).With(slog.Int("schema", SchemaVersion))}
 }
 
 // OpenJournal opens a JSONL journal at path; "-" and "stderr" select

@@ -102,6 +102,94 @@ func TestJournalConcurrentWritersProduceWholeLines(t *testing.T) {
 	}
 }
 
+// atomicFailWriter accepts whole writes until its budget is spent, then
+// rejects them entirely — modelling a sink that fails between records (a
+// closed pipe, a full disk under line-buffered writes). It never takes a
+// partial write, the property the journal relies on for valid output.
+type atomicFailWriter struct {
+	budget int
+	buf    bytes.Buffer
+}
+
+func (w *atomicFailWriter) Write(p []byte) (int, error) {
+	if w.buf.Len()+len(p) > w.budget {
+		return 0, errors.New("sink full")
+	}
+	return w.buf.Write(p)
+}
+
+// TestJournalTruncatedSinkKeepsValidJSONL starves the journal's sink
+// mid-run: everything that did land must still be valid JSONL (dropped
+// events are fine, spliced half-lines are not), and the journal must
+// keep accepting events without panicking after the sink dies.
+func TestJournalTruncatedSinkKeepsValidJSONL(t *testing.T) {
+	w := &atomicFailWriter{budget: 700}
+	j := NewJournal(w)
+	for i := 0; i < 50; i++ {
+		j.Event("job.finish", "i", i, "pad", strings.Repeat("x", 24))
+	}
+	events := decodeLines(t, w.buf.Bytes())
+	if len(events) == 0 || len(events) >= 50 {
+		t.Fatalf("got %d events; the sink budget should admit some but not all", len(events))
+	}
+	for _, m := range events {
+		if int(m["schema"].(float64)) != SchemaVersion {
+			t.Fatalf("event missing schema %d: %v", SchemaVersion, m)
+		}
+	}
+}
+
+// lineAtomicWriter fails the test if any Write is not exactly one
+// complete, self-contained JSON line. That atomicity — one record, one
+// Write, one line — is what makes a crash-truncated journal parsable up
+// to its last newline and concurrent writers unable to interleave.
+type lineAtomicWriter struct {
+	t  *testing.T
+	mu sync.Mutex
+	n  int
+}
+
+func (w *lineAtomicWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(p) == 0 || p[len(p)-1] != '\n' || bytes.IndexByte(p[:len(p)-1], '\n') >= 0 {
+		w.t.Errorf("record is not one complete line: %q", p)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(p, &m); err != nil {
+		w.t.Errorf("record is not self-contained JSON: %v\n%s", err, p)
+	}
+	w.n++
+	return len(p), nil
+}
+
+// TestJournalWritesAreLineAtomic pins the one-record-one-Write-one-line
+// property under concurrency: every write the sink sees parses on its
+// own, so a reader of a concurrently written or crash-truncated journal
+// only ever loses the trailing partial line.
+func TestJournalWritesAreLineAtomic(t *testing.T) {
+	w := &lineAtomicWriter{t: t}
+	j := NewJournal(w)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				j.Event("job.finish", "g", g, "i", i)
+				j.Error("job.retry", errors.New("transient"), "g", g)
+			}
+		}()
+	}
+	wg.Wait()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.n != 8*25*2 {
+		t.Errorf("sink saw %d writes, want %d", w.n, 8*25*2)
+	}
+}
+
 func TestOpenJournalStderrAliases(t *testing.T) {
 	for _, alias := range []string{"-", "stderr"} {
 		j, err := OpenJournal(alias)

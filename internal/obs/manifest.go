@@ -12,6 +12,9 @@ import (
 // per-experiment wall times, the engine's lifetime counters, the cache
 // hit ratio, and the per-phase time breakdown.
 type RunManifest struct {
+	// Schema is the manifest format version (SchemaVersion at write
+	// time); parsers branch on it to survive format changes.
+	Schema      int              `json:"schema"`
 	Command     string           `json:"command"`
 	Start       time.Time        `json:"start"`
 	WallSeconds float64          `json:"wall_seconds"`
@@ -42,6 +45,12 @@ type ManifestConfig struct {
 	// and seed replay the identical fault schedule.
 	Faults    string `json:"faults,omitempty"`
 	FaultSeed uint64 `json:"fault_seed,omitempty"`
+	// Trace is the execution-trace output path (-trace) and Listen the
+	// HTTP monitor address (-listen); empty when off. ProtoSample is the
+	// protocol-telemetry sampling stride (0 = off).
+	Trace       string `json:"trace,omitempty"`
+	Listen      string `json:"listen,omitempty"`
+	ProtoSample int    `json:"proto_sample,omitempty"`
 }
 
 // ExperimentRun is one experiment's outcome.

@@ -2,8 +2,9 @@
 // instruments on a Registry, a structured JSONL run journal, span-style
 // timing helpers with a per-phase breakdown, pprof capture, and the run
 // manifest written by cmd/experiments. It depends only on the standard
-// library, so any package — the execution engine included — can report
-// into it without import cycles.
+// library and the leaf packages internal/event and internal/obs/trace,
+// so any package — the execution engine included — can report into it
+// without import cycles.
 //
 // Hot paths are single atomic operations: a Counter or Gauge update is
 // one atomic add, a Histogram observation is a binary search over a
@@ -16,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -113,6 +115,45 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	return s
 }
 
+// Quantile estimates the q-quantile (q in [0, 1]) from the snapshot's
+// buckets by linear interpolation within the containing bucket — the
+// same estimate Prometheus's histogram_quantile computes. A quantile
+// landing in the +Inf bucket reports the largest finite bound (the
+// buckets cannot resolve anything beyond it). Returns 0 for an empty
+// histogram.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum int64
+	for i, c := range s.Counts {
+		prev := float64(cum)
+		cum += c
+		if float64(cum) < rank || c == 0 {
+			continue
+		}
+		if i >= len(s.Bounds) {
+			return float64(s.Bounds[len(s.Bounds)-1])
+		}
+		hi := float64(s.Bounds[i])
+		if i == 0 {
+			if hi <= 0 {
+				return hi
+			}
+			return hi * (rank - prev) / float64(c)
+		}
+		lo := float64(s.Bounds[i-1])
+		return lo + (hi-lo)*(rank-prev)/float64(c)
+	}
+	return float64(s.Bounds[len(s.Bounds)-1])
+}
+
 // DurationBucketsUS is the default bound set for duration histograms, in
 // microseconds: 100µs up to 10s, one bucket per decade.
 var DurationBucketsUS = []int64{100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000}
@@ -203,26 +244,33 @@ func (r *Registry) Snapshot() Snapshot {
 
 // WriteText writes an expvar-style text exposition, one "name value"
 // line per instrument, sorted by name. Histograms expand into .count,
-// .sum, and cumulative .le.<bound> lines (plus .le.inf), the same shape
-// Prometheus text exposition uses.
+// .sum, cumulative .le.<bound> lines (plus .le.inf), and estimated
+// .p50/.p95/.p99 quantile lines, the same shape Prometheus text
+// exposition uses.
 func (r *Registry) WriteText(w io.Writer) error {
 	snap := r.Snapshot()
-	lines := make(map[string]int64, len(snap.Counters)+len(snap.Gauges)+8*len(snap.Histograms))
+	lines := make(map[string]string, len(snap.Counters)+len(snap.Gauges)+12*len(snap.Histograms))
 	for name, v := range snap.Counters {
-		lines[name] = v
+		lines[name] = strconv.FormatInt(v, 10)
 	}
 	for name, v := range snap.Gauges {
-		lines[name] = v
+		lines[name] = strconv.FormatInt(v, 10)
 	}
 	for name, h := range snap.Histograms {
-		lines[name+".count"] = h.Count
-		lines[name+".sum"] = h.Sum
+		lines[name+".count"] = strconv.FormatInt(h.Count, 10)
+		lines[name+".sum"] = strconv.FormatInt(h.Sum, 10)
 		cum := int64(0)
 		for i, bound := range h.Bounds {
 			cum += h.Counts[i]
-			lines[fmt.Sprintf("%s.le.%d", name, bound)] = cum
+			lines[fmt.Sprintf("%s.le.%d", name, bound)] = strconv.FormatInt(cum, 10)
 		}
-		lines[name+".le.inf"] = cum + h.Counts[len(h.Bounds)]
+		lines[name+".le.inf"] = strconv.FormatInt(cum+h.Counts[len(h.Bounds)], 10)
+		for _, q := range [...]struct {
+			suffix string
+			q      float64
+		}{{".p50", 0.5}, {".p95", 0.95}, {".p99", 0.99}} {
+			lines[name+q.suffix] = strconv.FormatFloat(h.Quantile(q.q), 'g', -1, 64)
+		}
 	}
 	names := make([]string, 0, len(lines))
 	for name := range lines {
@@ -230,7 +278,7 @@ func (r *Registry) WriteText(w io.Writer) error {
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		if _, err := fmt.Fprintf(w, "%s %d\n", name, lines[name]); err != nil {
+		if _, err := fmt.Fprintf(w, "%s %s\n", name, lines[name]); err != nil {
 			return err
 		}
 	}

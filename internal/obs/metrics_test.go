@@ -94,11 +94,52 @@ func TestWriteText(t *testing.T) {
 		"c.hist.le.10 1",
 		"c.hist.le.100 2",
 		"c.hist.le.inf 3",
+		// One observation per bucket: the median interpolates to the
+		// middle of the (10, 100] bucket; the tail quantiles land in the
+		// +Inf bucket and clamp to the largest finite bound.
+		"c.hist.p50 55",
+		"c.hist.p95 100",
+		"c.hist.p99 100",
 		"c.hist.sum 555",
 		"",
 	}, "\n")
 	if b.String() != want {
 		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram([]int64{10, 100, 1000})
+	for i := 0; i < 100; i++ {
+		h.Observe(int64(i % 10)) // all 100 observations in the first bucket
+	}
+	s := h.Snapshot()
+	// Whole population ≤ 10: interpolation inside the first bucket.
+	if got := s.Quantile(0.5); got != 5 {
+		t.Errorf("p50 = %g, want 5", got)
+	}
+	if got := s.Quantile(1); got != 10 {
+		t.Errorf("p100 = %g, want 10", got)
+	}
+
+	h2 := newHistogram([]int64{10})
+	h2.Observe(99) // +Inf bucket only
+	if got := h2.Snapshot().Quantile(0.5); got != 10 {
+		t.Errorf("+Inf-bucket quantile = %g, want largest finite bound 10", got)
+	}
+
+	var empty HistogramSnapshot
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %g, want 0", got)
+	}
+
+	h3 := newHistogram([]int64{0, 1, 2})
+	h3.Observe(0)
+	h3.Observe(0)
+	h3.Observe(1)
+	// Zero-valued first bound must not interpolate below zero.
+	if got := h3.Snapshot().Quantile(0.25); got != 0 {
+		t.Errorf("p25 = %g, want 0", got)
 	}
 }
 

@@ -3,8 +3,10 @@ package obs
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 )
@@ -80,6 +82,72 @@ func TestRecorderSpan(t *testing.T) {
 	if len(rec.Phases()) != 1 || rec.Phases()[0].Phase != "experiment" {
 		t.Errorf("phases = %v", rec.Phases())
 	}
+}
+
+// TestRecorderConcurrentUse exercises one shared Recorder — spans,
+// engine-observer callbacks, and fault events — from many goroutines at
+// once, the way a parallel experiment run drives it. Run under -race
+// this pins the recorder's concurrency safety; afterwards the journal
+// must still be whole-line JSONL and the phase breakdown must account
+// for every span and job.
+func TestRecorderConcurrentUse(t *testing.T) {
+	var buf syncBuffer
+	rec := NewRecorder(NewRegistry(), NewJournal(&buf))
+	const goroutines, iters = 12, 40
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				id := fmt.Sprintf("sim:S%d@w%d", g, i)
+				sp := rec.StartSpan("experiment", id)
+				rec.JobScheduled(id, "sim", "k")
+				rec.JobStarted(id, "sim", "k")
+				rec.JobFinished(id, "sim", "k", time.Microsecond, i%2 == 0, nil)
+				rec.JobRetried(id, 1, time.Microsecond, errors.New("transient"))
+				rec.StreamEnded("w", 4, 1)
+				sp.End(nil)
+			}
+		}()
+	}
+	wg.Wait()
+
+	decodeLines(t, buf.Bytes()) // every journal line is valid JSON
+	phases := map[string]PhaseStat{}
+	for _, s := range rec.Phases() {
+		phases[s.Phase] = s
+	}
+	if n := phases["experiment"].Count; n != goroutines*iters {
+		t.Errorf("experiment spans = %d, want %d", n, goroutines*iters)
+	}
+	if n := phases["simulate"].Count; n != goroutines*iters {
+		t.Errorf("simulate jobs = %d, want %d", n, goroutines*iters)
+	}
+	if n := rec.Registry().Histogram("engine.stream.chunks", nil).Count(); n != goroutines*iters {
+		t.Errorf("stream histogram count = %d, want %d", n, goroutines*iters)
+	}
+}
+
+// syncBuffer is a mutex-guarded bytes.Buffer: the slog handler
+// serializes its own writes, but the test's final read must not race
+// with them either.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) Bytes() []byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Bytes()
 }
 
 func TestFreestandingSpan(t *testing.T) {

@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// RunStatus tracks the live state of a CLI run's experiments for the
+// HTTP monitor's /runz endpoint. All methods are safe for concurrent
+// use; a nil *RunStatus is a valid no-op, so the report pipeline threads
+// it unconditionally.
+type RunStatus struct {
+	mu    sync.Mutex
+	start time.Time
+	order []string
+	exps  map[string]*expStatus
+}
+
+type expStatus struct {
+	title    string
+	state    string // "running" | "done" | "failed"
+	err      string
+	started  time.Time
+	finished time.Time
+}
+
+// NewRunStatus returns a status tracker whose uptime counts from now.
+func NewRunStatus() *RunStatus {
+	return &RunStatus{start: time.Now(), exps: make(map[string]*expStatus)}
+}
+
+// ExpStarted marks an experiment as running. No-op on nil.
+func (s *RunStatus) ExpStarted(id, title string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.exps[id]; !ok {
+		s.order = append(s.order, id)
+	}
+	s.exps[id] = &expStatus{title: title, state: "running", started: time.Now()}
+}
+
+// ExpFinished marks an experiment done or failed. No-op on nil.
+func (s *RunStatus) ExpFinished(id string, err error) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.exps[id]
+	if !ok {
+		e = &expStatus{}
+		s.order = append(s.order, id)
+		s.exps[id] = e
+	}
+	e.finished = time.Now()
+	if err != nil {
+		e.state, e.err = "failed", err.Error()
+	} else {
+		e.state = "done"
+	}
+}
+
+// RunzReport is the JSON served on /runz: run progress plus the derived
+// throughput figures a dashboard wants without scraping raw counters.
+type RunzReport struct {
+	Schema    int       `json:"schema"`
+	Now       time.Time `json:"now"`
+	UptimeSec float64   `json:"uptime_seconds"`
+
+	Experiments []RunzExperiment `json:"experiments"`
+	Running     int              `json:"running"`
+	Done        int              `json:"done"`
+	Failed      int              `json:"failed"`
+
+	// CacheHitRatio is hits/(hits+misses) over the engine's keyed
+	// lookups so far; RefsPerSec is simulated references over uptime.
+	CacheHitRatio float64 `json:"cache_hit_ratio"`
+	RefsSimulated int64   `json:"refs_simulated"`
+	RefsPerSec    float64 `json:"refs_per_sec"`
+	SimsRun       int64   `json:"sims_run"`
+	JobsRun       int64   `json:"jobs_run"`
+}
+
+// RunzExperiment is one experiment's live state.
+type RunzExperiment struct {
+	ID      string  `json:"id"`
+	Title   string  `json:"title,omitempty"`
+	State   string  `json:"state"`
+	Seconds float64 `json:"seconds"`
+	Error   string  `json:"error,omitempty"`
+}
+
+// Report assembles the current /runz view, deriving throughput and cache
+// figures from the engine counters on reg (which may be nil). Safe to
+// call while the run mutates both the status and the registry.
+func (s *RunStatus) Report(reg *Registry) RunzReport {
+	now := time.Now()
+	rep := RunzReport{Schema: SchemaVersion, Now: now}
+	if s != nil {
+		s.mu.Lock()
+		rep.UptimeSec = now.Sub(s.start).Seconds()
+		for _, id := range s.order {
+			e := s.exps[id]
+			end := e.finished
+			if e.state == "running" {
+				end = now
+			}
+			rep.Experiments = append(rep.Experiments, RunzExperiment{
+				ID:      id,
+				Title:   e.title,
+				State:   e.state,
+				Seconds: end.Sub(e.started).Seconds(),
+				Error:   e.err,
+			})
+			switch e.state {
+			case "running":
+				rep.Running++
+			case "failed":
+				rep.Failed++
+			default:
+				rep.Done++
+			}
+		}
+		s.mu.Unlock()
+	}
+	if reg != nil {
+		snap := reg.Snapshot()
+		rep.CacheHitRatio = HitRatio(snap.Counters["engine.cache.hits"], snap.Counters["engine.cache.misses"])
+		rep.RefsSimulated = snap.Counters["engine.refs.simulated"]
+		rep.SimsRun = snap.Counters["engine.sims.run"]
+		rep.JobsRun = snap.Counters["engine.jobs.run"]
+		if rep.UptimeSec > 0 {
+			rep.RefsPerSec = float64(rep.RefsSimulated) / rep.UptimeSec
+		}
+	}
+	return rep
+}

@@ -1,0 +1,122 @@
+package exectrace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestWriteJSONChromeFormat(t *testing.T) {
+	tr := New()
+	l := tr.Lane()
+	root := l.Span(0, "job", "sim:Dir1B@pops")
+	child := l.Span(root.ID(), "attempt", "attempt:0")
+	l.Instant(child.ID(), "engine", "stream.stall", "chunk", 3)
+	child.End(nil)
+	root.End(nil)
+	l.Release()
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var got chromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v", err)
+	}
+	if got.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", got.DisplayTimeUnit)
+	}
+
+	var meta, complete, instants int
+	byName := map[string]chromeEvent{}
+	for _, ev := range got.TraceEvents {
+		if ev.PID != tracePID {
+			t.Errorf("event %q has pid %d, want %d", ev.Name, ev.PID, tracePID)
+		}
+		switch ev.Ph {
+		case "M":
+			meta++
+		case "X":
+			complete++
+			if ev.TID < 1 {
+				t.Errorf("span %q on tid %d", ev.Name, ev.TID)
+			}
+			if ev.Dur < 0 {
+				t.Errorf("span %q has negative dur", ev.Name)
+			}
+			byName[ev.Name] = ev
+		case "i":
+			instants++
+			if ev.Scope != "t" {
+				t.Errorf("instant %q scope = %q, want t", ev.Name, ev.Scope)
+			}
+			byName[ev.Name] = ev
+		default:
+			t.Errorf("unexpected phase %q", ev.Ph)
+		}
+	}
+	// process_name + per-lane thread_name and thread_sort_index.
+	if meta != 3 {
+		t.Errorf("got %d metadata events, want 3", meta)
+	}
+	if complete != 2 || instants != 1 {
+		t.Errorf("got %d complete + %d instant events, want 2 + 1", complete, instants)
+	}
+
+	r, c, i := byName["sim:Dir1B@pops"], byName["attempt:0"], byName["stream.stall"]
+	if got := c.Args["parent"]; got != float64(r.ID) {
+		t.Errorf("attempt parent arg = %v, want %d", got, r.ID)
+	}
+	if got := i.Args["parent"]; got != float64(c.ID) {
+		t.Errorf("instant parent arg = %v, want %d", got, c.ID)
+	}
+	if got := i.Args["chunk"]; got != float64(3) {
+		t.Errorf("instant chunk arg = %v", got)
+	}
+	// Containment in exported microseconds (epsilon for float division).
+	const eps = 1e-3
+	if c.TS < r.TS-eps || c.TS+c.Dur > r.TS+r.Dur+eps {
+		t.Errorf("attempt [%v,%v] escapes job [%v,%v]", c.TS, c.TS+c.Dur, r.TS, r.TS+r.Dur)
+	}
+}
+
+func TestWriteJSONNilTracerIsValidEmptyTrace(t *testing.T) {
+	var tr *Tracer
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON on nil tracer: %v", err)
+	}
+	var got chromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("empty trace is not valid JSON: %v", err)
+	}
+	if len(got.TraceEvents) != 0 {
+		t.Errorf("nil tracer exported %d events", len(got.TraceEvents))
+	}
+	// traceEvents must be [] not null, or viewers reject the file.
+	if !strings.Contains(buf.String(), `"traceEvents": []`) {
+		t.Error("traceEvents serialized as null")
+	}
+}
+
+func TestWriteFile(t *testing.T) {
+	tr := New()
+	l := tr.Lane()
+	l.Span(0, "job", "x").End(nil)
+	l.Release()
+
+	path := t.TempDir() + "/trace.json"
+	if err := tr.WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Error error-path: unwritable directory.
+	if err := tr.WriteFile(t.TempDir() + "/no/such/dir/trace.json"); err == nil {
+		t.Error("WriteFile to missing directory succeeded")
+	}
+}

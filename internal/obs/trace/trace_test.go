@@ -1,0 +1,145 @@
+package exectrace
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestSpanRecordsOnEnd(t *testing.T) {
+	tr := New()
+	l := tr.Lane()
+	root := l.Span(0, "job", "sim:Dir0B@pops")
+	child := l.Span(root.ID(), "attempt", "attempt:0").Arg("n", 1)
+	child.End(nil)
+	root.Arg("cache_hit", false).End(errors.New("boom"))
+	l.Instant(root.ID(), "engine", "retry", "attempt", 0)
+	l.Release()
+
+	evs := tr.Events()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	byName := map[string]Event{}
+	for _, ev := range evs {
+		byName[ev.Name] = ev
+	}
+	r, c, i := byName["sim:Dir0B@pops"], byName["attempt:0"], byName["retry"]
+	if r.Ph != 'X' || c.Ph != 'X' || i.Ph != 'i' {
+		t.Errorf("phases wrong: %c %c %c", r.Ph, c.Ph, i.Ph)
+	}
+	if c.Parent != r.ID || i.Parent != r.ID {
+		t.Errorf("parents wrong: child=%d instant=%d root=%d", c.Parent, i.Parent, r.ID)
+	}
+	if r.Err != "boom" {
+		t.Errorf("root error = %q, want boom", r.Err)
+	}
+	// The child's interval must sit inside the parent's.
+	if c.TS < r.TS || c.TS+c.Dur > r.TS+r.Dur {
+		t.Errorf("child [%d,%d] escapes parent [%d,%d]", c.TS, c.TS+c.Dur, r.TS, r.TS+r.Dur)
+	}
+	if len(c.Args) != 1 || c.Args[0].Key != "n" {
+		t.Errorf("child args wrong: %v", c.Args)
+	}
+}
+
+func TestNilTracerLaneSpanAreInert(t *testing.T) {
+	var tr *Tracer
+	l := tr.Lane()
+	if l != nil {
+		t.Fatal("nil tracer produced a lane")
+	}
+	sp := l.Span(0, "a", "b")
+	if sp != nil {
+		t.Fatal("nil lane produced a span")
+	}
+	sp.Arg("k", 1)
+	sp.End(nil)
+	if sp.ID() != 0 {
+		t.Error("nil span has a non-zero ID")
+	}
+	l.Instant(0, "a", "b", "k", 1)
+	l.Release()
+	if l.TID() != 0 {
+		t.Error("nil lane has a tid")
+	}
+	if evs := tr.Events(); evs != nil {
+		t.Errorf("nil tracer has events: %v", evs)
+	}
+}
+
+// TestLanesAreRecycledLIFO pins the worker-occupancy property: serial
+// acquire/release reuses one lane, concurrent holders get distinct lanes.
+func TestLanesAreRecycledLIFO(t *testing.T) {
+	tr := New()
+	a := tr.Lane()
+	atid := a.TID()
+	a.Release()
+	b := tr.Lane()
+	if b.TID() != atid {
+		t.Errorf("serial reacquire got lane %d, want %d", b.TID(), atid)
+	}
+	c := tr.Lane()
+	if c.TID() == b.TID() {
+		t.Error("two held lanes share a tid")
+	}
+	c.Release()
+	b.Release()
+}
+
+// TestConcurrentLanes hammers the tracer from many goroutines starting
+// and ending interleaved spans; under -race this is the data-race check
+// for lane ownership and ID issue.
+func TestConcurrentLanes(t *testing.T) {
+	tr := New()
+	const goroutines, spansPerG = 16, 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < spansPerG; i++ {
+				l := tr.Lane()
+				sp := l.Span(0, "job", "work")
+				child := l.Span(sp.ID(), "attempt", "attempt:0")
+				l.Instant(child.ID(), "engine", "tick", "i", i)
+				child.End(nil)
+				sp.End(nil)
+				l.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	evs := tr.Events()
+	if len(evs) != goroutines*spansPerG*3 {
+		t.Fatalf("got %d events, want %d", len(evs), goroutines*spansPerG*3)
+	}
+	seen := make(map[uint64]bool, len(evs))
+	for _, ev := range evs {
+		if seen[ev.ID] {
+			t.Fatalf("duplicate event ID %d", ev.ID)
+		}
+		seen[ev.ID] = true
+		if ev.TID < 1 {
+			t.Fatalf("event on invalid lane %d", ev.TID)
+		}
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	tr := New()
+	l := tr.Lane()
+	defer l.Release()
+	sp := l.Span(0, "job", "root")
+	defer sp.End(nil)
+
+	ctx := NewContext(context.Background(), l, sp.ID())
+	gotLane, gotSpan := FromContext(ctx)
+	if gotLane != l || gotSpan != sp.ID() {
+		t.Errorf("context round trip lost the lane/span: %v %v", gotLane, gotSpan)
+	}
+	if lane, span := FromContext(context.Background()); lane != nil || span != 0 {
+		t.Error("empty context produced a lane")
+	}
+}

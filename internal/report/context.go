@@ -30,9 +30,10 @@ type Context struct {
 	// Check enables coherence checking during the runs (slower).
 	Check bool
 
-	eng  *engine.Engine
-	exec engine.Executor
-	rec  *obs.Recorder
+	eng    *engine.Engine
+	exec   engine.Executor
+	rec    *obs.Recorder
+	status *obs.RunStatus
 }
 
 // NewContext returns a context with the given trace size, backed by a
@@ -69,17 +70,27 @@ func NewContextWith(refs, cpus int, eng *engine.Engine, exec engine.Executor) *C
 // breakdown. nil detaches.
 func (c *Context) Observe(rec *obs.Recorder) { c.rec = rec }
 
+// Track attaches a live run-status tracker: RunExperiment then reports
+// each experiment's start and outcome, which the HTTP monitor's /runz
+// endpoint serves. nil (the default) detaches.
+func (c *Context) Track(status *obs.RunStatus) { c.status = status }
+
 // RunExperiment runs one experiment through the context. With a recorder
 // attached (see Observe) the run is bracketed by experiment.start /
 // experiment.finish journal events and its wall time lands in the
 // "experiment" phase of the breakdown; without one it is exactly e.Run.
+// A tracker attached with Track sees the run's live state either way.
 func (c *Context) RunExperiment(e Experiment) (string, error) {
+	c.status.ExpStarted(e.ID, e.Title)
 	if c.rec == nil {
-		return e.Run(c)
+		out, err := e.Run(c)
+		c.status.ExpFinished(e.ID, err)
+		return out, err
 	}
 	sp := c.rec.StartSpan("experiment", e.ID)
 	out, err := e.Run(c)
 	sp.End(err)
+	c.status.ExpFinished(e.ID, err)
 	return out, err
 }
 

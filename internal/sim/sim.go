@@ -48,6 +48,21 @@ type Options struct {
 	// sequence (the engine's executors assert bit-identity on them).
 	// nil skips the clock reads entirely.
 	Observer func(refs int64, elapsed time.Duration)
+	// Telemetry, when set, receives every coherence-relevant event (see
+	// event.Result.CoherenceSignal) as it is recorded — the protocol
+	// telemetry channel the observability layer samples into histograms
+	// and trace instants. It is called from the simulation goroutine and
+	// never changes the Result; nil (the default) costs one nil check per
+	// reference.
+	Telemetry Telemetry
+}
+
+// Telemetry receives coherence-relevant protocol events during a
+// simulation. Implementations are called synchronously from the
+// simulation hot loop and need not be safe for concurrent use: each
+// Simulate call owns its Telemetry value.
+type Telemetry interface {
+	Coherence(out event.Result)
 }
 
 func (o Options) models() []bus.Model {
@@ -155,6 +170,7 @@ func Simulate(p core.Protocol, src trace.Source, opts Options) (*Result, error) 
 			netTallies = append(netTallies, t)
 		}
 	}
+	tel := opts.Telemetry
 	var start time.Time
 	if opts.Observer != nil {
 		start = time.Now()
@@ -177,7 +193,7 @@ func Simulate(p core.Protocol, src trace.Source, opts Options) (*Result, error) 
 			// violations are pinned to the exact reference count that
 			// exposed them, batch boundaries notwithstanding.
 			for _, r := range buf[:k] {
-				res.record(p.Access(r), busTallies, netTallies)
+				res.record(p.Access(r), busTallies, netTallies, tel)
 				n++
 				if n%every == 0 {
 					if err := p.CheckInvariants(); err != nil {
@@ -189,7 +205,7 @@ func Simulate(p core.Protocol, src trace.Source, opts Options) (*Result, error) 
 		}
 		outs = core.AccessBatch(p, buf[:k], outs[:0])
 		for i := range outs {
-			res.record(outs[i], busTallies, netTallies)
+			res.record(outs[i], busTallies, netTallies, tel)
 		}
 		n += int64(k)
 	}
@@ -209,8 +225,14 @@ func Simulate(p core.Protocol, src trace.Source, opts Options) (*Result, error) 
 
 // record accumulates one classified reference. The tally lists are the
 // pre-resolved values of r.Tallies/r.NetTallies; Simulate binds them once
-// so this stays free of map iteration.
-func (r *Result) record(out event.Result, busTallies []*bus.Tally, netTallies []*network.Tally) {
+// so this stays free of map iteration. tel, when non-nil, is forwarded
+// every coherence-relevant event; it observes but never alters the
+// result, so the batched/sequential bit-identity guarantees hold with
+// telemetry on or off.
+func (r *Result) record(out event.Result, busTallies []*bus.Tally, netTallies []*network.Tally, tel Telemetry) {
+	if tel != nil && out.CoherenceSignal() {
+		tel.Coherence(out)
+	}
 	r.Counts.Add(out.Type)
 	switch out.Type {
 	case event.WrHitClean, event.WrMissClean:
