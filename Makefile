@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race check soak bench bench-json bench-hotpath bench-obs trace-demo experiments clean
+.PHONY: build vet test race check soak service-smoke bench bench-json bench-hotpath bench-obs trace-demo experiments clean
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,14 @@ soak:
 	DIRSIM_SOAK=1 $(GO) test -race -count=1 \
 		-run 'Fault|Panic|Retry|Timeout|Truncat|Corrupt|Poison|Cancel|Refcount|ExecuteAll|Leak|Spec' \
 		./internal/engine ./internal/faults ./cmd/experiments
+
+# Smoke the experiment service end to end under the race detector: the
+# durable store and admission/service unit suites, plus the real-process
+# dirsimd tests — two processes sharing one store directory (second run
+# bit-identical, zero simulations) and per-tenant quota 429s. The drain
+# test asserts no goroutines leak across a full serve/drain cycle.
+service-smoke:
+	$(GO) test -race -count=1 ./internal/store ./internal/service ./cmd/dirsimd
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

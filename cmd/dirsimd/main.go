@@ -1,0 +1,159 @@
+// Command dirsimd is the long-lived experiment server: a multi-tenant
+// HTTP/JSON API over the simulation engine and a durable
+// content-addressed result store.
+//
+// Usage:
+//
+//	dirsimd -listen :8080 -store /var/lib/dirsim
+//	dirsimd -listen :0 -store ./cache -max-inflight 4 -quota 2 -discipline priority
+//
+// Clients POST scheme×workload×CPU sweeps to /api/v1/experiments (tenant
+// identity in the X-Tenant-ID header), poll or stream progress, and
+// fetch results. Identical sweeps — from any tenant, or any other
+// dirsimd or experiments process sharing the store directory — are
+// served from the store after fingerprint revalidation instead of being
+// recomputed.
+//
+// Endpoints:
+//
+//	POST /api/v1/experiments             submit a sweep spec
+//	GET  /api/v1/experiments             list experiments
+//	GET  /api/v1/experiments/{id}        status + results
+//	GET  /api/v1/experiments/{id}/events journal events over SSE
+//	GET  /api/v1/store                   durable store statistics
+//	GET  /healthz                        liveness / drain state
+//	GET  /metrics                        Prometheus text exposition
+//	GET  /runz, /debug/pprof/*           the httpmon monitor endpoints
+//
+// On SIGTERM or SIGINT the server drains: new work is refused (503),
+// queued-but-unstarted experiments abort, running experiments finish and
+// persist their results, event streams close, and in-flight HTTP
+// requests complete before the process exits. A second signal, or the
+// -drain-timeout deadline, forces exit.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dirsim/internal/obs"
+	"dirsim/internal/obs/httpmon"
+	"dirsim/internal/service"
+	"dirsim/internal/store"
+)
+
+type config struct {
+	listen       string
+	storeDir     string
+	storeMax     int64
+	maxInflight  int
+	maxQueue     int
+	quota        int
+	discipline   string
+	simWorkers   int
+	verify       bool
+	drainTimeout time.Duration
+}
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.listen, "listen", ":8080", "address to serve on (\":0\" picks a free port)")
+	flag.StringVar(&cfg.storeDir, "store", "", "durable result store directory (empty disables persistence)")
+	flag.Int64Var(&cfg.storeMax, "store-max-bytes", 0, "store size bound triggering LRU eviction (0 = unbounded)")
+	flag.IntVar(&cfg.maxInflight, "max-inflight", 2, "experiments executed concurrently")
+	flag.IntVar(&cfg.maxQueue, "max-queue", 64, "experiments waiting for a slot before 503s")
+	flag.IntVar(&cfg.quota, "quota", 0, "per-tenant cap on queued+running experiments (0 = unlimited)")
+	flag.StringVar(&cfg.discipline, "discipline", "fcfs", "admission queue policy: fcfs or priority")
+	flag.IntVar(&cfg.simWorkers, "sim-workers", 0, "engine parallelism within one experiment (0 = all cores)")
+	flag.BoolVar(&cfg.verify, "verify", true, "revalidate cache hits against content fingerprints")
+	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", time.Minute, "how long SIGTERM waits for running work")
+	flag.Parse()
+
+	if err := run(cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "dirsimd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg config) error {
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	reg := obs.NewRegistry()
+
+	var st *store.Store
+	if cfg.storeDir != "" {
+		var err error
+		st, err = store.Open(cfg.storeDir, store.Options{MaxBytes: cfg.storeMax, Metrics: reg})
+		if err != nil {
+			return err
+		}
+		log.Info("store open", "dir", st.Dir(), "entries", st.Stats().Entries, "bytes", st.Stats().Bytes)
+	}
+
+	svc, err := service.New(service.Config{
+		Store:       st,
+		Metrics:     reg,
+		MaxInflight: cfg.maxInflight,
+		MaxQueue:    cfg.maxQueue,
+		Quota:       cfg.quota,
+		Discipline:  cfg.discipline,
+		SimWorkers:  cfg.simWorkers,
+		Verify:      cfg.verify,
+		Log:         log,
+	})
+	if err != nil {
+		return err
+	}
+	svc.Start()
+
+	mux := httpmon.NewMux(httpmon.Options{
+		Metrics: reg,
+		Index: map[string]string{
+			"/api/v1/experiments": "experiment service API",
+			"/api/v1/store":       "durable store statistics",
+			"/healthz":            "liveness and drain state",
+		},
+	})
+	svc.Register(mux)
+	srv, err := httpmon.Serve(cfg.listen, mux)
+	if err != nil {
+		return err
+	}
+	// The parseable listen line sign-posts tests and scripts to the real
+	// port when -listen :0 was used.
+	fmt.Fprintf(os.Stderr, "dirsimd: listening on %s\n", srv.Addr())
+	log.Info("serving", "addr", srv.Addr(), "discipline", cfg.discipline,
+		"max_inflight", cfg.maxInflight, "quota", cfg.quota)
+
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	sig := <-sigs
+	log.Info("draining", "signal", sig.String(), "timeout", cfg.drainTimeout)
+
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
+	defer cancel()
+	go func() {
+		// A second signal forces immediate exit.
+		<-sigs
+		log.Warn("second signal, aborting drain")
+		cancel()
+	}()
+
+	// Refuse new work and finish what is running, then drain the HTTP
+	// server so in-flight responses (result fetches, closing SSE
+	// streams) complete.
+	drainErr := svc.Drain(ctx)
+	if err := srv.Shutdown(ctx); err != nil && drainErr == nil {
+		drainErr = err
+	}
+	if drainErr != nil {
+		return drainErr
+	}
+	log.Info("drained cleanly")
+	return nil
+}

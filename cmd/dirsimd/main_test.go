@@ -1,0 +1,274 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// buildBinary compiles dirsimd once per test binary into a temp dir.
+func buildBinary(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "dirsimd")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// server wraps one running dirsimd process.
+type server struct {
+	t    *testing.T
+	cmd  *exec.Cmd
+	addr string
+	done chan error
+}
+
+var listenLine = regexp.MustCompile(`dirsimd: listening on (\S+)`)
+
+// startServer launches dirsimd with args and waits for its listen line.
+func startServer(t *testing.T, bin string, args ...string) *server {
+	t.Helper()
+	cmd := exec.Command(bin, append([]string{"-listen", "127.0.0.1:0"}, args...)...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	s := &server{t: t, cmd: cmd, done: make(chan error, 1)}
+
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			if m := listenLine.FindStringSubmatch(sc.Text()); m != nil {
+				select {
+				case addrCh <- m[1]:
+				default:
+				}
+			}
+		}
+	}()
+	go func() { s.done <- cmd.Wait() }()
+
+	select {
+	case s.addr = <-addrCh:
+	case err := <-s.done:
+		t.Fatalf("dirsimd exited before listening: %v", err)
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("dirsimd did not report a listen address")
+	}
+	t.Cleanup(func() {
+		if s.cmd.ProcessState == nil {
+			s.cmd.Process.Kill()
+			<-s.done
+		}
+	})
+	return s
+}
+
+func (s *server) url(path string) string { return "http://" + s.addr + path }
+
+// terminate sends SIGTERM and asserts a clean exit.
+func (s *server) terminate() {
+	s.t.Helper()
+	if err := s.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		s.t.Fatalf("SIGTERM: %v", err)
+	}
+	select {
+	case err := <-s.done:
+		if err != nil {
+			s.t.Errorf("dirsimd exited uncleanly after SIGTERM: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		s.cmd.Process.Kill()
+		s.t.Fatal("dirsimd did not exit after SIGTERM")
+	}
+}
+
+const sweep = `{
+  "schemes": ["Dir0B", "Dir1NB", "Dir4B"],
+  "workloads": [{"name": "pops", "cpus": [4], "refs": 5000}]
+}`
+
+// submit POSTs the sweep and returns the experiment ID.
+func submit(t *testing.T, s *server, tenant string) string {
+	t.Helper()
+	req, err := http.NewRequest("POST", s.url("/api/v1/experiments"), strings.NewReader(sweep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Tenant-ID", tenant)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil || st.ID == "" {
+		t.Fatalf("submit: status %d, decode err %v", resp.StatusCode, err)
+	}
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	return st.ID
+}
+
+// fetchDone polls the experiment until terminal and returns the raw
+// results JSON (for bit-identity comparison) after asserting success.
+func fetchDone(t *testing.T, s *server, id string) []byte {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(s.url("/api/v1/experiments/" + id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		resp.Body.Close()
+		var st struct {
+			State   string          `json:"state"`
+			Error   string          `json:"error"`
+			Results json.RawMessage `json:"results"`
+		}
+		if err := json.Unmarshal(buf.Bytes(), &st); err != nil {
+			t.Fatalf("status decode: %v\n%s", err, buf.Bytes())
+		}
+		switch st.State {
+		case "done":
+			return st.Results
+		case "failed", "aborted":
+			t.Fatalf("experiment %s: %s (%s)", id, st.State, st.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("experiment %s stuck in %q", id, st.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// metricValue scrapes one exact metric from /metrics.
+func metricValue(t *testing.T, s *server, name string) (float64, bool) {
+	t.Helper()
+	resp, err := http.Get(s.url("/metrics"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 2 && fields[0] == name {
+			var v float64
+			fmt.Sscanf(fields[1], "%g", &v)
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// TestTwoProcessesShareOneStore is the end-to-end acceptance test: a
+// sweep computed by the first dirsimd process is served by a second
+// process from the shared store directory — fingerprint-validated from
+// disk, bit-identical, zero simulations — and both drain cleanly on
+// SIGTERM.
+func TestTwoProcessesShareOneStore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	bin := buildBinary(t)
+	storeDir := filepath.Join(t.TempDir(), "store")
+
+	s1 := startServer(t, bin, "-store", storeDir, "-max-inflight", "2")
+	id := submit(t, s1, "team-a")
+	cold := fetchDone(t, s1, id)
+	if sims, ok := metricValue(t, s1, "engine_sims_run"); !ok || sims != 3 {
+		t.Errorf("first process engine_sims_run = %v, want 3", sims)
+	}
+	s1.terminate()
+
+	// The store directory now holds the results; a fresh process serves
+	// them without computing.
+	if ents, err := os.ReadDir(filepath.Join(storeDir, "res")); err != nil || len(ents) == 0 {
+		t.Fatalf("store has no result shards: %v", err)
+	}
+	s2 := startServer(t, bin, "-store", storeDir, "-max-inflight", "2")
+	id2 := submit(t, s2, "team-b")
+	if id2 != id {
+		t.Errorf("same sweep got different experiment ID: %s vs %s", id2, id)
+	}
+	warm := fetchDone(t, s2, id2)
+	if !bytes.Equal(cold, warm) {
+		t.Error("second process's results are not bit-identical to the cold run")
+	}
+	if sims, ok := metricValue(t, s2, "engine_sims_run"); !ok || sims != 0 {
+		t.Errorf("second process engine_sims_run = %v, want 0 (store-served)", sims)
+	}
+	if hits, ok := metricValue(t, s2, "store_hits"); !ok || hits < 3 {
+		t.Errorf("second process store_hits = %v, want >= 3", hits)
+	}
+	if _, ok := metricValue(t, s2, "service_admission_depth"); !ok {
+		t.Error("/metrics missing service_admission_depth")
+	}
+	s2.terminate()
+}
+
+// TestQuotaRejectionE2E: a second in-flight sweep from the same tenant is
+// rejected 429 with Retry-After while another tenant's sweep is accepted.
+// Deterministic because -max-inflight 1 and the first sweep occupies the
+// only slot while the later submissions race it: the first tenant's
+// duplicate is judged against quota before any of its work completes.
+func TestQuotaRejectionE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	bin := buildBinary(t)
+	s := startServer(t, bin, "-quota", "1", "-max-inflight", "1")
+
+	// A long sweep to hold tenant a's quota while we probe.
+	long := `{"schemes": ["Dir0B"], "workloads": [{"name": "pops", "cpus": [8], "refs": 2000000}]}`
+	post := func(tenant, body string) *http.Response {
+		req, _ := http.NewRequest("POST", s.url("/api/v1/experiments"), strings.NewReader(body))
+		req.Header.Set("X-Tenant-ID", tenant)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+	if resp := post("team-a", long); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit status %d", resp.StatusCode)
+	}
+	distinct := `{"schemes": ["Dir1NB"], "workloads": [{"name": "thor", "cpus": [4], "refs": 4000}]}`
+	resp := post("team-a", distinct)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota submit status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	other := `{"schemes": ["Dir1NB"], "workloads": [{"name": "pero", "cpus": [4], "refs": 4000}]}`
+	if resp := post("team-b", other); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("other tenant submit status %d, want 202", resp.StatusCode)
+	}
+	s.terminate()
+}

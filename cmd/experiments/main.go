@@ -32,6 +32,11 @@
 // telemetry; -protosample tunes its stride (every Nth coherence event
 // lands as a trace instant) or forces it on without the other flags.
 //
+// -store points at a durable content-addressed result store directory
+// (shared with dirsimd and other runs): simulations already stored are
+// served from disk, fingerprint-validated, and fresh ones are written
+// through; the manifest and summary record the store's hit/miss counts.
+//
 // When experiments fail, every failure is reported (not just the first),
 // a final "error" journal event summarizes them, and the exit code is
 // non-zero; the surviving experiments still print.
@@ -54,6 +59,7 @@ import (
 	"dirsim/internal/obs/httpmon"
 	exectrace "dirsim/internal/obs/trace"
 	"dirsim/internal/report"
+	"dirsim/internal/store"
 	"dirsim/internal/workload"
 )
 
@@ -79,6 +85,9 @@ type config struct {
 	trace       string
 	listen      string
 	protoSample int
+
+	store    string
+	storeMax int64
 }
 
 func main() {
@@ -102,6 +111,8 @@ func main() {
 	flag.StringVar(&cfg.trace, "trace", "", "export the run's execution timeline as Chrome trace-event JSON to this file ('-' for stdout; load in Perfetto or chrome://tracing)")
 	flag.StringVar(&cfg.listen, "listen", "", "serve a live HTTP monitor on this address (e.g. ':8080'): /metrics, /runz, /debug/pprof/")
 	flag.IntVar(&cfg.protoSample, "protosample", 0, "coherence-telemetry stride: every Nth coherence event becomes a trace instant (0 auto-enables 64 with -trace or -listen, negative disables)")
+	flag.StringVar(&cfg.store, "store", "", "durable result store directory, shared with dirsimd and other runs (empty disables persistence)")
+	flag.Int64Var(&cfg.storeMax, "store-max-bytes", 0, "store size bound triggering LRU eviction (0 = unbounded)")
 	flag.Parse()
 	if err := runExperiments(os.Stdout, os.Stderr, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -174,6 +185,14 @@ func runSelected(w, ew io.Writer, cfg config, exps []report.Experiment) error {
 	opts := engine.Options{Workers: parallel, BatchRefs: cfg.batch, Metrics: reg,
 		Verify: cfg.verify, Retries: cfg.retries, JobTimeout: cfg.timeout,
 		Tracer: tr, ProtoSample: protoSample}
+	var st *store.Store
+	if cfg.store != "" {
+		var err error
+		if st, err = store.Open(cfg.store, store.Options{MaxBytes: cfg.storeMax, Metrics: reg}); err != nil {
+			return err
+		}
+		opts.Store = st
+	}
 	if cfg.faults != "" {
 		fcfg, err := faults.ParseSpec(cfg.faults, cfg.faultSeed)
 		if err != nil {
@@ -301,13 +320,13 @@ func runSelected(w, ew io.Writer, cfg config, exps []report.Experiment) error {
 	}
 	if cfg.manifest != "" {
 		cfg.protoSample = protoSample // record the resolved stride, not the flag
-		m := buildManifest(cfg, ctx, exec, parallel, exps, outs, stats, rec, start, wall)
+		m := buildManifest(cfg, ctx, exec, parallel, exps, outs, stats, rec, st, start, wall)
 		if err := m.Write(cfg.manifest); err != nil {
 			errs = append(errs, err)
 		}
 	}
 	if observing {
-		printSummary(ew, rec, stats, wall, exps, outs)
+		printSummary(ew, rec, stats, st, wall, exps, outs)
 	}
 	return errors.Join(errs...)
 }
@@ -330,7 +349,7 @@ func writeMetrics(w io.Writer, reg *obs.Registry, path string) error {
 // per-experiment outcomes, engine counters, cache hit ratio, phases.
 func buildManifest(cfg config, ctx *report.Context, exec engine.Executor, parallel int,
 	exps []report.Experiment, outs []rendered, stats engine.Stats,
-	rec *obs.Recorder, start time.Time, wall time.Duration) *obs.RunManifest {
+	rec *obs.Recorder, st *store.Store, start time.Time, wall time.Duration) *obs.RunManifest {
 	seeds := make(map[string]uint64)
 	for _, wc := range workload.StandardConfigs(ctx.CPUs, ctx.Refs) {
 		seeds[wc.Name] = wc.Seed
@@ -371,19 +390,38 @@ func buildManifest(cfg config, ctx *report.Context, exec engine.Executor, parall
 	if rec != nil {
 		m.Phases = rec.Phases()
 	}
+	if st != nil {
+		ss := st.Stats()
+		m.Store = &obs.ManifestStore{
+			Dir:       ss.Dir,
+			Entries:   ss.Entries,
+			Bytes:     ss.Bytes,
+			Hits:      ss.Hits,
+			Misses:    ss.Misses,
+			Rejected:  ss.Rejected,
+			Writes:    ss.Writes,
+			Evictions: ss.Evictions,
+		}
+	}
 	return m
 }
 
 // printSummary renders the human-readable wrap-up: wall time, cache
 // economics, engine counters, and the per-phase and per-experiment time
 // breakdowns.
-func printSummary(ew io.Writer, rec *obs.Recorder, stats engine.Stats,
+func printSummary(ew io.Writer, rec *obs.Recorder, stats engine.Stats, st *store.Store,
 	wall time.Duration, exps []report.Experiment, outs []rendered) {
 	fmt.Fprintf(ew, "\n== run summary ==\n")
 	fmt.Fprintf(ew, "wall time    %s\n", wall.Round(time.Millisecond))
 	fmt.Fprintf(ew, "cache        %d hits / %d misses (%.1f%% hit rate)\n",
 		stats.CacheHits, stats.CacheMisses,
 		100*obs.HitRatio(stats.CacheHits, stats.CacheMisses))
+	if st != nil {
+		ss := st.Stats()
+		fmt.Fprintf(ew, "store        %d hits / %d misses, %d written, %d rejected (%d entries, %.1f MiB)\n",
+			ss.Hits, ss.Misses, ss.Writes, ss.Rejected, ss.Entries,
+			float64(ss.Bytes)/(1<<20))
+	}
 	fmt.Fprintf(ew, "engine       %d jobs, %d sims, %d traces generated, %d streamed (%d chunks, %d back-pressure stalls)\n",
 		stats.JobsRun, stats.SimsRun, stats.TracesGenerated, stats.TracesStreamed,
 		stats.StreamChunks, stats.StreamStalls)

@@ -106,6 +106,33 @@ type Options struct {
 	// simulation, and streamed reference counts are reconciled against
 	// what the producer emitted.
 	Verify bool
+
+	// Store, when non-nil, is a durable second tier behind the in-memory
+	// caches: computed results and generated traces are written through
+	// to it, and a memory miss consults it before computing, so
+	// warm-start runs and concurrent processes sharing one store serve
+	// each other's work. Entries it returns are fingerprint-validated by
+	// the tier itself; a corrupt entry surfaces as a Corrupt() error,
+	// counts as a cache rejection, and is recomputed.
+	Store Tier
+}
+
+// Tier is the contract of a durable second-tier content-addressed cache
+// (internal/store satisfies it). Keys are the full hex form of the
+// engine's content hashes. Load methods return ok == false on a clean
+// miss; an error whose chain reports Corrupt() true means the entry
+// existed, failed integrity revalidation, and has been evicted — the
+// engine counts it on engine.cache.rejected and recomputes. Store
+// methods receive the content fingerprint to stamp the entry with
+// (normally the value's own fingerprint; fault injection may poison it).
+// Implementations must be safe for concurrent use.
+type Tier interface {
+	HasResult(key string) bool
+	LoadResult(key string) (*sim.Result, bool, error)
+	StoreResult(key string, r *sim.Result, fingerprint uint64) error
+	HasTrace(key string) bool
+	LoadTrace(key string) (*trace.Trace, bool, error)
+	StoreTrace(key string, t *trace.Trace, fingerprint uint64) error
 }
 
 // Observer receives the engine's execution events: one JobScheduled per
@@ -167,6 +194,7 @@ type Engine struct {
 
 	results *flightCache // Key → job output (typically *sim.Result)
 	traces  *flightCache // Key → *trace.Trace
+	tier    Tier         // durable second tier; nil disables it
 
 	reg    *obs.Registry     // metrics registry the counters below live on
 	obs    Observer          // nil disables observation
@@ -233,6 +261,7 @@ func New(opts Options) *Engine {
 		verify:          opts.Verify || opts.Faults != nil,
 		results:         newFlightCache(),
 		traces:          newFlightCache(),
+		tier:            opts.Store,
 		reg:             reg,
 		obs:             opts.Observer,
 		fobs:            fobs,
@@ -661,9 +690,22 @@ func (e *Engine) runJob(ctx context.Context, j *Job) error {
 		f, owner := e.results.claim(j.Key)
 		if owner {
 			e.cacheMisses.Add(1)
+			// A memory miss consults the durable tier before computing:
+			// a fingerprint-validated entry written by an earlier run (or
+			// another process sharing the store) is a cache hit without a
+			// simulation.
+			if out, sum, ok := e.tierLoadResult(j.Key); ok {
+				e.results.fulfillStamped(j.Key, f, out, nil, sum, e.verify)
+				j.met.CacheHit = true
+				j.out, j.err = out, nil
+				return nil
+			}
 			out, err := e.runBody(ctx, j)
 			sum, stamped := e.stampFor(observedKey(j.Key), out)
 			e.results.fulfillStamped(j.Key, f, out, err, sum, stamped)
+			if err == nil {
+				e.tierStoreResult(j.Key, out)
+			}
 			j.out, j.err = out, err
 			return err
 		}
@@ -819,6 +861,93 @@ func (e *Engine) stampFor(key string, v any) (uint64, bool) {
 		sum = ^sum
 	}
 	return sum, true
+}
+
+// tierLoadResult consults the durable second tier for a job's result. A
+// validated hit returns the result and its fingerprint (which becomes the
+// in-memory stamp, so later memory hits revalidate against the same sum).
+// A corrupt entry has already been evicted by the store; the engine
+// counts it like any other integrity rejection and recomputes.
+func (e *Engine) tierLoadResult(k Key) (*sim.Result, uint64, bool) {
+	if e.tier == nil {
+		return nil, 0, false
+	}
+	r, ok, err := e.tier.LoadResult(k.hex())
+	if err != nil {
+		if isCorrupt(err) {
+			e.cacheRejected.Add(1)
+			if e.fobs != nil {
+				e.fobs.CacheRejected(observedKey(k))
+			}
+		}
+		return nil, 0, false
+	}
+	if !ok || r == nil {
+		return nil, 0, false
+	}
+	return r, r.Fingerprint(), true
+}
+
+// tierStoreResult writes a freshly computed result through to the durable
+// tier, best-effort: the store accounts its own write failures and a
+// broken disk must not fail the simulation that just succeeded. In fault
+// mode the persisted stamp may be deliberately poisoned — the same
+// mechanism stampFor uses — so injected corruption exercises the store's
+// load-time revalidation end to end.
+func (e *Engine) tierStoreResult(k Key, v any) {
+	if e.tier == nil {
+		return
+	}
+	r, ok := v.(*sim.Result)
+	if !ok || r == nil {
+		return
+	}
+	sum := r.Fingerprint()
+	if e.faults.PoisonStamp(observedKey(k)) {
+		sum = ^sum
+	}
+	_ = e.tier.StoreResult(k.hex(), r, sum)
+}
+
+// tierLoadTrace and tierStoreTrace are the trace-cache analogues of the
+// result helpers above.
+func (e *Engine) tierLoadTrace(k Key) (*trace.Trace, uint64, bool) {
+	if e.tier == nil {
+		return nil, 0, false
+	}
+	t, ok, err := e.tier.LoadTrace(k.hex())
+	if err != nil {
+		if isCorrupt(err) {
+			e.cacheRejected.Add(1)
+			if e.fobs != nil {
+				e.fobs.CacheRejected(observedKey(k))
+			}
+		}
+		return nil, 0, false
+	}
+	if !ok || t == nil {
+		return nil, 0, false
+	}
+	return t, t.Fingerprint(), true
+}
+
+func (e *Engine) tierStoreTrace(k Key, t *trace.Trace) {
+	if e.tier == nil || t == nil {
+		return
+	}
+	sum := t.Fingerprint()
+	if e.faults.PoisonStamp(observedKey(k)) {
+		sum = ^sum
+	}
+	_ = e.tier.StoreTrace(k.hex(), t, sum)
+}
+
+// isCorrupt reports whether any error in the chain declares itself a
+// failed integrity revalidation via a Corrupt() bool trait, mirroring the
+// Retryable() convention.
+func isCorrupt(err error) bool {
+	var c interface{ Corrupt() bool }
+	return errors.As(err, &c) && c.Corrupt()
 }
 
 // fingerprintOf computes the content fingerprint of cacheable value

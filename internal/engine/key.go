@@ -28,6 +28,11 @@ func (k Key) String() string { return hex.EncodeToString(k[:6]) }
 
 func (k Key) hex() string { return hex.EncodeToString(k[:]) }
 
+// KeyHex renders the full hex form of k — the form durable store tiers
+// index entries by, so API consumers can correlate results with store
+// contents.
+func KeyHex(k Key) string { return k.hex() }
+
 // hashOf hashes the parts with separators so adjacent fields cannot
 // collide by concatenation.
 func hashOf(parts ...string) Key {

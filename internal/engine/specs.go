@@ -53,9 +53,14 @@ func (e *Engine) Trace(ctx context.Context, cfg workload.Config) (*trace.Trace, 
 		f, owner := e.traces.claim(k)
 		if owner {
 			e.cacheMisses.Add(1)
+			if t, sum, ok := e.tierLoadTrace(k); ok {
+				e.traces.fulfillStamped(k, f, t, nil, sum, e.verify)
+				return t, nil
+			}
 			t, err := workload.Generate(cfg)
 			if err == nil {
 				e.tracesGenerated.Add(1)
+				e.tierStoreTrace(k, t)
 			}
 			sum, stamped := e.stampFor(observedKey(k), t)
 			e.traces.fulfillStamped(k, f, t, err, sum, stamped)
@@ -344,21 +349,26 @@ func (e *Engine) planSpecs(exec Executor, specs []SimSpec) ([]*Job, error) {
 
 	for _, g := range groups {
 		g := g
-		// Specs whose results are already cached (or in flight) must not
-		// force a generation: give them standalone recompute bodies that
-		// in practice resolve from the cache.
+		// Specs whose results are already cached (or in flight) — in
+		// memory or in the durable tier — must not force a generation:
+		// give them standalone recompute bodies that in practice resolve
+		// from a cache.
 		pending := make([]int, 0, len(g.specs))
 		for i := range g.specs {
-			if e.results.peek(g.keys[i]) {
+			if e.results.peek(g.keys[i]) ||
+				(e.tier != nil && e.tier.HasResult(g.keys[i].hex())) {
 				e.bindMaterialized(g.jobs[i], g.specs[i], nil)
 				continue
 			}
 			pending = append(pending, i)
 		}
+		traceCached := func(k Key) bool {
+			return e.traces.peek(k) || (e.tier != nil && e.tier.HasTrace(k.hex()))
+		}
 		switch {
 		case len(pending) == 0:
 			// Nothing to generate for this workload.
-		case exec.streams() && !e.traces.peek(TraceKey(g.cfg)):
+		case exec.streams() && !traceCached(TraceKey(g.cfg)):
 			reqs := make([]SimSpec, len(pending))
 			keys := make([]Key, len(pending))
 			for n, i := range pending {
@@ -555,6 +565,7 @@ func (e *Engine) streamGroup(ctx context.Context, cfg workload.Config,
 			e.tracesGenerated.Add(1)
 			sum, stamped := e.stampFor(observedKey(k), produced)
 			e.traces.fulfillStamped(k, f, produced, nil, sum, stamped)
+			e.tierStoreTrace(k, produced)
 		}
 	}
 	return out, nil

@@ -1,0 +1,207 @@
+package engine
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dirsim/internal/faults"
+	"dirsim/internal/store"
+	"dirsim/internal/workload"
+)
+
+// The durable store must satisfy the engine's second-tier contract.
+var _ Tier = (*store.Store)(nil)
+
+func openTier(t *testing.T, dir string) *store.Store {
+	t.Helper()
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestTierWarmStartServesFromStore is the heart of the two-tier design: a
+// second engine over the same store directory — a fresh process, as far
+// as caching is concerned — must serve the whole batch from disk, bit
+// identical, without simulating or generating anything.
+func TestTierWarmStartServesFromStore(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	specs := []SimSpec{
+		{Trace: workload.POPSConfig(4, 6_000), Scheme: "Dir0B"},
+		{Trace: workload.POPSConfig(4, 6_000), Scheme: "Dir2B"},
+	}
+
+	cold := New(Options{Verify: true, Store: openTier(t, dir)})
+	want, err := cold.Results(ctx, Sequential{}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Stats().SimsRun != 2 {
+		t.Fatalf("cold engine SimsRun = %d, want 2", cold.Stats().SimsRun)
+	}
+
+	for _, exec := range executors() {
+		t.Run(exec.Name(), func(t *testing.T) {
+			warm := New(Options{Verify: true, Store: openTier(t, dir)})
+			got, err := warm.Results(ctx, exec, specs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := warm.Stats()
+			if st.SimsRun != 0 || st.TracesGenerated != 0 {
+				t.Errorf("warm engine simulated: SimsRun=%d TracesGenerated=%d, want 0/0",
+					st.SimsRun, st.TracesGenerated)
+			}
+			for i := range want {
+				if !reflect.DeepEqual(got[i], want[i]) {
+					t.Errorf("spec %d: store-served result differs from cold run", i)
+				}
+				if got[i].Fingerprint() != want[i].Fingerprint() {
+					t.Errorf("spec %d: fingerprint mismatch", i)
+				}
+			}
+		})
+	}
+}
+
+// TestTierServesTraceForNewScheme: a warm store holds the trace even when
+// the requested scheme was never simulated, so a new scheme over a known
+// workload reuses the stored trace instead of regenerating it.
+func TestTierServesTraceForNewScheme(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	cfg := workload.POPSConfig(4, 6_000)
+
+	cold := New(Options{Verify: true, Store: openTier(t, dir)})
+	if _, err := cold.Results(ctx, Sequential{}, []SimSpec{{Trace: cfg, Scheme: "Dir0B"}}); err != nil {
+		t.Fatal(err)
+	}
+
+	warm := New(Options{Verify: true, Store: openTier(t, dir)})
+	if _, err := warm.Results(ctx, Sequential{}, []SimSpec{{Trace: cfg, Scheme: "Dir1B"}}); err != nil {
+		t.Fatal(err)
+	}
+	st := warm.Stats()
+	if st.SimsRun != 1 {
+		t.Errorf("SimsRun = %d, want 1 (new scheme must simulate)", st.SimsRun)
+	}
+	if st.TracesGenerated != 0 {
+		t.Errorf("TracesGenerated = %d, want 0 (trace must come from the store)", st.TracesGenerated)
+	}
+}
+
+// TestTierPoisonedStampRejected reuses the fault injector's poisoned-stamp
+// machinery against the durable tier: an engine whose stores are all
+// poisoned persists corrupt stamps, and a clean engine sharing the
+// directory must reject every load, recompute, and still return results
+// identical to a never-cached run.
+func TestTierPoisonedStampRejected(t *testing.T) {
+	ctx := context.Background()
+	spec := SimSpec{Trace: workload.POPSConfig(4, 6_000), Scheme: "Dir0B"}
+
+	clean := New(Options{})
+	want, err := clean.Results(ctx, Sequential{}, []SimSpec{spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	poisoned := New(Options{
+		Store:  openTier(t, dir),
+		Faults: faults.New(faults.Config{Seed: 1, Poison: 1}),
+	})
+	if _, err := poisoned.Results(ctx, Sequential{}, []SimSpec{spec}); err != nil {
+		t.Fatal(err)
+	}
+
+	tier := openTier(t, dir)
+	e := New(Options{Verify: true, Store: tier})
+	got, err := e.Results(ctx, Sequential{}, []SimSpec{spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got[0], want[0]) {
+		t.Error("result after poisoned-store rejection differs from clean run")
+	}
+	if st := e.Stats(); st.CacheRejected < 1 || st.SimsRun != 1 {
+		t.Errorf("CacheRejected = %d (want >= 1), SimsRun = %d (want 1)",
+			st.CacheRejected, st.SimsRun)
+	}
+	if rej := tier.Stats().Rejected; rej < 1 {
+		t.Errorf("store Rejected = %d, want >= 1", rej)
+	}
+}
+
+// TestTierCorruptFileRecomputed flips bytes in the stored result file on
+// disk — bit rot, not a poisoned stamp — and asserts the next engine over
+// the directory rejects the entry, bumps cache.rejected, evicts the file,
+// and recomputes the correct result.
+func TestTierCorruptFileRecomputed(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	spec := SimSpec{Trace: workload.POPSConfig(4, 6_000), Scheme: "Dir0B"}
+
+	cold := New(Options{Verify: true, Store: openTier(t, dir)})
+	want, err := cold.Results(ctx, Sequential{}, []SimSpec{spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var corrupted int
+	err = filepath.WalkDir(filepath.Join(dir, "res"), func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		i := strings.Index(string(data), `"Total":`)
+		if i < 0 {
+			t.Fatalf("%s: no Total field to corrupt", path)
+		}
+		i += len(`"Total":`)
+		data[i] = '9' + '8' - data[i] // flip the digit, keep the JSON valid
+		corrupted++
+		return os.WriteFile(path, data, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corrupted == 0 {
+		t.Fatal("no stored result files found to corrupt")
+	}
+
+	e := New(Options{Verify: true, Store: openTier(t, dir)})
+	got, err := e.Results(ctx, Sequential{}, []SimSpec{spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got[0], want[0]) {
+		t.Error("recomputed result differs from the original")
+	}
+	if st := e.Stats(); st.CacheRejected < 1 || st.SimsRun != 1 {
+		t.Errorf("CacheRejected = %d (want >= 1), SimsRun = %d (want 1)",
+			st.CacheRejected, st.SimsRun)
+	}
+
+	// The corrupt file was evicted, so a further engine recomputes cleanly
+	// from the trace (still stored) and repopulates the result.
+	again := New(Options{Verify: true, Store: openTier(t, dir)})
+	got2, err := again.Results(ctx, Sequential{}, []SimSpec{spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got2[0], want[0]) {
+		t.Error("post-eviction result differs from the original")
+	}
+	if st := again.Stats(); st.CacheRejected != 0 {
+		t.Errorf("post-eviction CacheRejected = %d, want 0 (bad entry was evicted)", st.CacheRejected)
+	}
+}

@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"bytes"
+	"sync"
+)
+
+// Fanout is an io.Writer that broadcasts complete JSONL lines to
+// subscribers, built to sit under a Journal and feed live consumers (the
+// service's SSE event streams). It keeps a bounded replay history so a
+// subscriber arriving mid-run still sees how the run got here, and it
+// never blocks the writer: a subscriber that falls behind its channel
+// buffer loses events (counted per subscription) rather than stalling
+// the run that is producing them.
+//
+// The zero value is not usable; NewFanout sets the bounds. A nil *Fanout
+// is a valid no-op writer-side sink.
+type Fanout struct {
+	mu      sync.Mutex
+	buf     bytes.Buffer // partial line carried between Writes
+	history [][]byte     // last maxHistory complete lines
+	start   int          // ring index of the oldest history line
+	count   int
+	subs    map[*Subscription]struct{}
+	closed  bool
+
+	maxHistory int
+	chanDepth  int
+}
+
+// Subscription is one subscriber's view of a Fanout.
+type Subscription struct {
+	f *Fanout
+	// C delivers complete journal lines (without the trailing newline).
+	// It is closed when the subscriber unsubscribes or the fan-out
+	// closes.
+	C chan []byte
+	// dropped counts lines lost because C's buffer was full.
+	dropped int
+}
+
+// NewFanout builds a fan-out keeping up to history replay lines and
+// giving each subscriber a channel buffer of depth lines.
+func NewFanout(history, depth int) *Fanout {
+	if history < 0 {
+		history = 0
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	return &Fanout{
+		history:    make([][]byte, history),
+		subs:       make(map[*Subscription]struct{}),
+		maxHistory: history,
+		chanDepth:  depth,
+	}
+}
+
+// Write implements io.Writer. slog's JSON handler emits exactly one
+// complete line per call, but Write tolerates arbitrary fragmentation:
+// lines are split on '\n' and partial tails are buffered for the next
+// call. Write never fails and never blocks on subscribers.
+func (f *Fanout) Write(p []byte) (int, error) {
+	if f == nil {
+		return len(p), nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.buf.Write(p)
+	for {
+		data := f.buf.Bytes()
+		i := bytes.IndexByte(data, '\n')
+		if i < 0 {
+			break
+		}
+		line := make([]byte, i)
+		copy(line, data[:i])
+		f.buf.Next(i + 1)
+		f.publishLocked(line)
+	}
+	return len(p), nil
+}
+
+func (f *Fanout) publishLocked(line []byte) {
+	if f.maxHistory > 0 {
+		if f.count < f.maxHistory {
+			f.history[(f.start+f.count)%f.maxHistory] = line
+			f.count++
+		} else {
+			f.history[f.start] = line
+			f.start = (f.start + 1) % f.maxHistory
+		}
+	}
+	for s := range f.subs {
+		select {
+		case s.C <- line:
+		default:
+			s.dropped++
+		}
+	}
+}
+
+// Subscribe registers a new subscriber and replays the retained history
+// into its channel (the channel depth is sized to hold a full replay).
+// On a closed fan-out the subscription arrives pre-closed after the
+// replay, so late readers still see the final events.
+func (f *Fanout) Subscribe() *Subscription {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	depth := f.chanDepth
+	if depth < f.maxHistory {
+		depth = f.maxHistory
+	}
+	s := &Subscription{f: f, C: make(chan []byte, depth)}
+	for i := 0; i < f.count; i++ {
+		s.C <- f.history[(f.start+i)%f.maxHistory]
+	}
+	if f.closed {
+		close(s.C)
+		return s
+	}
+	f.subs[s] = struct{}{}
+	return s
+}
+
+// Close closes every subscriber channel and marks the fan-out finished.
+// Further Writes are discarded; further Subscribes receive the history
+// and an already-closed channel.
+func (f *Fanout) Close() {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return
+	}
+	f.closed = true
+	for s := range f.subs {
+		close(s.C)
+		delete(f.subs, s)
+	}
+}
+
+// Cancel detaches the subscription and closes its channel. Safe to call
+// twice, and safe concurrently with Writes.
+func (s *Subscription) Cancel() {
+	f := s.f
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.subs[s]; ok {
+		delete(f.subs, s)
+		close(s.C)
+	}
+}
+
+// Dropped reports how many lines this subscription lost to back-pressure.
+func (s *Subscription) Dropped() int {
+	s.f.mu.Lock()
+	defer s.f.mu.Unlock()
+	return s.dropped
+}

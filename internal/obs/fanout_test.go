@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func drain(s *Subscription) []string {
+	var out []string
+	for {
+		select {
+		case line, ok := <-s.C:
+			if !ok {
+				return out
+			}
+			out = append(out, string(line))
+		default:
+			return out
+		}
+	}
+}
+
+func TestFanoutDeliversJournalLines(t *testing.T) {
+	f := NewFanout(16, 16)
+	j := NewJournal(f)
+	sub := f.Subscribe()
+	j.Event("experiment.start", "id", "e1")
+	j.Event("experiment.finish", "id", "e1")
+
+	lines := drain(sub)
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2: %q", len(lines), lines)
+	}
+	var ev struct {
+		Msg    string `json:"msg"`
+		Schema int    `json:"schema"`
+		ID     string `json:"id"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatalf("line is not JSON: %v", err)
+	}
+	if ev.Msg != "experiment.start" || ev.Schema != SchemaVersion || ev.ID != "e1" {
+		t.Errorf("event = %+v", ev)
+	}
+}
+
+func TestFanoutReplaysHistoryToLateSubscriber(t *testing.T) {
+	f := NewFanout(4, 4)
+	for i := 0; i < 10; i++ {
+		fmt.Fprintf(f, "line %d\n", i)
+	}
+	sub := f.Subscribe()
+	lines := drain(sub)
+	want := []string{"line 6", "line 7", "line 8", "line 9"}
+	if len(lines) != len(want) {
+		t.Fatalf("replay = %q, want %q", lines, want)
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Errorf("replay[%d] = %q, want %q", i, lines[i], want[i])
+		}
+	}
+}
+
+func TestFanoutHandlesFragmentedWrites(t *testing.T) {
+	f := NewFanout(8, 8)
+	sub := f.Subscribe()
+	f.Write([]byte("hel"))
+	f.Write([]byte("lo\nwor"))
+	f.Write([]byte("ld\n"))
+	lines := drain(sub)
+	if len(lines) != 2 || lines[0] != "hello" || lines[1] != "world" {
+		t.Errorf("lines = %q", lines)
+	}
+}
+
+func TestFanoutSlowSubscriberDropsNotBlocks(t *testing.T) {
+	f := NewFanout(0, 2)
+	sub := f.Subscribe()
+	for i := 0; i < 10; i++ {
+		fmt.Fprintf(f, "line %d\n", i)
+	}
+	if got := drain(sub); len(got) != 2 {
+		t.Errorf("delivered %d lines, want 2 (channel depth)", len(got))
+	}
+	if d := sub.Dropped(); d != 8 {
+		t.Errorf("Dropped = %d, want 8", d)
+	}
+}
+
+func TestFanoutCloseEndsSubscribers(t *testing.T) {
+	f := NewFanout(4, 4)
+	sub := f.Subscribe()
+	fmt.Fprint(f, "final\n")
+	f.Close()
+	if _, ok := <-sub.C; !ok {
+		t.Fatal("subscriber lost the pre-close line")
+	}
+	if _, ok := <-sub.C; ok {
+		t.Fatal("channel not closed after Close")
+	}
+	// Late subscribers still get the retained history, pre-closed.
+	late := f.Subscribe()
+	if line, ok := <-late.C; !ok || string(line) != "final" {
+		t.Errorf("late subscriber: %q, %v", line, ok)
+	}
+	if _, ok := <-late.C; ok {
+		t.Error("late subscription not pre-closed")
+	}
+	// Writing after Close is a discarded no-op, not a panic.
+	fmt.Fprint(f, "after\n")
+	sub.Cancel() // double-cancel safe
+}
+
+func TestFanoutConcurrentWriteSubscribe(t *testing.T) {
+	f := NewFanout(8, 64)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				fmt.Fprintf(f, "w%d line %d\n", w, i)
+			}
+		}(w)
+	}
+	for s := 0; s < 4; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sub := f.Subscribe()
+			drain(sub)
+			sub.Cancel()
+		}()
+	}
+	wg.Wait()
+	f.Close()
+}

@@ -5,9 +5,16 @@
 // profiling handlers. Everything is read-only and served from a private
 // mux, so importing this package never touches http.DefaultServeMux's
 // routing of another server.
+//
+// Servers that are more than monitors (internal/service) compose with it:
+// NewMux returns the monitor mux so callers can register their own routes
+// on top, and Serve runs any handler with the monitor's lifecycle —
+// including Shutdown, which drains in-flight requests where Close
+// interrupts them.
 package httpmon
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -28,21 +35,21 @@ type Options struct {
 	// called per request and must be safe for concurrent use
 	// (obs.RunStatus.Report is).
 	Runz func() any
+	// Index lists extra endpoints on the root index page, as
+	// path → description, for servers that add routes to the mux.
+	Index map[string]string
 }
 
-// Server is a running monitor. Close it when the run ends.
+// Server is a running monitor. Close it when the run ends, or Shutdown it
+// to drain in-flight requests first.
 type Server struct {
 	ln  net.Listener
 	srv *http.Server
 }
 
-// Start listens on addr (":0" picks a free port, reported by Addr) and
-// serves the monitor endpoints until Close.
-func Start(addr string, opts Options) (*Server, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("httpmon: %w", err)
-	}
+// NewMux builds the monitor's routing table without starting a server,
+// so callers can add their own handlers before Serve.
+func NewMux(opts Options) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -75,16 +82,50 @@ func Start(addr string, opts Options) (*Server, error) {
 <li><a href="/runz">/runz</a> — live run progress</li>
 <li><a href="/metrics">/metrics</a> — Prometheus text exposition</li>
 <li><a href="/debug/pprof/">/debug/pprof/</a> — Go profiling</li>
-</ul></body></html>`)
+`)
+		for path, desc := range opts.Index {
+			fmt.Fprintf(w, "<li><a href=%q>%s</a> — %s</li>\n", path, path, desc)
+		}
+		fmt.Fprint(w, `</ul></body></html>`)
 	})
-	s := &Server{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	return mux
+}
+
+// Serve listens on addr (":0" picks a free port, reported by Addr) and
+// serves handler until Close or Shutdown.
+func Serve(addr string, handler http.Handler) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("httpmon: %w", err)
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: handler, ReadHeaderTimeout: 5 * time.Second}}
 	go s.srv.Serve(ln)
 	return s, nil
+}
+
+// Start is Serve over the standard monitor mux.
+func Start(addr string, opts Options) (*Server, error) {
+	return Serve(addr, NewMux(opts))
 }
 
 // Addr returns the address the monitor is listening on, with the real
 // port when Start was given ":0".
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the server, interrupting in-flight requests.
+// Close stops the server immediately, interrupting in-flight requests.
+// Long-lived servers should prefer Shutdown, which drains them.
 func (s *Server) Close() error { return s.srv.Close() }
+
+// Shutdown stops accepting new connections and waits for in-flight
+// requests to finish, up to ctx's deadline; it then closes whatever is
+// left and returns ctx's error. Handlers that stream indefinitely (SSE)
+// should watch their request context, which Shutdown does not cancel —
+// the serving loop must end them (internal/service does this by closing
+// its event fan-outs during drain).
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.srv.Shutdown(ctx)
+	if err != nil {
+		s.srv.Close()
+	}
+	return err
+}

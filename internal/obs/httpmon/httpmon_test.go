@@ -1,6 +1,7 @@
 package httpmon
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -9,6 +10,7 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"dirsim/internal/obs"
 )
@@ -198,6 +200,79 @@ func TestRunzEndpoint(t *testing.T) {
 	}
 	if len(rep.Experiments) != 3 || rep.Experiments[1].Error != "boom" {
 		t.Errorf("experiments: %+v", rep.Experiments)
+	}
+}
+
+// TestShutdownDrainsInFlight: where Close interrupts running handlers,
+// Shutdown must let them finish and deliver their full responses — the
+// contract dirsimd's SIGTERM path relies on.
+func TestShutdownDrainsInFlight(t *testing.T) {
+	mux := NewMux(Options{})
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, _ *http.Request) {
+		close(entered)
+		<-release
+		fmt.Fprint(w, "drained")
+	})
+	srv, err := Serve("127.0.0.1:0", mux)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type result struct {
+		body string
+		err  error
+	}
+	done := make(chan result, 1)
+	go func() {
+		resp, err := http.Get("http://" + srv.Addr() + "/slow")
+		if err != nil {
+			done <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		done <- result{body: string(body), err: err}
+	}()
+	<-entered
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shutdownDone <- srv.Shutdown(ctx)
+	}()
+
+	// New connections are refused once drain begins, while the in-flight
+	// request is still being served.
+	for i := 0; i < 100; i++ {
+		if _, err := http.Get("http://" + srv.Addr() + "/"); err != nil {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	r := <-done
+	if r.err != nil {
+		t.Fatalf("in-flight request aborted by Shutdown: %v", r.err)
+	}
+	if r.body != "drained" {
+		t.Errorf("in-flight response = %q, want %q", r.body, "drained")
+	}
+}
+
+func TestIndexListsExtraEndpoints(t *testing.T) {
+	srv := startTestServer(t, Options{Index: map[string]string{
+		"/api/v1/experiments": "experiment service",
+	}})
+	body, resp := get(t, "http://"+srv.Addr()+"/")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "/api/v1/experiments") {
+		t.Errorf("index (status %d) does not list extra endpoint:\n%s", resp.StatusCode, body)
 	}
 }
 

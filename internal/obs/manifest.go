@@ -25,6 +25,24 @@ type RunManifest struct {
 	// lookups; 0 when the run performed none.
 	CacheHitRatio float64     `json:"cache_hit_ratio"`
 	Phases        []PhaseStat `json:"phases"`
+	// Store records the durable second-tier store's activity, when the
+	// run used one (-store).
+	Store *ManifestStore `json:"store,omitempty"`
+}
+
+// ManifestStore is the durable store's view of the run: how much was
+// served from disk (hits), what was computed and written through
+// (misses, writes), and how many entries failed integrity revalidation
+// (rejected). Entries/Bytes describe the store after the run.
+type ManifestStore struct {
+	Dir       string `json:"dir"`
+	Entries   int    `json:"entries"`
+	Bytes     int64  `json:"bytes"`
+	Hits      int64  `json:"hits"`
+	Misses    int64  `json:"misses"`
+	Rejected  int64  `json:"rejected"`
+	Writes    int64  `json:"writes"`
+	Evictions int64  `json:"evictions,omitempty"`
 }
 
 // ManifestConfig is the run's input configuration.

@@ -1,0 +1,241 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"dirsim/internal/sim"
+	"dirsim/internal/store"
+)
+
+// TenantHeader carries the caller's tenant identity; requests without it
+// are grouped under DefaultTenant.
+const (
+	TenantHeader  = "X-Tenant-ID"
+	DefaultTenant = "anonymous"
+)
+
+// Register installs the service's routes on mux (typically the httpmon
+// monitor mux, composing the API with /metrics, /runz and pprof).
+func (s *Service) Register(mux *http.ServeMux) {
+	mux.HandleFunc("POST /api/v1/experiments", s.handleSubmit)
+	mux.HandleFunc("GET /api/v1/experiments", s.handleList)
+	mux.HandleFunc("GET /api/v1/experiments/{id}", s.handleGet)
+	mux.HandleFunc("GET /api/v1/experiments/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /api/v1/store", s.handleStore)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+}
+
+// errorBody is every non-2xx response's shape.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// ExperimentStatus is the API rendering of an experiment.
+type ExperimentStatus struct {
+	ID        string    `json:"id"`
+	Tenant    string    `json:"tenant"`
+	State     State     `json:"state"`
+	Submitted time.Time `json:"submitted"`
+	Started   time.Time `json:"started,omitzero"`
+	Finished  time.Time `json:"finished,omitzero"`
+	DurMS     int64     `json:"dur_ms,omitempty"`
+	Error     string    `json:"error,omitempty"`
+	Specs     int       `json:"specs"`
+	// Results is populated once the experiment is done (or partially,
+	// on failure), one entry per expanded spec.
+	Results []SpecResult `json:"results,omitempty"`
+}
+
+// SpecResult pairs one cell of the sweep with its simulation result.
+type SpecResult struct {
+	SpecMeta
+	// Fingerprint is the result's content hash, fixed-width hex: equal
+	// fingerprints mean bit-identical results wherever they were
+	// computed.
+	Fingerprint string      `json:"fingerprint,omitempty"`
+	Result      *sim.Result `json:"result,omitempty"`
+}
+
+// status renders exp under the service lock.
+func (s *Service) status(exp *Experiment, includeResults bool) ExperimentStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := ExperimentStatus{
+		ID:        exp.ID,
+		Tenant:    exp.Tenant,
+		State:     exp.State,
+		Submitted: exp.Submitted,
+		Started:   exp.Started,
+		Finished:  exp.Finished,
+		Error:     exp.Err,
+		Specs:     len(exp.specs),
+	}
+	if !exp.Finished.IsZero() && !exp.Started.IsZero() {
+		st.DurMS = exp.Finished.Sub(exp.Started).Milliseconds()
+	}
+	if includeResults && (exp.State == StateDone || exp.State == StateFailed) {
+		st.Results = make([]SpecResult, len(exp.meta))
+		for i, m := range exp.meta {
+			sr := SpecResult{SpecMeta: m}
+			if i < len(exp.results) && exp.results[i] != nil {
+				sr.Fingerprint = fmt.Sprintf("%016x", exp.results[i].Fingerprint())
+				sr.Result = exp.results[i]
+			}
+			st.Results[i] = sr
+		}
+	}
+	return st
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	tenant := r.Header.Get(TenantHeader)
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+	var spec Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid spec: %v", err)
+		return
+	}
+	exp, created, err := s.Submit(tenant, spec)
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrQuota):
+		w.Header().Set("Retry-After", strconv.Itoa(s.RetryAfter()))
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	case errors.Is(err, ErrSaturated), errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", strconv.Itoa(s.RetryAfter()))
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	default:
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	status := http.StatusAccepted
+	if !created {
+		// An identical sweep already exists; point the caller at it.
+		status = http.StatusOK
+	}
+	w.Header().Set("Location", "/api/v1/experiments/"+exp.ID)
+	writeJSON(w, status, s.status(exp, true))
+}
+
+func (s *Service) handleGet(w http.ResponseWriter, r *http.Request) {
+	exp, ok := s.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no experiment %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.status(exp, true))
+}
+
+func (s *Service) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	ids := make([]string, len(s.order))
+	copy(ids, s.order)
+	s.mu.Unlock()
+	out := make([]ExperimentStatus, 0, len(ids))
+	for _, id := range ids {
+		if exp, ok := s.Get(id); ok {
+			out = append(out, s.status(exp, false))
+		}
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Experiments []ExperimentStatus `json:"experiments"`
+	}{out})
+}
+
+// handleEvents streams the experiment's journal over Server-Sent Events:
+// the retained history first, then live events until the experiment
+// finishes or the client disconnects. Each journal line becomes one
+// `data:` frame.
+func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
+	exp, ok := s.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no experiment %q", r.PathValue("id"))
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	sub := exp.fanout.Subscribe()
+	defer sub.Cancel()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	for {
+		select {
+		case line, open := <-sub.C:
+			if !open {
+				fmt.Fprint(w, "event: end\ndata: {}\n\n")
+				fl.Flush()
+				return
+			}
+			fmt.Fprintf(w, "data: %s\n\n", line)
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// storeStatus is the /api/v1/store response.
+type storeStatus struct {
+	Enabled bool         `json:"enabled"`
+	Stats   *store.Stats `json:"stats,omitempty"`
+}
+
+func (s *Service) handleStore(w http.ResponseWriter, _ *http.Request) {
+	st := storeStatus{Enabled: s.st != nil}
+	if s.st != nil {
+		v := s.st.Stats()
+		st.Stats = &v
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// healthStatus is the /healthz response.
+type healthStatus struct {
+	Status     string `json:"status"` // "ok" or "draining"
+	UptimeSec  int64  `json:"uptime_sec"`
+	Queued     int    `json:"queued"`
+	Discipline string `json:"discipline"`
+}
+
+func (s *Service) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	h := healthStatus{
+		Status:     "ok",
+		UptimeSec:  int64(time.Since(s.start).Seconds()),
+		Queued:     s.adm.Depth(),
+		Discipline: s.adm.Discipline(),
+	}
+	code := http.StatusOK
+	if s.Draining() {
+		h.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
+}

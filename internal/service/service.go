@@ -1,0 +1,453 @@
+// Package service is the multi-tenant experiment API: an HTTP/JSON layer
+// over the simulation engine and its durable content-addressed store.
+// Clients submit scheme×workload×CPU sweeps; identical sweeps — from any
+// tenant, any process sharing the store directory — collapse to one
+// computation, so most traffic on a warm service is cache hits. Requests
+// pass admission control (bounded queue, pluggable FCFS/priority
+// discipline, per-tenant in-flight quotas) and every experiment exposes
+// its journal as a live SSE stream.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"runtime"
+	"sync"
+	"time"
+
+	"dirsim/internal/engine"
+	"dirsim/internal/faults"
+	"dirsim/internal/obs"
+	"dirsim/internal/sim"
+	"dirsim/internal/store"
+)
+
+// Config assembles a Service.
+type Config struct {
+	// Store is the durable result tier; nil runs memory-only.
+	Store *store.Store
+	// Metrics receives service, engine and admission counters; nil
+	// allocates a private registry.
+	Metrics *obs.Registry
+	// MaxInflight is the number of experiments executed concurrently
+	// (the worker pool size); 0 means 2.
+	MaxInflight int
+	// MaxQueue bounds experiments waiting for a worker; 0 means 64.
+	MaxQueue int
+	// Quota is the per-tenant cap on queued+running experiments; 0
+	// means unlimited.
+	Quota int
+	// Discipline selects the admission queue policy: "fcfs" (default)
+	// or "priority".
+	Discipline string
+	// SimWorkers is the engine parallelism within one experiment; 0
+	// means GOMAXPROCS.
+	SimWorkers int
+	// Verify enables cache-integrity revalidation on the engine.
+	Verify bool
+	// Faults, when non-nil, injects deterministic failures (tests).
+	Faults *faults.Injector
+	// EventHistory is the per-experiment journal replay depth for SSE
+	// subscribers arriving mid-run; 0 means 256 lines.
+	EventHistory int
+	// Log receives operational messages; nil discards them.
+	Log *slog.Logger
+}
+
+// State is an experiment's lifecycle phase.
+type State string
+
+const (
+	StateQueued  State = "queued"
+	StateRunning State = "running"
+	StateDone    State = "done"
+	StateFailed  State = "failed"
+	StateAborted State = "aborted" // drained before it could run
+)
+
+// Experiment is one submitted sweep and, eventually, its results.
+// Fields are guarded by the owning Service's mu except where noted.
+type Experiment struct {
+	ID       string
+	Tenant   string // tenant that first submitted it
+	Priority int
+	Spec     Spec
+
+	State     State
+	Submitted time.Time
+	Started   time.Time
+	Finished  time.Time
+	Err       string
+
+	specs   []engine.SimSpec
+	meta    []SpecMeta
+	results []*sim.Result // parallel to specs; nil entries failed
+
+	// fanout carries the experiment's journal lines to SSE subscribers;
+	// journal writes into it. Both are safe for concurrent use.
+	fanout  *obs.Fanout
+	journal *obs.Journal
+}
+
+// Service executes experiments against a shared engine and serves their
+// lifecycle over HTTP. Create with New, start with Start, stop with
+// Drain.
+type Service struct {
+	cfg   Config
+	reg   *obs.Registry
+	eng   *engine.Engine
+	adm   *Admission
+	st    *store.Store
+	log   *slog.Logger
+	start time.Time
+
+	mu       sync.Mutex
+	exps     map[string]*Experiment
+	order    []string // submission order, for listing
+	draining bool
+
+	router *router
+
+	workers sync.WaitGroup
+	runCtx  context.Context
+	runStop context.CancelFunc
+
+	submitted *obs.Counter
+	deduped   *obs.Counter
+	completed *obs.Counter
+	failed    *obs.Counter
+	running   *obs.Gauge
+}
+
+// New builds a Service. Call Start to begin executing work.
+func New(cfg Config) (*Service, error) {
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 2
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 64
+	}
+	if cfg.SimWorkers <= 0 {
+		cfg.SimWorkers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.EventHistory <= 0 {
+		cfg.EventHistory = 256
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	d, err := NewDiscipline(cfg.Discipline)
+	if err != nil {
+		return nil, err
+	}
+	log := cfg.Log
+	if log == nil {
+		log = slog.New(slog.DiscardHandler)
+	}
+	rt := newRouter()
+	var tier engine.Tier
+	if cfg.Store != nil {
+		tier = cfg.Store
+	}
+	eng := engine.New(engine.Options{
+		Metrics:  reg,
+		Verify:   cfg.Verify,
+		Faults:   cfg.Faults,
+		Store:    tier,
+		Observer: rt,
+	})
+	ctx, stop := context.WithCancel(context.Background())
+	s := &Service{
+		cfg:     cfg,
+		reg:     reg,
+		eng:     eng,
+		adm:     NewAdmission(d, cfg.MaxQueue, cfg.Quota, reg),
+		st:      cfg.Store,
+		log:     log,
+		start:   time.Now(),
+		exps:    make(map[string]*Experiment),
+		router:  rt,
+		runCtx:  ctx,
+		runStop: stop,
+
+		submitted: reg.Counter("service.experiments.submitted"),
+		deduped:   reg.Counter("service.experiments.deduped"),
+		completed: reg.Counter("service.experiments.completed"),
+		failed:    reg.Counter("service.experiments.failed"),
+		running:   reg.Gauge("service.experiments.running"),
+	}
+	return s, nil
+}
+
+// Engine exposes the underlying engine (stats, tests).
+func (s *Service) Engine() *engine.Engine { return s.eng }
+
+// Metrics exposes the service registry.
+func (s *Service) Metrics() *obs.Registry { return s.reg }
+
+// Start launches the worker pool.
+func (s *Service) Start() {
+	for i := 0; i < s.cfg.MaxInflight; i++ {
+		s.workers.Add(1)
+		go s.worker()
+	}
+}
+
+// Submit admits a sweep for tenant, returning the experiment and whether
+// it was newly created (false means an identical sweep already exists —
+// the caller is not charged quota and shares its lifecycle). Admission
+// failures return ErrQuota, ErrSaturated or ErrDraining, or a validation
+// error for malformed specs.
+func (s *Service) Submit(tenant string, spec Spec) (*Experiment, bool, error) {
+	specs, meta, err := spec.Expand()
+	if err != nil {
+		return nil, false, err
+	}
+	id := ExperimentID(meta)
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, false, ErrDraining
+	}
+	if exp, ok := s.exps[id]; ok {
+		s.mu.Unlock()
+		s.deduped.Add(1)
+		return exp, false, nil
+	}
+	fan := obs.NewFanout(s.cfg.EventHistory, s.cfg.EventHistory)
+	exp := &Experiment{
+		ID:        id,
+		Tenant:    tenant,
+		Priority:  spec.Priority,
+		Spec:      spec,
+		State:     StateQueued,
+		Submitted: time.Now(),
+		specs:     specs,
+		meta:      meta,
+		fanout:    fan,
+		journal:   obs.NewJournal(fan),
+	}
+	s.exps[id] = exp
+	s.order = append(s.order, id)
+	s.mu.Unlock()
+
+	if err := s.adm.Submit(exp, spec.Priority); err != nil {
+		s.mu.Lock()
+		delete(s.exps, id)
+		s.order = s.order[:len(s.order)-1]
+		s.mu.Unlock()
+		exp.fanout.Close()
+		return nil, false, err
+	}
+	s.submitted.Add(1)
+	exp.journal.Event("experiment.queued",
+		"id", id, "tenant", tenant, "specs", len(specs),
+		"discipline", s.adm.Discipline(), "priority", spec.Priority)
+	return exp, true, nil
+}
+
+// Get returns an experiment by ID.
+func (s *Service) Get(id string) (*Experiment, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	exp, ok := s.exps[id]
+	return exp, ok
+}
+
+// worker executes experiments until the admission queue closes.
+func (s *Service) worker() {
+	defer s.workers.Done()
+	for {
+		t, ok := s.adm.Next(s.runCtx)
+		if !ok {
+			return
+		}
+		s.run(t.exp)
+		s.adm.Done(t.exp.Tenant)
+	}
+}
+
+// run executes one experiment end to end.
+func (s *Service) run(exp *Experiment) {
+	s.mu.Lock()
+	exp.State = StateRunning
+	exp.Started = time.Now()
+	specs, meta := exp.specs, exp.meta
+	s.mu.Unlock()
+	s.running.Add(1)
+	defer s.running.Add(-1)
+
+	// Route engine events for this experiment's keys into its journal
+	// while it runs, so SSE subscribers see job-level progress.
+	shortKeys := make([]string, len(specs))
+	for i := range specs {
+		shortKeys[i] = specs[i].Key().String()
+	}
+	s.router.register(shortKeys, exp.journal)
+	defer s.router.unregister(shortKeys)
+
+	exp.journal.Event("experiment.start", "id", exp.ID, "specs", len(specs))
+	results, err := s.eng.Results(s.runCtx, engine.Parallel{Workers: s.cfg.SimWorkers}, specs)
+
+	s.mu.Lock()
+	exp.Finished = time.Now()
+	exp.results = results
+	if err != nil {
+		exp.State = StateFailed
+		exp.Err = err.Error()
+	} else {
+		exp.State = StateDone
+	}
+	dur := exp.Finished.Sub(exp.Started)
+	s.mu.Unlock()
+
+	if err != nil {
+		s.failed.Add(1)
+		exp.journal.Error("experiment.finish", err, "id", exp.ID, "dur_us", dur.Microseconds())
+		s.log.Error("experiment failed", "id", exp.ID, "tenant", exp.Tenant, "error", err)
+	} else {
+		s.completed.Add(1)
+		for i, r := range results {
+			exp.journal.Event("experiment.result",
+				"id", exp.ID, "scheme", meta[i].Scheme, "workload", meta[i].Workload,
+				"cpus", meta[i].CPUs, "key", meta[i].Key,
+				"fingerprint", fmt.Sprintf("%016x", r.Fingerprint()))
+		}
+		exp.journal.Event("experiment.finish", "id", exp.ID, "dur_us", dur.Microseconds())
+		s.log.Info("experiment done", "id", exp.ID, "tenant", exp.Tenant,
+			"specs", len(specs), "dur", dur)
+	}
+	exp.fanout.Close()
+}
+
+// Drain gracefully stops the service: new submissions are refused,
+// queued-but-unstarted experiments are aborted, running ones finish and
+// persist their results (bounded by ctx), and every event stream is
+// closed. Safe to call once.
+func (s *Service) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.adm.Close()
+
+	for _, t := range s.adm.Flush() {
+		s.mu.Lock()
+		t.exp.State = StateAborted
+		t.exp.Err = ErrDraining.Error()
+		t.exp.Finished = time.Now()
+		s.mu.Unlock()
+		t.exp.journal.Event("experiment.aborted", "id", t.exp.ID, "reason", "drain")
+		t.exp.fanout.Close()
+		s.adm.Done(t.exp.Tenant)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		// Cancel in-flight engine work and wait for the workers to
+		// observe it; results computed so far are already persisted.
+		s.runStop()
+		<-done
+		return fmt.Errorf("service: drain deadline exceeded, aborted running work: %w", ctx.Err())
+	}
+}
+
+// Draining reports whether Drain has begun.
+func (s *Service) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// RetryAfter estimates, in seconds, when a rejected request is worth
+// retrying: roughly one queue's worth of work per worker, floored at 1s.
+func (s *Service) RetryAfter() int {
+	depth := s.adm.Depth()
+	sec := depth / s.cfg.MaxInflight
+	if sec < 1 {
+		sec = 1
+	}
+	return sec
+}
+
+// IsAdmissionError reports whether err is one of the admission rejections
+// (as opposed to a validation error).
+func IsAdmissionError(err error) bool {
+	return errors.Is(err, ErrQuota) || errors.Is(err, ErrSaturated) || errors.Is(err, ErrDraining)
+}
+
+// router fans engine observer events out to the journals of the
+// experiments whose spec keys they concern. Events for unregistered keys
+// (other experiments' internals, unkeyed stream jobs) are dropped.
+type router struct {
+	mu    sync.Mutex
+	byKey map[string][]*obs.Journal
+}
+
+func newRouter() *router { return &router{byKey: make(map[string][]*obs.Journal)} }
+
+func (r *router) register(keys []string, j *obs.Journal) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, k := range keys {
+		r.byKey[k] = append(r.byKey[k], j)
+	}
+}
+
+func (r *router) unregister(keys []string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, k := range keys {
+		delete(r.byKey, k)
+	}
+}
+
+func (r *router) emit(key, name string, attrs ...any) {
+	if key == "" {
+		return
+	}
+	r.mu.Lock()
+	js := r.byKey[key]
+	r.mu.Unlock()
+	for _, j := range js {
+		j.Event(name, attrs...)
+	}
+}
+
+func (r *router) JobScheduled(id, kind, key string) {
+	r.emit(key, "job.scheduled", "job", id, "kind", kind, "key", key)
+}
+
+func (r *router) JobStarted(id, kind, key string) {
+	r.emit(key, "job.start", "job", id, "kind", kind, "key", key)
+}
+
+func (r *router) JobFinished(id, kind, key string, d time.Duration, cacheHit bool, err error) {
+	attrs := []any{"job", id, "kind", kind, "key", key,
+		"dur_us", d.Microseconds(), "cache_hit", cacheHit}
+	if err != nil {
+		attrs = append(attrs, "error", err.Error())
+	}
+	r.emit(key, "job.finish", attrs...)
+}
+
+func (r *router) StreamEnded(trace string, chunks, stalls int64) {
+	// Stream jobs are unkeyed; their lifecycle is engine-internal.
+}
+
+func (r *router) CacheRejected(key string) {
+	r.emit(key, "cache.reject", "key", key)
+}
+
+func (r *router) JobRetried(id string, attempt int, backoff time.Duration, err error) {}
+func (r *router) JobPanicked(id string, stack []byte)                                 {}
