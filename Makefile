@@ -51,11 +51,13 @@ bench-json:
 bench-hotpath:
 	DIRSIM_BENCH_JSON=1 $(GO) test -run TestWriteHotpathBenchJSON -v ./internal/sim
 
-# Measure the observability overhead on the hot path — telemetry off
+# Measure the observability overhead — the hot loop with telemetry off
 # (the default nil path, must stay within noise of BENCH_hotpath.json)
-# and on (ProtoSampler at stride 64) — and write BENCH_obs.json.
+# and on (ProtoSampler at stride 64), plus an uncached engine run without
+# and with the full tracing stack (Recorder + tracer + TraceContext) —
+# and write BENCH_obs.json.
 bench-obs:
-	DIRSIM_BENCH_JSON=1 $(GO) test -run TestWriteObsBenchJSON -v ./internal/sim
+	DIRSIM_BENCH_JSON=1 $(GO) test -run TestWriteObsBenchJSON -v .
 
 # Produce a sample execution trace from the POPS workload: trace-demo.json
 # is Chrome trace-event JSON — open it in Perfetto (ui.perfetto.dev) or

@@ -20,10 +20,17 @@
 //	GET  /api/v1/experiments             list experiments
 //	GET  /api/v1/experiments/{id}        status + results
 //	GET  /api/v1/experiments/{id}/events journal events over SSE
+//	GET  /api/v1/experiments/{id}/trace  Chrome trace JSON (Perfetto)
 //	GET  /api/v1/store                   durable store statistics
 //	GET  /healthz                        liveness / drain state
 //	GET  /metrics                        Prometheus text exposition
 //	GET  /runz, /debug/pprof/*           the httpmon monitor endpoints
+//
+// Every response carries an X-Dirsim-Trace header naming the trace the
+// request ran under; callers may supply their own via the same header.
+// Per-route and per-tenant request/error/latency metrics appear on
+// /metrics, and -manifest writes a run manifest (counters, store
+// traffic) on shutdown.
 //
 // On SIGTERM or SIGINT the server drains: new work is refused (503),
 // queued-but-unstarted experiments abort, running experiments finish and
@@ -59,6 +66,7 @@ type config struct {
 	simWorkers   int
 	verify       bool
 	drainTimeout time.Duration
+	manifest     string
 }
 
 func main() {
@@ -73,6 +81,7 @@ func main() {
 	flag.IntVar(&cfg.simWorkers, "sim-workers", 0, "engine parallelism within one experiment (0 = all cores)")
 	flag.BoolVar(&cfg.verify, "verify", true, "revalidate cache hits against content fingerprints")
 	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", time.Minute, "how long SIGTERM waits for running work")
+	flag.StringVar(&cfg.manifest, "manifest", "", "write a run manifest (JSON) here on shutdown (\"-\" = stdout)")
 	flag.Parse()
 
 	if err := run(cfg); err != nil {
@@ -82,6 +91,7 @@ func main() {
 }
 
 func run(cfg config) error {
+	start := time.Now()
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	reg := obs.NewRegistry()
 
@@ -151,9 +161,55 @@ func run(cfg config) error {
 	if err := srv.Shutdown(ctx); err != nil && drainErr == nil {
 		drainErr = err
 	}
+	if cfg.manifest != "" {
+		if err := writeManifest(cfg, srv.Addr(), start, reg, st); err != nil {
+			log.Warn("manifest", "error", err)
+			if drainErr == nil {
+				drainErr = err
+			}
+		} else {
+			log.Info("manifest written", "path", cfg.manifest)
+		}
+	}
 	if drainErr != nil {
 		return drainErr
 	}
 	log.Info("drained cleanly")
 	return nil
+}
+
+// writeManifest records the server's lifetime in the same run-manifest
+// format cmd/experiments emits: every registry counter (engine, service
+// admission/tenant, HTTP RED, fanout), the engine cache hit ratio, and
+// the durable store's final population and traffic.
+func writeManifest(cfg config, addr string, start time.Time, reg *obs.Registry, st *store.Store) error {
+	snap := reg.Snapshot()
+	m := &obs.RunManifest{
+		Schema:      obs.SchemaVersion,
+		Command:     "dirsimd",
+		Start:       start,
+		WallSeconds: time.Since(start).Seconds(),
+		Config: obs.ManifestConfig{
+			Run:      "service",
+			Parallel: cfg.maxInflight,
+			Executor: "service:" + cfg.discipline,
+			Listen:   addr,
+		},
+		Engine:        snap.Counters,
+		CacheHitRatio: obs.HitRatio(snap.Counters["engine.cache.hits"], snap.Counters["engine.cache.misses"]),
+	}
+	if st != nil {
+		stats := st.Stats()
+		m.Store = &obs.ManifestStore{
+			Dir:       stats.Dir,
+			Entries:   stats.Entries,
+			Bytes:     stats.Bytes,
+			Hits:      stats.Hits,
+			Misses:    stats.Misses,
+			Rejected:  stats.Rejected,
+			Writes:    stats.Writes,
+			Evictions: stats.Evictions,
+		}
+	}
+	return m.Write(cfg.manifest)
 }

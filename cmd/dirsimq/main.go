@@ -1,0 +1,660 @@
+// Command dirsimq is the journal analytics CLI: it answers questions
+// about dirsim runs from their JSONL journals alone — the files
+// cmd/experiments -journal writes and the event streams dirsimd serves —
+// with no access to the process that produced them.
+//
+// Usage:
+//
+//	dirsimq stats  [-trace ID] [-tenant T] [-kind K] [-msg M] journal.jsonl...
+//	dirsimq filter [-trace ID] [-tenant T] [-kind K] [-msg M] journal.jsonl...
+//	dirsimq follow -trace ID journal.jsonl...
+//	dirsimq diff   [-threshold 0.10] baseline.jsonl current.jsonl
+//
+// stats aggregates: events by type, engine-job latency breakdowns per
+// kind and per phase, cache and durable-store hit ratios, and the
+// traces/tenants seen. filter re-emits matching raw JSONL lines (for
+// piping into jq or another dirsimq). follow reconstructs one request's
+// causal chain end-to-end — submission, admission wait, every engine
+// job, store access, and retry it caused — in time order. diff compares
+// two runs and flags latency or hit-ratio regressions beyond the
+// threshold, exiting 1 so CI can gate on it.
+//
+// "-" reads standard input. Lines that do not parse as journal JSON are
+// counted and skipped, so a journal interleaved with other stderr output
+// still analyzes.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		usage(stderr)
+		return 2
+	}
+	cmd, rest := args[0], args[1:]
+	var err error
+	code := 0
+	switch cmd {
+	case "stats":
+		err = cmdStats(rest, stdout, stderr)
+	case "filter":
+		err = cmdFilter(rest, stdout, stderr)
+	case "follow":
+		err = cmdFollow(rest, stdout, stderr)
+	case "diff":
+		code, err = cmdDiff(rest, stdout, stderr)
+	case "help", "-h", "--help":
+		usage(stdout)
+		return 0
+	default:
+		fmt.Fprintf(stderr, "dirsimq: unknown command %q\n", cmd)
+		usage(stderr)
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "dirsimq:", err)
+		return 2
+	}
+	return code
+}
+
+func usage(w io.Writer) {
+	fmt.Fprint(w, `dirsimq — dirsim journal analytics
+
+  dirsimq stats  [-trace ID] [-tenant T] [-kind K] [-msg M] journal.jsonl...
+  dirsimq filter [-trace ID] [-tenant T] [-kind K] [-msg M] journal.jsonl...
+  dirsimq follow -trace ID journal.jsonl...
+  dirsimq diff   [-threshold 0.10] baseline.jsonl current.jsonl
+
+"-" reads standard input. -msg matches the event name exactly, or as a
+prefix when it ends in '*' (e.g. -msg 'job.*').
+`)
+}
+
+// line is one parsed journal line: the slog envelope plus every other
+// attribute, with the raw bytes retained for filter's passthrough.
+type line struct {
+	Time  time.Time
+	Level string
+	Msg   string
+	Trace string
+	attrs map[string]any
+	raw   []byte
+}
+
+// str returns the named attribute as a string ("" when absent or not a
+// string).
+func (l line) str(key string) string {
+	s, _ := l.attrs[key].(string)
+	return s
+}
+
+// num returns the named attribute as an int64; JSON numbers decode as
+// float64.
+func (l line) num(key string) (int64, bool) {
+	f, ok := l.attrs[key].(float64)
+	return int64(f), ok
+}
+
+func (l line) boolean(key string) bool {
+	b, _ := l.attrs[key].(bool)
+	return b
+}
+
+// readJournal parses JSONL from r, skipping (and counting) lines that
+// are not journal JSON.
+func readJournal(r io.Reader) (lines []line, skipped int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		raw := sc.Bytes()
+		if len(strings.TrimSpace(string(raw))) == 0 {
+			continue
+		}
+		var m map[string]any
+		if json.Unmarshal(raw, &m) != nil {
+			skipped++
+			continue
+		}
+		msg, _ := m["msg"].(string)
+		if msg == "" {
+			skipped++
+			continue
+		}
+		l := line{Msg: msg, attrs: m, raw: append([]byte(nil), raw...)}
+		if ts, ok := m["time"].(string); ok {
+			l.Time, _ = time.Parse(time.RFC3339Nano, ts)
+		}
+		l.Level, _ = m["level"].(string)
+		l.Trace, _ = m["trace"].(string)
+		lines = append(lines, l)
+	}
+	return lines, skipped, sc.Err()
+}
+
+// load reads and concatenates the given journals ("-" = stdin).
+func load(paths []string) ([]line, int, error) {
+	var all []line
+	skipped := 0
+	for _, p := range paths {
+		var r io.Reader
+		if p == "-" {
+			r = os.Stdin
+		} else {
+			f, err := os.Open(p)
+			if err != nil {
+				return nil, 0, err
+			}
+			ls, sk, err := readJournal(f)
+			f.Close()
+			if err != nil {
+				return nil, 0, fmt.Errorf("%s: %w", p, err)
+			}
+			all = append(all, ls...)
+			skipped += sk
+			continue
+		}
+		ls, sk, err := readJournal(r)
+		if err != nil {
+			return nil, 0, err
+		}
+		all = append(all, ls...)
+		skipped += sk
+	}
+	return all, skipped, nil
+}
+
+// matcher is the shared selection predicate behind stats and filter.
+type matcher struct {
+	trace, tenant, kind, msg string
+}
+
+func (m *matcher) register(fs *flag.FlagSet) {
+	fs.StringVar(&m.trace, "trace", "", "select lines of this trace ID")
+	fs.StringVar(&m.tenant, "tenant", "", "select lines of this tenant")
+	fs.StringVar(&m.kind, "kind", "", "select engine-job lines of this kind (trace, sim, protocol, merge, stream)")
+	fs.StringVar(&m.msg, "msg", "", "select this event name (trailing '*' matches a prefix)")
+}
+
+func (m *matcher) match(l line) bool {
+	if m.trace != "" && l.Trace != m.trace {
+		return false
+	}
+	if m.tenant != "" && l.str("tenant") != m.tenant {
+		return false
+	}
+	if m.kind != "" && l.str("kind") != m.kind {
+		return false
+	}
+	if m.msg != "" {
+		if prefix, ok := strings.CutSuffix(m.msg, "*"); ok {
+			if !strings.HasPrefix(l.Msg, prefix) {
+				return false
+			}
+		} else if l.Msg != m.msg {
+			return false
+		}
+	}
+	return true
+}
+
+// phaseOf mirrors the recorder's job-kind → phase folding.
+func phaseOf(kind string) string {
+	switch kind {
+	case "trace", "stream":
+		return "generate"
+	case "sim", "protocol":
+		return "simulate"
+	case "merge":
+		return "merge"
+	case "":
+		return "other"
+	}
+	return kind
+}
+
+// dist is an accumulating latency distribution (microseconds).
+type dist struct{ vals []int64 }
+
+func (d *dist) add(v int64) { d.vals = append(d.vals, v) }
+func (d *dist) count() int  { return len(d.vals) }
+
+func (d *dist) sum() int64 {
+	var s int64
+	for _, v := range d.vals {
+		s += v
+	}
+	return s
+}
+
+func (d *dist) mean() float64 {
+	if len(d.vals) == 0 {
+		return 0
+	}
+	return float64(d.sum()) / float64(len(d.vals))
+}
+
+// quantile is nearest-rank on the sorted values.
+func (d *dist) quantile(q float64) int64 {
+	if len(d.vals) == 0 {
+		return 0
+	}
+	s := append([]int64(nil), d.vals...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	i := int(q*float64(len(s)-1) + 0.5)
+	if i >= len(s) {
+		i = len(s) - 1
+	}
+	return s[i]
+}
+
+// summary is everything stats prints and diff compares, aggregated from
+// one journal selection.
+type summary struct {
+	events    int
+	skipped   int
+	errors    int
+	byMsg     map[string]int
+	byKind    map[string]*dist // job.finish dur_us per kind
+	byPhase   map[string]*dist
+	traces    map[string]struct{}
+	tenants   map[string]struct{}
+	cacheHits int64
+	cacheMiss int64
+	storeHit  int64
+	storeMiss int64
+	stores    int64
+	retries   int64
+	rejects   int64
+}
+
+func summarize(lines []line, skipped int) *summary {
+	s := &summary{
+		skipped: skipped,
+		byMsg:   map[string]int{},
+		byKind:  map[string]*dist{},
+		byPhase: map[string]*dist{},
+		traces:  map[string]struct{}{},
+		tenants: map[string]struct{}{},
+	}
+	addDist := func(m map[string]*dist, key string, v int64) {
+		d := m[key]
+		if d == nil {
+			d = &dist{}
+			m[key] = d
+		}
+		d.add(v)
+	}
+	for _, l := range lines {
+		s.events++
+		s.byMsg[l.Msg]++
+		if l.Level == "ERROR" {
+			s.errors++
+		}
+		if l.Trace != "" {
+			s.traces[l.Trace] = struct{}{}
+		}
+		if t := l.str("tenant"); t != "" {
+			s.tenants[t] = struct{}{}
+		}
+		switch l.Msg {
+		case "job.finish":
+			kind := l.str("kind")
+			if d, ok := l.num("dur_us"); ok {
+				addDist(s.byKind, kind, d)
+				addDist(s.byPhase, phaseOf(kind), d)
+			}
+			if l.boolean("cache_hit") {
+				s.cacheHits++
+			} else {
+				s.cacheMiss++
+			}
+		case "store.load":
+			if l.boolean("hit") {
+				s.storeHit++
+			} else {
+				s.storeMiss++
+			}
+		case "store.store":
+			s.stores++
+		case "job.retry":
+			s.retries++
+		case "cache.reject":
+			s.rejects++
+		}
+	}
+	return s
+}
+
+func ratio(hit, miss int64) float64 {
+	if hit+miss == 0 {
+		return 0
+	}
+	return float64(hit) / float64(hit+miss)
+}
+
+func cmdStats(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var m matcher
+	m.register(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("stats: no journal files given")
+	}
+	lines, skipped, err := load(fs.Args())
+	if err != nil {
+		return err
+	}
+	var sel []line
+	for _, l := range lines {
+		if m.match(l) {
+			sel = append(sel, l)
+		}
+	}
+	s := summarize(sel, skipped)
+	writeStats(stdout, s)
+	return nil
+}
+
+func writeStats(w io.Writer, s *summary) {
+	fmt.Fprintf(w, "events: %d", s.events)
+	if s.skipped > 0 {
+		fmt.Fprintf(w, " (%d non-journal lines skipped)", s.skipped)
+	}
+	fmt.Fprintf(w, "  errors: %d  traces: %d  tenants: %d\n",
+		s.errors, len(s.traces), len(s.tenants))
+
+	fmt.Fprintln(w, "\nevents by type:")
+	for _, k := range sortedKeys(s.byMsg) {
+		fmt.Fprintf(w, "  %-22s %6d\n", k, s.byMsg[k])
+	}
+
+	if len(s.byKind) > 0 {
+		fmt.Fprintln(w, "\nengine jobs (dur_us):")
+		fmt.Fprintf(w, "  %-10s %6s %10s %10s %10s %12s\n", "kind", "count", "p50", "p95", "max", "total")
+		for _, k := range sortedKeys(s.byKind) {
+			d := s.byKind[k]
+			fmt.Fprintf(w, "  %-10s %6d %10d %10d %10d %12d\n",
+				k, d.count(), d.quantile(0.50), d.quantile(0.95), d.quantile(1), d.sum())
+		}
+		fmt.Fprintln(w, "\nphases (dur_us):")
+		for _, k := range sortedKeys(s.byPhase) {
+			d := s.byPhase[k]
+			fmt.Fprintf(w, "  %-10s %6d %12d\n", k, d.count(), d.sum())
+		}
+	}
+
+	if s.cacheHits+s.cacheMiss > 0 {
+		fmt.Fprintf(w, "\ncache: %d hits / %d misses (ratio %.3f)\n",
+			s.cacheHits, s.cacheMiss, ratio(s.cacheHits, s.cacheMiss))
+	}
+	if s.storeHit+s.storeMiss+s.stores > 0 {
+		fmt.Fprintf(w, "store: %d loads (%d hits, ratio %.3f), %d stores\n",
+			s.storeHit+s.storeMiss, s.storeHit, ratio(s.storeHit, s.storeMiss), s.stores)
+	}
+	if s.retries+s.rejects > 0 {
+		fmt.Fprintf(w, "faults: %d retries, %d cache rejects\n", s.retries, s.rejects)
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+func cmdFilter(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("filter", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var m matcher
+	m.register(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("filter: no journal files given")
+	}
+	lines, _, err := load(fs.Args())
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(stdout)
+	defer bw.Flush()
+	for _, l := range lines {
+		if m.match(l) {
+			bw.Write(l.raw)
+			bw.WriteByte('\n')
+		}
+	}
+	return nil
+}
+
+// cmdFollow reconstructs one trace's causal chain in time order: the
+// submission, its admission wait, and every engine job, store access,
+// stream, and retry that ran under the trace ID.
+func cmdFollow(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("follow", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	traceID := fs.String("trace", "", "trace ID to follow (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("follow: no journal files given")
+	}
+	lines, _, err := load(fs.Args())
+	if err != nil {
+		return err
+	}
+	if *traceID == "" {
+		// With no -trace, list what is available instead of failing dry.
+		traces := map[string]int{}
+		for _, l := range lines {
+			if l.Trace != "" {
+				traces[l.Trace]++
+			}
+		}
+		if len(traces) == 0 {
+			return fmt.Errorf("follow: journal has no trace-tagged lines")
+		}
+		fmt.Fprintln(stdout, "traces in journal (pick one with -trace):")
+		for _, t := range sortedKeys(traces) {
+			fmt.Fprintf(stdout, "  %s  (%d events)\n", t, traces[t])
+		}
+		return nil
+	}
+
+	var sel []line
+	for _, l := range lines {
+		if l.Trace == *traceID {
+			sel = append(sel, l)
+		}
+	}
+	if len(sel) == 0 {
+		return fmt.Errorf("follow: no events for trace %q", *traceID)
+	}
+	sort.SliceStable(sel, func(i, j int) bool { return sel[i].Time.Before(sel[j].Time) })
+
+	fmt.Fprintf(stdout, "trace %s: %d events, %s → %s\n\n", *traceID, len(sel),
+		sel[0].Time.Format("15:04:05.000"), sel[len(sel)-1].Time.Format("15:04:05.000"))
+	for _, l := range sel {
+		fmt.Fprintf(stdout, "%s  %s\n", l.Time.Format("15:04:05.000000"), renderEvent(l))
+	}
+	s := summarize(sel, 0)
+	fmt.Fprintf(stdout, "\nsummary: %d events", s.events)
+	if n := s.cacheHits + s.cacheMiss; n > 0 {
+		fmt.Fprintf(stdout, ", %d jobs (%d cache hits)", n, s.cacheHits)
+	}
+	if n := s.storeHit + s.storeMiss; n > 0 {
+		fmt.Fprintf(stdout, ", %d store loads (%d hits)", n, s.storeHit)
+	}
+	if s.retries > 0 {
+		fmt.Fprintf(stdout, ", %d retries", s.retries)
+	}
+	if s.errors > 0 {
+		fmt.Fprintf(stdout, ", %d errors", s.errors)
+	}
+	fmt.Fprintln(stdout)
+	return nil
+}
+
+// renderEvent formats one journal line for follow's listing, indenting
+// engine- and store-level events under the request-level ones.
+func renderEvent(l line) string {
+	var b strings.Builder
+	switch l.Msg {
+	case "job.scheduled", "job.start", "job.finish", "job.retry", "job.panic",
+		"store.load", "store.store", "cache.reject", "stream.end":
+		b.WriteString("  ")
+	}
+	b.WriteString(l.Msg)
+	// Attributes in a stable, relevance-first order.
+	for _, k := range []string{"id", "tenant", "job", "kind", "key", "name",
+		"discipline", "wait_us", "dur_us", "wall_us", "cache_hit", "hit",
+		"chunks", "stalls", "attempt", "specs", "state", "error"} {
+		if v, ok := l.attrs[k]; ok {
+			fmt.Fprintf(&b, " %s=%v", k, v)
+		}
+	}
+	if l.Level == "ERROR" {
+		b.WriteString("  [ERROR]")
+	}
+	return b.String()
+}
+
+// metricDelta is one compared metric in diff's report.
+type metricDelta struct {
+	name              string
+	baseline, current float64
+	// higherIsWorse: latency-like metrics regress upward, ratio-like
+	// metrics regress downward.
+	higherIsWorse bool
+}
+
+func (m metricDelta) delta() float64 {
+	if m.baseline == 0 {
+		return 0
+	}
+	return (m.current - m.baseline) / m.baseline
+}
+
+func (m metricDelta) regressed(threshold float64) bool {
+	if m.baseline == 0 {
+		return false
+	}
+	d := m.delta()
+	if m.higherIsWorse {
+		return d > threshold
+	}
+	return d < -threshold
+}
+
+// cmdDiff compares two journals and flags regressions beyond the
+// threshold; it exits 1 (not an error) when any metric regressed, so CI
+// can gate on it while still printing the full report.
+func cmdDiff(args []string, stdout, stderr io.Writer) (int, error) {
+	fs := flag.NewFlagSet("diff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	threshold := fs.Float64("threshold", 0.10, "relative regression threshold (0.10 = 10%)")
+	traceA := fs.String("trace-a", "", "restrict baseline to this trace ID")
+	traceB := fs.String("trace-b", "", "restrict current to this trace ID")
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+	if fs.NArg() != 2 {
+		return 2, fmt.Errorf("diff: want exactly two journals (baseline current), got %d", fs.NArg())
+	}
+	base, err := loadSummary(fs.Arg(0), *traceA)
+	if err != nil {
+		return 2, err
+	}
+	cur, err := loadSummary(fs.Arg(1), *traceB)
+	if err != nil {
+		return 2, err
+	}
+
+	var deltas []metricDelta
+	kinds := map[string]struct{}{}
+	for k := range base.byKind {
+		kinds[k] = struct{}{}
+	}
+	for k := range cur.byKind {
+		kinds[k] = struct{}{}
+	}
+	for _, k := range sortedKeys(kinds) {
+		b, c := base.byKind[k], cur.byKind[k]
+		if b == nil || c == nil || b.count() == 0 || c.count() == 0 {
+			continue // a kind present on one side only is a shape change, not a regression
+		}
+		deltas = append(deltas,
+			metricDelta{"job." + k + ".mean_us", b.mean(), c.mean(), true},
+			metricDelta{"job." + k + ".p95_us", float64(b.quantile(0.95)), float64(c.quantile(0.95)), true},
+		)
+	}
+	deltas = append(deltas,
+		metricDelta{"cache.hit_ratio", ratio(base.cacheHits, base.cacheMiss), ratio(cur.cacheHits, cur.cacheMiss), false},
+		metricDelta{"store.hit_ratio", ratio(base.storeHit, base.storeMiss), ratio(cur.storeHit, cur.storeMiss), false},
+		metricDelta{"errors", float64(base.errors), float64(cur.errors), true},
+		metricDelta{"retries", float64(base.retries), float64(cur.retries), true},
+	)
+
+	fmt.Fprintf(stdout, "baseline: %s (%d events)   current: %s (%d events)   threshold: %.0f%%\n\n",
+		fs.Arg(0), base.events, fs.Arg(1), cur.events, *threshold*100)
+	fmt.Fprintf(stdout, "%-24s %14s %14s %9s\n", "metric", "baseline", "current", "delta")
+	regressions := 0
+	for _, d := range deltas {
+		if d.baseline == 0 && d.current == 0 {
+			continue
+		}
+		mark := ""
+		if d.regressed(*threshold) {
+			mark = "  REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(stdout, "%-24s %14.1f %14.1f %+8.1f%%%s\n",
+			d.name, d.baseline, d.current, d.delta()*100, mark)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(stdout, "\n%d metric(s) regressed beyond %.0f%%\n", regressions, *threshold*100)
+		return 1, nil
+	}
+	fmt.Fprintln(stdout, "\nno regressions")
+	return 0, nil
+}
+
+func loadSummary(path, traceID string) (*summary, error) {
+	lines, skipped, err := load([]string{path})
+	if err != nil {
+		return nil, err
+	}
+	if traceID != "" {
+		var sel []line
+		for _, l := range lines {
+			if l.Trace == traceID {
+				sel = append(sel, l)
+			}
+		}
+		lines = sel
+	}
+	return summarize(lines, skipped), nil
+}

@@ -1,0 +1,199 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// journalA is a small but complete run: one request trace (abc123) whose
+// chain goes submission → admission → engine jobs → store accesses, plus
+// a second trace (zzz999) from another tenant to prove selection.
+const journalA = `{"time":"2026-08-08T10:00:00.000Z","level":"INFO","msg":"experiment.submitted","schema":2,"trace":"abc123","id":"exp-1","tenant":"alice"}
+{"time":"2026-08-08T10:00:00.100Z","level":"INFO","msg":"admission.done","schema":2,"trace":"abc123","id":"exp-1","wait_us":100000,"discipline":"fcfs"}
+{"time":"2026-08-08T10:00:00.101Z","level":"INFO","msg":"job.scheduled","schema":2,"trace":"abc123","job":"trace:pops","kind":"trace","key":"k1"}
+{"time":"2026-08-08T10:00:00.200Z","level":"INFO","msg":"store.load","schema":2,"trace":"abc123","kind":"result","key":"k2","hit":false,"dur_us":150}
+{"time":"2026-08-08T10:00:00.300Z","level":"INFO","msg":"job.finish","schema":2,"trace":"abc123","job":"trace:pops","kind":"trace","key":"k1","dur_us":2000,"cache_hit":false}
+{"time":"2026-08-08T10:00:00.400Z","level":"INFO","msg":"job.finish","schema":2,"trace":"abc123","job":"sim:Dir1@pops","kind":"sim","key":"k2","dur_us":5000,"cache_hit":false}
+{"time":"2026-08-08T10:00:00.450Z","level":"INFO","msg":"store.store","schema":2,"trace":"abc123","kind":"result","key":"k2","dur_us":300}
+{"time":"2026-08-08T10:00:00.500Z","level":"INFO","msg":"job.finish","schema":2,"trace":"abc123","job":"merge:Dir1","kind":"merge","dur_us":100,"cache_hit":false}
+{"time":"2026-08-08T10:00:00.600Z","level":"INFO","msg":"experiment.finish","schema":2,"trace":"abc123","id":"exp-1"}
+{"time":"2026-08-08T10:00:01.000Z","level":"INFO","msg":"job.finish","schema":2,"trace":"zzz999","job":"sim:Dir1@pops","kind":"sim","key":"k2","dur_us":40,"cache_hit":true,"tenant":"bob"}
+not a json line
+`
+
+// journalB is journalA's sim jobs slowed 3x with a lower cache hit rate,
+// for diff's regression detection.
+const journalB = `{"time":"2026-08-08T11:00:00.000Z","level":"INFO","msg":"job.finish","schema":2,"trace":"r2","job":"trace:pops","kind":"trace","key":"k1","dur_us":2000,"cache_hit":false}
+{"time":"2026-08-08T11:00:00.100Z","level":"INFO","msg":"job.finish","schema":2,"trace":"r2","job":"sim:Dir1@pops","kind":"sim","key":"k2","dur_us":15000,"cache_hit":false}
+{"time":"2026-08-08T11:00:00.200Z","level":"ERROR","msg":"job.finish","schema":2,"trace":"r2","job":"merge:Dir1","kind":"merge","dur_us":100,"cache_hit":false,"error":"boom"}
+`
+
+func writeJournal(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestStats(t *testing.T) {
+	path := writeJournal(t, "a.jsonl", journalA)
+	code, out, errb := runCLI(t, "stats", path)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	for _, want := range []string{
+		"events: 10",
+		"1 non-journal lines skipped",
+		"traces: 2",
+		"job.finish",
+		"sim", "trace", "merge",
+		"cache: 1 hits / 3 misses (ratio 0.250)",
+		"store: 1 loads (0 hits, ratio 0.000), 1 stores",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStatsFilters(t *testing.T) {
+	path := writeJournal(t, "a.jsonl", journalA)
+
+	// Per-trace selection drops the other tenant's cache hit.
+	_, out, _ := runCLI(t, "stats", "-trace", "abc123", path)
+	if !strings.Contains(out, "cache: 0 hits / 3 misses") {
+		t.Errorf("trace-filtered stats wrong:\n%s", out)
+	}
+	// Kind selection sees only the sim jobs.
+	_, out, _ = runCLI(t, "stats", "-kind", "sim", path)
+	if !strings.Contains(out, "events: 2") {
+		t.Errorf("kind-filtered stats wrong:\n%s", out)
+	}
+	// Tenant selection matches only lines carrying the tenant attr.
+	_, out, _ = runCLI(t, "stats", "-tenant", "bob", path)
+	if !strings.Contains(out, "events: 1") {
+		t.Errorf("tenant-filtered stats wrong:\n%s", out)
+	}
+}
+
+func TestFilterEmitsRawLines(t *testing.T) {
+	path := writeJournal(t, "a.jsonl", journalA)
+	code, out, _ := runCLI(t, "filter", "-msg", "job.*", "-trace", "abc123", path)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // job.scheduled + three job.finish
+		t.Fatalf("filter emitted %d lines, want 4:\n%s", len(lines), out)
+	}
+	for _, l := range lines {
+		if !strings.HasPrefix(l, "{") || !strings.Contains(l, `"trace":"abc123"`) {
+			t.Errorf("filter line not raw journal JSON: %s", l)
+		}
+	}
+}
+
+func TestFollowReconstructsCausalChain(t *testing.T) {
+	path := writeJournal(t, "a.jsonl", journalA)
+	code, out, errb := runCLI(t, "follow", "-trace", "abc123", path)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	// The full chain appears, in time order.
+	order := []string{"experiment.submitted", "admission.done", "job.scheduled",
+		"store.load", "job.finish", "store.store", "experiment.finish"}
+	last := -1
+	for _, ev := range order {
+		i := strings.Index(out, ev)
+		if i < 0 {
+			t.Fatalf("follow output missing %q:\n%s", ev, out)
+		}
+		if i < last {
+			t.Errorf("event %q out of order:\n%s", ev, out)
+		}
+		last = i
+	}
+	if strings.Contains(out, "zzz999") {
+		t.Errorf("follow leaked another trace's events:\n%s", out)
+	}
+	if !strings.Contains(out, "3 jobs (0 cache hits)") || !strings.Contains(out, "1 store loads (0 hits)") {
+		t.Errorf("follow summary wrong:\n%s", out)
+	}
+}
+
+func TestFollowListsTracesWhenUnspecified(t *testing.T) {
+	path := writeJournal(t, "a.jsonl", journalA)
+	code, out, _ := runCLI(t, "follow", path)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "abc123") || !strings.Contains(out, "zzz999") {
+		t.Errorf("trace listing incomplete:\n%s", out)
+	}
+}
+
+func TestDiffFlagsRegression(t *testing.T) {
+	a := writeJournal(t, "a.jsonl", journalA)
+	b := writeJournal(t, "b.jsonl", journalB)
+
+	code, out, errb := runCLI(t, "diff", "-threshold", "0.10", a, b)
+	if code != 1 {
+		t.Fatalf("diff exit = %d, want 1 (regression); stderr: %s\n%s", code, errb, out)
+	}
+	if !strings.Contains(out, "job.sim.mean_us") || !strings.Contains(out, "REGRESSION") {
+		t.Errorf("diff did not flag the sim slowdown:\n%s", out)
+	}
+	// The unchanged trace-generation latency must not be flagged.
+	for _, l := range strings.Split(out, "\n") {
+		if strings.Contains(l, "job.trace.mean_us") && strings.Contains(l, "REGRESSION") {
+			t.Errorf("diff flagged an unchanged metric: %s", l)
+		}
+	}
+
+	// Same journal on both sides: clean exit.
+	code, out, _ = runCLI(t, "diff", a, a)
+	if code != 0 || !strings.Contains(out, "no regressions") {
+		t.Errorf("self-diff exit = %d, want 0:\n%s", code, out)
+	}
+
+	// A huge threshold tolerates the slowdown but errors still regress
+	// (0 → 1 has baseline 0, which never trips; so assert exit 0 here).
+	code, _, _ = runCLI(t, "diff", "-threshold", "100", a, b)
+	if code != 0 {
+		t.Errorf("diff with 10000%% threshold exit = %d, want 0", code)
+	}
+}
+
+func TestUsageAndErrors(t *testing.T) {
+	if code, _, _ := runCLI(t); code != 2 {
+		t.Errorf("no args exit = %d, want 2", code)
+	}
+	if code, _, _ := runCLI(t, "bogus"); code != 2 {
+		t.Errorf("unknown command exit = %d, want 2", code)
+	}
+	if code, out, _ := runCLI(t, "help"); code != 0 || !strings.Contains(out, "dirsimq") {
+		t.Errorf("help exit = %d", code)
+	}
+	if code, _, errb := runCLI(t, "stats", "/nonexistent/x.jsonl"); code != 2 || !strings.Contains(errb, "dirsimq:") {
+		t.Errorf("missing file exit = %d, stderr %q", code, errb)
+	}
+	path := writeJournal(t, "a.jsonl", journalA)
+	if code, _, _ := runCLI(t, "follow", "-trace", "nope", path); code != 2 {
+		t.Errorf("unknown trace exit = %d, want 2", code)
+	}
+	if code, _, _ := runCLI(t, "diff", path); code != 2 {
+		t.Errorf("diff with one file exit = %d, want 2", code)
+	}
+}

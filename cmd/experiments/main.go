@@ -43,6 +43,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -173,13 +174,19 @@ func runSelected(w, ew io.Writer, cfg config, exps []report.Experiment) error {
 	if cfg.trace != "" {
 		tr = exectrace.New()
 	}
+	// Every run gets a trace identity: the journal is tagged with it and
+	// the engine submissions carry it in their context, so dirsimq can
+	// follow this run's causal chain (and distinguish interleaved runs
+	// appending to a shared journal file).
+	runTC := obs.NewTraceContext()
 	var jnl *obs.Journal
 	if cfg.journal != "" {
-		var err error
-		if jnl, err = obs.OpenJournal(cfg.journal); err != nil {
+		raw, err := obs.OpenJournal(cfg.journal)
+		if err != nil {
 			return err
 		}
-		defer jnl.Close()
+		defer raw.Close()
+		jnl = raw.WithTrace(runTC)
 	}
 	var rec *obs.Recorder
 	opts := engine.Options{Workers: parallel, BatchRefs: cfg.batch, Metrics: reg,
@@ -218,6 +225,7 @@ func runSelected(w, ew io.Writer, cfg config, exps []report.Experiment) error {
 	ctx := report.NewContextWith(cfg.refs, cfg.cpus, eng, exec)
 	ctx.Check = cfg.check
 	ctx.Observe(rec)
+	ctx.WithBase(obs.WithTrace(context.Background(), runTC))
 
 	status := obs.NewRunStatus()
 	ctx.Track(status)

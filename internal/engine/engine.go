@@ -139,15 +139,19 @@ type Tier interface {
 // DAG node at submission, a JobStarted/JobFinished span around every job
 // body (cache hits included, flagged as such), and one StreamEnded per
 // streamed generation with its chunk count and producer back-pressure
-// stalls. kind classifies the job (see JobKind); key is the short content
-// hash of keyed jobs, empty otherwise. Implementations must be safe for
-// concurrent use — under the Parallel executor, jobs finish on many
-// goroutines at once. obs.Recorder satisfies this interface.
+// stalls. Every method receives the context the work ran under, which
+// carries the originating request's obs.TraceContext when there is one —
+// observers attribute events to requests by reading it (obs.TraceFrom),
+// never by guessing. kind classifies the job (see JobKind); key is the
+// short content hash of keyed jobs, empty otherwise. Implementations
+// must be safe for concurrent use — under the Parallel executor, jobs
+// finish on many goroutines at once. obs.Recorder satisfies this
+// interface.
 type Observer interface {
-	JobScheduled(id, kind, key string)
-	JobStarted(id, kind, key string)
-	JobFinished(id, kind, key string, d time.Duration, cacheHit bool, err error)
-	StreamEnded(trace string, chunks, stalls int64)
+	JobScheduled(ctx context.Context, id, kind, key string)
+	JobStarted(ctx context.Context, id, kind, key string)
+	JobFinished(ctx context.Context, id, kind, key string, d time.Duration, cacheHit bool, err error)
+	StreamEnded(ctx context.Context, trace string, chunks, stalls int64)
 }
 
 // FaultObserver extends Observer with the engine's failure-path events.
@@ -158,13 +162,23 @@ type FaultObserver interface {
 	// JobRetried fires before each retry sleep: the attempt that failed
 	// (0-based), the backoff about to be taken, and the error that
 	// triggered it.
-	JobRetried(id string, attempt int, backoff time.Duration, err error)
+	JobRetried(ctx context.Context, id string, attempt int, backoff time.Duration, err error)
 	// JobPanicked fires when a job body's panic is recovered, with the
 	// stack captured at the recovery site.
-	JobPanicked(id string, stack []byte)
+	JobPanicked(ctx context.Context, id string, stack []byte)
 	// CacheRejected fires when a cached entry failed integrity
 	// revalidation and was evicted for recompute.
-	CacheRejected(key string)
+	CacheRejected(ctx context.Context, key string)
+}
+
+// TierObserver extends Observer with durable-tier (Options.Store)
+// traffic: one TierFetched per lookup the tier answered (hit true) or
+// cleanly missed, one TierStored per write-through. Like FaultObserver
+// it is optional and type-asserted once at construction. kind is
+// "result" or "trace"; key is the short content hash.
+type TierObserver interface {
+	TierFetched(ctx context.Context, kind, key string, hit bool, d time.Duration)
+	TierStored(ctx context.Context, kind, key string, d time.Duration)
 }
 
 // JobKind classifies a job by its ID prefix — "trace", "stream", "sim",
@@ -199,6 +213,7 @@ type Engine struct {
 	reg    *obs.Registry     // metrics registry the counters below live on
 	obs    Observer          // nil disables observation
 	fobs   FaultObserver     // obs narrowed to failure events, nil when not implemented
+	tobs   TierObserver      // obs narrowed to durable-tier events, nil when not implemented
 	tracer *exectrace.Tracer // nil disables execution tracing
 	// protoSample is the coherence-telemetry stride; 0 disables it.
 	protoSample int
@@ -248,6 +263,7 @@ func New(opts Options) *Engine {
 		bo = 10 * time.Millisecond
 	}
 	fobs, _ := opts.Observer.(FaultObserver)
+	tobs, _ := opts.Observer.(TierObserver)
 	return &Engine{
 		workers:         w,
 		chunkRefs:       cr,
@@ -265,6 +281,7 @@ func New(opts Options) *Engine {
 		reg:             reg,
 		obs:             opts.Observer,
 		fobs:            fobs,
+		tobs:            tobs,
 		tracer:          opts.Tracer,
 		protoSample:     opts.ProtoSample,
 		jobsRun:         reg.Counter("engine.jobs.run"),
@@ -464,7 +481,7 @@ func (e *Engine) execute(ctx context.Context, exec Executor, roots []*Job, failF
 	}
 	if e.obs != nil {
 		for _, j := range jobs {
-			e.obs.JobScheduled(j.ID, JobKind(j.ID), observedKey(j.Key))
+			e.obs.JobScheduled(ctx, j.ID, JobKind(j.ID), observedKey(j.Key))
 		}
 	}
 	if w := exec.workerCount(e.workers); w > 1 {
@@ -605,7 +622,7 @@ func (e *Engine) runOrSkip(ctx context.Context, j *Job, failFast bool) error {
 	if !failFast {
 		for _, d := range j.Deps {
 			if d.err != nil {
-				return e.skipJob(j, d)
+				return e.skipJob(ctx, j, d)
 			}
 		}
 	}
@@ -614,13 +631,14 @@ func (e *Engine) runOrSkip(ctx context.Context, j *Job, failFast bool) error {
 
 // skipJob marks j failed because dependency d failed, emitting the usual
 // observer span (and a short trace span) so traces show the skip.
-func (e *Engine) skipJob(j, d *Job) error {
+func (e *Engine) skipJob(ctx context.Context, j, d *Job) error {
 	j.met.Started = time.Now()
 	if e.obs != nil {
-		e.obs.JobStarted(j.ID, JobKind(j.ID), observedKey(j.Key))
+		e.obs.JobStarted(ctx, j.ID, JobKind(j.ID), observedKey(j.Key))
 	}
-	lane := e.tracer.Lane()
-	span := lane.Span(0, "job", j.ID).Arg("kind", JobKind(j.ID)).Arg("skipped", true)
+	_, parent := exectrace.FromContext(ctx)
+	lane := e.tracerFor(ctx).Lane()
+	span := lane.Span(parent, "job", j.ID).Arg("kind", JobKind(j.ID)).Arg("skipped", true)
 	j.err = &JobError{
 		ID:   j.ID,
 		Kind: JobKind(j.ID),
@@ -631,10 +649,21 @@ func (e *Engine) skipJob(j, d *Job) error {
 	lane.Release()
 	j.met.Finished = time.Now()
 	if e.obs != nil {
-		e.obs.JobFinished(j.ID, JobKind(j.ID), observedKey(j.Key),
+		e.obs.JobFinished(ctx, j.ID, JobKind(j.ID), observedKey(j.Key),
 			j.met.Duration(), false, j.err)
 	}
 	return j.err
+}
+
+// tracerFor resolves the execution tracer for work running under ctx: the
+// engine's own (Options.Tracer, the CLI case) wins; otherwise the tracer
+// the context carries (the service case, where each request brings its
+// own timeline via exectrace.WithTracer); nil disables tracing.
+func (e *Engine) tracerFor(ctx context.Context) *exectrace.Tracer {
+	if e.tracer != nil {
+		return e.tracer
+	}
+	return exectrace.TracerFrom(ctx)
 }
 
 // observedKey renders a job key for observers: the short hex form, or
@@ -654,19 +683,28 @@ func observedKey(k Key) string {
 func (e *Engine) runJob(ctx context.Context, j *Job) error {
 	j.met.Started = time.Now()
 	if e.obs != nil {
-		e.obs.JobStarted(j.ID, JobKind(j.ID), observedKey(j.Key))
+		e.obs.JobStarted(ctx, j.ID, JobKind(j.ID), observedKey(j.Key))
 	}
 	// The job's root span lives on a lane owned by this worker goroutine
 	// for the job's whole duration; the lane+span travel down through the
-	// context so attempts and simulations parent correctly. With tracing
-	// off (nil tracer) every step here is a nil-check no-op and the
-	// context is left untouched.
-	lane := e.tracer.Lane()
+	// context so attempts and simulations parent correctly. The span
+	// parents under whatever span the context already carried — for
+	// service work, the originating HTTP request's root span. With
+	// tracing off (nil tracer, no context tracer) every step here is a
+	// nil-check no-op and the context is left untouched.
+	_, parent := exectrace.FromContext(ctx)
+	lane := e.tracerFor(ctx).Lane()
 	var span *exectrace.Span
 	if lane != nil {
-		span = lane.Span(0, "job", j.ID).Arg("kind", JobKind(j.ID))
+		span = lane.Span(parent, "job", j.ID).Arg("kind", JobKind(j.ID))
 		if k := observedKey(j.Key); k != "" {
 			span.Arg("key", k)
+		}
+		if tc, ok := obs.TraceFrom(ctx); ok {
+			// The trace ID lands on the span and the span ID on the trace
+			// context, so the Chrome trace and the journal cross-reference.
+			span.Arg("trace", tc.Trace)
+			ctx = obs.WithTrace(ctx, tc.WithSpan(uint64(span.ID())))
 		}
 		ctx = exectrace.NewContext(ctx, lane, span.ID())
 	}
@@ -677,7 +715,7 @@ func (e *Engine) runJob(ctx context.Context, j *Job) error {
 			lane.Release()
 		}
 		if e.obs != nil {
-			e.obs.JobFinished(j.ID, JobKind(j.ID), observedKey(j.Key),
+			e.obs.JobFinished(ctx, j.ID, JobKind(j.ID), observedKey(j.Key),
 				j.met.Duration(), j.met.CacheHit, j.err)
 		}
 	}()
@@ -694,7 +732,7 @@ func (e *Engine) runJob(ctx context.Context, j *Job) error {
 			// a fingerprint-validated entry written by an earlier run (or
 			// another process sharing the store) is a cache hit without a
 			// simulation.
-			if out, sum, ok := e.tierLoadResult(j.Key); ok {
+			if out, sum, ok := e.tierLoadResult(ctx, j.Key); ok {
 				e.results.fulfillStamped(j.Key, f, out, nil, sum, e.verify)
 				j.met.CacheHit = true
 				j.out, j.err = out, nil
@@ -704,7 +742,7 @@ func (e *Engine) runJob(ctx context.Context, j *Job) error {
 			sum, stamped := e.stampFor(observedKey(j.Key), out)
 			e.results.fulfillStamped(j.Key, f, out, err, sum, stamped)
 			if err == nil {
-				e.tierStoreResult(j.Key, out)
+				e.tierStoreResult(ctx, j.Key, out)
 			}
 			j.out, j.err = out, err
 			return err
@@ -714,7 +752,7 @@ func (e *Engine) runJob(ctx context.Context, j *Job) error {
 			if sum, ok := fingerprintOf(out); ok && sum != f.sum {
 				e.cacheRejected.Add(1)
 				if e.fobs != nil {
-					e.fobs.CacheRejected(observedKey(j.Key))
+					e.fobs.CacheRejected(ctx, observedKey(j.Key))
 				}
 				e.results.evict(j.Key, f)
 				continue
@@ -763,7 +801,7 @@ func (e *Engine) runBody(ctx context.Context, j *Job) (any, error) {
 		}
 		e.jobRetries.Add(1)
 		if e.fobs != nil {
-			e.fobs.JobRetried(j.ID, attempt, backoff, je.Err)
+			e.fobs.JobRetried(ctx, j.ID, attempt, backoff, je.Err)
 		}
 		if lane, parent := exectrace.FromContext(ctx); lane != nil {
 			lane.Instant(parent, "engine", "retry",
@@ -824,7 +862,7 @@ func (e *Engine) attempt(ctx context.Context, j *Job, attempt int) (out any, err
 			stack := debug.Stack()
 			e.jobPanics.Add(1)
 			if e.fobs != nil {
-				e.fobs.JobPanicked(j.ID, stack)
+				e.fobs.JobPanicked(ctx, j.ID, stack)
 			}
 			out, err = nil, &panicError{val: r, stack: stack}
 		}
@@ -867,22 +905,33 @@ func (e *Engine) stampFor(key string, v any) (uint64, bool) {
 // validated hit returns the result and its fingerprint (which becomes the
 // in-memory stamp, so later memory hits revalidate against the same sum).
 // A corrupt entry has already been evicted by the store; the engine
-// counts it like any other integrity rejection and recomputes.
-func (e *Engine) tierLoadResult(k Key) (*sim.Result, uint64, bool) {
+// counts it like any other integrity rejection and recomputes. The
+// lookup is spanned on the caller's trace lane and reported to the tier
+// observer, so store traffic shows up both on the request's timeline and
+// in its journal.
+func (e *Engine) tierLoadResult(ctx context.Context, k Key) (*sim.Result, uint64, bool) {
 	if e.tier == nil {
 		return nil, 0, false
 	}
+	lane, parent := exectrace.FromContext(ctx)
+	sp := lane.Span(parent, "store", "load:result").Arg("key", observedKey(k))
+	start := time.Now()
 	r, ok, err := e.tier.LoadResult(k.hex())
+	hit := err == nil && ok && r != nil
+	sp.Arg("hit", hit).End(err)
+	if e.tobs != nil {
+		e.tobs.TierFetched(ctx, "result", observedKey(k), hit, time.Since(start))
+	}
 	if err != nil {
 		if isCorrupt(err) {
 			e.cacheRejected.Add(1)
 			if e.fobs != nil {
-				e.fobs.CacheRejected(observedKey(k))
+				e.fobs.CacheRejected(ctx, observedKey(k))
 			}
 		}
 		return nil, 0, false
 	}
-	if !ok || r == nil {
+	if !hit {
 		return nil, 0, false
 	}
 	return r, r.Fingerprint(), true
@@ -894,7 +943,7 @@ func (e *Engine) tierLoadResult(k Key) (*sim.Result, uint64, bool) {
 // mode the persisted stamp may be deliberately poisoned — the same
 // mechanism stampFor uses — so injected corruption exercises the store's
 // load-time revalidation end to end.
-func (e *Engine) tierStoreResult(k Key, v any) {
+func (e *Engine) tierStoreResult(ctx context.Context, k Key, v any) {
 	if e.tier == nil {
 		return
 	}
@@ -906,32 +955,47 @@ func (e *Engine) tierStoreResult(k Key, v any) {
 	if e.faults.PoisonStamp(observedKey(k)) {
 		sum = ^sum
 	}
-	_ = e.tier.StoreResult(k.hex(), r, sum)
+	lane, parent := exectrace.FromContext(ctx)
+	sp := lane.Span(parent, "store", "store:result").Arg("key", observedKey(k))
+	start := time.Now()
+	err := e.tier.StoreResult(k.hex(), r, sum)
+	sp.End(err)
+	if e.tobs != nil {
+		e.tobs.TierStored(ctx, "result", observedKey(k), time.Since(start))
+	}
 }
 
 // tierLoadTrace and tierStoreTrace are the trace-cache analogues of the
 // result helpers above.
-func (e *Engine) tierLoadTrace(k Key) (*trace.Trace, uint64, bool) {
+func (e *Engine) tierLoadTrace(ctx context.Context, k Key) (*trace.Trace, uint64, bool) {
 	if e.tier == nil {
 		return nil, 0, false
 	}
+	lane, parent := exectrace.FromContext(ctx)
+	sp := lane.Span(parent, "store", "load:trace").Arg("key", observedKey(k))
+	start := time.Now()
 	t, ok, err := e.tier.LoadTrace(k.hex())
+	hit := err == nil && ok && t != nil
+	sp.Arg("hit", hit).End(err)
+	if e.tobs != nil {
+		e.tobs.TierFetched(ctx, "trace", observedKey(k), hit, time.Since(start))
+	}
 	if err != nil {
 		if isCorrupt(err) {
 			e.cacheRejected.Add(1)
 			if e.fobs != nil {
-				e.fobs.CacheRejected(observedKey(k))
+				e.fobs.CacheRejected(ctx, observedKey(k))
 			}
 		}
 		return nil, 0, false
 	}
-	if !ok || t == nil {
+	if !hit {
 		return nil, 0, false
 	}
 	return t, t.Fingerprint(), true
 }
 
-func (e *Engine) tierStoreTrace(k Key, t *trace.Trace) {
+func (e *Engine) tierStoreTrace(ctx context.Context, k Key, t *trace.Trace) {
 	if e.tier == nil || t == nil {
 		return
 	}
@@ -939,7 +1003,14 @@ func (e *Engine) tierStoreTrace(k Key, t *trace.Trace) {
 	if e.faults.PoisonStamp(observedKey(k)) {
 		sum = ^sum
 	}
-	_ = e.tier.StoreTrace(k.hex(), t, sum)
+	lane, parent := exectrace.FromContext(ctx)
+	sp := lane.Span(parent, "store", "store:trace").Arg("key", observedKey(k))
+	start := time.Now()
+	err := e.tier.StoreTrace(k.hex(), t, sum)
+	sp.End(err)
+	if e.tobs != nil {
+		e.tobs.TierStored(ctx, "trace", observedKey(k), time.Since(start))
+	}
 }
 
 // isCorrupt reports whether any error in the chain declares itself a

@@ -543,22 +543,22 @@ type eventSink struct {
 	rejects int
 }
 
-func (s *eventSink) JobScheduled(string, string, string) {}
-func (s *eventSink) JobStarted(string, string, string)   {}
-func (s *eventSink) JobFinished(string, string, string, time.Duration, bool, error) {
+func (s *eventSink) JobScheduled(context.Context, string, string, string) {}
+func (s *eventSink) JobStarted(context.Context, string, string, string)   {}
+func (s *eventSink) JobFinished(context.Context, string, string, string, time.Duration, bool, error) {
 }
-func (s *eventSink) StreamEnded(string, int64, int64) {}
-func (s *eventSink) JobRetried(string, int, time.Duration, error) {
+func (s *eventSink) StreamEnded(context.Context, string, int64, int64) {}
+func (s *eventSink) JobRetried(_ context.Context, _ string, _ int, _ time.Duration, _ error) {
 	s.mu.Lock()
 	s.retries++
 	s.mu.Unlock()
 }
-func (s *eventSink) JobPanicked(string, []byte) {
+func (s *eventSink) JobPanicked(_ context.Context, _ string, _ []byte) {
 	s.mu.Lock()
 	s.panics++
 	s.mu.Unlock()
 }
-func (s *eventSink) CacheRejected(string) {
+func (s *eventSink) CacheRejected(_ context.Context, _ string) {
 	s.mu.Lock()
 	s.rejects++
 	s.mu.Unlock()

@@ -31,25 +31,25 @@ type testObserver struct {
 	}
 }
 
-func (o *testObserver) JobScheduled(id, kind, key string) {
+func (o *testObserver) JobScheduled(_ context.Context, id, kind, key string) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	o.scheduled = append(o.scheduled, jobRecord{id: id, kind: kind, key: key})
 }
 
-func (o *testObserver) JobStarted(id, kind, key string) {
+func (o *testObserver) JobStarted(_ context.Context, id, kind, key string) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	o.started = append(o.started, jobRecord{id: id, kind: kind, key: key})
 }
 
-func (o *testObserver) JobFinished(id, kind, key string, d time.Duration, cacheHit bool, err error) {
+func (o *testObserver) JobFinished(_ context.Context, id, kind, key string, d time.Duration, cacheHit bool, err error) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	o.finished = append(o.finished, jobRecord{id: id, kind: kind, key: key, dur: d, cacheHit: cacheHit, err: err})
 }
 
-func (o *testObserver) StreamEnded(trace string, chunks, stalls int64) {
+func (o *testObserver) StreamEnded(_ context.Context, trace string, chunks, stalls int64) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	o.streams = append(o.streams, struct {

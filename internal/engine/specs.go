@@ -53,14 +53,14 @@ func (e *Engine) Trace(ctx context.Context, cfg workload.Config) (*trace.Trace, 
 		f, owner := e.traces.claim(k)
 		if owner {
 			e.cacheMisses.Add(1)
-			if t, sum, ok := e.tierLoadTrace(k); ok {
+			if t, sum, ok := e.tierLoadTrace(ctx, k); ok {
 				e.traces.fulfillStamped(k, f, t, nil, sum, e.verify)
 				return t, nil
 			}
 			t, err := workload.Generate(cfg)
 			if err == nil {
 				e.tracesGenerated.Add(1)
-				e.tierStoreTrace(k, t)
+				e.tierStoreTrace(ctx, k, t)
 			}
 			sum, stamped := e.stampFor(observedKey(k), t)
 			e.traces.fulfillStamped(k, f, t, err, sum, stamped)
@@ -74,7 +74,7 @@ func (e *Engine) Trace(ctx context.Context, cfg workload.Config) (*trace.Trace, 
 		if e.verify && f.stamped && t.Fingerprint() != f.sum {
 			e.cacheRejected.Add(1)
 			if e.fobs != nil {
-				e.fobs.CacheRejected(observedKey(k))
+				e.fobs.CacheRejected(ctx, observedKey(k))
 			}
 			e.traces.evict(k, f)
 			continue
@@ -460,6 +460,7 @@ func (e *Engine) streamGroup(ctx context.Context, cfg workload.Config,
 	// stream job's span (carried by ctx), keeping the fan-out visible as
 	// one subtree even though it occupies several timeline rows.
 	_, jobSpan := exectrace.FromContext(ctx)
+	tracer := e.tracerFor(ctx)
 
 	b := newBroadcast(cfg, len(specs), e.chunkRefs, e.chunkWindow, !e.discard)
 	b.verify = e.verify
@@ -470,7 +471,7 @@ func (e *Engine) streamGroup(ctx context.Context, cfg workload.Config,
 	pwg.Add(1)
 	go func() {
 		defer pwg.Done()
-		plane := e.tracer.Lane()
+		plane := tracer.Lane()
 		var pspan *exectrace.Span
 		if plane != nil {
 			pspan = plane.Span(jobSpan, "stream", "produce:"+cfg.Name).Arg("subs", len(specs))
@@ -491,7 +492,7 @@ func (e *Engine) streamGroup(ctx context.Context, cfg workload.Config,
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			slane := e.tracer.Lane()
+			slane := tracer.Lane()
 			var sspan *exectrace.Span
 			sctx := gctx
 			if slane != nil {
@@ -527,7 +528,7 @@ func (e *Engine) streamGroup(ctx context.Context, cfg workload.Config,
 	e.streamChunks.Add(b.chunks)
 	e.streamStalls.Add(b.stalls)
 	if e.obs != nil {
-		e.obs.StreamEnded(cfg.Name, b.chunks, b.stalls)
+		e.obs.StreamEnded(ctx, cfg.Name, b.chunks, b.stalls)
 	}
 
 	if fault := b.faultErr(); fault != nil {
@@ -565,7 +566,7 @@ func (e *Engine) streamGroup(ctx context.Context, cfg workload.Config,
 			e.tracesGenerated.Add(1)
 			sum, stamped := e.stampFor(observedKey(k), produced)
 			e.traces.fulfillStamped(k, f, produced, nil, sum, stamped)
-			e.tierStoreTrace(k, produced)
+			e.tierStoreTrace(ctx, k, produced)
 		}
 	}
 	return out, nil

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramConcurrentObserveAndQuantile hammers one histogram from
+// many writers while readers snapshot and derive quantiles mid-flight.
+// Under -race this pins the lock-free counters; the final snapshot must
+// account for every observation with sane quantiles.
+func TestHistogramConcurrentObserveAndQuantile(t *testing.T) {
+	h := NewRegistry().Histogram("test.latency.us", DurationBucketsUS)
+	const writers, perWriter = 8, 5_000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Readers: snapshots taken while writes are in flight must be
+	// internally consistent enough to quantile without panicking, and
+	// monotone in q.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := h.Snapshot()
+				p50, p99 := s.Quantile(0.50), s.Quantile(0.99)
+				if p50 < 0 || p99 < 0 || p50 > p99 {
+					t.Errorf("mid-flight quantiles inconsistent: p50=%v p99=%v", p50, p99)
+					return
+				}
+			}
+		}()
+	}
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				// Spread observations across the bucket range.
+				h.Observe(int64((w*perWriter + i) % 2_000_000))
+			}
+		}()
+	}
+	// Wait for all writers by polling the count, then stop the readers.
+	for h.Count() < writers*perWriter {
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	s := h.Snapshot()
+	if s.Count != writers*perWriter {
+		t.Fatalf("count = %d, want %d", s.Count, writers*perWriter)
+	}
+	var inBuckets int64
+	for _, n := range s.Counts {
+		inBuckets += n
+	}
+	if inBuckets != s.Count {
+		t.Errorf("bucket counts sum to %d, want %d (no lost observations)", inBuckets, s.Count)
+	}
+	if p50, p99 := s.Quantile(0.50), s.Quantile(0.99); p50 <= 0 || p99 < p50 {
+		t.Errorf("final quantiles wrong: p50=%v p99=%v", p50, p99)
+	}
+}
+
+// TestPhasesConcurrentRecordAndStats drives Phases.Record from many
+// goroutines (several phases each) with Stats readers interleaved; the
+// final breakdown must account for every recorded duration exactly.
+func TestPhasesConcurrentRecordAndStats(t *testing.T) {
+	var p Phases
+	const goroutines, iters = 10, 2_000
+	names := []string{"generate", "simulate", "merge"}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				p.Record(names[i%len(names)], time.Microsecond)
+				if i%500 == 0 {
+					// Concurrent reader: must observe a consistent copy.
+					for _, s := range p.Stats() {
+						if s.Count < 0 || s.Total < 0 {
+							t.Errorf("mid-flight stat negative: %+v", s)
+							return
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	stats := p.Stats()
+	if len(stats) != len(names) {
+		t.Fatalf("got %d phases, want %d: %+v", len(stats), len(names), stats)
+	}
+	var count int64
+	var total time.Duration
+	for _, s := range stats {
+		count += s.Count
+		total += s.Total
+	}
+	if want := int64(goroutines * iters); count != want {
+		t.Errorf("total count = %d, want %d", count, want)
+	}
+	if want := time.Duration(goroutines*iters) * time.Microsecond; total != want {
+		t.Errorf("total time = %v, want %v", total, want)
+	}
+
+	// Stats is a copy: mutating it must not corrupt the accumulator.
+	stats[0].Count = -1
+	if p.Stats()[0].Count == -1 {
+		t.Error("Stats returned a live reference, not a copy")
+	}
+}

@@ -26,6 +26,10 @@ type Fanout struct {
 
 	maxHistory int
 	chanDepth  int
+
+	// drops, when set by CountDrops, accumulates every line lost to any
+	// subscriber's back-pressure (the registry's fanout.dropped counter).
+	drops *Counter
 }
 
 // Subscription is one subscriber's view of a Fanout.
@@ -96,8 +100,24 @@ func (f *Fanout) publishLocked(line []byte) {
 		case s.C <- line:
 		default:
 			s.dropped++
+			if f.drops != nil {
+				f.drops.Inc()
+			}
 		}
 	}
+}
+
+// CountDrops attaches a counter that accumulates every dropped line
+// across all subscribers — conventionally the registry's "fanout.dropped"
+// counter, so silent SSE event loss is visible on /metrics. Call before
+// the fan-out is shared; nil detaches. No-op on a nil fan-out.
+func (f *Fanout) CountDrops(c *Counter) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.drops = c
+	f.mu.Unlock()
 }
 
 // Subscribe registers a new subscriber and replays the retained history

@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestFanoutCountDrops: back-pressure losses accumulate on the attached
+// registry counter across all subscribers, so /metrics exposes SSE event
+// loss as fanout.dropped.
+func TestFanoutCountDrops(t *testing.T) {
+	reg := NewRegistry()
+	f := NewFanout(0, 2) // no history, depth-2 channels
+	f.CountDrops(reg.Counter("fanout.dropped"))
+
+	slow1 := f.Subscribe()
+	slow2 := f.Subscribe()
+	defer slow1.Cancel()
+	defer slow2.Cancel()
+
+	const lines = 10
+	for i := 0; i < lines; i++ {
+		fmt.Fprintf(f, "{\"n\":%d}\n", i)
+	}
+
+	// Each depth-2 subscriber kept 2 and dropped the rest.
+	wantPer := lines - 2
+	if got := slow1.Dropped(); got != wantPer {
+		t.Errorf("subscriber dropped = %d, want %d", got, wantPer)
+	}
+	if got := reg.Counter("fanout.dropped").Value(); got != int64(2*wantPer) {
+		t.Errorf("fanout.dropped = %d, want %d", got, 2*wantPer)
+	}
+
+	// A nil counter detaches without disturbing delivery.
+	f.CountDrops(nil)
+	fmt.Fprint(f, "{\"n\":99}\n")
+	if got := reg.Counter("fanout.dropped").Value(); got != int64(2*wantPer) {
+		t.Errorf("detached counter still accumulated: %d", got)
+	}
+
+	var nilF *Fanout
+	nilF.CountDrops(reg.Counter("x")) // must not panic
+}

@@ -1,0 +1,134 @@
+package httpmon
+
+import (
+	"net/http"
+	"strings"
+	"time"
+
+	"dirsim/internal/obs"
+)
+
+// TraceHeader carries a request's trace identity in both directions: a
+// caller may supply one (to stitch the service's work into its own
+// traces), and every instrumented response echoes the trace ID that the
+// request actually ran under, minted server-side when absent or invalid.
+const TraceHeader = "X-Dirsim-Trace"
+
+// InstrumentOptions configures the Instrument middleware.
+type InstrumentOptions struct {
+	// Registry receives the RED metrics; nil disables metric recording
+	// (trace propagation still happens).
+	Registry *obs.Registry
+	// TenantHeader names the header carrying the caller's tenant
+	// identity; empty disables per-tenant metrics.
+	TenantHeader string
+	// DefaultTenant labels requests without a tenant header.
+	DefaultTenant string
+}
+
+// Instrument wraps h with the service's standard per-request
+// observability:
+//
+//   - trace context: the inbound TraceHeader is parsed (or a fresh trace
+//     ID minted) and installed in the request context via obs.WithTrace,
+//     and the response carries the resulting trace ID back in the same
+//     header — before the handler runs, so even error paths are tagged;
+//   - RED metrics, per route and per tenant: request counts, error
+//     counts (5xx), and latency histograms with derived quantiles, under
+//     http.route.<route>.* and http.tenant.<tenant>.* on the registry.
+//
+// The route label is static per registration (e.g. "experiments.submit"),
+// never derived from the URL, so metric cardinality is bounded by the
+// route table; tenant labels are sanitized and length-capped for the
+// same reason.
+func Instrument(route string, opts InstrumentOptions, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tc, ok := obs.ParseTraceContext(r.Header.Get(TraceHeader))
+		if !ok {
+			tc = obs.NewTraceContext()
+		}
+		w.Header().Set(TraceHeader, tc.Trace)
+		r = r.WithContext(obs.WithTrace(r.Context(), tc))
+
+		if opts.Registry == nil {
+			h.ServeHTTP(w, r)
+			return
+		}
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		h.ServeHTTP(sw, r)
+		d := time.Since(start)
+
+		labels := []string{"http.route." + route}
+		if opts.TenantHeader != "" {
+			tenant := r.Header.Get(opts.TenantHeader)
+			if tenant == "" {
+				tenant = opts.DefaultTenant
+			}
+			if tenant != "" {
+				labels = append(labels, "http.tenant."+sanitizeLabel(tenant))
+			}
+		}
+		for _, prefix := range labels {
+			opts.Registry.Counter(prefix + ".requests").Inc()
+			if sw.Status() >= http.StatusInternalServerError {
+				opts.Registry.Counter(prefix + ".errors").Inc()
+			}
+			opts.Registry.Histogram(prefix+".latency.us", obs.DurationBucketsUS).ObserveDuration(d)
+		}
+	})
+}
+
+// statusWriter captures the response status code for the error counters.
+// It forwards Flush so SSE handlers downstream keep streaming.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+// Status reports the response code sent, defaulting to 200 when the
+// handler never wrote anything explicit.
+func (w *statusWriter) Status() int {
+	if w.status == 0 {
+		return http.StatusOK
+	}
+	return w.status
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// sanitizeLabel makes an untrusted header value safe to embed in a
+// metric name: anything outside [a-zA-Z0-9._-] becomes '_', and the
+// result is capped so a hostile client cannot bloat the registry.
+func sanitizeLabel(s string) string {
+	const maxLabel = 48
+	if len(s) > maxLabel {
+		s = s[:maxLabel]
+	}
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+			return r
+		}
+		return '_'
+	}, s)
+}

@@ -1,0 +1,140 @@
+package httpmon
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"dirsim/internal/obs"
+)
+
+func serveInstrumented(t *testing.T, opts InstrumentOptions, h http.HandlerFunc,
+	prep func(*http.Request)) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest("GET", "/x", nil)
+	if prep != nil {
+		prep(req)
+	}
+	rr := httptest.NewRecorder()
+	Instrument("test", opts, h).ServeHTTP(rr, req)
+	return rr
+}
+
+func TestInstrumentMintsTraceAndEchoesHeader(t *testing.T) {
+	var seen obs.TraceContext
+	rr := serveInstrumented(t, InstrumentOptions{}, func(w http.ResponseWriter, r *http.Request) {
+		seen, _ = obs.TraceFrom(r.Context())
+		w.WriteHeader(http.StatusNoContent)
+	}, nil)
+	if !seen.Valid() {
+		t.Fatal("handler context carried no trace")
+	}
+	if got := rr.Header().Get(TraceHeader); got != seen.Trace {
+		t.Errorf("response %s = %q, want the context's trace %q", TraceHeader, got, seen.Trace)
+	}
+	if len(seen.Trace) != 16 {
+		t.Errorf("minted trace ID %q not 16 hex digits", seen.Trace)
+	}
+}
+
+func TestInstrumentHonorsInboundTrace(t *testing.T) {
+	var seen obs.TraceContext
+	rr := serveInstrumented(t, InstrumentOptions{}, func(w http.ResponseWriter, r *http.Request) {
+		seen, _ = obs.TraceFrom(r.Context())
+	}, func(r *http.Request) {
+		r.Header.Set(TraceHeader, "caller-supplied/2a")
+	})
+	if seen.Trace != "caller-supplied" || seen.Span != 0x2a {
+		t.Errorf("inbound trace not adopted: %+v", seen)
+	}
+	if got := rr.Header().Get(TraceHeader); got != "caller-supplied" {
+		t.Errorf("response header = %q", got)
+	}
+}
+
+func TestInstrumentReplacesInvalidInboundTrace(t *testing.T) {
+	var seen obs.TraceContext
+	serveInstrumented(t, InstrumentOptions{}, func(w http.ResponseWriter, r *http.Request) {
+		seen, _ = obs.TraceFrom(r.Context())
+	}, func(r *http.Request) {
+		r.Header.Set(TraceHeader, "bad value with spaces;;")
+	})
+	if !seen.Valid() || strings.Contains(seen.Trace, " ") {
+		t.Errorf("invalid inbound header not replaced by a minted trace: %+v", seen)
+	}
+}
+
+func TestInstrumentREDMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	opts := InstrumentOptions{Registry: reg, TenantHeader: "X-Tenant-ID", DefaultTenant: "anon"}
+
+	ok := func(w http.ResponseWriter, r *http.Request) { w.Write([]byte("hi")) }
+	boom := func(w http.ResponseWriter, r *http.Request) { http.Error(w, "x", http.StatusInternalServerError) }
+	notFound := func(w http.ResponseWriter, r *http.Request) { http.Error(w, "x", http.StatusNotFound) }
+
+	serveInstrumented(t, opts, ok, func(r *http.Request) { r.Header.Set("X-Tenant-ID", "alice") })
+	serveInstrumented(t, opts, boom, func(r *http.Request) { r.Header.Set("X-Tenant-ID", "alice") })
+	serveInstrumented(t, opts, notFound, nil) // default tenant; 4xx is not an error
+	serveInstrumented(t, opts, ok, func(r *http.Request) { r.Header.Set("X-Tenant-ID", "we ird/£") })
+
+	snap := reg.Snapshot()
+	for name, want := range map[string]int64{
+		"http.route.test.requests":      4,
+		"http.route.test.errors":        1,
+		"http.tenant.alice.requests":    2,
+		"http.tenant.alice.errors":      1,
+		"http.tenant.anon.requests":     1,
+		"http.tenant.we_ird__.requests": 1,
+	} {
+		if got := snap.Counters[name]; got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if snap.Counters["http.tenant.anon.errors"] != 0 {
+		t.Error("a 404 counted as an error")
+	}
+	h := snap.Histograms["http.route.test.latency.us"]
+	if h.Count != 4 {
+		t.Errorf("route latency histogram count = %d, want 4", h.Count)
+	}
+	if q := h.Quantile(0.95); q < 0 {
+		t.Errorf("latency p95 = %v", q)
+	}
+	if snap.Histograms["http.tenant.alice.latency.us"].Count != 2 {
+		t.Error("tenant latency histogram not recorded")
+	}
+}
+
+// TestInstrumentPreservesFlusher: SSE handlers downstream type-assert
+// http.Flusher; the instrumented writer must keep that working.
+func TestInstrumentPreservesFlusher(t *testing.T) {
+	reg := obs.NewRegistry()
+	flushed := false
+	serveInstrumented(t, InstrumentOptions{Registry: reg}, func(w http.ResponseWriter, r *http.Request) {
+		f, ok := w.(http.Flusher)
+		if !ok {
+			t.Fatal("instrumented writer lost http.Flusher")
+		}
+		w.WriteHeader(http.StatusOK)
+		f.Flush()
+		flushed = true
+	}, nil)
+	if !flushed {
+		t.Fatal("handler did not run to Flush")
+	}
+}
+
+func TestSanitizeLabel(t *testing.T) {
+	cases := map[string]string{
+		"alice":                  "alice",
+		"a.b-c_d":                "a.b-c_d",
+		"we ird/x":               "we_ird_x",
+		strings.Repeat("x", 100): strings.Repeat("x", 48),
+	}
+	for in, want := range cases {
+		if got := sanitizeLabel(in); got != want {
+			t.Errorf("sanitizeLabel(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -64,6 +64,19 @@ func OpenJournal(path string) (*Journal, error) {
 	return j, nil
 }
 
+// WithTrace returns a journal whose every line carries the trace
+// identity as a "trace" attribute, so consumers (SSE subscribers,
+// dirsimq) can attribute lines to the request that caused them without
+// every emission site threading it. The derived journal shares the
+// parent's writer; Close remains the parent's job. An invalid context
+// (or nil journal) returns the journal unchanged.
+func (j *Journal) WithTrace(tc TraceContext) *Journal {
+	if j == nil || !tc.Valid() {
+		return j
+	}
+	return &Journal{log: j.log.With(slog.String("trace", tc.Trace))}
+}
+
 // Event emits one informational event. Attributes follow slog's
 // alternating key/value convention. No-op on a nil journal.
 func (j *Journal) Event(name string, attrs ...any) {

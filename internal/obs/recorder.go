@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"time"
 )
 
@@ -58,37 +59,54 @@ func phaseOf(kind string) string {
 }
 
 // JobScheduled implements the engine's Observer: one call per DAG node
-// when a batch is submitted.
-func (r *Recorder) JobScheduled(id, kind, key string) {
+// when a batch is submitted. Journal events carry the trace identity the
+// context brings (see TraceContext), tying engine work back to the
+// request or run that caused it.
+func (r *Recorder) JobScheduled(ctx context.Context, id, kind, key string) {
 	r.reg.Counter("engine.jobs.scheduled").Inc()
-	r.jnl.Event("job.scheduled", "job", id, "kind", kind, "key", key)
+	r.jnl.Event("job.scheduled", traceAttrs(ctx, []any{"job", id, "kind", kind, "key", key})...)
 }
 
 // JobStarted implements the engine's Observer.
-func (r *Recorder) JobStarted(id, kind, key string) {
-	r.jnl.Event("job.start", "job", id, "kind", kind, "key", key)
+func (r *Recorder) JobStarted(ctx context.Context, id, kind, key string) {
+	r.jnl.Event("job.start", traceAttrs(ctx, []any{"job", id, "kind", kind, "key", key})...)
 }
 
 // JobFinished implements the engine's Observer: it closes the job's
 // span, feeding the per-phase breakdown, a per-kind duration histogram,
 // and the journal.
-func (r *Recorder) JobFinished(id, kind, key string, d time.Duration, cacheHit bool, err error) {
+func (r *Recorder) JobFinished(ctx context.Context, id, kind, key string, d time.Duration, cacheHit bool, err error) {
 	r.phases.Record(phaseOf(kind), d)
 	r.reg.Histogram("engine.job."+phaseOf(kind)+".us", DurationBucketsUS).ObserveDuration(d)
+	attrs := traceAttrs(ctx, []any{"job", id, "kind", kind, "key", key,
+		"dur_us", d.Microseconds(), "cache_hit", cacheHit})
 	if err != nil {
-		r.jnl.Error("job.finish", err, "job", id, "kind", kind, "key", key,
-			"dur_us", d.Microseconds(), "cache_hit", cacheHit)
+		r.jnl.Error("job.finish", err, attrs...)
 		return
 	}
-	r.jnl.Event("job.finish", "job", id, "kind", kind, "key", key,
-		"dur_us", d.Microseconds(), "cache_hit", cacheHit)
+	r.jnl.Event("job.finish", attrs...)
 }
 
 // StreamEnded implements the engine's Observer: one call per streamed
 // generation with its chunk count and producer back-pressure stalls.
-func (r *Recorder) StreamEnded(trace string, chunks, stalls int64) {
+func (r *Recorder) StreamEnded(ctx context.Context, trace string, chunks, stalls int64) {
 	r.reg.Histogram("engine.stream.chunks", []int64{16, 64, 256, 1024, 4096, 16384}).Observe(chunks)
-	r.jnl.Event("stream.end", "trace", trace, "chunks", chunks, "stalls", stalls)
+	r.jnl.Event("stream.end", traceAttrs(ctx, []any{"trace", trace, "chunks", chunks, "stalls", stalls})...)
+}
+
+// TierFetched implements the engine's TierObserver: one event per
+// durable-store lookup, hit or clean miss. Counting stays with the store
+// itself (store.* counters); this is the journal's causal record.
+func (r *Recorder) TierFetched(ctx context.Context, kind, key string, hit bool, d time.Duration) {
+	r.jnl.Event("store.load", traceAttrs(ctx, []any{"kind", kind, "key", key,
+		"hit", hit, "dur_us", d.Microseconds()})...)
+}
+
+// TierStored implements the engine's TierObserver: one event per
+// write-through to the durable store.
+func (r *Recorder) TierStored(ctx context.Context, kind, key string, d time.Duration) {
+	r.jnl.Event("store.store", traceAttrs(ctx, []any{"kind", kind, "key", key,
+		"dur_us", d.Microseconds()})...)
 }
 
 // The failure-path events below implement the engine's FaultObserver.
@@ -98,18 +116,18 @@ func (r *Recorder) StreamEnded(trace string, chunks, stalls int64) {
 
 // JobRetried records a retry decision: the attempt that failed, the
 // backoff about to be taken, and the triggering error.
-func (r *Recorder) JobRetried(id string, attempt int, backoff time.Duration, err error) {
-	r.jnl.Error("job.retry", err, "job", id, "attempt", attempt,
-		"backoff_us", backoff.Microseconds())
+func (r *Recorder) JobRetried(ctx context.Context, id string, attempt int, backoff time.Duration, err error) {
+	r.jnl.Error("job.retry", err, traceAttrs(ctx, []any{"job", id, "attempt", attempt,
+		"backoff_us", backoff.Microseconds()})...)
 }
 
 // JobPanicked records a recovered job-body panic with its stack, so a
 // crashed simulator is diagnosable from the journal alone.
-func (r *Recorder) JobPanicked(id string, stack []byte) {
-	r.jnl.Event("job.panic", "job", id, "stack", string(stack))
+func (r *Recorder) JobPanicked(ctx context.Context, id string, stack []byte) {
+	r.jnl.Event("job.panic", traceAttrs(ctx, []any{"job", id, "stack", string(stack)})...)
 }
 
 // CacheRejected records a cached entry failing integrity revalidation.
-func (r *Recorder) CacheRejected(key string) {
-	r.jnl.Event("cache.reject", "key", key)
+func (r *Recorder) CacheRejected(ctx context.Context, key string) {
+	r.jnl.Event("cache.reject", traceAttrs(ctx, []any{"key", key})...)
 }

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -15,12 +16,13 @@ func TestRecorderJobFlow(t *testing.T) {
 	var buf bytes.Buffer
 	rec := NewRecorder(nil, NewJournal(&buf))
 
-	rec.JobScheduled("trace:pops", "trace", "abc123")
-	rec.JobStarted("trace:pops", "trace", "abc123")
-	rec.JobFinished("trace:pops", "trace", "abc123", 5*time.Millisecond, false, nil)
-	rec.JobFinished("sim:Dir0B@pops", "sim", "def456", 7*time.Millisecond, true, nil)
-	rec.JobFinished("merge:Dir0B", "merge", "", time.Millisecond, false, errors.New("boom"))
-	rec.StreamEnded("pops", 12, 3)
+	ctx := context.Background()
+	rec.JobScheduled(ctx, "trace:pops", "trace", "abc123")
+	rec.JobStarted(ctx, "trace:pops", "trace", "abc123")
+	rec.JobFinished(ctx, "trace:pops", "trace", "abc123", 5*time.Millisecond, false, nil)
+	rec.JobFinished(ctx, "sim:Dir0B@pops", "sim", "def456", 7*time.Millisecond, true, nil)
+	rec.JobFinished(ctx, "merge:Dir0B", "merge", "", time.Millisecond, false, errors.New("boom"))
+	rec.StreamEnded(ctx, "pops", 12, 3)
 
 	events := decodeLines(t, buf.Bytes())
 	var msgs []string
@@ -100,14 +102,15 @@ func TestRecorderConcurrentUse(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			ctx := WithTrace(context.Background(), TraceContext{Trace: fmt.Sprintf("t%d", g)})
 			for i := 0; i < iters; i++ {
 				id := fmt.Sprintf("sim:S%d@w%d", g, i)
 				sp := rec.StartSpan("experiment", id)
-				rec.JobScheduled(id, "sim", "k")
-				rec.JobStarted(id, "sim", "k")
-				rec.JobFinished(id, "sim", "k", time.Microsecond, i%2 == 0, nil)
-				rec.JobRetried(id, 1, time.Microsecond, errors.New("transient"))
-				rec.StreamEnded("w", 4, 1)
+				rec.JobScheduled(ctx, id, "sim", "k")
+				rec.JobStarted(ctx, id, "sim", "k")
+				rec.JobFinished(ctx, id, "sim", "k", time.Microsecond, i%2 == 0, nil)
+				rec.JobRetried(ctx, id, 1, time.Microsecond, errors.New("transient"))
+				rec.StreamEnded(ctx, "w", 4, 1)
 				sp.End(nil)
 			}
 		}()

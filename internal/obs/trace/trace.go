@@ -80,6 +80,17 @@ func New() *Tracer {
 // now returns nanoseconds since the tracer's epoch (monotonic).
 func (t *Tracer) now() int64 { return time.Since(t.epoch).Nanoseconds() }
 
+// at converts an absolute time to nanoseconds since the tracer's epoch,
+// clamped at zero for times predating it (a retro-dated span cannot start
+// before the timeline does).
+func (t *Tracer) at(tm time.Time) int64 {
+	d := tm.Sub(t.epoch).Nanoseconds()
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
 // Lane acquires an event lane for the calling goroutine, reusing the most
 // recently released one (so lane IDs stay dense and map onto concurrent
 // workers). The caller owns the lane until Release and is the only
@@ -139,6 +150,25 @@ func (l *Lane) Span(parent SpanID, cat, name string) *Span {
 		cat:    cat,
 		name:   name,
 		start:  l.tr.now(),
+	}
+}
+
+// SpanAt is Span with an explicit start time, for regions that began
+// before the caller could record them — an HTTP request's queue wait is
+// spanned when a worker finally picks the work up, started at submission
+// time. Starts predating the tracer's epoch clamp to it. Returns nil on
+// a nil lane.
+func (l *Lane) SpanAt(parent SpanID, cat, name string, start time.Time) *Span {
+	if l == nil {
+		return nil
+	}
+	return &Span{
+		lane:   l,
+		id:     l.tr.ids.Add(1),
+		parent: uint64(parent),
+		cat:    cat,
+		name:   name,
+		start:  l.tr.at(start),
 	}
 }
 
@@ -254,4 +284,27 @@ func FromContext(ctx context.Context) (*Lane, SpanID) {
 		return nil, 0
 	}
 	return v.lane, v.span
+}
+
+// tracerKey carries a *Tracer through a context, independently of the
+// lane/span pair: the tracer names where new lanes come from, the
+// lane/span pair names where the caller currently is.
+type tracerKey struct{}
+
+// WithTracer returns a context carrying the tracer, so work scheduled on
+// behalf of a request records onto that request's timeline: the engine
+// opens job lanes from the context's tracer when it has none of its own.
+// A nil tracer returns ctx unchanged.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, tracerKey{}, t)
+}
+
+// TracerFrom returns the tracer carried by ctx, or nil when there is
+// none.
+func TracerFrom(ctx context.Context) *Tracer {
+	t, _ := ctx.Value(tracerKey{}).(*Tracer)
+	return t
 }

@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// TraceContext is the request-scoped identity that causally links
+// everything one submission touches: the HTTP request (or CLI run) that
+// originated the work, the admission wait, every engine job it schedules,
+// every store-tier load and store, and every journal line any of them
+// emit. It travels through context.Context (WithTrace/TraceFrom), over
+// HTTP in the X-Dirsim-Trace header, and into journals as the "trace"
+// attribute — so `dirsimq follow -trace <id>` can reconstruct the whole
+// causal chain from JSONL journals alone.
+//
+// Trace is the stable request/run identifier (16 lowercase hex digits
+// when generated here; inbound headers may carry any reasonable token).
+// Span, when non-zero, is the execution-trace span currently enclosing
+// the work (an exectrace span ID), letting journal events correlate with
+// the exported Chrome trace.
+type TraceContext struct {
+	Trace string
+	Span  uint64
+}
+
+// maxTraceIDLen bounds accepted trace identifiers, keeping journal lines
+// and response headers sane when callers mint their own.
+const maxTraceIDLen = 64
+
+// NewTraceID returns a fresh random 64-bit trace identifier in fixed-width
+// lowercase hex.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing means the platform is broken; fall back to
+		// a constant rather than panicking an observability path.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// NewTraceContext returns a root trace context with a fresh trace ID and
+// no enclosing span.
+func NewTraceContext() TraceContext { return TraceContext{Trace: NewTraceID()} }
+
+// Valid reports whether the context names a trace.
+func (tc TraceContext) Valid() bool { return tc.Trace != "" }
+
+// WithSpan returns a copy with the enclosing span replaced.
+func (tc TraceContext) WithSpan(span uint64) TraceContext {
+	tc.Span = span
+	return tc
+}
+
+// String encodes the context in the journal/Fanout/header-friendly text
+// form: "<trace>" for a root, "<trace>/<span-hex>" inside a span. The
+// empty context encodes as "".
+func (tc TraceContext) String() string {
+	if !tc.Valid() {
+		return ""
+	}
+	if tc.Span == 0 {
+		return tc.Trace
+	}
+	return tc.Trace + "/" + strconv.FormatUint(tc.Span, 16)
+}
+
+// ParseTraceContext decodes the String form (an inbound X-Dirsim-Trace
+// header, a journal attribute). ok is false for an empty, oversized, or
+// malformed value — callers then mint a fresh context instead.
+func ParseTraceContext(s string) (TraceContext, bool) {
+	s = strings.TrimSpace(s)
+	if s == "" || len(s) > maxTraceIDLen {
+		return TraceContext{}, false
+	}
+	id, spanHex, hasSpan := strings.Cut(s, "/")
+	if !validTraceID(id) {
+		return TraceContext{}, false
+	}
+	tc := TraceContext{Trace: id}
+	if hasSpan {
+		span, err := strconv.ParseUint(spanHex, 16, 64)
+		if err != nil {
+			return TraceContext{}, false
+		}
+		tc.Span = span
+	}
+	return tc, true
+}
+
+// validTraceID accepts the token shapes a trace ID may take: letters,
+// digits, '-', '_', '.' — wide enough for caller-minted IDs, narrow
+// enough to embed safely in headers, journals and file names.
+func validTraceID(id string) bool {
+	if id == "" {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// traceCtxKey carries a TraceContext through a context.Context.
+type traceCtxKey struct{}
+
+// WithTrace returns a context carrying tc; callees recover it with
+// TraceFrom. An invalid tc returns ctx unchanged.
+func WithTrace(ctx context.Context, tc TraceContext) context.Context {
+	if !tc.Valid() {
+		return ctx
+	}
+	return context.WithValue(ctx, traceCtxKey{}, tc)
+}
+
+// TraceFrom returns the trace context carried by ctx, or ok == false when
+// there is none (untraced work).
+func TraceFrom(ctx context.Context) (TraceContext, bool) {
+	tc, ok := ctx.Value(traceCtxKey{}).(TraceContext)
+	return tc, ok
+}
+
+// traceAttrs appends the ctx's trace identity (and enclosing span, when
+// set) to a journal attribute list; untraced contexts leave it unchanged.
+func traceAttrs(ctx context.Context, attrs []any) []any {
+	tc, ok := TraceFrom(ctx)
+	if !ok {
+		return attrs
+	}
+	attrs = append(attrs, "trace", tc.Trace)
+	if tc.Span != 0 {
+		attrs = append(attrs, "span", fmt.Sprintf("%x", tc.Span))
+	}
+	return attrs
+}

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func TestNewTraceID(t *testing.T) {
+	hex16 := regexp.MustCompile(`^[0-9a-f]{16}$`)
+	seen := map[string]bool{}
+	for i := 0; i < 32; i++ {
+		id := NewTraceID()
+		if !hex16.MatchString(id) {
+			t.Fatalf("NewTraceID() = %q, want 16 lowercase hex digits", id)
+		}
+		if seen[id] {
+			t.Fatalf("NewTraceID() repeated %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestTraceContextStringRoundTrip(t *testing.T) {
+	cases := []TraceContext{
+		{Trace: "abc123"},
+		{Trace: "abc123", Span: 0x1f},
+		{Trace: "run-2026.08_x", Span: 0xdeadbeefcafe},
+		NewTraceContext().WithSpan(7),
+	}
+	for _, tc := range cases {
+		got, ok := ParseTraceContext(tc.String())
+		if !ok || got != tc {
+			t.Errorf("ParseTraceContext(%q) = %+v, %v; want %+v", tc.String(), got, ok, tc)
+		}
+	}
+	if s := (TraceContext{}).String(); s != "" {
+		t.Errorf("empty context String() = %q, want empty", s)
+	}
+}
+
+func TestParseTraceContextRejects(t *testing.T) {
+	bad := []string{
+		"",
+		"   ",
+		"has space",
+		"semi;colon",
+		"slash/only/twice/x", // second separator lands in the span hex
+		"id/notahexnumber",
+		"id/",
+		"/1f",
+		strings.Repeat("a", maxTraceIDLen+1),
+	}
+	for _, s := range bad {
+		if tc, ok := ParseTraceContext(s); ok {
+			t.Errorf("ParseTraceContext(%q) accepted as %+v", s, tc)
+		}
+	}
+	// Surrounding whitespace is tolerated (header values).
+	if tc, ok := ParseTraceContext("  abc/2a \n"); !ok || tc.Trace != "abc" || tc.Span != 0x2a {
+		t.Errorf("whitespace-wrapped parse = %+v, %v", tc, ok)
+	}
+}
+
+func TestTraceContextThroughContext(t *testing.T) {
+	ctx := context.Background()
+	if _, ok := TraceFrom(ctx); ok {
+		t.Fatal("background context claims a trace")
+	}
+	tc := TraceContext{Trace: "t1", Span: 5}
+	ctx = WithTrace(ctx, tc)
+	if got, ok := TraceFrom(ctx); !ok || got != tc {
+		t.Fatalf("TraceFrom = %+v, %v; want %+v", got, ok, tc)
+	}
+	// Invalid contexts do not displace a valid one.
+	if got, _ := TraceFrom(WithTrace(ctx, TraceContext{})); got != tc {
+		t.Errorf("invalid WithTrace displaced the carried trace: %+v", got)
+	}
+}
+
+func TestTraceAttrs(t *testing.T) {
+	base := []any{"k", "v"}
+	if got := traceAttrs(context.Background(), base); len(got) != 2 {
+		t.Errorf("untraced ctx grew attrs: %v", got)
+	}
+	ctx := WithTrace(context.Background(), TraceContext{Trace: "t1"})
+	got := traceAttrs(ctx, base[:2:2])
+	if len(got) != 4 || got[2] != "trace" || got[3] != "t1" {
+		t.Errorf("traced attrs = %v", got)
+	}
+	ctx = WithTrace(context.Background(), TraceContext{Trace: "t1", Span: 0xab})
+	got = traceAttrs(ctx, nil)
+	if len(got) != 4 || got[3] != "ab" {
+		t.Errorf("span attr = %v", got)
+	}
+}
+
+// TestJournalWithTrace: a derived journal stamps every line with the
+// trace attribute, while the parent stays untagged and keeps the closer.
+func TestJournalWithTrace(t *testing.T) {
+	var buf bytes.Buffer
+	parent := NewJournal(&buf)
+	tagged := parent.WithTrace(TraceContext{Trace: "abc123", Span: 9})
+
+	parent.Event("untagged")
+	tagged.Event("tagged", "k", "v")
+	tagged.Error("tagged.err", context.Canceled)
+
+	events := decodeLines(t, buf.Bytes())
+	if len(events) != 3 {
+		t.Fatalf("got %d events", len(events))
+	}
+	if _, ok := events[0]["trace"]; ok {
+		t.Errorf("parent journal line gained a trace attr: %v", events[0])
+	}
+	for _, e := range events[1:] {
+		if e["trace"] != "abc123" {
+			t.Errorf("tagged line missing trace: %v", e)
+		}
+	}
+	if events[1]["schema"] != float64(SchemaVersion) {
+		t.Errorf("derived journal lost the schema attr: %v", events[1])
+	}
+
+	// Nil and invalid cases degrade to the receiver.
+	var nilJ *Journal
+	if nilJ.WithTrace(TraceContext{Trace: "x"}) != nil {
+		t.Error("nil journal WithTrace != nil")
+	}
+	if parent.WithTrace(TraceContext{}) != parent {
+		t.Error("invalid trace did not return the parent unchanged")
+	}
+}

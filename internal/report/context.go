@@ -34,6 +34,7 @@ type Context struct {
 	exec   engine.Executor
 	rec    *obs.Recorder
 	status *obs.RunStatus
+	base   context.Context
 }
 
 // NewContext returns a context with the given trace size, backed by a
@@ -74,6 +75,19 @@ func (c *Context) Observe(rec *obs.Recorder) { c.rec = rec }
 // each experiment's start and outcome, which the HTTP monitor's /runz
 // endpoint serves. nil (the default) detaches.
 func (c *Context) Track(status *obs.RunStatus) { c.status = status }
+
+// WithBase sets the base context every engine submission derives from.
+// Carrying an obs.TraceContext here tags every journal event the run's
+// engine jobs emit with the run's trace ID. nil (the default) means
+// context.Background().
+func (c *Context) WithBase(ctx context.Context) { c.base = ctx }
+
+func (c *Context) ctx() context.Context {
+	if c.base != nil {
+		return c.base
+	}
+	return context.Background()
+}
 
 // RunExperiment runs one experiment through the context. With a recorder
 // attached (see Observe) the run is bracketed by experiment.start /
@@ -116,7 +130,7 @@ func (c *Context) TracesAt(cpus int) []*trace.Trace {
 	cfgs := c.StandardConfigs(cpus)
 	out := make([]*trace.Trace, len(cfgs))
 	for i, cfg := range cfgs {
-		t, err := c.eng.Trace(context.Background(), cfg)
+		t, err := c.eng.Trace(c.ctx(), cfg)
 		if err != nil {
 			// The standard profiles are known-good; generation cannot
 			// fail for them (mirrors workload.MustGenerate).
@@ -130,14 +144,14 @@ func (c *Context) TracesAt(cpus int) []*trace.Trace {
 // Merged returns the scheme's result merged over the standard traces,
 // cached across experiments.
 func (c *Context) Merged(scheme string) (*sim.Result, error) {
-	_, merged, err := c.eng.SchemeOverTraces(context.Background(), c.exec,
+	_, merged, err := c.eng.SchemeOverTraces(c.ctx(), c.exec,
 		scheme, c.StandardConfigs(c.CPUs), c.Check)
 	return merged, err
 }
 
 // PerTrace returns the scheme's per-trace results on the standard traces.
 func (c *Context) PerTrace(scheme string) ([]*sim.Result, error) {
-	per, _, err := c.eng.SchemeOverTraces(context.Background(), c.exec,
+	per, _, err := c.eng.SchemeOverTraces(c.ctx(), c.exec,
 		scheme, c.StandardConfigs(c.CPUs), c.Check)
 	return per, err
 }
@@ -153,7 +167,7 @@ func (c *Context) opts() sim.Options {
 // traces but is not cached.
 func (c *Context) RunProtocol(build func(ncpu int) core.Protocol, traces []*trace.Trace,
 	filter func(trace.Source) trace.Source) (*sim.Result, error) {
-	r, err := c.eng.RunProtocolOverTraces(context.Background(), c.exec,
+	r, err := c.eng.RunProtocolOverTraces(c.ctx(), c.exec,
 		build, traces, filter, c.opts())
 	if err != nil {
 		return nil, fmt.Errorf("report: %w", err)

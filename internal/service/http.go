@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"time"
 
+	"dirsim/internal/obs/httpmon"
 	"dirsim/internal/sim"
 	"dirsim/internal/store"
 )
@@ -20,14 +21,27 @@ const (
 )
 
 // Register installs the service's routes on mux (typically the httpmon
-// monitor mux, composing the API with /metrics, /runz and pprof).
+// monitor mux, composing the API with /metrics, /runz and pprof). Every
+// route is wrapped in httpmon.Instrument: requests get a trace context
+// (minted, or adopted from the X-Dirsim-Trace header), responses echo
+// the trace ID back, and per-route plus per-tenant RED metrics land on
+// the service registry.
 func (s *Service) Register(mux *http.ServeMux) {
-	mux.HandleFunc("POST /api/v1/experiments", s.handleSubmit)
-	mux.HandleFunc("GET /api/v1/experiments", s.handleList)
-	mux.HandleFunc("GET /api/v1/experiments/{id}", s.handleGet)
-	mux.HandleFunc("GET /api/v1/experiments/{id}/events", s.handleEvents)
-	mux.HandleFunc("GET /api/v1/store", s.handleStore)
-	mux.HandleFunc("GET /healthz", s.handleHealth)
+	opts := httpmon.InstrumentOptions{
+		Registry:      s.reg,
+		TenantHeader:  TenantHeader,
+		DefaultTenant: DefaultTenant,
+	}
+	route := func(pattern, label string, h http.HandlerFunc) {
+		mux.Handle(pattern, httpmon.Instrument(label, opts, h))
+	}
+	route("POST /api/v1/experiments", "experiments.submit", s.handleSubmit)
+	route("GET /api/v1/experiments", "experiments.list", s.handleList)
+	route("GET /api/v1/experiments/{id}", "experiments.get", s.handleGet)
+	route("GET /api/v1/experiments/{id}/events", "experiments.events", s.handleEvents)
+	route("GET /api/v1/experiments/{id}/trace", "experiments.trace", s.handleTrace)
+	route("GET /api/v1/store", "store.status", s.handleStore)
+	route("GET /healthz", "healthz", s.handleHealth)
 }
 
 // errorBody is every non-2xx response's shape.
@@ -49,8 +63,13 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 
 // ExperimentStatus is the API rendering of an experiment.
 type ExperimentStatus struct {
-	ID        string    `json:"id"`
-	Tenant    string    `json:"tenant"`
+	ID     string `json:"id"`
+	Tenant string `json:"tenant"`
+	// Trace is the trace ID the experiment runs under — the submitting
+	// request's trace, which every journal line and trace-export span of
+	// this experiment carries. A deduplicated submission returns the
+	// original experiment's trace, not the attaching request's.
+	Trace     string    `json:"trace,omitempty"`
 	State     State     `json:"state"`
 	Submitted time.Time `json:"submitted"`
 	Started   time.Time `json:"started,omitzero"`
@@ -80,6 +99,7 @@ func (s *Service) status(exp *Experiment, includeResults bool) ExperimentStatus 
 	st := ExperimentStatus{
 		ID:        exp.ID,
 		Tenant:    exp.Tenant,
+		Trace:     exp.tc.Trace,
 		State:     exp.State,
 		Submitted: exp.Submitted,
 		Started:   exp.Started,
@@ -116,7 +136,7 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid spec: %v", err)
 		return
 	}
-	exp, created, err := s.Submit(tenant, spec)
+	exp, created, err := s.Submit(r.Context(), tenant, spec)
 	switch {
 	case err == nil:
 	case errors.Is(err, ErrQuota):
@@ -186,10 +206,20 @@ func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
 	fl.Flush()
+	// reportDrops tells the client, as an SSE comment, how many journal
+	// lines this subscription lost to back-pressure, so a gap in the
+	// stream is distinguishable from a quiet run.
+	reportDrops := func() {
+		if n := sub.Dropped(); n > 0 {
+			fmt.Fprintf(w, ": %d events dropped\n\n", n)
+			fl.Flush()
+		}
+	}
 	for {
 		select {
 		case line, open := <-sub.C:
 			if !open {
+				reportDrops()
 				fmt.Fprint(w, "event: end\ndata: {}\n\n")
 				fl.Flush()
 				return
@@ -197,8 +227,36 @@ func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
 			fmt.Fprintf(w, "data: %s\n\n", line)
 			fl.Flush()
 		case <-r.Context().Done():
+			reportDrops()
 			return
 		}
+	}
+}
+
+// handleTrace exports the experiment's execution trace as Chrome
+// trace-event JSON (load it in Perfetto or chrome://tracing): the
+// request root span, its admission wait, and every engine job, stream
+// chunk, and store tier access the experiment caused. The export locks
+// the tracer's lanes, so it is only served once the experiment has
+// reached a terminal state.
+func (s *Service) handleTrace(w http.ResponseWriter, r *http.Request) {
+	exp, ok := s.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no experiment %q", r.PathValue("id"))
+		return
+	}
+	s.mu.Lock()
+	state := exp.State
+	s.mu.Unlock()
+	if state == StateQueued || state == StateRunning {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusConflict, "experiment %s is %s; trace is available once it finishes", exp.ID, state)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", `attachment; filename="`+exp.ID+`.trace.json"`)
+	if err := exp.tracer.WriteJSON(w); err != nil {
+		s.log.Warn("trace.export", "id", exp.ID, "error", err)
 	}
 }
 

@@ -20,6 +20,7 @@ import (
 	"dirsim/internal/engine"
 	"dirsim/internal/faults"
 	"dirsim/internal/obs"
+	exectrace "dirsim/internal/obs/trace"
 	"dirsim/internal/sim"
 	"dirsim/internal/store"
 )
@@ -89,7 +90,18 @@ type Experiment struct {
 	// journal writes into it. Both are safe for concurrent use.
 	fanout  *obs.Fanout
 	journal *obs.Journal
+
+	// tc is the trace identity of the request that created the
+	// experiment; every journal line carries it and the execution trace
+	// parents under it. tracer records the experiment's own timeline
+	// (admission wait, engine jobs, store traffic), exported by
+	// GET /api/v1/experiments/{id}/trace once the experiment finishes.
+	tc     obs.TraceContext
+	tracer *exectrace.Tracer
 }
+
+// Trace returns the experiment's originating trace ID.
+func (e *Experiment) Trace() string { return e.tc.Trace }
 
 // Service executes experiments against a shared engine and serves their
 // lifecycle over HTTP. Create with New, start with Start, stop with
@@ -119,6 +131,8 @@ type Service struct {
 	completed *obs.Counter
 	failed    *obs.Counter
 	running   *obs.Gauge
+	admWait   *obs.Histogram
+	fanDrops  *obs.Counter
 }
 
 // New builds a Service. Call Start to begin executing work.
@@ -178,6 +192,11 @@ func New(cfg Config) (*Service, error) {
 		completed: reg.Counter("service.experiments.completed"),
 		failed:    reg.Counter("service.experiments.failed"),
 		running:   reg.Gauge("service.experiments.running"),
+		// Queue-wait distribution per discipline: one histogram per
+		// policy, so an FCFS deployment and a priority deployment are
+		// directly comparable on /metrics.
+		admWait:  reg.Histogram("service.admission.wait."+d.Name()+".us", obs.DurationBucketsUS),
+		fanDrops: reg.Counter("fanout.dropped"),
 	}
 	return s, nil
 }
@@ -198,15 +217,22 @@ func (s *Service) Start() {
 
 // Submit admits a sweep for tenant, returning the experiment and whether
 // it was newly created (false means an identical sweep already exists —
-// the caller is not charged quota and shares its lifecycle). Admission
-// failures return ErrQuota, ErrSaturated or ErrDraining, or a validation
-// error for malformed specs.
-func (s *Service) Submit(tenant string, spec Spec) (*Experiment, bool, error) {
+// the caller is not charged quota and shares its lifecycle). The
+// context's trace identity (obs.WithTrace — the HTTP middleware injects
+// it) becomes the experiment's: every journal line and execution-trace
+// span it ever produces carries that trace ID. A context without one
+// gets a fresh ID. Admission failures return ErrQuota, ErrSaturated or
+// ErrDraining, or a validation error for malformed specs.
+func (s *Service) Submit(ctx context.Context, tenant string, spec Spec) (*Experiment, bool, error) {
 	specs, meta, err := spec.Expand()
 	if err != nil {
 		return nil, false, err
 	}
 	id := ExperimentID(meta)
+	tc, ok := obs.TraceFrom(ctx)
+	if !ok {
+		tc = obs.NewTraceContext()
+	}
 
 	s.mu.Lock()
 	if s.draining {
@@ -216,9 +242,15 @@ func (s *Service) Submit(tenant string, spec Spec) (*Experiment, bool, error) {
 	if exp, ok := s.exps[id]; ok {
 		s.mu.Unlock()
 		s.deduped.Add(1)
+		// The existing experiment keeps its original trace identity; the
+		// attach is recorded so its journal shows every request (any
+		// tenant, any trace) that mapped onto this computation.
+		exp.journal.Event("experiment.attached", "id", id,
+			"tenant", tenant, "attached_trace", tc.Trace)
 		return exp, false, nil
 	}
 	fan := obs.NewFanout(s.cfg.EventHistory, s.cfg.EventHistory)
+	fan.CountDrops(s.fanDrops)
 	exp := &Experiment{
 		ID:        id,
 		Tenant:    tenant,
@@ -229,7 +261,9 @@ func (s *Service) Submit(tenant string, spec Spec) (*Experiment, bool, error) {
 		specs:     specs,
 		meta:      meta,
 		fanout:    fan,
-		journal:   obs.NewJournal(fan),
+		journal:   obs.NewJournal(fan).WithTrace(tc),
+		tc:        tc,
+		tracer:    exectrace.New(),
 	}
 	s.exps[id] = exp
 	s.order = append(s.order, id)
@@ -277,9 +311,22 @@ func (s *Service) run(exp *Experiment) {
 	exp.State = StateRunning
 	exp.Started = time.Now()
 	specs, meta := exp.specs, exp.meta
+	wait := exp.Started.Sub(exp.Submitted)
 	s.mu.Unlock()
 	s.running.Add(1)
 	defer s.running.Add(-1)
+	s.admWait.ObserveDuration(wait)
+
+	// The request's root span is retro-dated to submission time, so the
+	// exported trace shows the whole request lifetime; the admission wait
+	// is its first child. Everything the engine does for this experiment
+	// parents under the root span: the engine pulls lanes from the
+	// context's tracer and the context's span as each job's parent.
+	lane := exp.tracer.Lane()
+	req := lane.SpanAt(0, "request", "experiment:"+exp.ID, exp.Submitted).
+		Arg("trace", exp.tc.Trace).Arg("tenant", exp.Tenant).Arg("specs", len(specs))
+	adm := lane.SpanAt(req.ID(), "admission", "wait:"+s.adm.Discipline(), exp.Submitted)
+	adm.Arg("wait_us", wait.Microseconds()).End(nil)
 
 	// Route engine events for this experiment's keys into its journal
 	// while it runs, so SSE subscribers see job-level progress.
@@ -290,8 +337,15 @@ func (s *Service) run(exp *Experiment) {
 	s.router.register(shortKeys, exp.journal)
 	defer s.router.unregister(shortKeys)
 
+	exp.journal.Event("admission.done", "id", exp.ID,
+		"wait_us", wait.Microseconds(), "discipline", s.adm.Discipline())
 	exp.journal.Event("experiment.start", "id", exp.ID, "specs", len(specs))
-	results, err := s.eng.Results(s.runCtx, engine.Parallel{Workers: s.cfg.SimWorkers}, specs)
+	ctx := obs.WithTrace(s.runCtx, exp.tc.WithSpan(uint64(req.ID())))
+	ctx = exectrace.WithTracer(ctx, exp.tracer)
+	ctx = exectrace.NewContext(ctx, nil, req.ID())
+	results, err := s.eng.Results(ctx, engine.Parallel{Workers: s.cfg.SimWorkers}, specs)
+	req.End(err)
+	lane.Release()
 
 	s.mu.Lock()
 	exp.Finished = time.Now()
@@ -340,6 +394,13 @@ func (s *Service) Drain(ctx context.Context) error {
 		t.exp.Err = ErrDraining.Error()
 		t.exp.Finished = time.Now()
 		s.mu.Unlock()
+		// Even an aborted experiment gets a (queue-wait-only) request
+		// span, so its exported trace explains where the time went.
+		lane := t.exp.tracer.Lane()
+		lane.SpanAt(0, "request", "experiment:"+t.exp.ID, t.exp.Submitted).
+			Arg("trace", t.exp.tc.Trace).Arg("tenant", t.exp.Tenant).
+			Arg("aborted", true).End(ErrDraining)
+		lane.Release()
 		t.exp.journal.Event("experiment.aborted", "id", t.exp.ID, "reason", "drain")
 		t.exp.fanout.Close()
 		s.adm.Done(t.exp.Tenant)
@@ -424,15 +485,20 @@ func (r *router) emit(key, name string, attrs ...any) {
 	}
 }
 
-func (r *router) JobScheduled(id, kind, key string) {
+// The experiment journals the router feeds are already tagged with their
+// experiment's trace ID (Journal.WithTrace), so events need no explicit
+// trace attribute; the context still disambiguates which request ran the
+// job, since each experiment's jobs execute under its own context.
+
+func (r *router) JobScheduled(ctx context.Context, id, kind, key string) {
 	r.emit(key, "job.scheduled", "job", id, "kind", kind, "key", key)
 }
 
-func (r *router) JobStarted(id, kind, key string) {
+func (r *router) JobStarted(ctx context.Context, id, kind, key string) {
 	r.emit(key, "job.start", "job", id, "kind", kind, "key", key)
 }
 
-func (r *router) JobFinished(id, kind, key string, d time.Duration, cacheHit bool, err error) {
+func (r *router) JobFinished(ctx context.Context, id, kind, key string, d time.Duration, cacheHit bool, err error) {
 	attrs := []any{"job", id, "kind", kind, "key", key,
 		"dur_us", d.Microseconds(), "cache_hit", cacheHit}
 	if err != nil {
@@ -441,13 +507,26 @@ func (r *router) JobFinished(id, kind, key string, d time.Duration, cacheHit boo
 	r.emit(key, "job.finish", attrs...)
 }
 
-func (r *router) StreamEnded(trace string, chunks, stalls int64) {
+func (r *router) StreamEnded(ctx context.Context, trace string, chunks, stalls int64) {
 	// Stream jobs are unkeyed; their lifecycle is engine-internal.
 }
 
-func (r *router) CacheRejected(key string) {
+// TierFetched and TierStored route durable-store traffic for an
+// experiment's result keys into its journal, so a warm-start hit is as
+// visible to SSE subscribers as a simulation would have been.
+func (r *router) TierFetched(ctx context.Context, kind, key string, hit bool, d time.Duration) {
+	r.emit(key, "store.load", "kind", kind, "key", key,
+		"hit", hit, "dur_us", d.Microseconds())
+}
+
+func (r *router) TierStored(ctx context.Context, kind, key string, d time.Duration) {
+	r.emit(key, "store.store", "kind", kind, "key", key, "dur_us", d.Microseconds())
+}
+
+func (r *router) CacheRejected(ctx context.Context, key string) {
 	r.emit(key, "cache.reject", "key", key)
 }
 
-func (r *router) JobRetried(id string, attempt int, backoff time.Duration, err error) {}
-func (r *router) JobPanicked(id string, stack []byte)                                 {}
+func (r *router) JobRetried(ctx context.Context, id string, attempt int, backoff time.Duration, err error) {
+}
+func (r *router) JobPanicked(ctx context.Context, id string, stack []byte) {}

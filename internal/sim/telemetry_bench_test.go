@@ -1,23 +1,16 @@
-// Benchmarks and the machine-readable report for the observability
-// overhead on the simulation hot path: the batched Simulate loop with
-// telemetry disabled (nil Telemetry — the default for every plain run)
-// against the same loop with a sampling ProtoSampler attached.
+// Benchmarks for the observability overhead on the simulation hot path:
+// the batched Simulate loop with telemetry disabled (nil Telemetry — the
+// default for every plain run) against the same loop with a sampling
+// ProtoSampler attached. With no Telemetry the record path pays one nil
+// check per recorded event and nothing else.
 //
-//	DIRSIM_BENCH_JSON=1 go test -run TestWriteObsBenchJSON ./internal/sim
-//
-// writes BENCH_obs.json at the repo root, recording both variants and
-// the delta against BENCH_hotpath.json's batched baseline. The
-// disabled-path delta is the number the tracing subsystem must keep
-// within run-to-run noise: with no Telemetry the record path pays one
-// nil check per recorded event and nothing else.
+// The machine-readable report covering these variants plus the engine
+// tracing stack lives at the repo root (TestWriteObsBenchJSON, writes
+// BENCH_obs.json; run it with `make bench-obs`).
 package sim
 
 import (
-	"encoding/json"
-	"os"
-	"runtime"
 	"testing"
-	"time"
 
 	"dirsim/internal/obs"
 )
@@ -40,129 +33,4 @@ func BenchmarkHotpathTelemetryOn(b *testing.B) {
 		runLoop(b, "Dir1NB", traces, Simulate,
 			Options{Telemetry: obs.NewProtoSampler(reg, "Dir1NB", 64, nil, 0)})
 	}
-}
-
-// obsBenchRecord is one measured telemetry variant.
-type obsBenchRecord struct {
-	Path        string  `json:"path"`
-	Scheme      string  `json:"scheme"`
-	Stride      int     `json:"stride,omitempty"`
-	Traces      int     `json:"traces"`
-	RefsEach    int     `json:"refs_per_trace"`
-	Iters       int     `json:"iterations"`
-	NsPerOp     int64   `json:"ns_per_op"`
-	RefsPerS    float64 `json:"refs_per_second"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-	// OverheadPct is the slowdown against this run's telemetry-off
-	// variant (same machine, same process — the fair comparison).
-	OverheadPct float64 `json:"overhead_pct_vs_off"`
-}
-
-type obsBenchReport struct {
-	Date       string `json:"date"`
-	GoMaxProcs int    `json:"gomaxprocs"`
-	GoVersion  string `json:"go_version"`
-	Note       string `json:"note"`
-	// HotpathBaselineRefsPerS is BENCH_hotpath.json's batched
-	// refs/second, copied in for the cross-file comparison; DeltaPct is
-	// the telemetry-off variant's delta against it (noise plus whatever
-	// the nil-telemetry check costs — must stay within noise).
-	HotpathBaselineRefsPerS float64          `json:"hotpath_baseline_refs_per_second,omitempty"`
-	DeltaPctVsHotpath       float64          `json:"delta_pct_vs_hotpath_baseline,omitempty"`
-	Results                 []obsBenchRecord `json:"results"`
-}
-
-// TestWriteObsBenchJSON measures the batched hot path with telemetry off
-// and on and writes BENCH_obs.json at the repo root. Skipped unless
-// DIRSIM_BENCH_JSON is set.
-func TestWriteObsBenchJSON(t *testing.T) {
-	if os.Getenv("DIRSIM_BENCH_JSON") == "" {
-		t.Skip("set DIRSIM_BENCH_JSON=1 to run the telemetry benchmark and write BENCH_obs.json")
-	}
-
-	const refs = 200_000
-	const scheme = "Dir1NB"
-	const stride = 64
-	traces := hotpathWorkloads(t, refs)
-	totalRefs := 0
-	for _, tr := range traces {
-		totalRefs += tr.Len()
-	}
-
-	report := obsBenchReport{
-		Date:       time.Now().UTC().Format(time.RFC3339),
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		GoVersion:  runtime.Version(),
-		Note: "single-goroutine batched replay of the three standard traces under " + scheme +
-			"; telemetry-off is sim.Simulate with a nil Telemetry (the default), telemetry-on " +
-			"attaches a ProtoSampler at stride 64 with no trace lane. Results are bit-identical " +
-			"either way (TestTracedRunMatchesUntraced); this file records only the time cost",
-	}
-
-	reg := obs.NewRegistry()
-	variants := []struct {
-		path   string
-		stride int
-		opts   Options
-	}{
-		{"telemetry-off", 0, Options{}},
-		{"telemetry-on", stride, Options{Telemetry: obs.NewProtoSampler(reg, scheme, stride, nil, 0)}},
-	}
-	var offNs float64
-	for _, v := range variants {
-		v := v
-		r := testing.Benchmark(func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				runLoop(b, scheme, traces, Simulate, v.opts)
-			}
-		})
-		rec := obsBenchRecord{
-			Path:        v.path,
-			Scheme:      scheme,
-			Stride:      v.stride,
-			Traces:      len(traces),
-			RefsEach:    refs,
-			Iters:       r.N,
-			NsPerOp:     r.NsPerOp(),
-			RefsPerS:    float64(totalRefs) / (float64(r.NsPerOp()) / 1e9),
-			AllocsPerOp: r.AllocsPerOp(),
-		}
-		if v.path == "telemetry-off" {
-			offNs = float64(r.NsPerOp())
-		} else if offNs > 0 {
-			rec.OverheadPct = 100 * (float64(r.NsPerOp()) - offNs) / offNs
-		}
-		report.Results = append(report.Results, rec)
-		t.Logf("%s: %dns/op, %.0f refs/s, %d allocs/op, overhead %.2f%%",
-			v.path, r.NsPerOp(), rec.RefsPerS, r.AllocsPerOp(), rec.OverheadPct)
-	}
-
-	// Compare the telemetry-off variant against the recorded hot-path
-	// baseline, when it exists; the delta should be run-to-run noise.
-	if data, err := os.ReadFile("../../BENCH_hotpath.json"); err == nil {
-		var hp struct {
-			Results []struct {
-				Path     string  `json:"path"`
-				RefsPerS float64 `json:"refs_per_second"`
-			} `json:"results"`
-		}
-		if json.Unmarshal(data, &hp) == nil {
-			for _, r := range hp.Results {
-				if r.Path == "batched" && r.RefsPerS > 0 {
-					report.HotpathBaselineRefsPerS = r.RefsPerS
-					report.DeltaPctVsHotpath = 100 * (report.Results[0].RefsPerS - r.RefsPerS) / r.RefsPerS
-				}
-			}
-		}
-	}
-
-	out, err := json.MarshalIndent(report, "", "  ")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := os.WriteFile("../../BENCH_obs.json", append(out, '\n'), 0o644); err != nil {
-		t.Fatal(err)
-	}
-	t.Log("wrote BENCH_obs.json")
 }
