@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race check soak service-smoke bench bench-json bench-hotpath bench-obs trace-demo experiments clean
+.PHONY: build vet test race check shard-equiv soak service-smoke bench bench-json bench-hotpath bench-shard bench-obs trace-demo experiments clean
 
 build:
 	$(GO) build ./...
@@ -18,7 +18,17 @@ race:
 
 # The gate run before every commit: compile everything, vet, and run the
 # full suite under the race detector.
-check: build vet race
+check: build vet race shard-equiv
+
+# The sharded-simulation equivalence suite on its own under the race
+# detector: every paper scheme over the standard workloads at shard
+# counts {1,2,3,8,16} bit-identical to sequential, the table-driven
+# Dir1NB core against its executable specification, and the shard fault
+# tests (injected panic -> structured error, no goroutine leaks).
+shard-equiv:
+	$(GO) test -race -count=1 \
+		-run 'TestSharded|TestShardOf|TestEngineShard|TestDir1NBTable' \
+		./internal/sim ./internal/engine ./internal/core
 
 # Run the fault-injection soak under the race detector: the widened
 # fixed-seed fault matrix (DIRSIM_SOAK=1) plus every fault and hardening
@@ -50,6 +60,12 @@ bench-json:
 # baseline at workers=1 and write BENCH_hotpath.json at the repo root.
 bench-hotpath:
 	DIRSIM_BENCH_JSON=1 $(GO) test -run TestWriteHotpathBenchJSON -v ./internal/sim
+
+# Measure intra-trace sharding at shard counts {1,2,4,8,GOMAXPROCS}
+# against the sequential batched simulator, verify every sharded result
+# bit-identical in-process, and write BENCH_shard.json at the repo root.
+bench-shard:
+	DIRSIM_BENCH_JSON=1 $(GO) test -run TestWriteShardBenchJSON -v ./internal/sim
 
 # Measure the observability overhead — the hot loop with telemetry off
 # (the default nil path, must stay within noise of BENCH_hotpath.json)

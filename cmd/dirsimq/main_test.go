@@ -197,3 +197,36 @@ func TestUsageAndErrors(t *testing.T) {
 		t.Errorf("diff with one file exit = %d, want 2", code)
 	}
 }
+
+// journalShards is one block-sharded simulation (3 workers + the
+// splitter's shard -1 routing event, which must not count as a worker)
+// plus a second simulation to prove grouping.
+const journalShards = `{"time":"2026-08-08T12:00:00.000Z","level":"INFO","msg":"sim.shard","schema":2,"workload":"pops","scheme":"Dir1NB","shard":0,"shards":3,"refs":4000,"dur_us":1000}
+{"time":"2026-08-08T12:00:00.001Z","level":"INFO","msg":"sim.shard","schema":2,"workload":"pops","scheme":"Dir1NB","shard":1,"shards":3,"refs":2000,"dur_us":700}
+{"time":"2026-08-08T12:00:00.002Z","level":"INFO","msg":"sim.shard","schema":2,"workload":"pops","scheme":"Dir1NB","shard":2,"shards":3,"refs":4000,"dur_us":2000}
+{"time":"2026-08-08T12:00:00.003Z","level":"INFO","msg":"sim.shard","schema":2,"workload":"pops","scheme":"Dir1NB","shard":-1,"shards":3,"refs":10000,"dur_us":3000}
+{"time":"2026-08-08T12:00:00.004Z","level":"INFO","msg":"sim.shard","schema":2,"trace":"thor","scheme":"Dir0B","shard":0,"shards":2,"refs":500,"dur_us":400}
+{"time":"2026-08-08T12:00:00.005Z","level":"INFO","msg":"sim.shard","schema":2,"trace":"thor","scheme":"Dir0B","shard":1,"shards":2,"refs":500,"dur_us":100}
+`
+
+func TestStatsShardAggregation(t *testing.T) {
+	path := writeJournal(t, "s.jsonl", journalShards)
+	code, out, errb := runCLI(t, "stats", path)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	for _, want := range []string{
+		"sharded simulations",
+		// 10000 worker refs over the 2000us slowest worker = 5M refs/s;
+		// skew = 4000/2000. The splitter's 10000-ref event is excluded —
+		// counting it would double refs and break both columns.
+		"Dir1NB@pops                   3      10000   2.00       2000      5000000",
+		"Dir0B@thor                    2       1000   1.00        400      2500000",
+		// Aggregate: 11000 refs over summed critical paths (2400us).
+		"aggregate: 11000 refs / 2400 us critical path = 4583333 refs/s",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats output missing %q:\n%s", want, out)
+		}
+	}
+}

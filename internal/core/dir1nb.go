@@ -33,8 +33,12 @@ type dir1nbBlock struct {
 	dirty  bool
 }
 
-// NewDir1NB returns a Dir1NB engine for ncpu caches.
-func NewDir1NB(ncpu int) Protocol {
+// NewDir1NBSpec returns the method-dispatch Dir1NB engine. It is the
+// scheme's executable specification: one branch per protocol rule, written
+// to mirror the prose above. Production simulation uses the table-driven
+// engine behind NewDir1NB; the cross-validation suite holds the two
+// bit-identical over random and standard workloads.
+func NewDir1NBSpec(ncpu int) Protocol {
 	checkCPUs(ncpu)
 	return &dir1nb{ncpu: ncpu, seen: seenSet{}, blocks: map[trace.Block]*dir1nbBlock{}}
 }

@@ -1,0 +1,295 @@
+package core
+
+import (
+	"fmt"
+
+	"dirsim/internal/event"
+	"dirsim/internal/trace"
+)
+
+// dir1nbTable is the data-oriented Dir1NB engine: the scheme's entire
+// state machine compiled into lookup tables so the batched inner loop does
+// no interface dispatch and no branch tree per reference.
+//
+// Per-block state is three flag bits plus the holder index packed into one
+// uint16, stored in fixed-size pages keyed by the high block bits (the zero
+// value is exactly the "never referenced" state, so fresh pages need no
+// initialisation). Each reference builds a 5-bit situation key —
+//
+//	bit 0  held   (some cache holds the block)
+//	bit 1  dirty  (the holder's copy is modified)
+//	bit 2  seen   (the block has been referenced before)
+//	bit 3  own    (the holder is the referencing CPU)
+//	bit 4  write  (the reference is a write)
+//
+// — and the key indexes two precomputed tables: the Table 4 classification
+// with its coherence actions (d1tRes) and the state transition as an
+// and/or/holder mask triple, so the update is
+//
+//	state' = state&and | or | cpu<<8&holderMask
+//
+// with no protocol branches at all. The method-dispatch engine behind
+// NewDir1NBSpec remains the specification; TestDir1NBTableMatchesSpec holds
+// the two bit-identical over random and standard reference streams.
+type dir1nbTable struct {
+	ncpu int
+
+	pages    map[uint64]*dir1nbPage
+	lastKey  uint64
+	lastPage *dir1nbPage
+
+	Checker *Checker
+}
+
+// Packed per-block state bits. Bits 8..13 hold the holder's CPU index
+// (MaxCPUs is 64, so six bits suffice and uint16(cpu)<<8 cannot overflow).
+const (
+	d1tHeld        = 1 << 0
+	d1tDirty       = 1 << 1
+	d1tSeen        = 1 << 2
+	d1tHolderShift = 8
+	d1tHolderBits  = 0x3F << d1tHolderShift
+)
+
+// Situation-key bits (the low three mirror the state bits on purpose: the
+// key starts as state&7).
+const (
+	d1tKeyOwn   = 1 << 3
+	d1tKeyWrite = 1 << 4
+	d1tKeys     = 1 << 5
+)
+
+// Pages are 4096 blocks (8 KiB) — big enough that the one-entry last-page
+// cache almost always hits under the workloads' block locality, small
+// enough that sparse address spaces stay cheap.
+const (
+	d1tPageBits = 12
+	d1tPageSize = 1 << d1tPageBits
+	d1tPageMask = d1tPageSize - 1
+)
+
+type dir1nbPage [d1tPageSize]uint16
+
+// The precomputed tables: per-key classification and transition masks.
+var (
+	d1tRes        [d1tKeys]event.Result
+	d1tAnd, d1tOr [d1tKeys]uint16
+	d1tHolderMask [d1tKeys]uint16
+)
+
+func init() {
+	for key := 0; key < d1tKeys; key++ {
+		held := key&d1tHeld != 0
+		dirty := key&d1tDirty != 0
+		seen := key&d1tSeen != 0
+		own := key&d1tKeyOwn != 0
+		write := key&d1tKeyWrite != 0
+
+		var res event.Result
+		if held && own {
+			// Hit: the copy is exclusive by construction, so even a
+			// write to a clean block just sets the local dirty bit.
+			if write {
+				res.Type = event.WrHitOwn
+				d1tOr[key] = d1tDirty
+			} else {
+				res.Type = event.RdHit
+			}
+			d1tAnd[key] = 0xFFFF
+			d1tRes[key] = res
+			continue
+		}
+		// Miss: steal the block from the holder, if any. The new state is
+		// fully determined — held, seen, dirty iff writing, holder = cpu.
+		switch {
+		case held && dirty:
+			res.Type = event.RdMissDirty
+			if write {
+				res.Type = event.WrMissDirty
+			}
+			res.Holders, res.Inval = 1, 1
+			res.WriteBack, res.CacheSupply = true, true
+		case held:
+			res.Type = event.RdMissClean
+			if write {
+				res.Type = event.WrMissClean
+			}
+			res.Holders, res.Inval = 1, 1
+		default:
+			switch {
+			case !seen && write:
+				res.Type = event.WrMissFirst
+			case !seen:
+				res.Type = event.RdMissFirst
+			case write:
+				res.Type = event.WrMissMem
+			default:
+				res.Type = event.RdMissMem
+			}
+		}
+		d1tAnd[key] = 0
+		d1tOr[key] = d1tHeld | d1tSeen
+		if write {
+			d1tOr[key] |= d1tDirty
+		}
+		d1tHolderMask[key] = d1tHolderBits
+		d1tRes[key] = res
+	}
+}
+
+// NewDir1NB returns a Dir1NB engine for ncpu caches: the table-driven
+// implementation, validated bit-identical against NewDir1NBSpec.
+func NewDir1NB(ncpu int) Protocol {
+	checkCPUs(ncpu)
+	return &dir1nbTable{ncpu: ncpu, pages: map[uint64]*dir1nbPage{}}
+}
+
+func (p *dir1nbTable) Name() string { return "Dir1NB" }
+func (p *dir1nbTable) CPUs() int    { return p.ncpu }
+
+// SetChecker attaches a value-coherence checker (tests only). With a
+// checker attached the batched loop falls back to per-reference Access so
+// data-movement callbacks fire in specification order.
+func (p *dir1nbTable) SetChecker(c *Checker) { p.Checker = c }
+
+// page returns the state page containing block index bi, allocating it on
+// first touch. The one-entry cache makes consecutive same-page lookups a
+// compare instead of a map probe.
+func (p *dir1nbTable) page(bi uint64) *dir1nbPage {
+	key := bi >> d1tPageBits
+	if pg := p.lastPage; pg != nil && key == p.lastKey {
+		return pg
+	}
+	pg := p.pages[key]
+	if pg == nil {
+		pg = new(dir1nbPage)
+		p.pages[key] = pg
+	}
+	p.lastKey, p.lastPage = key, pg
+	return pg
+}
+
+// AccessBatch implements Batcher: the allocation-free hot loop.
+func (p *dir1nbTable) AccessBatch(refs []trace.Ref, out []event.Result) []event.Result {
+	if p.Checker != nil {
+		for _, r := range refs {
+			out = append(out, p.Access(r))
+		}
+		return out
+	}
+	ncpu := p.ncpu
+	for _, r := range refs {
+		var write uint16
+		switch r.Kind {
+		case trace.Instr:
+			out = append(out, event.Result{Type: event.Instr})
+			continue
+		case trace.Read:
+		case trace.Write:
+			write = d1tKeyWrite
+		default:
+			panic(fmt.Sprintf("core: Dir1NB: invalid reference kind %d", r.Kind))
+		}
+		if int(r.CPU) >= ncpu {
+			panic(fmt.Sprintf("core: Dir1NB: cpu %d out of range [0,%d)", r.CPU, ncpu))
+		}
+		bi := uint64(r.Block())
+		pg := p.page(bi)
+		idx := bi & d1tPageMask
+		st := pg[idx]
+
+		key := st&7 | write
+		if st&d1tHeld != 0 && uint8(st>>d1tHolderShift) == r.CPU {
+			key |= d1tKeyOwn
+		}
+		out = append(out, d1tRes[key])
+		pg[idx] = st&d1tAnd[key] | d1tOr[key] |
+			uint16(r.CPU)<<d1tHolderShift&d1tHolderMask[key]
+	}
+	return out
+}
+
+func (p *dir1nbTable) Access(r trace.Ref) event.Result {
+	var write uint16
+	switch r.Kind {
+	case trace.Instr:
+		return event.Result{Type: event.Instr}
+	case trace.Read:
+	case trace.Write:
+		write = d1tKeyWrite
+	default:
+		panic(fmt.Sprintf("core: Dir1NB: invalid reference kind %d", r.Kind))
+	}
+	if int(r.CPU) >= p.ncpu {
+		panic(fmt.Sprintf("core: Dir1NB: cpu %d out of range [0,%d)", r.CPU, p.ncpu))
+	}
+	b := r.Block()
+	bi := uint64(b)
+	pg := p.page(bi)
+	idx := bi & d1tPageMask
+	st := pg[idx]
+
+	key := st&7 | write
+	own := st&d1tHeld != 0 && uint8(st>>d1tHolderShift) == r.CPU
+	if own {
+		key |= d1tKeyOwn
+	}
+	pg[idx] = st&d1tAnd[key] | d1tOr[key] |
+		uint16(r.CPU)<<d1tHolderShift&d1tHolderMask[key]
+
+	if p.Checker != nil {
+		// Replay the data movement in the same order the specification
+		// engine reports it.
+		c, holder := r.CPU, uint8(st>>d1tHolderShift)
+		isWrite := write != 0
+		switch {
+		case own:
+			if isWrite {
+				p.Checker.Write(c, b)
+				return d1tRes[key]
+			}
+			p.Checker.ReadHit(c, b)
+			return d1tRes[key]
+		case st&d1tHeld != 0 && st&d1tDirty != 0:
+			p.Checker.WriteBack(holder, b)
+			p.Checker.FillFromCache(c, holder, b)
+			p.Checker.Invalidate(holder, b)
+		case st&d1tHeld != 0:
+			p.Checker.Invalidate(holder, b)
+			p.Checker.FillFromMemory(c, b)
+		default:
+			p.Checker.FillFromMemory(c, b)
+		}
+		if isWrite {
+			p.Checker.Write(c, b)
+		}
+	}
+	return d1tRes[key]
+}
+
+func (p *dir1nbTable) CheckInvariants() error {
+	// The packed state cannot represent more than one holder, so — as in
+	// the specification engine — the only invariant to verify is
+	// checker-level value coherence, plus basic state sanity: a dirty or
+	// held flag on a block implies the block has been seen.
+	for pk, pg := range p.pages {
+		for i, st := range pg {
+			if st == 0 {
+				continue
+			}
+			if st&(d1tHeld|d1tDirty) != 0 && st&d1tSeen == 0 {
+				return fmt.Errorf("core: Dir1NB: block %#x held or dirty but never seen",
+					pk<<d1tPageBits|uint64(i))
+			}
+			if st&d1tDirty != 0 && st&d1tHeld == 0 {
+				return fmt.Errorf("core: Dir1NB: block %#x dirty but not held",
+					pk<<d1tPageBits|uint64(i))
+			}
+			if int(st>>d1tHolderShift) >= p.ncpu {
+				return fmt.Errorf("core: Dir1NB: block %#x holder %d out of range",
+					pk<<d1tPageBits|uint64(i), st>>d1tHolderShift)
+			}
+		}
+	}
+	return p.Checker.Err()
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"dirsim/internal/event"
+	"dirsim/internal/trace"
+	"dirsim/internal/workload"
+)
+
+// TestDir1NBTableMatchesSpec cross-validates the table-driven Dir1NB
+// engine against the method-dispatch specification: identical event
+// results, reference by reference, over heavy random streams at several
+// machine sizes.
+func TestDir1NBTableMatchesSpec(t *testing.T) {
+	for _, cpus := range []int{1, 2, 4, 8, 64} {
+		refs := randomRefs(int64(100+cpus), cpus, 512, 60000)
+		table, spec := NewDir1NB(cpus), NewDir1NBSpec(cpus)
+		if _, ok := table.(Batcher); !ok {
+			t.Fatal("table engine should implement Batcher")
+		}
+		for i, r := range refs {
+			got, want := table.Access(r), spec.Access(r)
+			if got != want {
+				t.Fatalf("cpus=%d ref %d %v: table %+v, spec %+v", cpus, i, r, got, want)
+			}
+		}
+		if err := table.CheckInvariants(); err != nil {
+			t.Fatalf("cpus=%d: table invariants: %v", cpus, err)
+		}
+	}
+}
+
+// TestDir1NBTableBatchMatchesSpec drives the table engine through its
+// batched loop (the production path) on the standard workloads and
+// compares against the specification engine run per reference.
+func TestDir1NBTableBatchMatchesSpec(t *testing.T) {
+	for _, cfg := range workload.StandardConfigs(4, 20000) {
+		tr := workload.MustGenerate(cfg)
+		table, spec := NewDir1NB(tr.CPUs), NewDir1NBSpec(tr.CPUs)
+		got := AccessBatch(table, tr.Refs, nil)
+		want := make([]event.Result, 0, len(tr.Refs))
+		for _, r := range tr.Refs {
+			want = append(want, spec.Access(r))
+		}
+		if !reflect.DeepEqual(got, want) {
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%s ref %d: table %+v, spec %+v", cfg.Name, i, got[i], want[i])
+				}
+			}
+			t.Fatalf("%s: batch results differ", cfg.Name)
+		}
+	}
+}
+
+// TestDir1NBTableCheckedMatchesSpec holds the two engines identical with a
+// value-coherence checker attached — the checked path falls back to
+// per-reference access, and both checkers must stay clean.
+func TestDir1NBTableCheckedMatchesSpec(t *testing.T) {
+	refs := randomRefs(7, 8, 64, 30000)
+	table, spec := NewDir1NB(8), NewDir1NBSpec(8)
+	if !Attach(table, NewChecker()) || !Attach(spec, NewChecker()) {
+		t.Fatal("both engines should accept a checker")
+	}
+	got := AccessBatch(table, refs, nil)
+	want := AccessBatch(spec, refs, nil)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("checked results differ")
+	}
+	if err := table.CheckInvariants(); err != nil {
+		t.Fatalf("table invariants: %v", err)
+	}
+	if err := spec.CheckInvariants(); err != nil {
+		t.Fatalf("spec invariants: %v", err)
+	}
+}
+
+// TestDir1NBTablePanicsOnBadInput mirrors the spec engine's contract.
+func TestDir1NBTablePanicsOnBadInput(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	p := NewDir1NB(2)
+	expectPanic("cpu out of range", func() { p.Access(rd(3, 0)) })
+	expectPanic("cpu out of range (batch)", func() {
+		AccessBatch(NewDir1NB(2), []trace.Ref{rd(3, 0)}, nil)
+	})
+	expectPanic("bad kind", func() {
+		p.Access(trace.Ref{Addr: 0, CPU: 0, Kind: trace.Kind(9)})
+	})
+	expectPanic("bad kind (batch)", func() {
+		AccessBatch(NewDir1NB(2), []trace.Ref{{Addr: 0, CPU: 0, Kind: trace.Kind(9)}}, nil)
+	})
+}
+
+// BenchmarkDir1NBTable and BenchmarkDir1NBSpec size the win from the
+// table-driven core on a standard trace.
+func BenchmarkDir1NBTable(b *testing.B) { benchDir1NB(b, NewDir1NB) }
+func BenchmarkDir1NBSpec(b *testing.B)  { benchDir1NB(b, NewDir1NBSpec) }
+
+func benchDir1NB(b *testing.B, mk func(int) Protocol) {
+	tr := workload.POPS(4, 200000)
+	out := make([]event.Result, 0, len(tr.Refs))
+	b.SetBytes(int64(len(tr.Refs)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := mk(tr.CPUs)
+		out = AccessBatch(p, tr.Refs, out[:0])
+	}
+	_ = out
+}

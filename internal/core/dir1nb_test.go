@@ -44,7 +44,7 @@ func TestDir1NBWriteMissOnUncached(t *testing.T) {
 }
 
 func TestDir1NBNeverHasTwoHolders(t *testing.T) {
-	p := NewDir1NB(8).(*dir1nb)
+	p := NewDir1NB(8)
 	apply(t, p, randomRefs(23, 8, 32, 30000)...)
 	// Count how many blocks each cache "holds" by replaying reads: the
 	// engine's own structure cannot represent two holders, so instead we

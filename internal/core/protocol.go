@@ -44,13 +44,25 @@ type Protocol interface {
 	CheckInvariants() error
 }
 
+// Batcher is implemented by engines with a data-oriented inner loop: they
+// classify a whole batch of references without per-reference interface
+// dispatch. Semantics must be identical to calling Access on each
+// reference in order — the equivalence suites assert exactly that.
+type Batcher interface {
+	AccessBatch(refs []trace.Ref, out []event.Result) []event.Result
+}
+
 // AccessBatch applies every reference in refs to p in order, appending
 // each classification to out and returning the extended slice. It is the
 // batch-friendly form of the Access loop: callers reuse one results
 // buffer (pass out[:0]) so a simulation's inner loop performs no
 // per-reference allocation, and the single call site keeps the
 // ref-fetch/classify stage separate from whatever accounting follows.
+// Engines that implement Batcher get their batched loop called directly.
 func AccessBatch(p Protocol, refs []trace.Ref, out []event.Result) []event.Result {
+	if b, ok := p.(Batcher); ok {
+		return b.AccessBatch(refs, out)
+	}
 	for _, r := range refs {
 		out = append(out, p.Access(r))
 	}

@@ -56,6 +56,16 @@ type Options struct {
 	// from its source per call. 0 means ChunkRefs, so streamed chunks
 	// are consumed whole. Results never depend on it.
 	BatchRefs int
+	// Shards is the intra-trace parallelism handed to sim.Options.Shards:
+	// > 1 runs every simulation's references through that many concurrent
+	// block-sharded protocol cores with a deterministic merge, bit-identical
+	// to the sequential path, so cache keys and fingerprints are unchanged.
+	// 0 or 1 (the default) keeps simulations sequential. Negative means
+	// auto: runtime.GOMAXPROCS(0) shards. Sharding composes with Workers —
+	// inter-job parallelism multiplies by intra-trace parallelism — so on a
+	// saturated batch sweep leave it off; it earns its overhead when jobs
+	// are fewer than cores.
+	Shards int
 	// DiscardStreamedTraces stops streamed generations from also being
 	// captured into the trace cache. The default (false) captures them,
 	// so a later experiment needing the raw trace — or the same trace
@@ -181,6 +191,19 @@ type TierObserver interface {
 	TierStored(ctx context.Context, kind, key string, d time.Duration)
 }
 
+// ShardObserver extends Observer with intra-trace sharding (Options.
+// Shards) events: one ShardFinished per shard of every sharded
+// simulation, plus one with shard == -1 for the splitter that partitioned
+// the reference stream. Like FaultObserver it is optional and
+// type-asserted once at construction. Calls for one simulation arrive
+// serialized; calls from concurrent simulations may interleave, so
+// implementations must be safe for concurrent use. trace and scheme name
+// the simulation, refs is how many references the shard simulated (the
+// full trace for the splitter), and d the shard's wall-clock busy time.
+type ShardObserver interface {
+	ShardFinished(ctx context.Context, trace, scheme string, shard, shards int, refs int64, d time.Duration)
+}
+
 // JobKind classifies a job by its ID prefix — "trace", "stream", "sim",
 // "merge", "protocol" — or "" for ad-hoc jobs without one.
 func JobKind(id string) string {
@@ -198,6 +221,7 @@ type Engine struct {
 	chunkRefs   int
 	chunkWindow int
 	batchRefs   int
+	shards      int
 	discard     bool
 
 	jobTimeout time.Duration
@@ -214,6 +238,7 @@ type Engine struct {
 	obs    Observer          // nil disables observation
 	fobs   FaultObserver     // obs narrowed to failure events, nil when not implemented
 	tobs   TierObserver      // obs narrowed to durable-tier events, nil when not implemented
+	sobs   ShardObserver     // obs narrowed to shard events, nil when not implemented
 	tracer *exectrace.Tracer // nil disables execution tracing
 	// protoSample is the coherence-telemetry stride; 0 disables it.
 	protoSample int
@@ -234,6 +259,8 @@ type Engine struct {
 	jobTimeouts     *obs.Counter
 	cacheRejected   *obs.Counter
 	integrityFaults *obs.Counter
+	shardedSims     *obs.Counter
+	shardRefs       *obs.Counter
 }
 
 // New builds an engine with the given options.
@@ -262,13 +289,19 @@ func New(opts Options) *Engine {
 	if bo <= 0 {
 		bo = 10 * time.Millisecond
 	}
+	sh := opts.Shards
+	if sh < 0 {
+		sh = runtime.GOMAXPROCS(0)
+	}
 	fobs, _ := opts.Observer.(FaultObserver)
 	tobs, _ := opts.Observer.(TierObserver)
+	sobs, _ := opts.Observer.(ShardObserver)
 	return &Engine{
 		workers:         w,
 		chunkRefs:       cr,
 		chunkWindow:     cw,
 		batchRefs:       br,
+		shards:          sh,
 		discard:         opts.DiscardStreamedTraces,
 		jobTimeout:      opts.JobTimeout,
 		retries:         opts.Retries,
@@ -282,6 +315,7 @@ func New(opts Options) *Engine {
 		obs:             opts.Observer,
 		fobs:            fobs,
 		tobs:            tobs,
+		sobs:            sobs,
 		tracer:          opts.Tracer,
 		protoSample:     opts.ProtoSample,
 		jobsRun:         reg.Counter("engine.jobs.run"),
@@ -298,6 +332,8 @@ func New(opts Options) *Engine {
 		jobTimeouts:     reg.Counter("engine.jobs.timeouts"),
 		cacheRejected:   reg.Counter("engine.cache.rejected"),
 		integrityFaults: reg.Counter("engine.stream.integrity"),
+		shardedSims:     reg.Counter("engine.sims.sharded"),
+		shardRefs:       reg.Counter("engine.shards.refs"),
 	}
 }
 
@@ -335,6 +371,11 @@ type Stats struct {
 	// reference-count shortfalls, refcount corruption).
 	CacheRejected   int64
 	IntegrityFaults int64
+	// ShardedSims counts simulations that ran block-sharded (Options.
+	// Shards > 1); ShardRefs totals references simulated by shard workers
+	// across them (equal to those simulations' share of RefsSimulated).
+	ShardedSims int64
+	ShardRefs   int64
 	// CachedResults and CachedTraces are the current cache populations.
 	CachedResults int
 	CachedTraces  int
@@ -357,6 +398,8 @@ func (e *Engine) Stats() Stats {
 		JobTimeouts:     e.jobTimeouts.Value(),
 		CacheRejected:   e.cacheRejected.Value(),
 		IntegrityFaults: e.integrityFaults.Value(),
+		ShardedSims:     e.shardedSims.Value(),
+		ShardRefs:       e.shardRefs.Value(),
 		CachedResults:   e.results.size(),
 		CachedTraces:    e.traces.size(),
 	}
@@ -368,6 +411,10 @@ func (e *Engine) Metrics() *obs.Registry { return e.reg }
 // BatchRefs returns the resolved simulation batch size: Options.BatchRefs,
 // or the chunk size when that was left zero.
 func (e *Engine) BatchRefs() int { return e.batchRefs }
+
+// Shards returns the resolved intra-trace shard count: Options.Shards,
+// with negative resolved to GOMAXPROCS. 0 or 1 means sequential.
+func (e *Engine) Shards() int { return e.shards }
 
 // Job is one node of an execution DAG. Jobs are single-use: build a fresh
 // graph per Execute call (cached work is cheap to re-plan).

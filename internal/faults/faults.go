@@ -53,12 +53,17 @@ type Config struct {
 	// stamped with a corrupted checksum, so every subsequent hit is
 	// rejected and recomputed (exercising cache-poisoning defense).
 	Poison float64
+	// ShardPanic is the probability, per shard worker of a sharded
+	// simulation, that the worker panics at start (exercising the shard
+	// pipeline's panic isolation: the failing shard must surface as a
+	// structured error while the others drain cleanly).
+	ShardPanic float64
 }
 
 // Enabled reports whether any fault class has a non-zero probability.
 func (c Config) Enabled() bool {
 	return c.Panic > 0 || c.Spurious > 0 || c.Truncate > 0 ||
-		c.Corrupt > 0 || c.Slow > 0 || c.Poison > 0
+		c.Corrupt > 0 || c.Slow > 0 || c.Poison > 0 || c.ShardPanic > 0
 }
 
 // Injector makes deterministic fault decisions. All methods are safe on a
@@ -160,6 +165,21 @@ func (i *Injector) JobFault(site string, attempt int) error {
 	}
 	if i.cfg.Spurious > 0 && i.roll("spurious", site, int64(attempt)) < i.cfg.Spurious {
 		return &Spurious{Site: site, Attempt: attempt}
+	}
+	return nil
+}
+
+// ShardFault decides the fate of one shard worker at the given site: it
+// panics with a *Panic (the shard index standing in for the attempt) or
+// returns nil. Decisions are per (site, shard), so the same seed kills
+// the same shard of the same simulation on every run — and the shard
+// partition itself is seedless, so that shard holds the same blocks too.
+func (i *Injector) ShardFault(site string, shard int) error {
+	if i == nil {
+		return nil
+	}
+	if i.cfg.ShardPanic > 0 && i.roll("shardpanic", site, int64(shard)) < i.cfg.ShardPanic {
+		panic(&Panic{Site: fmt.Sprintf("%s#shard%d", site, shard), Attempt: shard})
 	}
 	return nil
 }

@@ -13,7 +13,8 @@ import (
 //	panic=0.05,error=0.2,truncate=0.1,corrupt=0.1,slow=0.01,slowdelay=1ms,poison=0.05
 //
 // Keys: panic, error (spurious failures), truncate, corrupt, slow,
-// poison take probabilities in [0, 1]; slowdelay takes a Go duration.
+// poison, shardpanic take probabilities in [0, 1]; slowdelay takes a Go
+// duration.
 // The seed is supplied separately so the same fault mix can be replayed
 // under different schedules. An empty spec yields a zero Config.
 func ParseSpec(spec string, seed uint64) (Config, error) {
@@ -60,6 +61,8 @@ func ParseSpec(spec string, seed uint64) (Config, error) {
 			cfg.Slow = p
 		case "poison":
 			cfg.Poison = p
+		case "shardpanic":
+			cfg.ShardPanic = p
 		default:
 			return Config{}, fmt.Errorf("faults: unknown spec key %q", key)
 		}

@@ -30,9 +30,14 @@ const (
 // the network analogue of bus.Tally.
 type Tally struct {
 	Topo Topology
-	// Cycles is total link-cycles consumed; Messages counts directed
-	// messages; Floods counts broadcast floods.
-	Cycles   float64
+	// CycleUnits is total link-cycles consumed, in exact integer units of
+	// 1/Topo.CycleDenom() (the average-distance rational's denominator).
+	// Integer accumulation makes the sum independent of event order —
+	// float accumulation of fractional hop averages is not associative,
+	// which would break the sharded simulator's bit-identical merge.
+	// Cycles() converts to link-cycles, rounding exactly once.
+	CycleUnits int64
+	// Messages counts directed messages; Floods counts broadcast floods.
 	Messages int64
 	Floods   int64
 	Refs     int64
@@ -41,10 +46,15 @@ type Tally struct {
 // NewTally returns a tally over the given topology.
 func NewTally(t Topology) *Tally { return &Tally{Topo: t} }
 
+// Cycles returns total link-cycles consumed.
+func (t *Tally) Cycles() float64 {
+	return float64(t.CycleUnits) / float64(t.Topo.CycleDenom())
+}
+
 // msg adds n directed messages of w data words each.
 func (t *Tally) msg(n, w int) {
 	t.Messages += int64(n)
-	t.Cycles += float64(n) * t.Topo.MsgCycles(w)
+	t.CycleUnits += int64(n) * t.Topo.MsgCycleUnits(w)
 }
 
 // Add prices one protocol result. First-reference misses are excluded,
@@ -84,12 +94,12 @@ func (t *Tally) Add(res event.Result) {
 	t.msg(res.Control, 0)
 	if res.Broadcast && !res.Update {
 		if t.Topo.Broadcast {
-			t.Cycles++
+			t.CycleUnits += t.Topo.CycleDenom()
 		} else {
 			// Flood the invalidation and collect acknowledgements
 			// from every node.
 			t.Floods++
-			t.Cycles += t.Topo.BroadcastCycles()
+			t.CycleUnits += int64(t.Topo.FloodLinks) * t.Topo.CycleDenom()
 			t.msg(t.Topo.Nodes-1, 0)
 		}
 	}
@@ -101,14 +111,15 @@ func (t *Tally) Add(res event.Result) {
 		t.msg(1, 1)
 		if res.Broadcast && !t.Topo.Broadcast {
 			t.Floods++
-			t.Cycles += float64(t.Topo.FloodLinks) * 2 // word to every node
+			// A word to every node.
+			t.CycleUnits += int64(t.Topo.FloodLinks) * 2 * t.Topo.CycleDenom()
 		}
 	}
 }
 
 // Merge folds another tally over the same topology into t.
 func (t *Tally) Merge(o *Tally) {
-	t.Cycles += o.Cycles
+	t.CycleUnits += o.CycleUnits
 	t.Messages += o.Messages
 	t.Floods += o.Floods
 	t.Refs += o.Refs
@@ -119,7 +130,7 @@ func (t *Tally) PerRef() float64 {
 	if t.Refs == 0 {
 		return 0
 	}
-	return t.Cycles / float64(t.Refs)
+	return t.Cycles() / float64(t.Refs)
 }
 
 // MessagesPerRef returns directed messages per reference.

@@ -12,8 +12,8 @@ func TestTallyFillFromMemory(t *testing.T) {
 	tl := NewTally(Crossbar(4)) // unit distance: easy arithmetic
 	tl.Add(event.Result{Type: event.RdMissMem})
 	// Request (1 flit) + reply (5 flits).
-	if tl.Cycles != 6 || tl.Messages != 2 {
-		t.Errorf("cycles=%v msgs=%d", tl.Cycles, tl.Messages)
+	if tl.Cycles() != 6 || tl.Messages != 2 {
+		t.Errorf("cycles=%v msgs=%d", tl.Cycles(), tl.Messages)
 	}
 }
 
@@ -21,8 +21,8 @@ func TestTallyCacheSupplyWithWriteBack(t *testing.T) {
 	tl := NewTally(Crossbar(4))
 	tl.Add(event.Result{Type: event.RdMissDirty, CacheSupply: true, WriteBack: true})
 	// req + forward (1+1) + data (5) + wb (5) = 12.
-	if tl.Cycles != 12 || tl.Messages != 4 {
-		t.Errorf("cycles=%v msgs=%d", tl.Cycles, tl.Messages)
+	if tl.Cycles() != 12 || tl.Messages != 4 {
+		t.Errorf("cycles=%v msgs=%d", tl.Cycles(), tl.Messages)
 	}
 }
 
@@ -30,8 +30,8 @@ func TestTallyDirectedInvals(t *testing.T) {
 	tl := NewTally(Crossbar(4))
 	tl.Add(event.Result{Type: event.WrHitClean, DirCheck: true, Inval: 3})
 	// query+grant (2) + 3 invals + 3 acks (6) = 8 messages, 8 cycles.
-	if tl.Cycles != 8 || tl.Messages != 8 {
-		t.Errorf("cycles=%v msgs=%d", tl.Cycles, tl.Messages)
+	if tl.Cycles() != 8 || tl.Messages != 8 {
+		t.Errorf("cycles=%v msgs=%d", tl.Cycles(), tl.Messages)
 	}
 }
 
@@ -44,7 +44,7 @@ func TestTallyBroadcastFlood(t *testing.T) {
 	if bus.Floods != 0 || xbar.Floods != 1 {
 		t.Errorf("flood counting: bus %d, xbar %d", bus.Floods, xbar.Floods)
 	}
-	if xbar.Cycles <= bus.Cycles {
+	if xbar.Cycles() <= bus.Cycles() {
 		t.Error("a flood must cost more than a native broadcast")
 	}
 }
@@ -53,7 +53,7 @@ func TestTallyFirstRefExcluded(t *testing.T) {
 	tl := NewTally(Mesh(4, 4))
 	tl.Add(event.Result{Type: event.RdMissFirst})
 	tl.Add(event.Result{Type: event.WrMissFirst, Broadcast: true})
-	if tl.Cycles != 0 || tl.Messages != 0 {
+	if tl.Cycles() != 0 || tl.Messages != 0 {
 		t.Error("first-reference misses must be free")
 	}
 	if tl.Refs != 2 {
@@ -66,7 +66,7 @@ func TestTallyHitsFree(t *testing.T) {
 	tl.Add(event.Result{Type: event.RdHit})
 	tl.Add(event.Result{Type: event.Instr})
 	tl.Add(event.Result{Type: event.WrHitOwn})
-	if tl.Cycles != 0 {
+	if tl.Cycles() != 0 {
 		t.Error("hits and instructions must be free")
 	}
 	if tl.PerRef() != 0 {
@@ -78,8 +78,8 @@ func TestTallyUpdate(t *testing.T) {
 	tl := NewTally(Crossbar(8))
 	tl.Add(event.Result{Type: event.WrHitShared, Update: true, Broadcast: true})
 	// One 1-word message (2 flits) plus a word flood (2 * (n-1)).
-	if want := 2.0 + 14; tl.Cycles != want {
-		t.Errorf("update cycles = %v, want %v", tl.Cycles, want)
+	if want := 2.0 + 14; tl.Cycles() != want {
+		t.Errorf("update cycles = %v, want %v", tl.Cycles(), want)
 	}
 }
 
@@ -88,7 +88,7 @@ func TestTallyMerge(t *testing.T) {
 	a.Add(event.Result{Type: event.RdMissMem})
 	b.Add(event.Result{Type: event.RdMissMem})
 	a.Merge(b)
-	if a.Refs != 2 || a.Cycles != 12 {
+	if a.Refs != 2 || a.Cycles() != 12 {
 		t.Errorf("merge: %+v", a)
 	}
 }

@@ -26,8 +26,18 @@ type Topology struct {
 	Name string
 	// Nodes is the number of processor/memory nodes.
 	Nodes int
-	// AvgDist is the mean hop distance between two distinct nodes.
+	// AvgDist is the mean hop distance between two distinct nodes; it
+	// equals DistSum/DistPairs and is kept for display and analysis.
 	AvgDist float64
+	// DistSum is the total hop distance over all ordered pairs of
+	// distinct nodes, and DistPairs the number of such pairs. The pair
+	// (DistSum, DistPairs) is the exact rational AvgDist, which is what
+	// Tally accumulates with: every per-event link-cycle contribution is
+	// an integer multiple of 1/DistPairs, so tallies sum in integer
+	// units and are independent of accumulation order — the property the
+	// sharded simulator's bit-identical merge relies on.
+	DistSum   int
+	DistPairs int
 	// Diameter is the maximum hop distance.
 	Diameter int
 	// Broadcast reports whether the medium delivers broadcasts natively
@@ -43,6 +53,7 @@ type Topology struct {
 func build(name string, n int, broadcast bool, hop func(a, b int) int) Topology {
 	t := Topology{Name: name, Nodes: n, Broadcast: broadcast, FloodLinks: n - 1}
 	if n <= 1 {
+		t.DistPairs = 1 // degenerate: zero distance, but a valid denominator
 		return t
 	}
 	sum, pairs := 0, 0
@@ -59,6 +70,7 @@ func build(name string, n int, broadcast bool, hop func(a, b int) int) Topology 
 			}
 		}
 	}
+	t.DistSum, t.DistPairs = sum, pairs
 	t.AvgDist = float64(sum) / float64(pairs)
 	return t
 }
@@ -133,6 +145,21 @@ func Hypercube(dim int) Topology {
 // words consumes: average-distance hops times (address flit + data flits).
 func (t Topology) MsgCycles(words int) float64 {
 	return t.AvgDist * float64(1+words)
+}
+
+// CycleDenom is the denominator of the exact link-cycle units Tally
+// accumulates in: one link-cycle equals CycleDenom units.
+func (t Topology) CycleDenom() int64 {
+	if t.DistPairs <= 0 {
+		return 1 // hand-built zero-value topologies
+	}
+	return int64(t.DistPairs)
+}
+
+// MsgCycleUnits is MsgCycles in exact CycleDenom units: the numerator of
+// avg-distance hops times (1 + words) flits.
+func (t Topology) MsgCycleUnits(words int) int64 {
+	return int64(t.DistSum) * int64(1+words)
 }
 
 // BroadcastCycles returns the link-cycles to deliver a payload-free

@@ -80,7 +80,7 @@ func (r *Result) Fingerprint() uint64 {
 	for _, name := range names {
 		t := r.NetTallies[name]
 		h.str(name)
-		h.word(math.Float64bits(t.Cycles))
+		h.word(uint64(t.CycleUnits))
 		h.word(uint64(t.Messages))
 		h.word(uint64(t.Floods))
 		h.word(uint64(t.Refs))

@@ -52,7 +52,7 @@ func TestFingerprintStableAndSensitive(t *testing.T) {
 		}},
 		{"net cycles", func(r *Result) {
 			for _, tl := range r.NetTallies {
-				tl.Cycles += 1
+				tl.CycleUnits += 1
 			}
 		}},
 	}

@@ -45,8 +45,8 @@ func TestMergeNetTallies(t *testing.T) {
 		t.Fatal(err)
 	}
 	for name := range a.NetTallies {
-		want := a.NetTallies[name].Cycles + b.NetTallies[name].Cycles
-		if got := m.NetTallies[name].Cycles; got != want {
+		want := a.NetTallies[name].CycleUnits + b.NetTallies[name].CycleUnits
+		if got := m.NetTallies[name].CycleUnits; got != want {
 			t.Errorf("%s: merged %v cycles, want %v", name, got, want)
 		}
 	}

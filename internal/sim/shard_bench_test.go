@@ -1,0 +1,176 @@
+// Benchmarks and the machine-readable report for intra-trace sharded
+// simulation: SimulateSharded at several shard counts against the
+// single-goroutine batched Simulate.
+//
+//	DIRSIM_BENCH_JSON=1 go test -run TestWriteShardBenchJSON ./internal/sim
+//
+// writes BENCH_shard.json at the repo root — one record per shard count
+// with throughput, speedup over the sequential batched path, and a
+// bit-identity flag verified in-process against the sequential result.
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"dirsim/internal/core"
+)
+
+func BenchmarkShardedSim(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			traces := hotpathWorkloads(b, 100_000)
+			opts := Options{Shards: shards}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, tr := range traces {
+					if _, err := SimulateSharded(shardBuild("Dir1NB", tr.CPUs), tr.Iterator(), opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// shardBenchRecord is one measured shard count.
+type shardBenchRecord struct {
+	Path         string  `json:"path"`
+	Scheme       string  `json:"scheme"`
+	Shards       int     `json:"shards,omitempty"`
+	Traces       int     `json:"traces"`
+	RefsEach     int     `json:"refs_per_trace"`
+	Iters        int     `json:"iterations"`
+	NsPerOp      int64   `json:"ns_per_op"`
+	RefsPerS     float64 `json:"refs_per_second"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	Speedup      float64 `json:"speedup_vs_sequential"`
+	BitIdentical bool    `json:"bit_identical_to_sequential"`
+}
+
+type shardBenchReport struct {
+	Date       string             `json:"date"`
+	GoMaxProcs int                `json:"gomaxprocs"`
+	NumCPU     int                `json:"num_cpu"`
+	GoVersion  string             `json:"go_version"`
+	Note       string             `json:"note"`
+	Results    []shardBenchRecord `json:"results"`
+}
+
+// TestWriteShardBenchJSON measures SimulateSharded at shard counts
+// {1,2,4,8,GOMAXPROCS} against the sequential batched Simulate, verifies
+// bit-identity of every sharded result in-process, and writes
+// BENCH_shard.json at the repo root. Skipped unless DIRSIM_BENCH_JSON is
+// set.
+func TestWriteShardBenchJSON(t *testing.T) {
+	if os.Getenv("DIRSIM_BENCH_JSON") == "" {
+		t.Skip("set DIRSIM_BENCH_JSON=1 to run the shard benchmark and write BENCH_shard.json")
+	}
+
+	const refs = 200_000
+	const scheme = "Dir1NB"
+	traces := hotpathWorkloads(t, refs)
+	totalRefs := 0
+	for _, tr := range traces {
+		totalRefs += tr.Len()
+	}
+
+	// The sequential results every sharded run must reproduce bitwise.
+	sequential := make([]*Result, len(traces))
+	for i, tr := range traces {
+		p, err := core.NewByName(scheme, tr.CPUs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sequential[i], err = Simulate(p, tr.Iterator(), Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	shardCounts := []int{1, 2, 4, 8}
+	if g := runtime.GOMAXPROCS(0); g != 1 && g != 2 && g != 4 && g != 8 {
+		shardCounts = append(shardCounts, g)
+	}
+
+	report := shardBenchReport{
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+		Note: "three standard traces under " + scheme + " (table-driven core); " +
+			"sequential is the single-goroutine batched sim.Simulate, sharded " +
+			"runs partition references by block hash across concurrent protocol " +
+			"cores with a deterministic merge. bit_identical is verified " +
+			"in-process against the sequential Result before timing. Parallel " +
+			"speedup requires real cores: on a 1-CPU box every shard count " +
+			"time-slices one core and the splitter/channel overhead shows as " +
+			"slowdown; see gomaxprocs/num_cpu above for this run's box",
+	}
+
+	seq := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			runLoop(b, scheme, traces, Simulate, Options{})
+		}
+	})
+	baseline := float64(seq.NsPerOp())
+	report.Results = append(report.Results, shardBenchRecord{
+		Path: "sequential", Scheme: scheme, Traces: len(traces), RefsEach: refs,
+		Iters: seq.N, NsPerOp: seq.NsPerOp(),
+		RefsPerS:    float64(totalRefs) / (float64(seq.NsPerOp()) / 1e9),
+		AllocsPerOp: seq.AllocsPerOp(), Speedup: 1, BitIdentical: true,
+	})
+	t.Logf("sequential: %dns/op, %.0f refs/s", seq.NsPerOp(), report.Results[0].RefsPerS)
+
+	for _, shards := range shardCounts {
+		opts := Options{Shards: shards}
+		identical := true
+		for i, tr := range traces {
+			got, err := SimulateSharded(shardBuild(scheme, tr.CPUs), tr.Iterator(), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, sequential[i]) {
+				identical = false
+				t.Errorf("shards=%d over %s: result differs from sequential", shards, tr.Name)
+			}
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, tr := range traces {
+					if _, err := SimulateSharded(shardBuild(scheme, tr.CPUs), tr.Iterator(), opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+		rec := shardBenchRecord{
+			Path: "sharded", Scheme: scheme, Shards: shards,
+			Traces: len(traces), RefsEach: refs,
+			Iters: r.N, NsPerOp: r.NsPerOp(),
+			RefsPerS:     float64(totalRefs) / (float64(r.NsPerOp()) / 1e9),
+			AllocsPerOp:  r.AllocsPerOp(),
+			Speedup:      baseline / float64(r.NsPerOp()),
+			BitIdentical: identical,
+		}
+		report.Results = append(report.Results, rec)
+		t.Logf("shards=%d: %dns/op, %.0f refs/s, %d allocs/op, speedup %.2fx, identical=%v",
+			shards, r.NsPerOp(), rec.RefsPerS, r.AllocsPerOp(), rec.Speedup, identical)
+	}
+
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("../../BENCH_shard.json", append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Log("wrote BENCH_shard.json")
+}

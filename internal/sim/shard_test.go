@@ -1,0 +1,346 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dirsim/internal/core"
+	"dirsim/internal/event"
+	"dirsim/internal/faults"
+	"dirsim/internal/trace"
+	"dirsim/internal/workload"
+)
+
+// shardBuild returns a fresh-core builder for SimulateSharded.
+func shardBuild(scheme string, cpus int) func() (core.Protocol, error) {
+	return func() (core.Protocol, error) { return core.NewByName(scheme, cpus) }
+}
+
+// TestShardedEquivalence is the tentpole's oracle extended to the sharded
+// path: for every paper scheme over the three standard workloads, at
+// every shard count including the degenerate 1, SimulateSharded produces
+// a Result bit-identical to the sequential Simulate — counts, histograms,
+// bus and network tallies, every field.
+func TestShardedEquivalence(t *testing.T) {
+	schemes := []string{"Dir1NB", "WTI", "Dir0B", "Dragon", "DirNNB"}
+	for _, cfg := range workload.StandardConfigs(4, 30_000) {
+		tr, err := workload.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, scheme := range schemes {
+			p, err := core.NewByName(scheme, tr.CPUs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := Simulate(p, tr.Iterator(), batchTestOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, shards := range []int{1, 2, 3, 8, 16} {
+				opts := batchTestOpts()
+				opts.Shards = shards
+				got, err := SimulateSharded(shardBuild(scheme, tr.CPUs), tr.Iterator(), opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("%s over %s at %d shards: sharded result differs from sequential",
+						scheme, cfg.Name, shards)
+				}
+			}
+		}
+	}
+}
+
+// TestShardedViaSimulateTrace covers the production dispatch: Options.
+// Shards > 1 routes SimulateTrace through the sharded path and the
+// result (trace name included) matches the sequential call.
+func TestShardedViaSimulateTrace(t *testing.T) {
+	tr, err := workload.Generate(workload.THORConfig(4, 20_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := SimulateTrace("Dir0B", tr, batchTestOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := batchTestOpts()
+	opts.Shards = 4
+	got, err := SimulateTrace("Dir0B", tr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("sharded SimulateTrace differs from sequential")
+	}
+	if got.Trace != tr.Name {
+		t.Errorf("sharded result trace = %q, want %q", got.Trace, tr.Name)
+	}
+}
+
+// TestShardedBatchSizeInvariance: awkward batch sizes exercise partial
+// final buffers on every shard; the result must not move.
+func TestShardedBatchSizeInvariance(t *testing.T) {
+	tr, err := workload.Generate(workload.POPSConfig(4, 10_001))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := runReference("Dir1NB", tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want.Trace = ""
+	for _, batch := range []int{1, 7, 513, 4096} {
+		opts := batchTestOpts()
+		opts.Shards = 3
+		opts.BatchRefs = batch
+		got, err := SimulateSharded(shardBuild("Dir1NB", tr.CPUs), tr.Iterator(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("batch size %d: sharded result differs from per-ref reference", batch)
+		}
+	}
+}
+
+// TestShardedChecked runs the sharded path with per-shard coherence
+// checkers attached; checking must not change measurements.
+func TestShardedChecked(t *testing.T) {
+	tr, err := workload.Generate(workload.PEROConfig(4, 12_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := runReference("DirNNB", tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want.Trace = ""
+	opts := batchTestOpts()
+	opts.Shards = 4
+	opts.Check = true
+	opts.InvariantEvery = 777
+	got, err := SimulateSharded(shardBuild("DirNNB", tr.CPUs), tr.Iterator(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("checked sharded result differs from reference")
+	}
+}
+
+// TestShardedObserver: per-shard stats must partition the trace — shard
+// refs sum to the total, match the ShardOf partition exactly, and the
+// splitter reports Shard == -1 with the full count.
+func TestShardedObserver(t *testing.T) {
+	const shards = 5
+	tr, err := workload.Generate(workload.POPSConfig(4, 9_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPerShard := make([]int64, shards)
+	for _, r := range tr.Refs {
+		wantPerShard[ShardOf(r.Block(), shards)]++
+	}
+	var stats []ShardStat
+	var total int64
+	opts := batchTestOpts()
+	opts.Shards = shards
+	opts.ShardObserver = func(st ShardStat) { stats = append(stats, st) }
+	opts.Observer = func(refs int64, _ time.Duration) { total = refs }
+	if _, err := SimulateSharded(shardBuild("Dragon", tr.CPUs), tr.Iterator(), opts); err != nil {
+		t.Fatal(err)
+	}
+	if total != int64(len(tr.Refs)) {
+		t.Errorf("observer total = %d, want %d", total, len(tr.Refs))
+	}
+	if len(stats) != shards+1 {
+		t.Fatalf("got %d shard stats, want %d", len(stats), shards+1)
+	}
+	var sum int64
+	splitters := 0
+	for _, st := range stats {
+		if st.Shards != shards {
+			t.Errorf("stat reports %d shards, want %d", st.Shards, shards)
+		}
+		if st.Shard == -1 {
+			splitters++
+			if st.Refs != int64(len(tr.Refs)) {
+				t.Errorf("splitter routed %d refs, want %d", st.Refs, len(tr.Refs))
+			}
+			continue
+		}
+		if st.Refs != wantPerShard[st.Shard] {
+			t.Errorf("shard %d simulated %d refs, want %d", st.Shard, st.Refs, wantPerShard[st.Shard])
+		}
+		sum += st.Refs
+	}
+	if splitters != 1 {
+		t.Errorf("got %d splitter stats, want 1", splitters)
+	}
+	if sum != int64(len(tr.Refs)) {
+		t.Errorf("shard refs sum to %d, want %d", sum, len(tr.Refs))
+	}
+}
+
+// TestShardedTelemetry: the shared, locked telemetry must see exactly the
+// sequential run's coherence-event population (order is scheduling-
+// dependent and deliberately unasserted).
+func TestShardedTelemetry(t *testing.T) {
+	tr, err := workload.Generate(workload.THORConfig(4, 15_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func(shards int) int64 {
+		var n int64
+		opts := batchTestOpts()
+		opts.Telemetry = telemetryFunc(func(event.Result) { n++ })
+		var res *Result
+		if shards > 1 {
+			opts.Shards = shards
+			res, err = SimulateSharded(shardBuild("Dir0B", tr.CPUs), tr.Iterator(), opts)
+		} else {
+			var p core.Protocol
+			if p, err = core.NewByName("Dir0B", tr.CPUs); err != nil {
+				t.Fatal(err)
+			}
+			res, err = Simulate(p, tr.Iterator(), opts)
+		}
+		if err != nil || res == nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	if seq, shd := count(1), count(6); seq != shd || seq == 0 {
+		t.Errorf("telemetry saw %d events sharded, %d sequential", shd, seq)
+	}
+}
+
+type telemetryFunc func(event.Result)
+
+func (f telemetryFunc) Coherence(out event.Result) { f(out) }
+
+// TestShardedFaultPanic injects a panic into one shard via the ShardFault
+// hook: the failure must surface as a structured *ShardError naming that
+// shard and carrying the stack, every other shard must drain cleanly, and
+// no goroutines may leak.
+func TestShardedFaultPanic(t *testing.T) {
+	tr, err := workload.Generate(workload.POPSConfig(4, 20_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := faults.Goroutines()
+	opts := batchTestOpts()
+	opts.Shards = 4
+	opts.BatchRefs = 64 // many batches per shard, so back-pressure engages
+	opts.ShardFault = func(shard int) error {
+		if shard == 2 {
+			panic(fmt.Errorf("injected shard fault"))
+		}
+		return nil
+	}
+	res, err := SimulateSharded(shardBuild("Dir1NB", tr.CPUs), tr.Iterator(), opts)
+	if res != nil {
+		t.Error("faulted run returned a result")
+	}
+	var serr *ShardError
+	if !errors.As(err, &serr) {
+		t.Fatalf("error %v is not a *ShardError", err)
+	}
+	if serr.Shard != 2 || !serr.Panicked || serr.Stack == "" {
+		t.Errorf("ShardError = shard %d panicked %v stack %d bytes; want shard 2, panic, stack",
+			serr.Shard, serr.Panicked, len(serr.Stack))
+	}
+	if leak := snap.Leaked(5 * time.Second); leak != nil {
+		t.Error(leak)
+	}
+}
+
+// TestShardedFaultError: an error (not panic) from the hook fails the
+// shard without a panic flag, and the lowest failing shard wins so the
+// reported error is deterministic.
+func TestShardedFaultError(t *testing.T) {
+	tr, err := workload.Generate(workload.POPSConfig(4, 5_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls atomic.Int64
+	opts := batchTestOpts()
+	opts.Shards = 6
+	opts.ShardFault = func(shard int) error {
+		calls.Add(1)
+		if shard >= 3 {
+			return fmt.Errorf("shard %d refused", shard)
+		}
+		return nil
+	}
+	_, err = SimulateSharded(shardBuild("WTI", tr.CPUs), tr.Iterator(), opts)
+	var serr *ShardError
+	if !errors.As(err, &serr) {
+		t.Fatalf("error %v is not a *ShardError", err)
+	}
+	if serr.Shard != 3 || serr.Panicked {
+		t.Errorf("got shard %d (panicked=%v), want deterministic lowest failing shard 3",
+			serr.Shard, serr.Panicked)
+	}
+	if calls.Load() != 6 {
+		t.Errorf("fault hook ran %d times, want once per shard", calls.Load())
+	}
+}
+
+// TestShardOf pins the partition function: deterministic, in range, and
+// reasonably balanced over a dense block population.
+func TestShardOf(t *testing.T) {
+	const shards = 8
+	counts := make([]int, shards)
+	for b := trace.Block(0); b < 1<<14; b++ {
+		s := ShardOf(b, shards)
+		if s != ShardOf(b, shards) {
+			t.Fatal("ShardOf is not deterministic")
+		}
+		if s < 0 || s >= shards {
+			t.Fatalf("ShardOf(%d, %d) = %d out of range", b, shards, s)
+		}
+		counts[s]++
+	}
+	min, max := counts[0], counts[0]
+	for _, c := range counts[1:] {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if min == 0 || float64(max)/float64(min) > 1.5 {
+		t.Errorf("unbalanced partition: per-shard counts %v", counts)
+	}
+}
+
+// TestShardedAutoShards: Shards <= 0 resolves to GOMAXPROCS and still
+// matches the sequential result.
+func TestShardedAutoShards(t *testing.T) {
+	tr, err := workload.Generate(workload.POPSConfig(4, 8_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := runReference("Dir1NB", tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want.Trace = ""
+	opts := batchTestOpts()
+	opts.Shards = 0
+	got, err := SimulateSharded(shardBuild("Dir1NB", tr.CPUs), tr.Iterator(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("auto-sharded result differs from reference")
+	}
+}

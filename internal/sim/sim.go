@@ -53,8 +53,27 @@ type Options struct {
 	// telemetry channel the observability layer samples into histograms
 	// and trace instants. It is called from the simulation goroutine and
 	// never changes the Result; nil (the default) costs one nil check per
-	// reference.
+	// reference. Under SimulateSharded the value is shared by every shard
+	// behind a mutex, so event *order* across shards is scheduling-
+	// dependent — results remain bit-identical regardless.
 	Telemetry Telemetry
+	// Shards selects intra-trace parallel simulation: when > 1,
+	// SimulateTrace partitions the trace's references by block across
+	// this many concurrent protocol cores and merges the per-shard
+	// tallies (see SimulateSharded) — bit-identical to the sequential
+	// path. 0 or 1 runs the single-goroutine loop above.
+	Shards int
+	// ShardObserver, when set, receives one ShardStat as each shard
+	// worker finishes, plus one with Shard == -1 for the splitter — the
+	// hook behind per-shard journal events and skew reporting. Calls are
+	// serialized by SimulateSharded; the single-goroutine path never
+	// calls it.
+	ShardObserver func(ShardStat)
+	// ShardFault, when set, is invoked once at each shard worker's start;
+	// a non-nil return (or a panic) fails that shard. It exists for fault
+	// injection: the engine wires faults.Injector.ShardFault here so soak
+	// tests can kill one shard and assert the others drain cleanly.
+	ShardFault func(shard int) error
 }
 
 // Telemetry receives coherence-relevant protocol events during a
@@ -126,19 +145,7 @@ func Simulate(p core.Protocol, src trace.Source, opts Options) (*Result, error) 
 		return nil, fmt.Errorf("sim: trace has %d CPUs but %s engine simulates %d",
 			src.CPUCount(), p.Name(), p.CPUs())
 	}
-	res := &Result{
-		Scheme:  p.Name(),
-		Tallies: make(map[string]*bus.Tally),
-	}
-	for _, m := range opts.models() {
-		res.Tallies[m.Name] = bus.NewTally(m)
-	}
-	if len(opts.Topologies) > 0 {
-		res.NetTallies = make(map[string]*network.Tally)
-		for _, topo := range opts.Topologies {
-			res.NetTallies[topo.Name] = network.NewTally(topo)
-		}
-	}
+	res, busTallies, netTallies := newResult(p.Name(), opts)
 	var checker *core.Checker
 	if opts.Check {
 		checker = core.NewChecker()
@@ -153,22 +160,6 @@ func Simulate(p core.Protocol, src trace.Source, opts Options) (*Result, error) 
 	batch := opts.BatchRefs
 	if batch <= 0 {
 		batch = DefaultBatchRefs
-	}
-	// The Tallies/NetTallies maps are the stable public shape of the
-	// result, but iterating them per reference costs more than pricing
-	// does; the hot loop walks these slices instead, bound once here.
-	// Accumulation order across tallies is irrelevant — each tally only
-	// ever adds to itself — so results stay bit-identical.
-	busTallies := make([]*bus.Tally, 0, len(res.Tallies))
-	for _, t := range res.Tallies {
-		busTallies = append(busTallies, t)
-	}
-	var netTallies []*network.Tally
-	if len(res.NetTallies) > 0 {
-		netTallies = make([]*network.Tally, 0, len(res.NetTallies))
-		for _, t := range res.NetTallies {
-			netTallies = append(netTallies, t)
-		}
 	}
 	tel := opts.Telemetry
 	var start time.Time
@@ -223,6 +214,41 @@ func Simulate(p core.Protocol, src trace.Source, opts Options) (*Result, error) 
 	return res, nil
 }
 
+// newResult builds an empty Result for one simulation (or one shard of
+// one) with its tallies instantiated from opts. The Tallies/NetTallies
+// maps are the stable public shape of the result, but iterating them per
+// reference costs more than pricing does; the returned slices are the
+// pre-resolved views the hot loop walks instead. Accumulation order
+// across tallies is irrelevant — each tally only ever adds to itself — so
+// results stay bit-identical whatever the map iteration order.
+func newResult(scheme string, opts Options) (*Result, []*bus.Tally, []*network.Tally) {
+	res := &Result{
+		Scheme:  scheme,
+		Tallies: make(map[string]*bus.Tally),
+	}
+	for _, m := range opts.models() {
+		res.Tallies[m.Name] = bus.NewTally(m)
+	}
+	if len(opts.Topologies) > 0 {
+		res.NetTallies = make(map[string]*network.Tally)
+		for _, topo := range opts.Topologies {
+			res.NetTallies[topo.Name] = network.NewTally(topo)
+		}
+	}
+	busTallies := make([]*bus.Tally, 0, len(res.Tallies))
+	for _, t := range res.Tallies {
+		busTallies = append(busTallies, t)
+	}
+	var netTallies []*network.Tally
+	if len(res.NetTallies) > 0 {
+		netTallies = make([]*network.Tally, 0, len(res.NetTallies))
+		for _, t := range res.NetTallies {
+			netTallies = append(netTallies, t)
+		}
+	}
+	return res, busTallies, netTallies
+}
+
 // record accumulates one classified reference. The tally lists are the
 // pre-resolved values of r.Tallies/r.NetTallies; Simulate binds them once
 // so this stays free of map iteration. tel, when non-nil, is forwarded
@@ -271,13 +297,23 @@ func (r *Result) record(out event.Result, busTallies []*bus.Tally, netTallies []
 }
 
 // SimulateTrace builds the named scheme for the trace's CPU count and runs
-// it over the whole trace.
+// it over the whole trace — sharded across Options.Shards protocol cores
+// when Shards > 1, single-goroutine otherwise; results are bit-identical
+// either way.
 func SimulateTrace(scheme string, t *trace.Trace, opts Options) (*Result, error) {
-	p, err := core.NewByName(scheme, t.CPUs)
-	if err != nil {
-		return nil, err
+	var res *Result
+	var err error
+	if opts.Shards > 1 {
+		res, err = SimulateSharded(func() (core.Protocol, error) {
+			return core.NewByName(scheme, t.CPUs)
+		}, t.Iterator(), opts)
+	} else {
+		var p core.Protocol
+		if p, err = core.NewByName(scheme, t.CPUs); err != nil {
+			return nil, err
+		}
+		res, err = Simulate(p, t.Iterator(), opts)
 	}
-	res, err := Simulate(p, t.Iterator(), opts)
 	if err != nil {
 		return nil, err
 	}

@@ -52,8 +52,9 @@ import (
 
 // SchemaVersion identifies the on-disk envelope format. Files written
 // with a different version are treated as absent (and evicted), never
-// misread.
-const SchemaVersion = 1
+// misread. Version 2: network tallies store exact integer CycleUnits
+// instead of a float cycle sum, and result fingerprints hash those units.
+const SchemaVersion = 2
 
 // ErrCorrupt reports a stored entry that failed integrity revalidation —
 // undecodable bytes, a key mismatch, or a fingerprint that no longer
