@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race check shard-equiv soak service-smoke bench bench-json bench-hotpath bench-shard bench-obs trace-demo experiments clean
+.PHONY: build vet test race check shard-equiv soak soak-dist service-smoke bench bench-json bench-hotpath bench-shard bench-obs bench-dist trace-demo experiments clean
 
 build:
 	$(GO) build ./...
@@ -40,6 +40,21 @@ soak:
 		-run 'Fault|Panic|Retry|Timeout|Truncat|Corrupt|Poison|Cancel|Refcount|ExecuteAll|Leak|Spec' \
 		./internal/engine ./internal/faults ./cmd/experiments
 
+# Run the distributed-execution soak under the race detector: a
+# coordinator and an in-process worker fleet under every transport fault
+# class (drops, dropped replies, duplicates, wire corruption, injected
+# latency, disconnects, partition windows, worker crashes), worker-side
+# shard panics crossing the wire as structured errors, and a total fleet
+# kill degrading to local — asserting same seed same outcome, survivors
+# bit-identical to a clean sequential run, balanced dist.* books, and no
+# goroutine leaks. Also runs the real-process fleet e2e (dirsimd -fleet
+# + two dirsimw workers, bit-identical to plain dirsimd) and the
+# multi-process store sharing race.
+soak-dist:
+	DIRSIM_SOAK=1 $(GO) test -race -count=1 \
+		-run 'TestDistSoak|TestFleet|TestStoreMultiProcess' \
+		./internal/dist ./cmd/dirsimd ./internal/store
+
 # Smoke the experiment service end to end under the race detector: the
 # durable store and admission/service unit suites, plus the real-process
 # dirsimd tests — two processes sharing one store directory (second run
@@ -74,6 +89,13 @@ bench-shard:
 # and write BENCH_obs.json.
 bench-obs:
 	DIRSIM_BENCH_JSON=1 $(GO) test -run TestWriteObsBenchJSON -v .
+
+# Measure the fleet coordination tax against local execution — the same
+# sweep run locally, through in-process fleets of 1/2/4 workers, and
+# through a 4-worker fleet under transport faults — and write
+# BENCH_dist.json at the repo root.
+bench-dist:
+	DIRSIM_BENCH_JSON=1 $(GO) test -run TestWriteDistBenchJSON -v ./internal/dist
 
 # Produce a sample execution trace from the POPS workload: trace-demo.json
 # is Chrome trace-event JSON — open it in Perfetto (ui.perfetto.dev) or

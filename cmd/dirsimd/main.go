@@ -26,6 +26,17 @@
 //	GET  /metrics                        Prometheus text exposition
 //	GET  /runz, /debug/pprof/*           the httpmon monitor endpoints
 //
+// With -fleet the server also exposes the distributed execution API
+// (POST /api/v1/dist/{lease,heartbeat,result}, GET /api/v1/dist/stats)
+// and offers every simulation to pull workers — see cmd/dirsimw —
+// before running it locally; fingerprints on pushed results are
+// revalidated before acceptance, and an empty or failing fleet degrades
+// each job back to local execution:
+//
+//	dirsimd -listen :8080 -store ./cache -fleet -fleet-journal fleet.jsonl
+//	dirsimw -coordinator http://localhost:8080 &
+//	dirsimw -coordinator http://localhost:8080 &
+//
 // Every response carries an X-Dirsim-Trace header naming the trace the
 // request ran under; callers may supply their own via the same header.
 // Per-route and per-tenant request/error/latency metrics appear on
@@ -49,6 +60,7 @@ import (
 	"syscall"
 	"time"
 
+	"dirsim/internal/dist"
 	"dirsim/internal/obs"
 	"dirsim/internal/obs/httpmon"
 	"dirsim/internal/service"
@@ -67,6 +79,11 @@ type config struct {
 	verify       bool
 	drainTimeout time.Duration
 	manifest     string
+	fleet        bool
+	leaseTTL     time.Duration
+	hedgeAfter   time.Duration
+	degradeAfter time.Duration
+	fleetJournal string
 }
 
 func main() {
@@ -82,6 +99,11 @@ func main() {
 	flag.BoolVar(&cfg.verify, "verify", true, "revalidate cache hits against content fingerprints")
 	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", time.Minute, "how long SIGTERM waits for running work")
 	flag.StringVar(&cfg.manifest, "manifest", "", "write a run manifest (JSON) here on shutdown (\"-\" = stdout)")
+	flag.BoolVar(&cfg.fleet, "fleet", false, "serve the fleet API and shard sweeps across pull workers (dirsimw), degrading to local when none respond")
+	flag.DurationVar(&cfg.leaseTTL, "lease-ttl", 0, "fleet job lease lifetime without a heartbeat (0 = default)")
+	flag.DurationVar(&cfg.hedgeAfter, "hedge-after", 0, "fleet straggler age before a hedge lease is granted (0 = default)")
+	flag.DurationVar(&cfg.degradeAfter, "degrade-after", 0, "fleet silence before a queued job degrades to local execution (0 = default)")
+	flag.StringVar(&cfg.fleetJournal, "fleet-journal", "", "write fleet job/lease/result events (JSON lines) here (\"-\" = stderr)")
 	flag.Parse()
 
 	if err := run(cfg); err != nil {
@@ -105,7 +127,37 @@ func run(cfg config) error {
 		log.Info("store open", "dir", st.Dir(), "entries", st.Stats().Entries, "bytes", st.Stats().Bytes)
 	}
 
-	svc, err := service.New(service.Config{
+	// In fleet mode the engine offers every simulation to the
+	// coordinator first; pull workers (dirsimw) lease the jobs over the
+	// dist API. An empty or unresponsive fleet degrades each job back to
+	// local execution, so -fleet with no workers behaves like plain
+	// dirsimd, just slower to start each job.
+	var coord *dist.Coordinator
+	if cfg.fleet {
+		var journal *obs.Journal
+		switch cfg.fleetJournal {
+		case "":
+		case "-":
+			journal = obs.NewJournal(os.Stderr)
+		default:
+			jf, err := os.Create(cfg.fleetJournal)
+			if err != nil {
+				return err
+			}
+			defer jf.Close()
+			journal = obs.NewJournal(jf)
+		}
+		coord = dist.NewCoordinator(dist.Options{
+			LeaseTTL:     cfg.leaseTTL,
+			HedgeAfter:   cfg.hedgeAfter,
+			DegradeAfter: cfg.degradeAfter,
+			Metrics:      reg,
+			Journal:      journal,
+		})
+		defer coord.Close()
+	}
+
+	svcCfg := service.Config{
 		Store:       st,
 		Metrics:     reg,
 		MaxInflight: cfg.maxInflight,
@@ -115,7 +167,11 @@ func run(cfg config) error {
 		SimWorkers:  cfg.simWorkers,
 		Verify:      cfg.verify,
 		Log:         log,
-	})
+	}
+	if coord != nil {
+		svcCfg.Remote = coord
+	}
+	svc, err := service.New(svcCfg)
 	if err != nil {
 		return err
 	}
@@ -130,6 +186,9 @@ func run(cfg config) error {
 		},
 	})
 	svc.Register(mux)
+	if coord != nil {
+		dist.Register(mux, coord)
+	}
 	srv, err := httpmon.Serve(cfg.listen, mux)
 	if err != nil {
 		return err
@@ -138,7 +197,7 @@ func run(cfg config) error {
 	// port when -listen :0 was used.
 	fmt.Fprintf(os.Stderr, "dirsimd: listening on %s\n", srv.Addr())
 	log.Info("serving", "addr", srv.Addr(), "discipline", cfg.discipline,
-		"max_inflight", cfg.maxInflight, "quota", cfg.quota)
+		"max_inflight", cfg.maxInflight, "quota", cfg.quota, "fleet", cfg.fleet)
 
 	sigs := make(chan os.Signal, 2)
 	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)

@@ -272,3 +272,98 @@ func TestQuotaRejectionE2E(t *testing.T) {
 	}
 	s.terminate()
 }
+
+// buildWorker compiles dirsimw once per test into a temp dir.
+func buildWorker(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "dirsimw")
+	cmd := exec.Command("go", "build", "-o", bin, "../dirsimw")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build dirsimw: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// startWorker launches a dirsimw process against the coordinator and
+// registers a SIGTERM/kill cleanup.
+func startWorker(t *testing.T, bin, name, coordinator string, extra ...string) *exec.Cmd {
+	t.Helper()
+	args := append([]string{"-coordinator", coordinator, "-name", name, "-poll", "50ms", "-journal", ""}, extra...)
+	cmd := exec.Command(bin, args...)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	t.Cleanup(func() {
+		cmd.Process.Signal(syscall.SIGTERM)
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			cmd.Process.Kill()
+			<-done
+		}
+	})
+	return cmd
+}
+
+// TestFleetE2E runs the same sweep three ways across real processes —
+// plain dirsimd, dirsimd -fleet with two dirsimw workers, and dirsimd
+// -fleet with no workers at all — and asserts all three produce
+// byte-identical results. With workers, every job completes remotely
+// (the server's engine simulates nothing); with the fleet empty, every
+// job degrades to local execution and the sweep still completes.
+func TestFleetE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	bin := buildBinary(t)
+	wbin := buildWorker(t)
+
+	// Baseline: plain local dirsimd.
+	s0 := startServer(t, bin)
+	id := submit(t, s0, "team-a")
+	baseline := fetchDone(t, s0, id)
+	s0.terminate()
+
+	// Fleet of two workers: jobs execute remotely, results are
+	// fingerprint-revalidated, and the server's own engine stays cold.
+	s1 := startServer(t, bin, "-fleet")
+	startWorker(t, wbin, "w1", "http://"+s1.addr)
+	startWorker(t, wbin, "w2", "http://"+s1.addr)
+	id1 := submit(t, s1, "team-a")
+	if id1 != id {
+		t.Errorf("fleet run got different experiment ID: %s vs %s", id1, id)
+	}
+	remote := fetchDone(t, s1, id1)
+	if !bytes.Equal(baseline, remote) {
+		t.Error("fleet results are not bit-identical to the local run")
+	}
+	if v, ok := metricValue(t, s1, "dist_jobs_completed"); !ok || v != 3 {
+		t.Errorf("dist_jobs_completed = %v, want 3", v)
+	}
+	if v, ok := metricValue(t, s1, "engine_sims_remote"); !ok || v != 3 {
+		t.Errorf("engine_sims_remote = %v, want 3 (workers simulate)", v)
+	}
+	if v, ok := metricValue(t, s1, "engine_remote_degraded"); !ok || v != 0 {
+		t.Errorf("engine_remote_degraded = %v, want 0", v)
+	}
+	s1.terminate()
+
+	// Fleet enabled but empty: every job degrades to local execution.
+	s2 := startServer(t, bin, "-fleet", "-degrade-after", "300ms")
+	id2 := submit(t, s2, "team-a")
+	degraded := fetchDone(t, s2, id2)
+	if !bytes.Equal(baseline, degraded) {
+		t.Error("degraded results are not bit-identical to the local run")
+	}
+	if v, ok := metricValue(t, s2, "dist_jobs_degraded"); !ok || v != 3 {
+		t.Errorf("dist_jobs_degraded = %v, want 3", v)
+	}
+	if v, ok := metricValue(t, s2, "engine_sims_run"); !ok || v != 3 {
+		t.Errorf("degraded engine_sims_run = %v, want 3", v)
+	}
+	s2.terminate()
+}

@@ -283,6 +283,22 @@ type summary struct {
 	retries   int64
 	rejects   int64
 	shardSims map[string]*shardSim
+
+	// Distributed execution (internal/dist journal events): the
+	// coordinator's ledger of queue/lease/result traffic plus the worker
+	// names seen on either side of the wire.
+	distQueued   int64 // job.queue
+	distLeases   int64 // job.lease
+	distHedges   int64 // job.hedge
+	distRequeues int64 // job.requeue
+	distExpiries int64 // job.lease.expire
+	distDegrades int64 // job.degrade
+	distAccepts  int64 // result.accept
+	distRejects  int64 // result.reject
+	distDups     int64 // result.duplicate
+	distBreaks   int64 // worker.break
+	distCrashes  int64 // worker.crash
+	distWorkers  map[string]struct{}
 }
 
 // shardSim aggregates one block-sharded simulation's worker events
@@ -316,13 +332,14 @@ func rate(refs, us int64) float64 {
 
 func summarize(lines []line, skipped int) *summary {
 	s := &summary{
-		skipped:   skipped,
-		byMsg:     map[string]int{},
-		byKind:    map[string]*dist{},
-		byPhase:   map[string]*dist{},
-		traces:    map[string]struct{}{},
-		tenants:   map[string]struct{}{},
-		shardSims: map[string]*shardSim{},
+		skipped:     skipped,
+		byMsg:       map[string]int{},
+		byKind:      map[string]*dist{},
+		byPhase:     map[string]*dist{},
+		traces:      map[string]struct{}{},
+		tenants:     map[string]struct{}{},
+		shardSims:   map[string]*shardSim{},
+		distWorkers: map[string]struct{}{},
 	}
 	addDist := func(m map[string]*dist, key string, v int64) {
 		d := m[key]
@@ -343,6 +360,9 @@ func summarize(lines []line, skipped int) *summary {
 		}
 		if t := l.str("tenant"); t != "" {
 			s.tenants[t] = struct{}{}
+		}
+		if w := l.str("worker"); w != "" {
+			s.distWorkers[w] = struct{}{}
 		}
 		switch l.Msg {
 		case "job.finish":
@@ -368,6 +388,28 @@ func summarize(lines []line, skipped int) *summary {
 			s.retries++
 		case "cache.reject":
 			s.rejects++
+		case "job.queue":
+			s.distQueued++
+		case "job.lease":
+			s.distLeases++
+		case "job.hedge":
+			s.distHedges++
+		case "job.requeue":
+			s.distRequeues++
+		case "job.lease.expire":
+			s.distExpiries++
+		case "job.degrade":
+			s.distDegrades++
+		case "result.accept":
+			s.distAccepts++
+		case "result.reject":
+			s.distRejects++
+		case "result.duplicate":
+			s.distDups++
+		case "worker.break":
+			s.distBreaks++
+		case "worker.crash":
+			s.distCrashes++
 		case "sim.shard":
 			shard, ok := l.num("shard")
 			if !ok || shard < 0 {
@@ -477,6 +519,18 @@ func writeStats(w io.Writer, s *summary) {
 	}
 	if s.retries+s.rejects > 0 {
 		fmt.Fprintf(w, "faults: %d retries, %d cache rejects\n", s.retries, s.rejects)
+	}
+
+	if s.distQueued+s.distLeases+s.distAccepts+s.distDegrades > 0 {
+		fmt.Fprintln(w, "\ndistributed execution:")
+		fmt.Fprintf(w, "  jobs: %d queued, %d accepted remotely, %d degraded to local\n",
+			s.distQueued, s.distAccepts, s.distDegrades)
+		fmt.Fprintf(w, "  leases: %d granted (%d hedges), %d expired, %d requeues\n",
+			s.distLeases, s.distHedges, s.distExpiries, s.distRequeues)
+		fmt.Fprintf(w, "  results: %d rejected, %d duplicates discarded\n",
+			s.distRejects, s.distDups)
+		fmt.Fprintf(w, "  workers: %d seen, %d circuit-broken, %d crashed\n",
+			len(s.distWorkers), s.distBreaks, s.distCrashes)
 	}
 
 	if len(s.shardSims) > 0 {
@@ -606,14 +660,20 @@ func renderEvent(l line) string {
 	var b strings.Builder
 	switch l.Msg {
 	case "job.scheduled", "job.start", "job.finish", "job.retry", "job.panic",
-		"store.load", "store.store", "cache.reject", "stream.end":
+		"store.load", "store.store", "cache.reject", "stream.end",
+		"job.lease", "job.hedge", "job.requeue", "job.lease.expire",
+		"job.remote.error", "result.accept", "result.reject", "result.duplicate",
+		"worker.probe", "worker.job.start", "worker.job.finish", "worker.job.error",
+		"worker.lease.lost", "worker.lease.corrupt", "worker.push.discarded",
+		"worker.push.rejected":
 		b.WriteString("  ")
 	}
 	b.WriteString(l.Msg)
 	// Attributes in a stable, relevance-first order.
 	for _, k := range []string{"id", "tenant", "job", "kind", "key", "name",
+		"worker", "lease", "scheme", "workload", "leases", "fingerprint",
 		"discipline", "wait_us", "dur_us", "wall_us", "cache_hit", "hit",
-		"chunks", "stalls", "attempt", "specs", "state", "error"} {
+		"chunks", "stalls", "attempt", "specs", "state", "cause", "reason", "error"} {
 		if v, ok := l.attrs[k]; ok {
 			fmt.Fprintf(&b, " %s=%v", k, v)
 		}
@@ -698,6 +758,14 @@ func cmdDiff(args []string, stdout, stderr io.Writer) (int, error) {
 		metricDelta{"store.hit_ratio", ratio(base.storeHit, base.storeMiss), ratio(cur.storeHit, cur.storeMiss), false},
 		metricDelta{"errors", float64(base.errors), float64(cur.errors), true},
 		metricDelta{"retries", float64(base.retries), float64(cur.retries), true},
+		// The fleet coordination tax: requeues, rejected pushes, expired
+		// leases, and local degradations are all zero on a healthy fleet,
+		// so a faulted run diffs loudly against a clean baseline. Absent
+		// entirely (both zero) for non-fleet journals.
+		metricDelta{"dist.requeues", float64(base.distRequeues), float64(cur.distRequeues), true},
+		metricDelta{"dist.rejected_pushes", float64(base.distRejects), float64(cur.distRejects), true},
+		metricDelta{"dist.expired_leases", float64(base.distExpiries), float64(cur.distExpiries), true},
+		metricDelta{"dist.degraded_jobs", float64(base.distDegrades), float64(cur.distDegrades), true},
 	)
 
 	fmt.Fprintf(stdout, "baseline: %s (%d events)   current: %s (%d events)   threshold: %.0f%%\n\n",

@@ -176,6 +176,28 @@ func TestDiffFlagsRegression(t *testing.T) {
 	}
 }
 
+func TestDiffDistCounters(t *testing.T) {
+	a := writeJournal(t, "a.jsonl", journalA)
+	dist := writeJournal(t, "dist.jsonl", journalDist)
+
+	// Fleet ledger vs itself: the dist rows appear with equal sides.
+	code, out, errb := runCLI(t, "diff", dist, dist)
+	if code != 0 {
+		t.Fatalf("self-diff exit = %d, stderr: %s\n%s", code, errb, out)
+	}
+	for _, want := range []string{"dist.requeues", "dist.rejected_pushes", "dist.expired_leases", "dist.degraded_jobs"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fleet self-diff missing %q:\n%s", want, out)
+		}
+	}
+
+	// Non-fleet journals on both sides: no dist rows at all.
+	_, out, _ = runCLI(t, "diff", a, a)
+	if strings.Contains(out, "dist.") {
+		t.Errorf("non-fleet diff grew dist rows:\n%s", out)
+	}
+}
+
 func TestUsageAndErrors(t *testing.T) {
 	if code, _, _ := runCLI(t); code != 2 {
 		t.Errorf("no args exit = %d, want 2", code)
@@ -227,6 +249,70 @@ func TestStatsShardAggregation(t *testing.T) {
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("stats output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// journalDist is a coordinator's ledger for a two-job fleet run: one job
+// completes remotely after a lease expiry and requeue, a corrupt push is
+// rejected, a hedge twin's late push is discarded, and the other job
+// degrades to local when the fleet goes quiet after w2 crashes.
+const journalDist = `{"time":"2026-08-08T12:00:00.000Z","level":"INFO","msg":"job.queue","schema":2,"trace":"d1","key":"aaaa","scheme":"Dir1NB","workload":"pops"}
+{"time":"2026-08-08T12:00:00.001Z","level":"INFO","msg":"job.queue","schema":2,"trace":"d1","key":"bbbb","scheme":"Dir0B","workload":"pops"}
+{"time":"2026-08-08T12:00:00.010Z","level":"INFO","msg":"job.lease","schema":2,"trace":"d1","key":"aaaa","worker":"w1","lease":"l1"}
+{"time":"2026-08-08T12:00:00.020Z","level":"INFO","msg":"job.lease","schema":2,"trace":"d1","key":"bbbb","worker":"w2","lease":"l2"}
+{"time":"2026-08-08T12:00:01.000Z","level":"INFO","msg":"job.lease.expire","schema":2,"trace":"d1","key":"aaaa","worker":"w1","lease":"l1"}
+{"time":"2026-08-08T12:00:01.001Z","level":"INFO","msg":"job.requeue","schema":2,"trace":"d1","key":"aaaa","attempt":1,"cause":"lease expired"}
+{"time":"2026-08-08T12:00:01.010Z","level":"INFO","msg":"job.lease","schema":2,"trace":"d1","key":"aaaa","worker":"w3","lease":"l3"}
+{"time":"2026-08-08T12:00:01.200Z","level":"INFO","msg":"job.hedge","schema":2,"trace":"d1","key":"aaaa","worker":"w1","lease":"l4","leases":2}
+{"time":"2026-08-08T12:00:01.300Z","level":"INFO","msg":"result.reject","schema":2,"trace":"d1","key":"aaaa","worker":"w3","lease":"l3","cause":"fingerprint mismatch"}
+{"time":"2026-08-08T12:00:01.400Z","level":"INFO","msg":"result.accept","schema":2,"trace":"d1","key":"aaaa","worker":"w1","lease":"l4","fingerprint":"0xdead"}
+{"time":"2026-08-08T12:00:01.500Z","level":"INFO","msg":"result.duplicate","schema":2,"trace":"d1","key":"aaaa","worker":"w3","lease":"l3"}
+{"time":"2026-08-08T12:00:02.000Z","level":"INFO","msg":"worker.break","schema":2,"trace":"d1","worker":"w2","cause":"lease expired"}
+{"time":"2026-08-08T12:00:03.000Z","level":"INFO","msg":"job.degrade","schema":2,"trace":"d1","key":"bbbb","reason":"fleet silent"}
+`
+
+// TestStatsDist: the distributed-execution section aggregates the
+// coordinator's journal — jobs, leases, hedges, rejections, degradations,
+// and the worker population.
+func TestStatsDist(t *testing.T) {
+	path := writeJournal(t, "dist.jsonl", journalDist)
+	code, out, errb := runCLI(t, "stats", path)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	for _, want := range []string{
+		"distributed execution:",
+		"jobs: 2 queued, 1 accepted remotely, 1 degraded to local",
+		"leases: 3 granted (1 hedges), 1 expired, 1 requeues",
+		"results: 1 rejected, 1 duplicates discarded",
+		"workers: 3 seen, 1 circuit-broken, 0 crashed",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestFollowDist: follow renders the fleet events of one trace with their
+// workers, leases, and causes.
+func TestFollowDist(t *testing.T) {
+	path := writeJournal(t, "dist.jsonl", journalDist)
+	code, out, errb := runCLI(t, "follow", "-trace", "d1", path)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	for _, want := range []string{
+		"job.queue key=aaaa scheme=Dir1NB workload=pops",
+		"job.lease key=aaaa worker=w1 lease=l1",
+		"job.requeue key=aaaa attempt=1 cause=lease expired",
+		"job.hedge key=aaaa worker=w1 lease=l4 leases=2",
+		"result.reject key=aaaa worker=w3 lease=l3 cause=fingerprint mismatch",
+		"result.accept key=aaaa worker=w1 lease=l4 fingerprint=0xdead",
+		"job.degrade key=bbbb reason=fleet silent",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("follow output missing %q:\n%s", want, out)
 		}
 	}
 }

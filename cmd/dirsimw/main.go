@@ -1,0 +1,145 @@
+// Command dirsimw is a pull worker for a dirsimd fleet: it leases
+// simulation jobs from a coordinator (dirsimd -fleet), executes them on
+// its own engine, and pushes fingerprint-stamped results back. Workers
+// are interchangeable and disposable — the coordinator revalidates
+// every result, reassigns expired leases, and degrades to local
+// execution when the whole fleet disappears, so killing a worker
+// mid-job never loses or corrupts a sweep.
+//
+// Usage:
+//
+//	dirsimw -coordinator http://localhost:8080
+//	dirsimw -coordinator http://host:8080 -name rack3-w1 -store /var/lib/dirsim
+//	dirsimw -coordinator http://host:8080 -faults 'drop=0.1,wiredelay=0.3,wiredelaydur=5ms' -fault-seed 7
+//
+// The optional -store directory may be shared with the coordinator or
+// other workers: warm results are served from it (after fingerprint
+// revalidation) without simulating. -faults injects deterministic
+// transport faults on the worker's wire — the same classes the soak
+// tests run under — for rehearsing fleet failure modes against a live
+// coordinator. SIGTERM or SIGINT finishes the current heartbeat cycle
+// and exits cleanly; a lease the worker abandons is reassigned when it
+// expires.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dirsim/internal/dist"
+	"dirsim/internal/engine"
+	"dirsim/internal/faults"
+	"dirsim/internal/obs"
+	"dirsim/internal/store"
+)
+
+type config struct {
+	coordinator string
+	name        string
+	poll        time.Duration
+	simWorkers  int
+	storeDir    string
+	verify      bool
+	faultSpec   string
+	faultSeed   uint64
+	journal     string
+}
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.coordinator, "coordinator", "", "coordinator base URL (required), e.g. http://localhost:8080")
+	flag.StringVar(&cfg.name, "name", "", "worker name in leases and journals (default host-pid)")
+	flag.DurationVar(&cfg.poll, "poll", time.Second, "idle wait between lease attempts that found no work")
+	flag.IntVar(&cfg.simWorkers, "sim-workers", 0, "engine parallelism within one job (0 = all cores)")
+	flag.StringVar(&cfg.storeDir, "store", "", "durable result store directory, shareable with the coordinator (empty disables)")
+	flag.BoolVar(&cfg.verify, "verify", true, "revalidate store hits against content fingerprints")
+	flag.StringVar(&cfg.faultSpec, "faults", "", "inject transport faults, e.g. 'drop=0.1,dup=0.05,wiredelay=0.2,wiredelaydur=5ms'")
+	flag.Uint64Var(&cfg.faultSeed, "fault-seed", 1, "seed for deterministic fault injection")
+	flag.StringVar(&cfg.journal, "journal", "-", "write worker events (JSON lines) here (\"-\" = stderr, empty disables)")
+	flag.Parse()
+
+	if err := run(cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "dirsimw:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg config) error {
+	if cfg.coordinator == "" {
+		return fmt.Errorf("-coordinator is required")
+	}
+	if cfg.name == "" {
+		host, err := os.Hostname()
+		if err != nil {
+			host = "worker"
+		}
+		cfg.name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+
+	var journal *obs.Journal
+	switch cfg.journal {
+	case "":
+	case "-":
+		journal = obs.NewJournal(os.Stderr)
+	default:
+		jf, err := os.Create(cfg.journal)
+		if err != nil {
+			return err
+		}
+		defer jf.Close()
+		journal = obs.NewJournal(jf)
+	}
+
+	reg := obs.NewRegistry()
+	var tier engine.Tier
+	if cfg.storeDir != "" {
+		st, err := store.Open(cfg.storeDir, store.Options{Metrics: reg})
+		if err != nil {
+			return err
+		}
+		tier = st
+	}
+	eng := engine.New(engine.Options{Metrics: reg, Store: tier, Verify: cfg.verify})
+
+	// -faults wraps the worker's wire in the same deterministic
+	// transport injector the soak tests use; the crash class makes the
+	// worker die silently on a leased job so lease expiry can be
+	// rehearsed end to end.
+	var transport http.RoundTripper
+	var inj *faults.Injector
+	if cfg.faultSpec != "" {
+		fcfg, err := faults.ParseSpec(cfg.faultSpec, cfg.faultSeed)
+		if err != nil {
+			return err
+		}
+		transport = dist.NewFaultTransport(cfg.name, faults.New(fcfg), nil)
+		if fcfg.Crash > 0 {
+			inj = faults.New(fcfg)
+		}
+	}
+
+	w := &dist.Worker{
+		Name: cfg.name,
+		Client: &dist.Client{
+			Base:    cfg.coordinator,
+			HTTP:    &http.Client{Transport: transport},
+			Metrics: reg,
+		},
+		Engine:  eng,
+		Exec:    engine.Parallel{Workers: cfg.simWorkers},
+		Poll:    cfg.poll,
+		Inj:     inj,
+		Journal: journal,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	fmt.Fprintf(os.Stderr, "dirsimw: %s pulling from %s\n", cfg.name, cfg.coordinator)
+	return w.Run(ctx)
+}

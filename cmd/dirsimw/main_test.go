@@ -1,0 +1,32 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRunRequiresCoordinator(t *testing.T) {
+	err := run(config{journal: ""})
+	if err == nil || !strings.Contains(err.Error(), "-coordinator") {
+		t.Fatalf("run without -coordinator = %v, want usage error", err)
+	}
+}
+
+func TestRunRejectsBadFaultSpec(t *testing.T) {
+	err := run(config{coordinator: "http://localhost:0", faultSpec: "bogus=nan", journal: ""})
+	if err == nil {
+		t.Fatal("run accepted a malformed -faults spec")
+	}
+}
+
+func TestRunRejectsBadJournalPath(t *testing.T) {
+	err := run(config{
+		coordinator: "http://localhost:0",
+		journal:     t.TempDir() + "/no/such/dir/journal.jsonl",
+		poll:        time.Millisecond,
+	})
+	if err == nil {
+		t.Fatal("run accepted an unwritable -journal path")
+	}
+}

@@ -1,0 +1,166 @@
+// Machine-readable benchmarking of distributed execution. Gated behind
+// an environment variable because it runs real measurements, not
+// assertions:
+//
+//	DIRSIM_BENCH_JSON=1 go test -run TestWriteDistBenchJSON -v ./internal/dist
+//
+// writes BENCH_dist.json at the repo root — one record per fleet
+// configuration with wall-clock time, throughput, and the overhead of
+// pushing the sweep through the coordinator relative to running it
+// in-process. Everything runs in one process over loopback HTTP, so the
+// numbers measure the coordination tax (leases, heartbeats, result
+// marshaling, fingerprint revalidation) — not cluster speedup; with real
+// worker machines the engine time spreads across hosts while the tax
+// stays what this file measures.
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"dirsim/internal/engine"
+	"dirsim/internal/faults"
+)
+
+// distBenchRecord is one measured fleet configuration.
+type distBenchRecord struct {
+	Mode        string  `json:"mode"`
+	Workers     int     `json:"workers"`
+	Specs       int     `json:"specs"`
+	RefsEach    int     `json:"refs_per_trace"`
+	Iters       int     `json:"iterations"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	RefsPerS    float64 `json:"refs_per_second"`
+	VsLocal     float64 `json:"speedup_vs_local"`
+	Completed   int64   `json:"jobs_completed"`
+	Degraded    int64   `json:"jobs_degraded"`
+	Requeued    int64   `json:"jobs_requeued"`
+	Hedged      int64   `json:"jobs_hedged"`
+	RejectedFps int64   `json:"results_rejected"`
+}
+
+type distBenchReport struct {
+	Date       string            `json:"date"`
+	GoMaxProcs int               `json:"gomaxprocs"`
+	GoVersion  string            `json:"go_version"`
+	Note       string            `json:"note"`
+	Results    []distBenchRecord `json:"results"`
+}
+
+// TestWriteDistBenchJSON measures the sweep locally and through fleets
+// of increasing size (plus one fleet under wire faults) and writes
+// BENCH_dist.json. It is skipped unless DIRSIM_BENCH_JSON is set.
+func TestWriteDistBenchJSON(t *testing.T) {
+	if os.Getenv("DIRSIM_BENCH_JSON") == "" {
+		t.Skip("set DIRSIM_BENCH_JSON=1 to run the dist benchmark and write BENCH_dist.json")
+	}
+
+	const refs = 50_000
+	specs := distSpecs(refs)
+	ctx := context.Background()
+	faulty := faults.Config{
+		Drop: 0.05, Duplicate: 0.05, WireCorrupt: 0.05,
+		WireDelay: 0.2, WireDelayDur: time.Millisecond,
+	}
+
+	configs := []struct {
+		mode    string
+		workers int
+		wire    *faults.Config
+	}{
+		{"local", 0, nil},
+		{"fleet", 1, nil},
+		{"fleet", 2, nil},
+		{"fleet", 4, nil},
+		{"fleet-faults", 4, &faulty},
+	}
+
+	report := distBenchReport{
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		Note: "schemes × standard traces swept locally vs through an in-process " +
+			"fleet (coordinator + workers over loopback HTTP); fresh coordinator, " +
+			"workers, and engines per iteration. One process, so fleet numbers " +
+			"measure coordination overhead, not cluster speedup; the faulted " +
+			"fleet adds drops, duplicates, corruption, and delay on every wire",
+	}
+	var baseline float64
+	for _, bc := range configs {
+		var stats Stats
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				var lead *engine.Engine
+				var f *testFleet
+				if bc.workers == 0 {
+					lead = engine.New(engine.Options{})
+				} else {
+					f = startFleet(t, Options{})
+					for w := 0; w < bc.workers; w++ {
+						var rt http.RoundTripper
+						if bc.wire != nil {
+							wire := *bc.wire
+							wire.Seed = uint64(w + 1)
+							rt = NewFaultTransport(fmt.Sprintf("w%d", w+1), faults.New(wire), nil)
+						}
+						f.launch(&Worker{
+							Name:   fmt.Sprintf("w%d", w+1),
+							Client: &Client{Base: f.srv.URL, HTTP: &http.Client{Transport: rt}, Backoff: 5 * time.Millisecond},
+							Engine: engine.New(engine.Options{}),
+						})
+					}
+					lead = engine.New(engine.Options{Remote: f.coord})
+				}
+				b.StartTimer()
+				if _, err := lead.Results(ctx, engine.Parallel{}, specs); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				if f != nil {
+					stats = f.coord.Stats()
+					f.stop()
+				}
+			}
+		})
+		totalRefs := float64(len(specs) * refs)
+		rec := distBenchRecord{
+			Mode:        bc.mode,
+			Workers:     bc.workers,
+			Specs:       len(specs),
+			RefsEach:    refs,
+			Iters:       r.N,
+			NsPerOp:     r.NsPerOp(),
+			RefsPerS:    totalRefs / (float64(r.NsPerOp()) / 1e9),
+			Completed:   stats.JobsCompleted,
+			Degraded:    stats.JobsDegraded,
+			Requeued:    stats.JobsRequeued,
+			Hedged:      stats.JobsHedged,
+			RejectedFps: stats.ResultsRejected,
+		}
+		if bc.mode == "local" {
+			baseline = float64(r.NsPerOp())
+			rec.VsLocal = 1
+		} else if baseline > 0 {
+			rec.VsLocal = baseline / float64(r.NsPerOp())
+		}
+		report.Results = append(report.Results, rec)
+		t.Logf("%s/%d workers: %dns/op, %.0f refs/s, %.2fx vs local",
+			bc.mode, bc.workers, r.NsPerOp(), rec.RefsPerS, rec.VsLocal)
+	}
+
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("../../BENCH_dist.json", append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Log("wrote BENCH_dist.json")
+}

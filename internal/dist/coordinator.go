@@ -1,0 +1,666 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"dirsim/internal/engine"
+	"dirsim/internal/obs"
+	"dirsim/internal/sim"
+)
+
+// Options tunes a Coordinator. The zero value takes the package defaults.
+type Options struct {
+	// LeaseTTL is how long a granted lease lives without a heartbeat;
+	// expiry reassigns the job.
+	LeaseTTL time.Duration
+	// HedgeAfter is how long a job's oldest lease may run before an idle
+	// worker is handed a hedge lease on the same job. First valid
+	// fingerprint wins; the loser's push is discarded deterministically.
+	HedgeAfter time.Duration
+	// MaxAttempts bounds transport-class failures per job (lease
+	// expiries, rejected results); at the bound the job degrades to local
+	// execution via engine.ErrRemoteUnavailable.
+	MaxAttempts int
+	// DegradeAfter is how long a queued job may sit with the whole fleet
+	// silent (no lease granted to anyone) before it degrades to local.
+	DegradeAfter time.Duration
+	// BreakerThreshold consecutive failures open a worker's circuit
+	// breaker; BreakerCooldown is how long lease requests then get 429 +
+	// Retry-After before a half-open probe is allowed.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// MaxLeases caps concurrent leases per job (the primary plus hedges).
+	MaxLeases int
+	// SweepEvery is the lease-expiry scan interval; 0 means LeaseTTL/4.
+	SweepEvery time.Duration
+	// Metrics is the registry the dist.* counters live on; nil means a
+	// private one. Journal receives the job.*, result.* and worker.*
+	// events; nil disables them.
+	Metrics *obs.Registry
+	Journal *obs.Journal
+	// Clock substitutes the real clock for tests; nil means time.Now.
+	Clock func() time.Time
+}
+
+func (o Options) withDefaults() Options {
+	if o.LeaseTTL <= 0 {
+		o.LeaseTTL = DefaultLeaseTTL
+	}
+	if o.HedgeAfter <= 0 {
+		o.HedgeAfter = DefaultHedgeAfter
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = DefaultMaxAttempts
+	}
+	if o.DegradeAfter <= 0 {
+		o.DegradeAfter = DefaultDegradeAfter
+	}
+	if o.BreakerThreshold <= 0 {
+		o.BreakerThreshold = DefaultBreakerThreshold
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = DefaultBreakerCooldown
+	}
+	if o.MaxLeases <= 0 {
+		o.MaxLeases = 2
+	}
+	if o.SweepEvery <= 0 {
+		o.SweepEvery = o.LeaseTTL / 4
+	}
+	if o.Clock == nil {
+		o.Clock = time.Now
+	}
+	return o
+}
+
+// task is one queued simulation: the unit of leasing, hedging, retry
+// accounting, and completion.
+type task struct {
+	key  string
+	spec engine.SimSpec
+	tc   obs.TraceContext
+
+	attempts int // transport-class failures so far
+	hedges   int
+	queued   bool
+	leases   map[string]*lease
+	// enqueuedAt / firstLeased / lastActivity drive hedge and degrade
+	// timers; lastActivity resets on enqueue, requeue, and lease grant.
+	enqueuedAt   time.Time
+	firstLeased  time.Time
+	lastActivity time.Time
+
+	done bool
+	res  *sim.Result
+	err  error
+	ch   chan struct{}
+}
+
+// lease is one worker's claim on a task.
+type lease struct {
+	id      string
+	worker  string
+	task    *task
+	granted time.Time
+	expires time.Time
+	hedge   bool
+}
+
+// workerState is the coordinator's per-worker bookkeeping: the breaker.
+type workerState struct {
+	name      string
+	fails     int
+	openUntil time.Time
+	probing   bool
+}
+
+// Coordinator owns the distributed job table: it implements
+// engine.Remote by queueing specs for pulling workers, revalidates every
+// pushed result, and converts each failure into a requeue, a degrade, or
+// a terminal structured error (see the package comment for the ladder).
+// All methods are safe for concurrent use.
+type Coordinator struct {
+	opts Options
+	reg  *obs.Registry
+	jnl  *obs.Journal
+
+	mu      sync.Mutex
+	tasks   map[string]*task
+	queue   []*task
+	leases  map[string]*lease
+	workers map[string]*workerState
+	seq     int64
+	// lastGrant is the last time any lease was granted — the fleet
+	// liveness signal the degrade scan keys on.
+	lastGrant time.Time
+	closed    bool
+
+	stop    chan struct{}
+	sweeper sync.WaitGroup
+
+	jobsSubmitted *obs.Counter
+	jobsCompleted *obs.Counter
+	jobsFailed    *obs.Counter
+	jobsDegraded  *obs.Counter
+	jobsRequeued  *obs.Counter
+	jobsHedged    *obs.Counter
+	leasesGranted *obs.Counter
+	leasesRenewed *obs.Counter
+	leasesExpired *obs.Counter
+	resAccepted   *obs.Counter
+	resRejected   *obs.Counter
+	resDuplicate  *obs.Counter
+	workersJoined *obs.Counter
+	workersBroken *obs.Counter
+}
+
+// NewCoordinator builds a coordinator and starts its lease sweeper.
+func NewCoordinator(opts Options) *Coordinator {
+	opts = opts.withDefaults()
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	c := &Coordinator{
+		opts:    opts,
+		reg:     reg,
+		jnl:     opts.Journal,
+		tasks:   make(map[string]*task),
+		leases:  make(map[string]*lease),
+		workers: make(map[string]*workerState),
+		stop:    make(chan struct{}),
+
+		jobsSubmitted: reg.Counter("dist.jobs.submitted"),
+		jobsCompleted: reg.Counter("dist.jobs.completed"),
+		jobsFailed:    reg.Counter("dist.jobs.failed"),
+		jobsDegraded:  reg.Counter("dist.jobs.degraded"),
+		jobsRequeued:  reg.Counter("dist.jobs.requeued"),
+		jobsHedged:    reg.Counter("dist.jobs.hedged"),
+		leasesGranted: reg.Counter("dist.leases.granted"),
+		leasesRenewed: reg.Counter("dist.leases.renewed"),
+		leasesExpired: reg.Counter("dist.leases.expired"),
+		resAccepted:   reg.Counter("dist.results.accepted"),
+		resRejected:   reg.Counter("dist.results.rejected"),
+		resDuplicate:  reg.Counter("dist.results.duplicate"),
+		workersJoined: reg.Counter("dist.workers.joined"),
+		workersBroken: reg.Counter("dist.workers.broken"),
+	}
+	c.sweeper.Add(1)
+	go c.sweepLoop()
+	return c
+}
+
+// Metrics returns the registry the dist.* counters live on.
+func (c *Coordinator) Metrics() *obs.Registry { return c.reg }
+
+// Stats is a snapshot of the coordinator's lifetime counters. The
+// accounting invariant every run must satisfy:
+//
+//	JobsSubmitted == JobsCompleted + JobsDegraded + JobsFailed
+//
+// — no job is ever silently dropped.
+type Stats struct {
+	JobsSubmitted, JobsCompleted, JobsFailed, JobsDegraded int64
+	JobsRequeued, JobsHedged                               int64
+	LeasesGranted, LeasesRenewed, LeasesExpired            int64
+	ResultsAccepted, ResultsRejected, ResultsDuplicate     int64
+	WorkersJoined, WorkersBroken                           int64
+}
+
+// Stats returns a snapshot of the coordinator's counters.
+func (c *Coordinator) Stats() Stats {
+	return Stats{
+		JobsSubmitted:    c.jobsSubmitted.Value(),
+		JobsCompleted:    c.jobsCompleted.Value(),
+		JobsFailed:       c.jobsFailed.Value(),
+		JobsDegraded:     c.jobsDegraded.Value(),
+		JobsRequeued:     c.jobsRequeued.Value(),
+		JobsHedged:       c.jobsHedged.Value(),
+		LeasesGranted:    c.leasesGranted.Value(),
+		LeasesRenewed:    c.leasesRenewed.Value(),
+		LeasesExpired:    c.leasesExpired.Value(),
+		ResultsAccepted:  c.resAccepted.Value(),
+		ResultsRejected:  c.resRejected.Value(),
+		ResultsDuplicate: c.resDuplicate.Value(),
+		WorkersJoined:    c.workersJoined.Value(),
+		WorkersBroken:    c.workersBroken.Value(),
+	}
+}
+
+// event journals one coordinator event, tagged with the task's trace so
+// dirsimq filter -trace reconstructs the cross-process chain.
+func (c *Coordinator) event(name string, t *task, attrs ...any) {
+	if c.jnl == nil {
+		return
+	}
+	if t != nil {
+		attrs = append(attrs, "key", shortKey(t.key))
+		if t.tc.Valid() {
+			attrs = append(attrs, "trace", t.tc.Trace)
+		}
+	}
+	c.jnl.Event(name, attrs...)
+}
+
+func shortKey(k string) string {
+	if len(k) > 12 {
+		return k[:12]
+	}
+	return k
+}
+
+// SimulateRemote implements engine.Remote: queue the spec, wait for the
+// fleet to deliver a validated result, and classify every other outcome
+// per the package ladder. An error wrapping engine.ErrRemoteUnavailable
+// tells the engine to compute locally.
+func (c *Coordinator) SimulateRemote(ctx context.Context, spec engine.SimSpec) (*sim.Result, error) {
+	key := engine.KeyHex(spec.Key())
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("dist: coordinator closed: %w", engine.ErrRemoteUnavailable)
+	}
+	t, ok := c.tasks[key]
+	if !ok {
+		now := c.opts.Clock()
+		t = &task{
+			key:          key,
+			spec:         spec,
+			leases:       make(map[string]*lease),
+			enqueuedAt:   now,
+			lastActivity: now,
+			ch:           make(chan struct{}),
+		}
+		if tc, ok := obs.TraceFrom(ctx); ok {
+			t.tc = tc
+		}
+		c.tasks[key] = t
+		c.enqueueLocked(t)
+		c.jobsSubmitted.Inc()
+		c.event("job.queue", t, "scheme", spec.Scheme, "workload", spec.Trace.Name)
+	}
+	ch := t.ch
+	c.mu.Unlock()
+
+	select {
+	case <-ch:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	c.mu.Lock()
+	res, err := t.res, t.err
+	c.mu.Unlock()
+	return res, err
+}
+
+func (c *Coordinator) enqueueLocked(t *task) {
+	if t.queued || t.done {
+		return
+	}
+	t.queued = true
+	c.queue = append(c.queue, t)
+}
+
+// completeLocked finishes a task — exactly once — releasing its waiters
+// and invalidating every outstanding lease, so a hedge loser's later
+// push finds no lease and is discarded as a duplicate.
+func (c *Coordinator) completeLocked(t *task, res *sim.Result, err error) {
+	if t.done {
+		return
+	}
+	t.done = true
+	t.res, t.err = res, err
+	close(t.ch)
+	delete(c.tasks, t.key)
+	for id := range t.leases {
+		delete(c.leases, id)
+	}
+	t.leases = map[string]*lease{}
+}
+
+// requeueLocked sends a task back to the queue after a transport-class
+// failure, or degrades it when the attempt budget is spent.
+func (c *Coordinator) requeueLocked(t *task, cause string) {
+	if t.done {
+		return
+	}
+	t.attempts++
+	if t.attempts >= c.opts.MaxAttempts {
+		c.degradeLocked(t, fmt.Sprintf("attempts exhausted (%d): %s", t.attempts, cause))
+		return
+	}
+	c.jobsRequeued.Inc()
+	c.event("job.requeue", t, "attempt", t.attempts, "cause", cause)
+	t.lastActivity = c.opts.Clock()
+	c.enqueueLocked(t)
+}
+
+// degradeLocked abandons remote execution for a task: its waiter gets
+// engine.ErrRemoteUnavailable and the engine computes locally.
+func (c *Coordinator) degradeLocked(t *task, reason string) {
+	c.jobsDegraded.Inc()
+	c.event("job.degrade", t, "reason", reason)
+	c.completeLocked(t, nil, fmt.Errorf("dist: job %s degraded to local: %s: %w",
+		shortKey(t.key), reason, engine.ErrRemoteUnavailable))
+}
+
+// workerLocked upserts a worker's state.
+func (c *Coordinator) workerLocked(name string) *workerState {
+	w, ok := c.workers[name]
+	if !ok {
+		w = &workerState{name: name}
+		c.workers[name] = w
+		c.workersJoined.Inc()
+		c.event("worker.join", nil, "worker", name)
+	}
+	return w
+}
+
+// workerFailureLocked records a failure attributed to a worker and trips
+// its breaker at the threshold (or immediately when a half-open probe
+// fails).
+func (c *Coordinator) workerFailureLocked(w *workerState, cause string) {
+	if w == nil {
+		return
+	}
+	w.fails++
+	if w.probing || w.fails >= c.opts.BreakerThreshold {
+		w.probing = false
+		w.fails = 0
+		w.openUntil = c.opts.Clock().Add(c.opts.BreakerCooldown)
+		c.workersBroken.Inc()
+		c.event("worker.break", nil, "worker", w.name, "cause", cause,
+			"cooldown_ms", c.opts.BreakerCooldown.Milliseconds())
+	}
+}
+
+func (c *Coordinator) workerSuccessLocked(w *workerState) {
+	if w == nil {
+		return
+	}
+	w.fails = 0
+	w.probing = false
+	w.openUntil = time.Time{}
+}
+
+// Lease grants the next job to a pulling worker. Returns (nil, 0, nil)
+// when there is no work, and (nil, retryAfter, nil) when the worker's
+// breaker is open — the HTTP layer turns that into 429 + Retry-After.
+func (c *Coordinator) Lease(workerName string) (*JobSpec, time.Duration, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, 0, nil
+	}
+	w := c.workerLocked(workerName)
+	now := c.opts.Clock()
+	if now.Before(w.openUntil) {
+		return nil, w.openUntil.Sub(now), nil
+	}
+	if w.probing {
+		// A half-open probe is already in flight; hold further grants to
+		// this worker until it resolves.
+		return nil, c.opts.SweepEvery, nil
+	}
+	probe := !w.openUntil.IsZero()
+
+	t, hedge := c.nextTaskLocked(workerName, now)
+	if t == nil {
+		return nil, 0, nil
+	}
+	if probe {
+		w.probing = true
+		c.event("worker.probe", t, "worker", workerName)
+	}
+	c.seq++
+	l := &lease{
+		id:      "L" + strconv.FormatInt(c.seq, 10),
+		worker:  workerName,
+		task:    t,
+		granted: now,
+		expires: now.Add(c.opts.LeaseTTL),
+		hedge:   hedge,
+	}
+	t.leases[l.id] = l
+	c.leases[l.id] = l
+	t.lastActivity = now
+	c.lastGrant = now
+	if t.firstLeased.IsZero() {
+		t.firstLeased = now
+	}
+	c.leasesGranted.Inc()
+	if hedge {
+		t.hedges++
+		c.jobsHedged.Inc()
+		c.event("job.hedge", t, "worker", workerName, "lease", l.id, "leases", len(t.leases))
+	}
+	c.event("job.lease", t, "worker", workerName, "lease", l.id,
+		"attempt", t.attempts, "hedge", hedge)
+	return &JobSpec{
+		Key:   t.key,
+		Spec:  t.spec,
+		Lease: l.id,
+		TTLMS: c.opts.LeaseTTL.Milliseconds(),
+		Trace: t.tc.String(),
+	}, 0, nil
+}
+
+// nextTaskLocked pops the queue FIFO; with the queue empty it considers
+// hedging a straggler: the task whose oldest lease has run longest past
+// HedgeAfter, deterministically tie-broken by key, capped by MaxLeases
+// and never doubling a worker up on its own job.
+func (c *Coordinator) nextTaskLocked(workerName string, now time.Time) (*task, bool) {
+	for len(c.queue) > 0 {
+		t := c.queue[0]
+		c.queue = c.queue[1:]
+		t.queued = false
+		if t.done {
+			continue
+		}
+		return t, false
+	}
+	var cands []*task
+	for _, t := range c.tasks {
+		if t.done || len(t.leases) == 0 || len(t.leases) >= c.opts.MaxLeases {
+			continue
+		}
+		if now.Sub(t.firstLeased) < c.opts.HedgeAfter {
+			continue
+		}
+		mine := false
+		for _, l := range t.leases {
+			if l.worker == workerName {
+				mine = true
+				break
+			}
+		}
+		if !mine {
+			cands = append(cands, t)
+		}
+	}
+	if len(cands) == 0 {
+		return nil, false
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if !cands[i].firstLeased.Equal(cands[j].firstLeased) {
+			return cands[i].firstLeased.Before(cands[j].firstLeased)
+		}
+		return cands[i].key < cands[j].key
+	})
+	return cands[0], true
+}
+
+// Heartbeat renews a lease; false means the lease is gone (expired,
+// superseded, or its job already completed) and the worker should abandon
+// the work.
+func (c *Coordinator) Heartbeat(workerName, leaseID string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	l, ok := c.leases[leaseID]
+	if !ok || l.worker != workerName || l.task.done {
+		return false
+	}
+	l.expires = c.opts.Clock().Add(c.opts.LeaseTTL)
+	c.leasesRenewed.Inc()
+	return true
+}
+
+// PushOutcome classifies a result push for the HTTP layer.
+type PushOutcome int
+
+const (
+	// PushAccepted: the result validated and completed the job.
+	PushAccepted PushOutcome = iota
+	// PushDuplicate: the lease is gone — the job completed elsewhere or
+	// the lease expired. The worker's bytes are discarded; not an error.
+	PushDuplicate
+	// PushRejected: the payload failed fingerprint revalidation (or was
+	// malformed); the job is requeued and the worker's breaker charged.
+	PushRejected
+)
+
+// Push accepts one worker completion report: a fingerprint-revalidated
+// result, or a structured execution error (terminal — deterministic
+// simulations fail identically everywhere, so no requeue).
+func (c *Coordinator) Push(p *resultPush) PushOutcome {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := c.workers[p.Worker]
+	l, ok := c.leases[p.Lease]
+	if !ok || l.task.done || l.task.key != p.Key {
+		c.resDuplicate.Inc()
+		c.event("result.duplicate", nil, "worker", p.Worker, "lease", p.Lease, "key", shortKey(p.Key))
+		return PushDuplicate
+	}
+	t := l.task
+	if p.Error != nil {
+		// The worker functioned correctly: it ran the job and reported a
+		// structured failure. Terminal for the job, clean for the breaker.
+		c.workerSuccessLocked(w)
+		c.jobsFailed.Inc()
+		err := p.Error.Err()
+		c.event("job.remote.error", t, "worker", p.Worker, "error", err.Error())
+		c.completeLocked(t, nil, err)
+		return PushAccepted
+	}
+	if p.Result == nil {
+		return c.rejectLocked(w, l, "empty result")
+	}
+	claimed, perr := strconv.ParseUint(p.Fingerprint, 0, 64)
+	if perr != nil {
+		return c.rejectLocked(w, l, "unparseable fingerprint")
+	}
+	if got := p.Result.Fingerprint(); got != claimed {
+		return c.rejectLocked(w, l, fmt.Sprintf("fingerprint %#x, claimed %#x", got, claimed))
+	}
+	c.workerSuccessLocked(w)
+	c.resAccepted.Inc()
+	c.jobsCompleted.Inc()
+	c.event("result.accept", t, "worker", p.Worker, "lease", p.Lease,
+		"fingerprint", p.Fingerprint, "hedges", t.hedges)
+	c.completeLocked(t, p.Result, nil)
+	return PushAccepted
+}
+
+// rejectLocked handles a push that failed revalidation: charge the
+// worker, drop its lease, requeue the job.
+func (c *Coordinator) rejectLocked(w *workerState, l *lease, cause string) PushOutcome {
+	t := l.task
+	c.resRejected.Inc()
+	c.event("result.reject", t, "worker", l.worker, "lease", l.id, "cause", cause)
+	c.workerFailureLocked(w, "rejected result: "+cause)
+	delete(c.leases, l.id)
+	delete(t.leases, l.id)
+	if len(t.leases) == 0 {
+		c.requeueLocked(t, "result rejected: "+cause)
+	}
+	return PushRejected
+}
+
+// sweepLoop periodically expires leases and degrades jobs the fleet has
+// abandoned.
+func (c *Coordinator) sweepLoop() {
+	defer c.sweeper.Done()
+	tick := time.NewTicker(c.opts.SweepEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			c.Sweep()
+		case <-c.stop:
+			return
+		}
+	}
+}
+
+// Sweep runs one expiry-and-degrade scan (the sweeper calls it on a
+// timer; tests call it directly with a fake clock).
+func (c *Coordinator) Sweep() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.opts.Clock()
+	// Deterministic order: scan leases by ID so two equal runs journal
+	// equal expiry sequences.
+	ids := make([]string, 0, len(c.leases))
+	for id := range c.leases {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		l := c.leases[id]
+		if l == nil || !now.After(l.expires) {
+			continue
+		}
+		t := l.task
+		c.leasesExpired.Inc()
+		c.event("job.lease.expire", t, "worker", l.worker, "lease", id)
+		c.workerFailureLocked(c.workers[l.worker], "lease expired")
+		delete(c.leases, id)
+		delete(t.leases, id)
+		if len(t.leases) == 0 && !t.queued {
+			c.requeueLocked(t, "lease expired on "+l.worker)
+		}
+	}
+	// Degrade scan: a queued job with no active lease degrades once the
+	// whole fleet has been silent past DegradeAfter — no grant to any job
+	// since the job last saw activity means nobody is pulling.
+	fleetIdleSince := c.lastGrant
+	for _, t := range c.tasks {
+		if t.done || len(t.leases) > 0 {
+			continue
+		}
+		ref := t.lastActivity
+		if fleetIdleSince.After(ref) {
+			ref = fleetIdleSince
+		}
+		if now.Sub(ref) >= c.opts.DegradeAfter {
+			c.degradeLocked(t, "fleet unreachable or drained")
+		}
+	}
+}
+
+// Close stops the sweeper and degrades every pending job, so a shutting-
+// down coordinator leaves no waiter hanging: they all fall back to local
+// execution. Safe to call once.
+func (c *Coordinator) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	for _, t := range c.tasks {
+		if !t.done {
+			c.degradeLocked(t, "coordinator closed")
+		}
+	}
+	c.queue = nil
+	c.mu.Unlock()
+	close(c.stop)
+	c.sweeper.Wait()
+}

@@ -1,0 +1,108 @@
+// Package dist shards the engine's simulation work across processes,
+// engineered around failure as the common case. A Coordinator implements
+// engine.Remote: every simulation spec that misses all cache tiers is
+// queued, leased to a pulling worker (cmd/dirsimw, or dirsimd -worker)
+// over HTTP, executed there through the worker's own engine, and pushed
+// back as a fingerprint-stamped result which the coordinator revalidates
+// before accepting. A worker can crash, stall, lie, or return corrupt
+// bytes and the sweep still completes bit-identical to a purely local
+// run, because every failure converts into one of three disciplined
+// outcomes:
+//
+//   - requeue: the job goes back to the queue for another worker (lease
+//     expiry, rejected fingerprint, transport failure), bounded by
+//     MaxAttempts;
+//   - degrade: remote execution is abandoned for this job — the
+//     coordinator's engine falls back to local computation via
+//     engine.ErrRemoteUnavailable (attempts exhausted, fleet drained or
+//     unreachable);
+//   - fail: the worker delivered a structured execution error
+//     (engine.JobError / sim.ShardError); simulations are deterministic,
+//     so the failure is terminal and surfaces to the caller with the
+//     worker's stack intact rather than burning a local retry.
+//
+// Robustness machinery: per-job leases with heartbeat renewal and
+// expiry-driven reassignment, hedged re-dispatch of stragglers (first
+// valid fingerprint wins, later duplicates discarded deterministically),
+// per-worker circuit breaking (repeated failures open the breaker; lease
+// requests get 429 + Retry-After until a half-open probe succeeds), and
+// transport fault injection for all of it (faults.Config's transport
+// class driving a FaultTransport RoundTripper), so the whole ladder is
+// exercised deterministically in the soak test.
+//
+// The trust model matches the store's: acceptance means the pushed bytes
+// decode to a result whose recomputed Fingerprint equals the stamped one
+// — corruption anywhere in transit is caught; a worker that fabricates a
+// consistent envelope is outside the threat model, exactly as a process
+// scribbling valid JSON into the store directory would be.
+package dist
+
+import (
+	"time"
+
+	"dirsim/internal/engine"
+	"dirsim/internal/sim"
+)
+
+// Default tuning; all overridable via Options.
+const (
+	DefaultLeaseTTL     = 10 * time.Second
+	DefaultHedgeAfter   = 30 * time.Second
+	DefaultMaxAttempts  = 3
+	DefaultDegradeAfter = 20 * time.Second
+	// DefaultBreakerThreshold is how many consecutive failures open a
+	// worker's circuit breaker; DefaultBreakerCooldown how long it stays
+	// open before a half-open probe is allowed.
+	DefaultBreakerThreshold = 3
+	DefaultBreakerCooldown  = 15 * time.Second
+)
+
+// JobSpec is one leased unit of work as it travels to a worker: the
+// content key the result will be cached under, the full simulation spec
+// (workers regenerate the workload from it — traces never travel), the
+// lease identity to heartbeat and push under, and the trace context the
+// originating request runs under, which the worker adopts so journal
+// lines on both sides of the wire share one trace ID.
+type JobSpec struct {
+	Key   string         `json:"key"`
+	Spec  engine.SimSpec `json:"spec"`
+	Lease string         `json:"lease"`
+	// TTLMS is the lease's time-to-live in milliseconds; the worker must
+	// heartbeat well inside it (TTL/3 is the convention) or the
+	// coordinator reassigns the job.
+	TTLMS int64  `json:"ttl_ms"`
+	Trace string `json:"trace,omitempty"`
+}
+
+// TTL returns the lease TTL as a duration.
+func (j JobSpec) TTL() time.Duration { return time.Duration(j.TTLMS) * time.Millisecond }
+
+// leaseRequest is a worker's pull for work.
+type leaseRequest struct {
+	Worker string `json:"worker"`
+}
+
+// leaseResponse carries the leased job; Job is nil when the coordinator
+// has no work (the worker polls again after its idle interval).
+type leaseResponse struct {
+	Job *JobSpec `json:"job,omitempty"`
+}
+
+// heartbeatRequest renews a lease.
+type heartbeatRequest struct {
+	Worker string `json:"worker"`
+	Lease  string `json:"lease"`
+}
+
+// resultPush is a worker's completion report: exactly one of Result or
+// Error is set. Fingerprint stamps the result (hex, "0x..." form like the
+// store envelope); the coordinator recomputes it from the decoded result
+// and rejects on mismatch.
+type resultPush struct {
+	Worker      string      `json:"worker"`
+	Lease       string      `json:"lease"`
+	Key         string      `json:"key"`
+	Fingerprint string      `json:"fingerprint,omitempty"`
+	Result      *sim.Result `json:"result,omitempty"`
+	Error       *WireError  `json:"error,omitempty"`
+}

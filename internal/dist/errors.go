@@ -1,0 +1,141 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+
+	"dirsim/internal/engine"
+	"dirsim/internal/sim"
+)
+
+// WireError is the JSON codec for structured execution errors crossing
+// the worker → coordinator wire. A worker-side failure must surface at
+// the coordinator as the same errors.As-matchable value it would be
+// locally — a shard panic arrives as a *sim.ShardError with the worker's
+// stack, wrapped in the *engine.JobError the worker's engine produced,
+// not as a generic 500 — so EncodeError flattens the error chain into
+// typed layers and DecodeError rebuilds real error values from them.
+type WireError struct {
+	// Kind discriminates the layer: "job" (*engine.JobError), "shard"
+	// (*sim.ShardError), or "plain" (an opaque message).
+	Kind string `json:"kind"`
+	Msg  string `json:"msg,omitempty"`
+
+	// *engine.JobError fields.
+	JobID    string `json:"job_id,omitempty"`
+	JobKind  string `json:"job_kind,omitempty"`
+	JobKey   string `json:"job_key,omitempty"`
+	Attempts int    `json:"attempts,omitempty"`
+	Timeout  bool   `json:"timeout,omitempty"`
+
+	// Shared by job and shard layers.
+	Panicked bool   `json:"panicked,omitempty"`
+	Stack    string `json:"stack,omitempty"`
+
+	// *sim.ShardError fields.
+	Shard int `json:"shard,omitempty"`
+
+	// Cause is the next layer down the chain.
+	Cause *WireError `json:"cause,omitempty"`
+}
+
+// EncodeError flattens err into its wire form, preserving the
+// JobError/ShardError layers and collapsing everything else to a plain
+// message. nil encodes to nil.
+func EncodeError(err error) *WireError {
+	if err == nil {
+		return nil
+	}
+	var je *engine.JobError
+	if errors.As(err, &je) {
+		return &WireError{
+			Kind:     "job",
+			JobID:    je.ID,
+			JobKind:  je.Kind,
+			JobKey:   je.Key,
+			Attempts: je.Attempts,
+			Panicked: je.Panicked,
+			Timeout:  je.Timeout,
+			Stack:    string(je.Stack),
+			Cause:    encodeCause(je.Err),
+		}
+	}
+	var se *sim.ShardError
+	if errors.As(err, &se) {
+		return &WireError{
+			Kind:     "shard",
+			Shard:    se.Shard,
+			Panicked: se.Panicked,
+			Stack:    se.Stack,
+			Cause:    encodeCause(se.Err),
+		}
+	}
+	return &WireError{Kind: "plain", Msg: err.Error()}
+}
+
+// encodeCause encodes the layers below a matched one. A shard error is
+// recovered from anywhere in the cause chain (simulateSource wraps it in
+// message context), so shard structure survives even when the job layer
+// added prose around it.
+func encodeCause(err error) *WireError {
+	if err == nil {
+		return nil
+	}
+	var se *sim.ShardError
+	if errors.As(err, &se) {
+		return &WireError{
+			Kind:     "shard",
+			Msg:      err.Error(),
+			Shard:    se.Shard,
+			Panicked: se.Panicked,
+			Stack:    se.Stack,
+			Cause:    encodeCause(se.Err),
+		}
+	}
+	return &WireError{Kind: "plain", Msg: err.Error()}
+}
+
+// Err rebuilds the real error value: a *engine.JobError or
+// *sim.ShardError with every field restored (so errors.As matches at the
+// coordinator), or a plain error for opaque layers. nil for a nil
+// receiver.
+func (w *WireError) Err() error {
+	if w == nil {
+		return nil
+	}
+	var cause error
+	if w.Cause != nil {
+		cause = w.Cause.Err()
+	}
+	switch w.Kind {
+	case "job":
+		if cause == nil {
+			cause = errors.New(w.Msg)
+		}
+		return &engine.JobError{
+			ID:       w.JobID,
+			Kind:     w.JobKind,
+			Key:      w.JobKey,
+			Attempts: w.Attempts,
+			Panicked: w.Panicked,
+			Timeout:  w.Timeout,
+			Stack:    []byte(w.Stack),
+			Err:      cause,
+		}
+	case "shard":
+		if cause == nil {
+			cause = errors.New(w.Msg)
+		}
+		return &sim.ShardError{
+			Shard:    w.Shard,
+			Panicked: w.Panicked,
+			Stack:    w.Stack,
+			Err:      cause,
+		}
+	default:
+		if cause != nil {
+			return fmt.Errorf("%s: %w", w.Msg, cause)
+		}
+		return errors.New(w.Msg)
+	}
+}

@@ -1,0 +1,118 @@
+package dist
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"dirsim/internal/engine"
+	"dirsim/internal/sim"
+)
+
+// TestWireErrorRoundTrip is the codec half of the cross-process error
+// contract: a worker-side shard panic — a *sim.ShardError wrapped (with
+// prose) inside the *engine.JobError the worker's engine produced — must
+// survive encode → JSON → decode as errors.As-matchable values with the
+// worker's stack intact.
+func TestWireErrorRoundTrip(t *testing.T) {
+	shard := &sim.ShardError{
+		Shard:    2,
+		Panicked: true,
+		Stack:    "goroutine 42 [running]:\ndirsim/internal/sim.shardWorker(...)",
+		Err:      errors.New("injected shard panic"),
+	}
+	job := &engine.JobError{
+		ID:       "sim:Dir1NB@pops",
+		Kind:     "sim",
+		Key:      "a1b2c3d4e5f6",
+		Attempts: 1,
+		Err:      fmt.Errorf("simulate pops: %w", shard),
+	}
+
+	enc := EncodeError(job)
+	data, err := json.Marshal(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dec WireError
+	if err := json.Unmarshal(data, &dec); err != nil {
+		t.Fatal(err)
+	}
+	got := dec.Err()
+
+	var je *engine.JobError
+	if !errors.As(got, &je) {
+		t.Fatalf("decoded error is not errors.As-matchable as *engine.JobError: %v", got)
+	}
+	if je.ID != job.ID || je.Kind != job.Kind || je.Key != job.Key || je.Attempts != job.Attempts {
+		t.Errorf("job layer fields lost: got %+v", je)
+	}
+	var se *sim.ShardError
+	if !errors.As(got, &se) {
+		t.Fatalf("decoded error is not errors.As-matchable as *sim.ShardError: %v", got)
+	}
+	if se.Shard != shard.Shard || !se.Panicked {
+		t.Errorf("shard layer fields lost: got %+v", se)
+	}
+	if se.Stack != shard.Stack {
+		t.Errorf("worker stack lost: got %q", se.Stack)
+	}
+	if msg := got.Error(); !strings.Contains(msg, "sim:Dir1NB@pops") ||
+		!strings.Contains(msg, "injected shard panic") {
+		t.Errorf("decoded prose lost context: %q", msg)
+	}
+}
+
+// TestWireErrorShardOnly covers a bare shard error (no job envelope).
+func TestWireErrorShardOnly(t *testing.T) {
+	shard := &sim.ShardError{Shard: 0, Panicked: true, Stack: "stack", Err: errors.New("boom")}
+	got := EncodeError(shard).Err()
+	var se *sim.ShardError
+	if !errors.As(got, &se) || se.Shard != 0 || !se.Panicked || se.Stack != "stack" {
+		t.Fatalf("shard error did not round-trip: %v", got)
+	}
+}
+
+// TestWireErrorPlain covers opaque errors: the prose survives, nothing
+// pretends to be structured.
+func TestWireErrorPlain(t *testing.T) {
+	got := EncodeError(errors.New("dial tcp: connection refused")).Err()
+	if got.Error() != "dial tcp: connection refused" {
+		t.Fatalf("plain error prose changed: %q", got.Error())
+	}
+	var je *engine.JobError
+	var se *sim.ShardError
+	if errors.As(got, &je) || errors.As(got, &se) {
+		t.Fatal("plain error decoded as structured")
+	}
+}
+
+// TestWireErrorNil: nil encodes to nil and decodes to nil.
+func TestWireErrorNil(t *testing.T) {
+	if EncodeError(nil) != nil {
+		t.Error("EncodeError(nil) != nil")
+	}
+	var w *WireError
+	if w.Err() != nil {
+		t.Error("(*WireError)(nil).Err() != nil")
+	}
+}
+
+// TestWireErrorJobPanicStack covers the job-layer panic fields (a panic
+// in a non-sharded job body).
+func TestWireErrorJobPanicStack(t *testing.T) {
+	job := &engine.JobError{
+		ID:       "sim:Dir0B@forkjoin",
+		Kind:     "sim",
+		Panicked: true,
+		Stack:    []byte("goroutine 7 [running]:\nmain.boom(...)"),
+		Err:      errors.New("panic: boom"),
+	}
+	got := EncodeError(job).Err()
+	var je *engine.JobError
+	if !errors.As(got, &je) || !je.Panicked || string(je.Stack) != string(job.Stack) {
+		t.Fatalf("panic stack lost: %v", got)
+	}
+}

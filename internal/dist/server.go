@@ -1,0 +1,124 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"dirsim/internal/obs/httpmon"
+)
+
+// WorkerHeader carries the worker's name on every fleet request, so the
+// coordinator's per-route RED metrics break down per worker.
+const WorkerHeader = "X-Dirsim-Worker"
+
+// Register installs the coordinator's fleet API on mux:
+//
+//	POST /api/v1/dist/lease      pull a job (200 with job, 200 with
+//	                             empty body when idle, 429+Retry-After
+//	                             when the worker's breaker is open)
+//	POST /api/v1/dist/heartbeat  renew a lease (410 when it is gone)
+//	POST /api/v1/dist/result     push a result or structured error
+//	                             (200 accepted, 410 duplicate/late,
+//	                             422 failed revalidation)
+//	GET  /api/v1/dist/stats      coordinator counters
+//
+// Every route is wrapped in httpmon.Instrument, so trace contexts
+// propagate (X-Dirsim-Trace in, echoed back out) and per-route, per-
+// worker RED metrics land on the coordinator's registry.
+func Register(mux *http.ServeMux, c *Coordinator) {
+	opts := httpmon.InstrumentOptions{
+		Registry:      c.reg,
+		TenantHeader:  WorkerHeader,
+		DefaultTenant: "unnamed",
+	}
+	route := func(pattern, label string, h http.HandlerFunc) {
+		mux.Handle(pattern, httpmon.Instrument(label, opts, h))
+	}
+	route("POST /api/v1/dist/lease", "dist.lease", c.handleLease)
+	route("POST /api/v1/dist/heartbeat", "dist.heartbeat", c.handleHeartbeat)
+	route("POST /api/v1/dist/result", "dist.result", c.handleResult)
+	route("GET /api/v1/dist/stats", "dist.stats", c.handleStats)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, struct {
+		Error string `json:"error"`
+	}{fmt.Sprintf(format, args...)})
+}
+
+func decodeInto(w http.ResponseWriter, r *http.Request, v any, maxBytes int64) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBytes))
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid request: %v", err)
+		return false
+	}
+	return true
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req leaseRequest
+	if !decodeInto(w, r, &req, 1<<16) {
+		return
+	}
+	if req.Worker == "" {
+		req.Worker = r.Header.Get(WorkerHeader)
+	}
+	if req.Worker == "" {
+		writeError(w, http.StatusBadRequest, "missing worker name")
+		return
+	}
+	job, retryAfter, err := c.Lease(req.Worker)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if retryAfter > 0 {
+		secs := int(retryAfter.Seconds())
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeError(w, http.StatusTooManyRequests, "worker %s circuit open; retry after %ds", req.Worker, secs)
+		return
+	}
+	writeJSON(w, http.StatusOK, leaseResponse{Job: job})
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req heartbeatRequest
+	if !decodeInto(w, r, &req, 1<<16) {
+		return
+	}
+	if !c.Heartbeat(req.Worker, req.Lease) {
+		writeError(w, http.StatusGone, "lease %s is gone", req.Lease)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
+	var p resultPush
+	if !decodeInto(w, r, &p, maxResponseBodyBytes) {
+		return
+	}
+	switch c.Push(&p) {
+	case PushAccepted:
+		writeJSON(w, http.StatusOK, struct{}{})
+	case PushDuplicate:
+		writeError(w, http.StatusGone, "lease %s is gone; result discarded", p.Lease)
+	case PushRejected:
+		writeError(w, http.StatusUnprocessableEntity, "result for %s failed revalidation", shortKey(p.Key))
+	}
+}
+
+func (c *Coordinator) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, c.Stats())
+}

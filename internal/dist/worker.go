@@ -1,0 +1,269 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dirsim/internal/engine"
+	"dirsim/internal/faults"
+	"dirsim/internal/obs"
+	"dirsim/internal/sim"
+)
+
+// ErrCrashed reports a worker that died to an injected crash: it
+// abandoned its leased job, stopped heartbeating, and returned without a
+// word to the coordinator — the lease expiry path, exercised end to end.
+var ErrCrashed = errors.New("dist: worker crashed (injected)")
+
+// Worker pulls jobs from a coordinator and executes them through its own
+// engine. Its loop is deliberately boring: lease, heartbeat while
+// simulating, push, repeat — all the failure handling lives in the
+// coordinator and the client's retry discipline.
+type Worker struct {
+	// Name identifies the worker in leases, journals, and fault sites.
+	Name string
+	// Client speaks to the coordinator; its HTTP transport is where
+	// fault injection wraps in.
+	Client *Client
+	// Engine executes the specs; a store-backed engine makes the worker
+	// serve warm results without simulating. Required.
+	Engine *engine.Engine
+	// Exec is the execution strategy per job; nil means Sequential.
+	Exec engine.Executor
+	// Poll is the idle wait between lease attempts that found no work;
+	// 0 means 100ms.
+	Poll time.Duration
+	// Inj, when non-nil, drives injected worker crashes (Crash class):
+	// the decision is per (worker, job key), so a fixed seed kills the
+	// same worker on the same job every run.
+	Inj *faults.Injector
+	// Journal receives worker.* events; nil disables them.
+	Journal *obs.Journal
+	// Sleep replaces the idle-poll clock for tests; nil sleeps.
+	Sleep func(time.Duration)
+}
+
+func (w *Worker) poll() time.Duration {
+	if w.Poll > 0 {
+		return w.Poll
+	}
+	return 100 * time.Millisecond
+}
+
+func (w *Worker) event(name string, tc obs.TraceContext, attrs ...any) {
+	if w.Journal == nil {
+		return
+	}
+	attrs = append(attrs, "worker", w.Name)
+	if tc.Valid() {
+		attrs = append(attrs, "trace", tc.Trace)
+	}
+	w.Journal.Event(name, attrs...)
+}
+
+// Run pulls and executes jobs until ctx is cancelled (returns nil) or an
+// injected crash kills the worker (returns ErrCrashed). Transport
+// failures never kill the loop — an unreachable coordinator is polled
+// again after the idle interval.
+func (w *Worker) Run(ctx context.Context) error {
+	w.event("worker.start", obs.TraceContext{})
+	for {
+		if err := ctx.Err(); err != nil {
+			w.event("worker.stop", obs.TraceContext{})
+			return nil
+		}
+		job, err := w.lease(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				w.event("worker.stop", obs.TraceContext{})
+				return nil
+			}
+			// Coordinator unreachable or pushing back; idle and retry.
+			if serr := w.idle(ctx); serr != nil {
+				w.event("worker.stop", obs.TraceContext{})
+				return nil
+			}
+			continue
+		}
+		if job == nil {
+			if serr := w.idle(ctx); serr != nil {
+				w.event("worker.stop", obs.TraceContext{})
+				return nil
+			}
+			continue
+		}
+		if err := w.runJob(ctx, job); err != nil {
+			if errors.Is(err, ErrCrashed) {
+				return err
+			}
+			if ctx.Err() != nil {
+				w.event("worker.stop", obs.TraceContext{})
+				return nil
+			}
+		}
+	}
+}
+
+func (w *Worker) idle(ctx context.Context) error {
+	d := w.poll()
+	if w.Sleep != nil {
+		w.Sleep(d)
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (w *Worker) lease(ctx context.Context) (*JobSpec, error) {
+	var resp leaseResponse
+	err := w.Client.Do(ctx, http.MethodPost, "/api/v1/dist/lease",
+		leaseRequest{Worker: w.Name}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Job, nil
+}
+
+// runJob executes one leased job: adopt the job's trace context, crash if
+// the injector says so, heartbeat at TTL/3 while the simulation runs, and
+// push the result (or the structured error) back.
+func (w *Worker) runJob(ctx context.Context, job *JobSpec) error {
+	tc, _ := obs.ParseTraceContext(job.Trace)
+	jctx := obs.WithTrace(ctx, tc)
+
+	// End-to-end integrity on the request path: the job key IS the
+	// content hash of the spec, so recomputing it catches a lease
+	// response corrupted in flight into a different-but-parseable spec.
+	// Without this check the worker would faithfully compute a correct
+	// result for the wrong simulation — and its fingerprint, computed
+	// over that wrong result, would sail through the coordinator's
+	// revalidation. Dropping the job lets the lease expire and requeue.
+	if engine.KeyHex(job.Spec.Key()) != job.Key {
+		w.event("worker.lease.corrupt", tc, "key", shortKey(job.Key), "lease", job.Lease)
+		return nil
+	}
+
+	if w.Inj.WorkerCrash(w.Name, job.Key) {
+		// Die silently: no push, no further heartbeats. The coordinator
+		// finds out when the lease expires.
+		w.event("worker.crash", tc, "key", shortKey(job.Key), "lease", job.Lease)
+		return ErrCrashed
+	}
+	w.event("worker.job.start", tc, "key", shortKey(job.Key), "lease", job.Lease,
+		"scheme", job.Spec.Scheme, "workload", job.Spec.Trace.Name)
+
+	// The heartbeat goroutine renews the lease at TTL/3; a 410 means the
+	// lease is gone (expired, or a hedge twin already delivered) — the
+	// simulation is cancelled, its result would be discarded anyway.
+	hbCtx, cancelJob := context.WithCancel(jctx)
+	defer cancelJob()
+	var leaseLost atomic.Bool
+	var hb sync.WaitGroup
+	hb.Add(1)
+	go func() {
+		defer hb.Done()
+		interval := job.TTL() / 3
+		if interval <= 0 {
+			interval = time.Second
+		}
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				err := w.Client.Do(hbCtx, http.MethodPost, "/api/v1/dist/heartbeat",
+					heartbeatRequest{Worker: w.Name, Lease: job.Lease}, nil)
+				if IsStatus(err, http.StatusGone) {
+					w.event("worker.lease.lost", tc, "key", shortKey(job.Key), "lease", job.Lease)
+					leaseLost.Store(true)
+					cancelJob()
+					return
+				}
+				// Transport failures are tolerated: the client already
+				// retried, and one missed renewal inside the TTL is fine.
+			case <-hbCtx.Done():
+				return
+			}
+		}
+	}()
+
+	res, simErr := w.simulate(hbCtx, job)
+	cancelJob()
+	hb.Wait()
+	switch {
+	case leaseLost.Load():
+		// The lease was lost mid-run (expired, or a hedge twin already
+		// delivered); anything we push would be discarded.
+		return nil
+	case ctx.Err() != nil:
+		// The worker itself is shutting down mid-job; a cancellation
+		// error is the shutdown's artifact, not the job's outcome.
+		return nil
+	}
+
+	push := resultPush{Worker: w.Name, Lease: job.Lease, Key: job.Key}
+	if simErr != nil {
+		push.Error = EncodeError(simErr)
+		w.event("worker.job.error", tc, "key", shortKey(job.Key), "error", simErr.Error())
+	} else {
+		push.Result = res
+		push.Fingerprint = "0x" + strconv.FormatUint(res.Fingerprint(), 16)
+		w.event("worker.job.finish", tc, "key", shortKey(job.Key),
+			"fingerprint", push.Fingerprint)
+	}
+	return w.push(jctx, tc, &push)
+}
+
+// push delivers the completion report. A 410 is success-shaped (the job
+// completed elsewhere; our bytes are discarded); a 400/422 means the
+// payload was mangled in flight, worth re-marshaling and resending a
+// couple of times before letting the lease expire.
+func (w *Worker) push(ctx context.Context, tc obs.TraceContext, p *resultPush) error {
+	var last error
+	for attempt := 0; attempt < 3; attempt++ {
+		err := w.Client.Do(ctx, http.MethodPost, "/api/v1/dist/result", p, nil)
+		switch {
+		case err == nil:
+			return nil
+		case IsStatus(err, http.StatusGone):
+			w.event("worker.push.discarded", tc, "key", shortKey(p.Key), "lease", p.Lease)
+			return nil
+		case IsStatus(err, http.StatusUnprocessableEntity), IsStatus(err, http.StatusBadRequest):
+			w.event("worker.push.rejected", tc, "key", shortKey(p.Key), "attempt", attempt)
+			last = err
+			continue
+		default:
+			return err
+		}
+	}
+	return fmt.Errorf("dist: push for %s kept failing revalidation: %w", shortKey(p.Key), last)
+}
+
+// simulate runs the job's spec through the worker's engine, unwrapping
+// the engine's one-element batch envelope to the job's own structured
+// error (a *engine.JobError, possibly wrapping a *sim.ShardError — the
+// value EncodeError ships across the wire intact).
+func (w *Worker) simulate(ctx context.Context, job *JobSpec) (*sim.Result, error) {
+	rs, err := w.Engine.Results(ctx, w.Exec, []engine.SimSpec{job.Spec})
+	if err != nil {
+		if p, ok := engine.AsPartial(err); ok {
+			for _, ferr := range p.Failed {
+				return nil, ferr
+			}
+		}
+		return nil, err
+	}
+	return rs[0], nil
+}

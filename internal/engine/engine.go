@@ -125,6 +125,14 @@ type Options struct {
 	// the tier itself; a corrupt entry surfaces as a Corrupt() error,
 	// counts as a cache rejection, and is recomputed.
 	Store Tier
+
+	// Remote, when non-nil, is offered every simulation spec that missed
+	// all cache tiers before the engine computes it locally: sweeps fan
+	// out to a worker fleet, and an individual job — or the whole run —
+	// degrades to local execution when the Remote reports
+	// ErrRemoteUnavailable. Cached and in-flight work never dispatches
+	// remotely. See the Remote interface contract.
+	Remote Remote
 }
 
 // Tier is the contract of a durable second-tier content-addressed cache
@@ -233,6 +241,7 @@ type Engine struct {
 	results *flightCache // Key → job output (typically *sim.Result)
 	traces  *flightCache // Key → *trace.Trace
 	tier    Tier         // durable second tier; nil disables it
+	remote  Remote       // remote executor for uncached specs; nil disables it
 
 	reg    *obs.Registry     // metrics registry the counters below live on
 	obs    Observer          // nil disables observation
@@ -261,6 +270,8 @@ type Engine struct {
 	integrityFaults *obs.Counter
 	shardedSims     *obs.Counter
 	shardRefs       *obs.Counter
+	simsRemote      *obs.Counter
+	remoteDegraded  *obs.Counter
 }
 
 // New builds an engine with the given options.
@@ -311,6 +322,7 @@ func New(opts Options) *Engine {
 		results:         newFlightCache(),
 		traces:          newFlightCache(),
 		tier:            opts.Store,
+		remote:          opts.Remote,
 		reg:             reg,
 		obs:             opts.Observer,
 		fobs:            fobs,
@@ -334,6 +346,8 @@ func New(opts Options) *Engine {
 		integrityFaults: reg.Counter("engine.stream.integrity"),
 		shardedSims:     reg.Counter("engine.sims.sharded"),
 		shardRefs:       reg.Counter("engine.shards.refs"),
+		simsRemote:      reg.Counter("engine.sims.remote"),
+		remoteDegraded:  reg.Counter("engine.remote.degraded"),
 	}
 }
 
@@ -376,6 +390,12 @@ type Stats struct {
 	// across them (equal to those simulations' share of RefsSimulated).
 	ShardedSims int64
 	ShardRefs   int64
+	// SimsRemote counts simulations whose results a Remote executor
+	// delivered (included in SimsRun); RemoteDegraded counts remote
+	// dispatches that fell back to local execution because the Remote
+	// reported unavailability.
+	SimsRemote     int64
+	RemoteDegraded int64
 	// CachedResults and CachedTraces are the current cache populations.
 	CachedResults int
 	CachedTraces  int
@@ -400,6 +420,8 @@ func (e *Engine) Stats() Stats {
 		IntegrityFaults: e.integrityFaults.Value(),
 		ShardedSims:     e.shardedSims.Value(),
 		ShardRefs:       e.shardRefs.Value(),
+		SimsRemote:      e.simsRemote.Value(),
+		RemoteDegraded:  e.remoteDegraded.Value(),
 		CachedResults:   e.results.size(),
 		CachedTraces:    e.traces.size(),
 	}

@@ -1,0 +1,74 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	exectrace "dirsim/internal/obs/trace"
+	"dirsim/internal/sim"
+)
+
+// Remote executes one simulation spec somewhere else — typically a
+// coordinator fanning the spec out to a worker fleet (internal/dist). The
+// engine stays the single owner of caching and planning: only specs that
+// missed every cache tier are offered to the Remote, and an accepted
+// result enters the caches exactly like a locally computed one.
+//
+// The contract is strict so the engine can trust what comes back:
+//
+//   - SimulateRemote must return a result bit-identical to what the
+//     local engine would compute for spec — implementations revalidate
+//     the result's Fingerprint before returning it.
+//   - ErrRemoteUnavailable (possibly wrapped) means remote execution is
+//     not currently possible — fleet unreachable, drained, or out of
+//     attempts on transport-class failures. The engine then degrades to
+//     local execution; the sweep completes either way.
+//   - Any other error is a structured execution failure: the simulation
+//     itself failed and would fail identically locally (simulations are
+//     deterministic), so the engine surfaces it instead of burning a
+//     local retry.
+//
+// Implementations must be safe for concurrent use; under the Parallel
+// executor many specs dispatch at once.
+type Remote interface {
+	SimulateRemote(ctx context.Context, spec SimSpec) (*sim.Result, error)
+}
+
+// ErrRemoteUnavailable is the sentinel a Remote returns (wrapped is fine)
+// when remote execution cannot be had right now. It converts a remote
+// dispatch into a local fallback rather than a failure.
+var ErrRemoteUnavailable = errors.New("remote execution unavailable")
+
+// bindRemote gives a spec job a remote-first body: dispatch the spec to
+// the configured Remote, and on unavailability degrade to the local
+// materialize-and-simulate path. Remote jobs take no trace dependency —
+// the worker regenerates the workload from the spec on its side — so a
+// fleet-served sweep never generates traces on the coordinator; the trace
+// is only produced here on the degraded path.
+func (e *Engine) bindRemote(j *Job, spec SimSpec) {
+	j.ID = fmt.Sprintf("sim:%s@%s", spec.Scheme, spec.Trace.Name)
+	j.Run = func(ctx context.Context, _ []any) (any, error) {
+		r, err := e.remote.SimulateRemote(ctx, spec)
+		switch {
+		case err == nil:
+			e.simsRemote.Add(1)
+			e.simsRun.Add(1)
+			e.refsSimulated.Add(r.Counts.Total)
+			r.Trace = spec.Trace.Name
+			return r, nil
+		case errors.Is(err, ErrRemoteUnavailable):
+			e.remoteDegraded.Add(1)
+			if lane, parent := exectrace.FromContext(ctx); lane != nil {
+				lane.Instant(parent, "engine", "remote.degrade", "error", err.Error())
+			}
+			t, terr := e.Trace(ctx, spec.Trace)
+			if terr != nil {
+				return nil, terr
+			}
+			return e.simulateSource(ctx, spec, t.Iterator(), int64(len(t.Refs)))
+		default:
+			return nil, err
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"dirsim/internal/sim"
+	"dirsim/internal/workload"
+)
+
+// fakeRemote executes specs through a private local engine — the honest
+// stand-in for a worker fleet, since workers run the same code — while
+// counting dispatches. Its fail hook lets tests force unavailability or
+// structured execution failures per spec.
+type fakeRemote struct {
+	exec  *Engine
+	calls atomic.Int64
+	fail  func(spec SimSpec) error
+}
+
+func (f *fakeRemote) SimulateRemote(ctx context.Context, spec SimSpec) (*sim.Result, error) {
+	f.calls.Add(1)
+	if f.fail != nil {
+		if err := f.fail(spec); err != nil {
+			return nil, err
+		}
+	}
+	rs, err := f.exec.Results(ctx, Sequential{}, []SimSpec{spec})
+	if err != nil {
+		return nil, err
+	}
+	return rs[0], nil
+}
+
+func remoteSpecs() []SimSpec {
+	var specs []SimSpec
+	for _, cfg := range workload.StandardConfigs(4, 5_000) {
+		for _, scheme := range []string{"Dir0B", "Dir1NB"} {
+			specs = append(specs, SimSpec{Trace: cfg, Scheme: scheme})
+		}
+	}
+	return specs
+}
+
+// TestRemoteServesUncachedSpecs checks the remote-first plan: every
+// uncached spec dispatches to the Remote, the results are bit-identical
+// to a purely local run, and the coordinator side generates no traces.
+func TestRemoteServesUncachedSpecs(t *testing.T) {
+	ctx := context.Background()
+	specs := remoteSpecs()
+	want, err := New(Options{}).Results(ctx, Sequential{}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, exec := range executors() {
+		t.Run(exec.Name(), func(t *testing.T) {
+			rem := &fakeRemote{exec: New(Options{})}
+			e := New(Options{Remote: rem})
+			got, err := e.Results(ctx, exec, specs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if got[i].Fingerprint() != want[i].Fingerprint() || !reflect.DeepEqual(got[i], want[i]) {
+					t.Fatalf("spec %d (%s@%s) diverged from local run", i, specs[i].Scheme, specs[i].Trace.Name)
+				}
+			}
+			st := e.Stats()
+			if st.SimsRemote != int64(len(specs)) || rem.calls.Load() != int64(len(specs)) {
+				t.Errorf("SimsRemote=%d remote calls=%d, want %d", st.SimsRemote, rem.calls.Load(), len(specs))
+			}
+			if st.TracesGenerated != 0 || st.TracesStreamed != 0 {
+				t.Errorf("remote-served run generated traces locally: generated=%d streamed=%d",
+					st.TracesGenerated, st.TracesStreamed)
+			}
+			if st.RemoteDegraded != 0 {
+				t.Errorf("RemoteDegraded = %d, want 0", st.RemoteDegraded)
+			}
+
+			// Warm re-run: everything is cached, the fleet sees nothing.
+			before := rem.calls.Load()
+			again, err := e.Results(ctx, exec, specs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rem.calls.Load() != before {
+				t.Errorf("cached specs dispatched remotely: %d extra calls", rem.calls.Load()-before)
+			}
+			for i := range want {
+				if !reflect.DeepEqual(again[i], want[i]) {
+					t.Fatalf("warm spec %d diverged", i)
+				}
+			}
+		})
+	}
+}
+
+// TestRemoteUnavailableDegradesToLocal checks the degradation ladder's
+// bottom rung: a Remote that reports unavailability (wrapped, as real
+// clients return it) converts every dispatch into a local computation
+// with identical results.
+func TestRemoteUnavailableDegradesToLocal(t *testing.T) {
+	ctx := context.Background()
+	specs := remoteSpecs()
+	want, err := New(Options{}).Results(ctx, Sequential{}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rem := &fakeRemote{exec: New(Options{}), fail: func(SimSpec) error {
+		return fmt.Errorf("fleet drained: %w", ErrRemoteUnavailable)
+	}}
+	e := New(Options{Remote: rem})
+	got, err := e.Results(ctx, Parallel{}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Fatalf("degraded spec %d diverged from local run", i)
+		}
+	}
+	st := e.Stats()
+	if st.RemoteDegraded != int64(len(specs)) || st.SimsRemote != 0 {
+		t.Errorf("RemoteDegraded=%d SimsRemote=%d, want %d/0", st.RemoteDegraded, st.SimsRemote, len(specs))
+	}
+	if st.SimsRun != int64(len(specs)) {
+		t.Errorf("SimsRun = %d, want %d local computations", st.SimsRun, len(specs))
+	}
+	// The degraded fallbacks share trace generations: 3 workloads, not 6.
+	if st.TracesGenerated != 3 {
+		t.Errorf("TracesGenerated = %d, want 3 (one per workload)", st.TracesGenerated)
+	}
+}
+
+// TestRemoteExecutionErrorSurfaces checks that a structured worker-side
+// failure is terminal: it surfaces through the job as an errors.As
+// matchable error, with no local fallback masking it.
+func TestRemoteExecutionErrorSurfaces(t *testing.T) {
+	ctx := context.Background()
+	specs := remoteSpecs()[:2]
+	boom := &sim.ShardError{Shard: 1, Panicked: true, Stack: "goroutine 7 [running]:",
+		Err: errors.New("injected shard panic")}
+	rem := &fakeRemote{exec: New(Options{}), fail: func(s SimSpec) error {
+		if s.Scheme == "Dir1NB" {
+			return boom
+		}
+		return nil
+	}}
+	e := New(Options{Remote: rem})
+	got, err := e.Results(ctx, Parallel{}, specs)
+	var p *Partial
+	if !errors.As(err, &p) || len(p.Failed) != 1 {
+		t.Fatalf("want one-failure Partial, got %v", err)
+	}
+	for _, ferr := range p.Failed {
+		var se *sim.ShardError
+		if !errors.As(ferr, &se) || !se.Panicked || se.Stack == "" {
+			t.Fatalf("worker failure lost structure: %v", ferr)
+		}
+	}
+	// The surviving spec still came back remote; nothing ran locally.
+	if got[0] == nil {
+		t.Error("surviving spec voided by sibling's failure")
+	}
+	if st := e.Stats(); st.RemoteDegraded != 0 {
+		t.Errorf("execution error must not degrade to local, RemoteDegraded=%d", st.RemoteDegraded)
+	}
+}

@@ -373,6 +373,15 @@ func (e *Engine) planSpecs(exec Executor, specs []SimSpec) ([]*Job, error) {
 		switch {
 		case len(pending) == 0:
 			// Nothing to generate for this workload.
+		case e.remote != nil:
+			// Remote-first: each uncached spec dispatches on its own — the
+			// fleet's workers regenerate the workload themselves, so no
+			// trace or stream job is planned here. The degraded path inside
+			// each body falls back to Engine.Trace, which still collapses
+			// concurrent fallbacks of one workload to a single generation.
+			for _, i := range pending {
+				e.bindRemote(g.jobs[i], g.specs[i])
+			}
 		case exec.streams() && !traceCached(TraceKey(g.cfg)):
 			reqs := make([]SimSpec, len(pending))
 			keys := make([]Key, len(pending))

@@ -58,12 +58,66 @@ type Config struct {
 	// pipeline's panic isolation: the failing shard must surface as a
 	// structured error while the others drain cleanly).
 	ShardPanic float64
+
+	// The transport class below models an unreliable network between
+	// distributed-execution processes (internal/dist). Each decision is
+	// per message — a (site, counter) pair, where the site names one
+	// peer×route and the counter its message sequence number — so a
+	// worker replaying the same request sequence sees the same faults.
+
+	// Drop is the probability, per message, that a request vanishes
+	// before reaching the server (a severed connection: no side effects,
+	// the client sees a transport error).
+	Drop float64
+	// DropReply is the probability, per message, that the request is
+	// delivered — side effects happen — but the response is lost, so the
+	// client cannot tell whether the server acted (exercising lease
+	// expiry and idempotent result pushes).
+	DropReply float64
+	// Duplicate is the probability, per message, that the request is
+	// delivered twice (exercising at-most-once lease grants and
+	// duplicate result discarding).
+	Duplicate float64
+	// WireCorrupt is the probability, per message, that a seed-chosen
+	// byte of the request or response body is flipped in flight
+	// (exercising fingerprint revalidation and decode hardening).
+	WireCorrupt float64
+	// WireDelay is the probability, per message, that delivery stalls
+	// for WireDelayDur (exercising hedged re-dispatch of stragglers).
+	WireDelay float64
+	// WireDelayDur is the injected per-message delay (default 50ms).
+	WireDelayDur time.Duration
+	// Disconnect is the probability, per message, that the response is
+	// cut mid-stream: the client reads a truncated body then an error
+	// (exercising partial-read recovery).
+	Disconnect float64
+	// Partition is the probability, per window of PartitionWindow
+	// consecutive messages from one site, that the whole window is
+	// dropped — a transient network partition isolating that worker.
+	Partition float64
+	// PartitionWindow is the partition burst length in messages
+	// (default 8).
+	PartitionWindow int64
+	// Crash is the probability, per leased job, that the worker
+	// abandons the job and dies without a word — no result push, no
+	// more heartbeats (exercising lease-expiry reassignment and the
+	// coordinator's degrade-to-local ladder).
+	Crash float64
 }
 
 // Enabled reports whether any fault class has a non-zero probability.
 func (c Config) Enabled() bool {
 	return c.Panic > 0 || c.Spurious > 0 || c.Truncate > 0 ||
-		c.Corrupt > 0 || c.Slow > 0 || c.Poison > 0 || c.ShardPanic > 0
+		c.Corrupt > 0 || c.Slow > 0 || c.Poison > 0 || c.ShardPanic > 0 ||
+		c.TransportEnabled() || c.Crash > 0
+}
+
+// TransportEnabled reports whether any wire-level fault class has a
+// non-zero probability (worker crashes are decided per job, not per
+// message, and are excluded here).
+func (c Config) TransportEnabled() bool {
+	return c.Drop > 0 || c.DropReply > 0 || c.Duplicate > 0 ||
+		c.WireCorrupt > 0 || c.WireDelay > 0 || c.Disconnect > 0 || c.Partition > 0
 }
 
 // Injector makes deterministic fault decisions. All methods are safe on a
@@ -79,6 +133,12 @@ type Injector struct {
 func New(cfg Config) *Injector {
 	if cfg.SlowDelay <= 0 {
 		cfg.SlowDelay = 200 * time.Microsecond
+	}
+	if cfg.WireDelayDur <= 0 {
+		cfg.WireDelayDur = 50 * time.Millisecond
+	}
+	if cfg.PartitionWindow <= 0 {
+		cfg.PartitionWindow = 8
 	}
 	return &Injector{cfg: cfg}
 }
@@ -286,4 +346,113 @@ func (i *Injector) ChunkDelay(site string, idx int64) time.Duration {
 // data.
 func (i *Injector) PoisonStamp(key string) bool {
 	return i != nil && i.cfg.Poison > 0 && i.roll("poison", key, 0) < i.cfg.Poison
+}
+
+// --- transport faults ---
+
+// TransportDecision is the fate of one message on the wire. At most one
+// destructive class fires per message (drop wins over duplicate wins over
+// corrupt wins over disconnect, so a schedule stays interpretable); delay
+// composes with any of them, modelling a slow then-broken link.
+type TransportDecision struct {
+	// Drop severs the connection before delivery: no side effects, the
+	// sender sees a transport error.
+	Drop bool
+	// DropReply delivers the request but loses the response.
+	DropReply bool
+	// Duplicate delivers the request twice.
+	Duplicate bool
+	// Corrupt flips one body byte in flight; CorruptRequest selects
+	// which direction (the request body when it has one, else the
+	// response).
+	Corrupt        bool
+	CorruptRequest bool
+	// Disconnect cuts the response mid-stream.
+	Disconnect bool
+	// Delay stalls delivery for this long before anything else happens.
+	Delay time.Duration
+}
+
+// Faulty reports whether any class fired.
+func (d TransportDecision) Faulty() bool {
+	return d.Drop || d.DropReply || d.Duplicate || d.Corrupt || d.Disconnect || d.Delay > 0
+}
+
+// TransportFault decides the fate of message n at the given transport
+// site. A site names one peer × route (e.g. "dist:w1:lease"); n is the
+// site's message counter. The decision is a pure function of
+// seed × site × n, so a peer replaying the same message sequence hits the
+// same faults — what makes transport soak failures replayable from the
+// seed alone. A partitioned site (see Partitioned) should be checked
+// first; partition drops every message of its window.
+func (i *Injector) TransportFault(site string, n int64) TransportDecision {
+	var d TransportDecision
+	if i == nil {
+		return d
+	}
+	c := i.cfg
+	if c.WireDelay > 0 && i.roll("wiredelay", site, n) < c.WireDelay {
+		d.Delay = c.WireDelayDur
+	}
+	switch {
+	case c.Drop > 0 && i.roll("drop", site, n) < c.Drop:
+		d.Drop = true
+	case c.DropReply > 0 && i.roll("dropreply", site, n) < c.DropReply:
+		d.DropReply = true
+	case c.Duplicate > 0 && i.roll("dup", site, n) < c.Duplicate:
+		d.Duplicate = true
+	case c.WireCorrupt > 0 && i.roll("wirecorrupt", site, n) < c.WireCorrupt:
+		d.Corrupt = true
+		d.CorruptRequest = i.roll("wirecorrupt.side", site, n) < 0.5
+	case c.Disconnect > 0 && i.roll("disconnect", site, n) < c.Disconnect:
+		d.Disconnect = true
+	}
+	return d
+}
+
+// Partitioned reports whether message n at the given site falls inside an
+// injected partition window: messages are grouped into windows of
+// PartitionWindow, and each window is dropped wholesale with probability
+// Partition. Windowing makes partitions look like real ones — a burst of
+// consecutive losses, not independent coin flips — while staying a pure
+// function of seed × site × window index.
+func (i *Injector) Partitioned(site string, n int64) bool {
+	if i == nil || i.cfg.Partition <= 0 {
+		return false
+	}
+	return i.roll("partition", site, n/i.cfg.PartitionWindow) < i.cfg.Partition
+}
+
+// CorruptByte returns the position (reduced modulo the body length by the
+// caller) and XOR mask for an injected wire corruption of message n at
+// site. The mask is never zero, so a fired corruption always changes the
+// byte.
+func (i *Injector) CorruptByte(site string, n int64) (pos int64, mask byte) {
+	if i == nil {
+		return 0, 1
+	}
+	pos = int64(i.roll("wirecorrupt.pos", site, n) * (1 << 31))
+	mask = byte(1 + int(i.roll("wirecorrupt.mask", site, n)*255))
+	return pos, mask
+}
+
+// DisconnectAfter returns the fraction of the body delivered before an
+// injected mid-stream disconnect of message n at site, in [0.1, 0.9] so a
+// disconnect is neither a clean drop nor a complete delivery.
+func (i *Injector) DisconnectAfter(site string, n int64) float64 {
+	if i == nil {
+		return 0.5
+	}
+	return 0.1 + 0.8*i.roll("disconnect.at", site, n)
+}
+
+// WorkerCrash reports whether the worker at site should crash while
+// holding the lease on the job identified by key: abandon the job, stop
+// heartbeating, and die without a word. The decision is per (site, key),
+// so the same seed kills the same worker on the same job every run.
+func (i *Injector) WorkerCrash(site, key string) bool {
+	if i == nil || i.cfg.Crash <= 0 {
+		return false
+	}
+	return i.roll("crash", site+"|"+key, 0) < i.cfg.Crash
 }

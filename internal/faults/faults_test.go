@@ -238,6 +238,22 @@ func TestParseSpec(t *testing.T) {
 	if !cfg.Enabled() {
 		t.Error("parsed config not Enabled")
 	}
+	wire, err := ParseSpec("drop=0.1,dropreply=0.05,dup=0.1,wirecorrupt=0.2,wiredelay=0.3,wiredelaydur=2ms,disconnect=0.1,partition=0.25,partitionwindow=16,crash=0.4", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantWire := Config{Seed: 7, Drop: 0.1, DropReply: 0.05, Duplicate: 0.1,
+		WireCorrupt: 0.2, WireDelay: 0.3, WireDelayDur: 2 * time.Millisecond,
+		Disconnect: 0.1, Partition: 0.25, PartitionWindow: 16, Crash: 0.4}
+	if wire != wantWire {
+		t.Errorf("ParseSpec wire = %+v, want %+v", wire, wantWire)
+	}
+	if !wire.TransportEnabled() || !wire.Enabled() {
+		t.Error("wire config not enabled")
+	}
+	if (Config{Crash: 0.5}).TransportEnabled() {
+		t.Error("crash alone must not enable the transport wrapper")
+	}
 	empty, err := ParseSpec("  ", 5)
 	if err != nil {
 		t.Fatal(err)
@@ -245,10 +261,161 @@ func TestParseSpec(t *testing.T) {
 	if empty.Enabled() {
 		t.Error("empty spec enabled faults")
 	}
-	for _, bad := range []string{"panic", "panic=2", "panic=x", "bogus=0.1", "slowdelay=fast"} {
+	for _, bad := range []string{"panic", "panic=2", "panic=x", "bogus=0.1", "slowdelay=fast",
+		"wiredelaydur=soon", "partitionwindow=0", "partitionwindow=x", "drop=1.5"} {
 		if _, err := ParseSpec(bad, 0); err == nil {
 			t.Errorf("ParseSpec(%q) accepted", bad)
 		}
+	}
+}
+
+// TestTransportFaultDeterminism replays the full transport schedule for a
+// fixed seed, checks a different seed diverges, and checks the nil
+// injector and disabled classes are inert.
+func TestTransportFaultDeterminism(t *testing.T) {
+	cfg := Config{Seed: 11, Drop: 0.1, DropReply: 0.1, Duplicate: 0.1,
+		WireCorrupt: 0.1, WireDelay: 0.1, WireDelayDur: time.Millisecond,
+		Disconnect: 0.1, Partition: 0.2, PartitionWindow: 4, Crash: 0.3}
+	record := func(inj *Injector) []TransportDecision {
+		var out []TransportDecision
+		for i := int64(0); i < 300; i++ {
+			site := "w" + string(rune('0'+i%3)) + ":lease"
+			d := inj.TransportFault(site, i)
+			if inj.Partitioned(site, i) {
+				d.Drop = true
+			}
+			out = append(out, d)
+		}
+		return out
+	}
+	a, b := record(New(cfg)), record(New(cfg))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("transport schedule diverged at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	cfg2 := cfg
+	cfg2.Seed = 12
+	c := record(New(cfg2))
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical transport schedules")
+	}
+
+	var nilInj *Injector
+	if d := nilInj.TransportFault("s", 0); d.Faulty() {
+		t.Errorf("nil injector faults transport: %+v", d)
+	}
+	if nilInj.Partitioned("s", 0) || nilInj.WorkerCrash("s", "k") {
+		t.Error("nil injector partitions or crashes")
+	}
+	if d := New(Config{Seed: 1, Panic: 0.5}).TransportFault("s", 0); d.Faulty() {
+		t.Errorf("transport-disabled config faults transport: %+v", d)
+	}
+}
+
+// TestTransportFaultClasses checks each class fires at p=1, that the
+// destructive classes are mutually exclusive, and that delay composes.
+func TestTransportFaultClasses(t *testing.T) {
+	fired := func(cfg Config) TransportDecision {
+		cfg.Seed = 5
+		return New(cfg).TransportFault("site", 3)
+	}
+	if d := fired(Config{Drop: 1, Duplicate: 1, WireCorrupt: 1, Disconnect: 1}); !d.Drop || d.Duplicate || d.Corrupt || d.Disconnect {
+		t.Errorf("drop must win over later classes: %+v", d)
+	}
+	if d := fired(Config{DropReply: 1}); !d.DropReply || d.Drop {
+		t.Errorf("dropreply: %+v", d)
+	}
+	if d := fired(Config{Duplicate: 1}); !d.Duplicate {
+		t.Errorf("duplicate: %+v", d)
+	}
+	if d := fired(Config{WireCorrupt: 1}); !d.Corrupt {
+		t.Errorf("wirecorrupt: %+v", d)
+	}
+	if d := fired(Config{Disconnect: 1}); !d.Disconnect {
+		t.Errorf("disconnect: %+v", d)
+	}
+	d := fired(Config{Drop: 1, WireDelay: 1, WireDelayDur: 7 * time.Millisecond})
+	if !d.Drop || d.Delay != 7*time.Millisecond {
+		t.Errorf("delay must compose with drop: %+v", d)
+	}
+	if !d.Faulty() || (TransportDecision{}).Faulty() {
+		t.Error("Faulty misclassifies")
+	}
+}
+
+// TestPartitionWindowing checks partitions drop whole windows of
+// consecutive messages rather than flipping per-message coins.
+func TestPartitionWindowing(t *testing.T) {
+	inj := New(Config{Seed: 9, Partition: 0.5, PartitionWindow: 8})
+	transitions, parted := 0, 0
+	last := false
+	const msgs = 640
+	for n := int64(0); n < msgs; n++ {
+		p := inj.Partitioned("w1:push", n)
+		if p {
+			parted++
+		}
+		if n > 0 && p != last {
+			transitions++
+			if n%8 != 0 {
+				t.Fatalf("partition state flipped mid-window at message %d", n)
+			}
+		}
+		last = p
+	}
+	if parted == 0 || parted == msgs {
+		t.Fatalf("partition rate degenerate: %d/%d", parted, msgs)
+	}
+	if inj.Partitioned("w1:push", 3) != inj.Partitioned("w1:push", 3) {
+		t.Error("partition decision not stable")
+	}
+}
+
+// TestCorruptByteAndDisconnectAfter sanity-checks the corruption and
+// disconnect shaping helpers: stable, mask never zero, cut fraction
+// strictly mid-stream.
+func TestCorruptByteAndDisconnectAfter(t *testing.T) {
+	inj := New(Config{Seed: 21, WireCorrupt: 1, Disconnect: 1})
+	for n := int64(0); n < 100; n++ {
+		pos, mask := inj.CorruptByte("s", n)
+		if pos < 0 || mask == 0 {
+			t.Fatalf("CorruptByte(%d) = %d, %#x", n, pos, mask)
+		}
+		p2, m2 := inj.CorruptByte("s", n)
+		if pos != p2 || mask != m2 {
+			t.Fatalf("CorruptByte(%d) unstable", n)
+		}
+		at := inj.DisconnectAfter("s", n)
+		if at < 0.1 || at > 0.9 {
+			t.Fatalf("DisconnectAfter(%d) = %v out of [0.1,0.9]", n, at)
+		}
+	}
+}
+
+// TestWorkerCrash checks crash decisions are per (worker, job) and
+// reproducible.
+func TestWorkerCrash(t *testing.T) {
+	inj := New(Config{Seed: 2, Crash: 0.5})
+	crashed := 0
+	for i := 0; i < 200; i++ {
+		key := "job" + string(rune('a'+i%26)) + string(rune('a'+i/26))
+		if inj.WorkerCrash("w1", key) {
+			crashed++
+			if !inj.WorkerCrash("w1", key) {
+				t.Fatal("crash decision not stable")
+			}
+		}
+	}
+	if crashed < 50 || crashed > 150 {
+		t.Errorf("crash rate off: %d/200 at p=0.5", crashed)
 	}
 }
 

@@ -13,8 +13,10 @@ import (
 //	panic=0.05,error=0.2,truncate=0.1,corrupt=0.1,slow=0.01,slowdelay=1ms,poison=0.05
 //
 // Keys: panic, error (spurious failures), truncate, corrupt, slow,
-// poison, shardpanic take probabilities in [0, 1]; slowdelay takes a Go
-// duration.
+// poison, shardpanic, and the transport class drop, dropreply, dup,
+// wirecorrupt, wiredelay, disconnect, partition, crash take probabilities
+// in [0, 1]; slowdelay and wiredelaydur take Go durations; partitionwindow
+// takes a positive integer message count.
 // The seed is supplied separately so the same fault mix can be replayed
 // under different schedules. An empty spec yields a zero Config.
 func ParseSpec(spec string, seed uint64) (Config, error) {
@@ -33,12 +35,24 @@ func ParseSpec(spec string, seed uint64) (Config, error) {
 		}
 		key = strings.ToLower(strings.TrimSpace(key))
 		val = strings.TrimSpace(val)
-		if key == "slowdelay" {
+		switch key {
+		case "slowdelay", "wiredelaydur":
 			d, err := time.ParseDuration(val)
 			if err != nil {
-				return Config{}, fmt.Errorf("faults: bad slowdelay %q: %w", val, err)
+				return Config{}, fmt.Errorf("faults: bad %s %q: %w", key, val, err)
 			}
-			cfg.SlowDelay = d
+			if key == "slowdelay" {
+				cfg.SlowDelay = d
+			} else {
+				cfg.WireDelayDur = d
+			}
+			continue
+		case "partitionwindow":
+			w, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || w <= 0 {
+				return Config{}, fmt.Errorf("faults: bad partitionwindow %q (want positive integer)", val)
+			}
+			cfg.PartitionWindow = w
 			continue
 		}
 		p, err := strconv.ParseFloat(val, 64)
@@ -63,6 +77,22 @@ func ParseSpec(spec string, seed uint64) (Config, error) {
 			cfg.Poison = p
 		case "shardpanic":
 			cfg.ShardPanic = p
+		case "drop":
+			cfg.Drop = p
+		case "dropreply":
+			cfg.DropReply = p
+		case "dup", "duplicate":
+			cfg.Duplicate = p
+		case "wirecorrupt":
+			cfg.WireCorrupt = p
+		case "wiredelay":
+			cfg.WireDelay = p
+		case "disconnect":
+			cfg.Disconnect = p
+		case "partition":
+			cfg.Partition = p
+		case "crash":
+			cfg.Crash = p
 		default:
 			return Config{}, fmt.Errorf("faults: unknown spec key %q", key)
 		}

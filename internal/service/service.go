@@ -50,6 +50,11 @@ type Config struct {
 	Verify bool
 	// Faults, when non-nil, injects deterministic failures (tests).
 	Faults *faults.Injector
+	// Remote, when non-nil, is the distributed execution hook: the
+	// engine offers every simulation to it before running locally
+	// (typically a *dist.Coordinator sharding the sweep across pull
+	// workers), and degrades to local execution when it is unavailable.
+	Remote engine.Remote
 	// EventHistory is the per-experiment journal replay depth for SSE
 	// subscribers arriving mid-run; 0 means 256 lines.
 	EventHistory int
@@ -172,6 +177,7 @@ func New(cfg Config) (*Service, error) {
 		Faults:   cfg.Faults,
 		Store:    tier,
 		Observer: rt,
+		Remote:   cfg.Remote,
 	})
 	ctx, stop := context.WithCancel(context.Background())
 	s := &Service{

@@ -33,15 +33,29 @@ func (h *sumHash) hist(buckets []int64) {
 	}
 }
 
-// Fingerprint hashes every measured field of the result — event counts,
-// histograms, traffic counters, and all bus and network tallies — into 64
-// bits. Results are pure functions of the reference sequence, so a
-// result's fingerprint is stable across executors and batch sizes; the
+func (h *sumHash) flag(b bool) {
+	if b {
+		h.word(1)
+	} else {
+		h.word(0)
+	}
+}
+
+// Fingerprint hashes every field of the result — event counts,
+// histograms, traffic counters, and all bus and network tallies,
+// including the cost-model and topology descriptors each tally carries —
+// into 64 bits. Results are pure functions of the reference sequence, so
+// a result's fingerprint is stable across executors and batch sizes; the
 // execution engine records it when a result enters the cache and, in
-// verification mode, revalidates it on every hit, so an entry corrupted
-// after the fact (a stray write, a mutated aggregate) is rejected and
-// recomputed instead of served. Map-valued fields are folded in sorted
-// key order, so the fingerprint does not depend on map iteration.
+// verification mode, revalidates it on every hit, and the distributed
+// coordinator revalidates it on every result push, so bytes corrupted
+// after the fact (a stray write, a mutated aggregate, a flipped bit in
+// flight) are rejected and recomputed instead of served. The descriptor
+// fields are covered deliberately: they are not measurements, but they
+// ride in the same serialized payload, and a fingerprint that skips them
+// would bless a result whose tariffs were silently rewritten. Map-valued
+// fields are folded in sorted key order, so the fingerprint does not
+// depend on map iteration.
 func (r *Result) Fingerprint() uint64 {
 	h := sumHash(sumOffset)
 	h.str(r.Scheme)
@@ -65,6 +79,13 @@ func (r *Result) Fingerprint() uint64 {
 	for _, name := range names {
 		t := r.Tallies[name]
 		h.str(name)
+		m := t.Model
+		h.str(m.Name)
+		for _, c := range [...]float64{m.MemAccess, m.CacheAccess, m.WriteBackFill,
+			m.WriteWord, m.DirCheck, m.Inval, m.BroadcastInval, m.Q} {
+			h.word(math.Float64bits(c))
+		}
+		h.flag(m.DirCheckFree)
 		h.word(uint64(t.Refs))
 		h.word(uint64(t.Transactions))
 		for _, c := range t.Cycles {
@@ -80,6 +101,15 @@ func (r *Result) Fingerprint() uint64 {
 	for _, name := range names {
 		t := r.NetTallies[name]
 		h.str(name)
+		topo := t.Topo
+		h.str(topo.Name)
+		h.word(uint64(topo.Nodes))
+		h.word(math.Float64bits(topo.AvgDist))
+		h.word(uint64(topo.DistSum))
+		h.word(uint64(topo.DistPairs))
+		h.word(uint64(topo.Diameter))
+		h.flag(topo.Broadcast)
+		h.word(uint64(topo.FloodLinks))
 		h.word(uint64(t.CycleUnits))
 		h.word(uint64(t.Messages))
 		h.word(uint64(t.Floods))

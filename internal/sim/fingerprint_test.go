@@ -55,6 +55,23 @@ func TestFingerprintStableAndSensitive(t *testing.T) {
 				tl.CycleUnits += 1
 			}
 		}},
+		{"model tariff", func(r *Result) {
+			for _, tl := range r.Tallies {
+				tl.Model.Inval += 1
+				break
+			}
+		}},
+		{"model flag", func(r *Result) {
+			for _, tl := range r.Tallies {
+				tl.Model.DirCheckFree = !tl.Model.DirCheckFree
+				break
+			}
+		}},
+		{"topology", func(r *Result) {
+			for _, tl := range r.NetTallies {
+				tl.Topo.DistSum++
+			}
+		}},
 	}
 	for _, m := range mutations {
 		mut, err := SimulateTrace("Dir0B", tr, opts)

@@ -56,6 +56,12 @@ import (
 // instead of a float cycle sum, and result fingerprints hash those units.
 const SchemaVersion = 2
 
+// staleTempAge is how old a temp file must be before Open's sweep treats
+// it as a crashed writer's leftover and removes it. Live writers — in
+// this process or any other sharing the directory — hold a temp for
+// milliseconds between create and rename.
+const staleTempAge = time.Minute
+
 // ErrCorrupt reports a stored entry that failed integrity revalidation —
 // undecodable bytes, a key mismatch, or a fingerprint that no longer
 // matches the decoded content. The entry has been evicted by the time
@@ -187,9 +193,15 @@ func (s *Store) scan() error {
 			}
 			name := d.Name()
 			if strings.Contains(name, ".tmp") {
-				// A writer died between create and rename; the content is
-				// unreferenced and possibly torn. Remove it.
-				os.Remove(path)
+				// A crashed writer's leftover: unreferenced, possibly torn.
+				// But only remove it once it is old enough that no live
+				// writer can still own it — another process sharing this
+				// directory holds its temp for milliseconds between create
+				// and rename, and sweeping a live temp would make that
+				// rename fail under the writer.
+				if info, err := d.Info(); err == nil && time.Since(info.ModTime()) >= staleTempAge {
+					os.Remove(path)
+				}
 				return nil
 			}
 			if !strings.HasSuffix(name, sub.ext) {

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"dirsim/internal/obs"
 	"dirsim/internal/sim"
@@ -209,8 +210,10 @@ func TestCrossProcessVisibility(t *testing.T) {
 	}
 }
 
-// TestOpenSweepsTempFiles plants a stale temp file (a crashed writer's
-// leftover) and asserts Open removes it and ignores it as an entry.
+// TestOpenSweepsTempFiles plants two temp files — one stale (a crashed
+// writer's leftover, mtime pushed into the past) and one fresh (a live
+// writer in another process, mid-rename) — and asserts Open removes only
+// the stale one and indexes neither as an entry.
 func TestOpenSweepsTempFiles(t *testing.T) {
 	dir := t.TempDir()
 	sub := filepath.Join(dir, "res", "ee")
@@ -221,9 +224,20 @@ func TestOpenSweepsTempFiles(t *testing.T) {
 	if err := os.WriteFile(stale, []byte("torn"), 0o644); err != nil {
 		t.Fatal(err)
 	}
+	old := time.Now().Add(-2 * staleTempAge)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+	fresh := filepath.Join(sub, strings.Repeat("ef", 32)+".json.tmp67890")
+	if err := os.WriteFile(fresh, []byte("in flight"), 0o644); err != nil {
+		t.Fatal(err)
+	}
 	s := open(t, dir, Options{})
 	if _, err := os.Stat(stale); !errors.Is(err, os.ErrNotExist) {
 		t.Fatalf("stale temp file survived Open")
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Fatalf("fresh temp file swept — Open yanked a live writer's rename source: %v", err)
 	}
 	if st := s.Stats(); st.Entries != 0 {
 		t.Fatalf("temp file was indexed: %+v", st)
