@@ -59,8 +59,13 @@ func main() {
 		journal = flag.String("journal", "", "write a JSONL run journal to this file ('-' or 'stderr' for standard error)")
 		traceJS = flag.String("tracejson", "", "export a Chrome trace-event JSON timeline to this file ('-' for stdout; load in Perfetto or chrome://tracing)")
 		protoN  = flag.Int("protosample", 0, "coherence-telemetry stride: every Nth coherence event becomes a trace instant (0 auto-enables 64 with -tracejson, negative disables)")
+		showVer = flag.Bool("version", false, "print build version and exit")
 	)
 	flag.Parse()
+	if *showVer {
+		fmt.Println("dirsim", obs.Build())
+		return
+	}
 	if *conform {
 		if err := runConformance(*schemes); err != nil {
 			fmt.Fprintln(os.Stderr, "dirsim:", err)

@@ -84,10 +84,13 @@ type config struct {
 	hedgeAfter   time.Duration
 	degradeAfter time.Duration
 	fleetJournal string
+	journalMax   int64
+	journalKeep  int
 }
 
 func main() {
 	var cfg config
+	var showVersion bool
 	flag.StringVar(&cfg.listen, "listen", ":8080", "address to serve on (\":0\" picks a free port)")
 	flag.StringVar(&cfg.storeDir, "store", "", "durable result store directory (empty disables persistence)")
 	flag.Int64Var(&cfg.storeMax, "store-max-bytes", 0, "store size bound triggering LRU eviction (0 = unbounded)")
@@ -104,8 +107,15 @@ func main() {
 	flag.DurationVar(&cfg.hedgeAfter, "hedge-after", 0, "fleet straggler age before a hedge lease is granted (0 = default)")
 	flag.DurationVar(&cfg.degradeAfter, "degrade-after", 0, "fleet silence before a queued job degrades to local execution (0 = default)")
 	flag.StringVar(&cfg.fleetJournal, "fleet-journal", "", "write fleet job/lease/result events (JSON lines) here (\"-\" = stderr)")
+	flag.Int64Var(&cfg.journalMax, "fleet-journal-max-bytes", 0, "size-rotate the fleet journal when it would exceed this (0 = no rotation)")
+	flag.IntVar(&cfg.journalKeep, "fleet-journal-keep", 4, "rotated fleet-journal segments to keep (path.1 … path.N)")
+	flag.BoolVar(&showVersion, "version", false, "print build version and exit")
 	flag.Parse()
 
+	if showVersion {
+		fmt.Println("dirsimd", obs.Build())
+		return
+	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "dirsimd:", err)
 		os.Exit(1)
@@ -116,6 +126,7 @@ func run(cfg config) error {
 	start := time.Now()
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	reg := obs.NewRegistry()
+	obs.RegisterBuildInfo(reg)
 
 	var st *store.Store
 	if cfg.storeDir != "" {
@@ -135,17 +146,13 @@ func run(cfg config) error {
 	var coord *dist.Coordinator
 	if cfg.fleet {
 		var journal *obs.Journal
-		switch cfg.fleetJournal {
-		case "":
-		case "-":
-			journal = obs.NewJournal(os.Stderr)
-		default:
-			jf, err := os.Create(cfg.fleetJournal)
+		if cfg.fleetJournal != "" {
+			var err error
+			journal, err = obs.OpenJournalRotating(cfg.fleetJournal, cfg.journalMax, cfg.journalKeep)
 			if err != nil {
 				return err
 			}
-			defer jf.Close()
-			journal = obs.NewJournal(jf)
+			defer journal.Close()
 		}
 		coord = dist.NewCoordinator(dist.Options{
 			LeaseTTL:     cfg.leaseTTL,
@@ -246,6 +253,7 @@ func writeManifest(cfg config, addr string, start time.Time, reg *obs.Registry, 
 	m := &obs.RunManifest{
 		Schema:      obs.SchemaVersion,
 		Command:     "dirsimd",
+		Build:       obs.Build(),
 		Start:       start,
 		WallSeconds: time.Since(start).Seconds(),
 		Config: obs.ManifestConfig{

@@ -367,3 +367,150 @@ func TestFleetE2E(t *testing.T) {
 	}
 	s2.terminate()
 }
+
+// buildCLI compiles dirsimq once per test into a temp dir.
+func buildCLI(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "dirsimq")
+	cmd := exec.Command("go", "build", "-o", bin, "../dirsimq")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build dirsimq: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestFleetObservabilityE2E is the fleet-wide observability acceptance
+// test across REAL processes: dirsimd -fleet -fleet-journal plus two
+// dirsimw -ship-journal workers run a sweep; afterwards the coordinator
+// exports ONE merged Chrome trace with the workers' engine spans on
+// their own process rows, the fleet journal holds both sides' events
+// (worker lines skew-stamped), `dirsimq timeline -strict` passes its
+// consistency gate over it — books balanced, zero orphan lease
+// references — and /api/v1/dist/stats federates per-worker shipping and
+// version rows.
+func TestFleetObservabilityE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	bin := buildBinary(t)
+	wbin := buildWorker(t)
+	qbin := buildCLI(t)
+	fleetJnl := filepath.Join(t.TempDir(), "fleet.jsonl")
+
+	// -version prints and exits cleanly in both long-running binaries.
+	for _, b := range []string{bin, wbin} {
+		out, err := exec.Command(b, "-version").CombinedOutput()
+		if err != nil || len(strings.TrimSpace(string(out))) == 0 {
+			t.Fatalf("%s -version: %v (%q)", filepath.Base(b), err, out)
+		}
+	}
+
+	s := startServer(t, bin, "-fleet", "-fleet-journal", fleetJnl)
+	w1 := startWorker(t, wbin, "w1", "http://"+s.addr, "-ship-journal")
+	w2 := startWorker(t, wbin, "w2", "http://"+s.addr, "-ship-journal")
+
+	id := submit(t, s, "team-a")
+	fetchDone(t, s, id)
+
+	// The merged Chrome trace: worker process rows and dispatch spans in
+	// one valid JSON document.
+	resp, err := http.Get(s.url("/api/v1/experiments/" + id + "/trace"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace bytes.Buffer
+	trace.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace endpoint status %d", resp.StatusCode)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(trace.Bytes(), &doc); err != nil {
+		t.Fatalf("merged trace is not valid Chrome JSON: %v", err)
+	}
+	for _, want := range []string{`"dist:queue"`, `"dist:lease"`, `"process_name"`, `"dirsimw:w`} {
+		if !strings.Contains(trace.String(), want) {
+			t.Errorf("merged trace missing %s", want)
+		}
+	}
+
+	// Workers drain on SIGTERM: their shippers' final flush lands the
+	// tail (including worker.stop) in the fleet journal.
+	w1.Process.Signal(syscall.SIGTERM)
+	w2.Process.Signal(syscall.SIGTERM)
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		b, _ := os.ReadFile(fleetJnl)
+		if strings.Count(string(b), `"msg":"worker.stop"`) >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("worker.stop never shipped; journal:\n%s", b)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	jb, _ := os.ReadFile(fleetJnl)
+	for _, want := range []string{
+		`"worker":"w1","skew_ns":`, `"worker":"w2","skew_ns":`,
+		`"msg":"trace.import"`, `"msg":"worker.join"`,
+	} {
+		if !strings.Contains(string(jb), want) {
+			t.Errorf("fleet journal missing %s", want)
+		}
+	}
+
+	// Per-worker federation on the coordinator's public stats.
+	resp, err = http.Get(s.url("/api/v1/dist/stats"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		JobsCompleted int64
+		Workers       []struct {
+			Name         string `json:"name"`
+			Version      string `json:"version"`
+			Accepted     int64  `json:"accepted"`
+			ShippedLines int64  `json:"shipped_lines"`
+			SkewSet      bool   `json:"skew_set"`
+		}
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.JobsCompleted != 3 || len(st.Workers) != 2 {
+		t.Fatalf("dist stats = %+v, want 3 completions across 2 workers", st)
+	}
+	var accepted, shipped int64
+	for _, w := range st.Workers {
+		accepted += w.Accepted
+		shipped += w.ShippedLines
+		if w.Version == "" {
+			t.Errorf("worker %s joined without a build version", w.Name)
+		}
+	}
+	if accepted != 3 {
+		t.Errorf("federated accepted = %d, want 3", accepted)
+	}
+	if v, ok := metricValue(t, s, "dist_journal_batches"); !ok || v == 0 {
+		t.Errorf("dist_journal_batches = %v, want > 0", v)
+	}
+	if shipped == 0 {
+		t.Error("no shipped lines federated into worker stats")
+	}
+
+	// The unified timeline passes its consistency gate, skew-corrected.
+	out, err := exec.Command(qbin, "timeline", "-strict", "all", fleetJnl).CombinedOutput()
+	if err != nil {
+		t.Fatalf("dirsimq timeline -strict failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{"[balanced]", "orphan lease references: 0", "worker clock skew"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("timeline output missing %q:\n%s", want, out)
+		}
+	}
+	s.terminate()
+}

@@ -8,6 +8,7 @@
 //	dirsimq stats  [-trace ID] [-tenant T] [-kind K] [-msg M] journal.jsonl...
 //	dirsimq filter [-trace ID] [-tenant T] [-kind K] [-msg M] journal.jsonl...
 //	dirsimq follow -trace ID journal.jsonl...
+//	dirsimq timeline [-strict] <traceID|jobKey|all> fleet.jsonl...
 //	dirsimq diff   [-threshold 0.10] baseline.jsonl current.jsonl
 //
 // stats aggregates: events by type, engine-job latency breakdowns per
@@ -17,7 +18,11 @@
 // load skew from the sim.shard events. filter re-emits matching raw JSONL lines (for
 // piping into jq or another dirsimq). follow reconstructs one request's
 // causal chain end-to-end — submission, admission wait, every engine
-// job, store access, and retry it caused — in time order. diff compares
+// job, store access, and retry it caused — in time order. timeline does
+// the same across the fleet: it merges a coordinator journal with the
+// worker lines shipped into it (-ship-journal on dirsimw), corrects
+// worker timestamps by their recorded clock-skew estimates, and checks
+// the chain's books — see -h. diff compares
 // two runs and flags latency or hit-ratio regressions beyond the
 // threshold, exiting 1 so CI can gate on it.
 //
@@ -36,6 +41,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"dirsim/internal/obs"
 )
 
 func main() {
@@ -57,8 +64,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		err = cmdFilter(rest, stdout, stderr)
 	case "follow":
 		err = cmdFollow(rest, stdout, stderr)
+	case "timeline":
+		code, err = cmdTimeline(rest, stdout, stderr)
 	case "diff":
 		code, err = cmdDiff(rest, stdout, stderr)
+	case "version", "-version", "--version":
+		fmt.Fprintln(stdout, "dirsimq", obs.Build())
+		return 0
 	case "help", "-h", "--help":
 		usage(stdout)
 		return 0
@@ -80,10 +92,17 @@ func usage(w io.Writer) {
   dirsimq stats  [-trace ID] [-tenant T] [-kind K] [-msg M] journal.jsonl...
   dirsimq filter [-trace ID] [-tenant T] [-kind K] [-msg M] journal.jsonl...
   dirsimq follow -trace ID journal.jsonl...
+  dirsimq timeline [-strict] <traceID|jobKey|all> fleet.jsonl...
   dirsimq diff   [-threshold 0.10] baseline.jsonl current.jsonl
 
-"-" reads standard input. -msg matches the event name exactly, or as a
-prefix when it ends in '*' (e.g. -msg 'job.*').
+timeline merges a fleet journal (with shipped worker lines) into one
+skew-corrected causal chain — queue, leases, heartbeats, worker-side
+execution, result — and verifies it: no orphan lease references, books
+balanced (-strict exits 1 otherwise, for CI).
+
+"-" reads standard input; file journals read their whole rotated set
+(journal.jsonl.N …) when present. -msg matches the event name exactly,
+or as a prefix when it ends in '*' (e.g. -msg 'job.*').
 `)
 }
 
@@ -148,34 +167,36 @@ func readJournal(r io.Reader) (lines []line, skipped int, err error) {
 	return lines, skipped, sc.Err()
 }
 
-// load reads and concatenates the given journals ("-" = stdin).
+// load reads and concatenates the given journals ("-" = stdin). A file
+// journal that was size-rotated (path.N siblings, see obs.SegmentPaths)
+// is read as its whole rotated set, oldest segment first, so analytics
+// over a long-running server see one continuous stream.
 func load(paths []string) ([]line, int, error) {
 	var all []line
 	skipped := 0
 	for _, p := range paths {
-		var r io.Reader
 		if p == "-" {
-			r = os.Stdin
-		} else {
-			f, err := os.Open(p)
+			ls, sk, err := readJournal(os.Stdin)
+			if err != nil {
+				return nil, 0, err
+			}
+			all = append(all, ls...)
+			skipped += sk
+			continue
+		}
+		for _, seg := range obs.SegmentPaths(p) {
+			f, err := os.Open(seg)
 			if err != nil {
 				return nil, 0, err
 			}
 			ls, sk, err := readJournal(f)
 			f.Close()
 			if err != nil {
-				return nil, 0, fmt.Errorf("%s: %w", p, err)
+				return nil, 0, fmt.Errorf("%s: %w", seg, err)
 			}
 			all = append(all, ls...)
 			skipped += sk
-			continue
 		}
-		ls, sk, err := readJournal(r)
-		if err != nil {
-			return nil, 0, err
-		}
-		all = append(all, ls...)
-		skipped += sk
 	}
 	return all, skipped, nil
 }
@@ -299,6 +320,21 @@ type summary struct {
 	distBreaks   int64 // worker.break
 	distCrashes  int64 // worker.crash
 	distWorkers  map[string]struct{}
+	workers      map[string]*workerAgg
+}
+
+// workerAgg is one worker's slice of the fleet journal: leases the
+// coordinator granted it, job outcomes it reported, journal lines it
+// shipped home, and its last clock-skew estimate (from the skew_ns
+// stamp the coordinator splices onto shipped lines).
+type workerAgg struct {
+	leases   int64
+	finishes int64
+	jobErrs  int64
+	crashes  int64
+	shipped  int64
+	skewNS   int64
+	skewSet  bool
 }
 
 // shardSim aggregates one block-sharded simulation's worker events
@@ -340,6 +376,15 @@ func summarize(lines []line, skipped int) *summary {
 		tenants:     map[string]struct{}{},
 		shardSims:   map[string]*shardSim{},
 		distWorkers: map[string]struct{}{},
+		workers:     map[string]*workerAgg{},
+	}
+	worker := func(name string) *workerAgg {
+		wa := s.workers[name]
+		if wa == nil {
+			wa = &workerAgg{}
+			s.workers[name] = wa
+		}
+		return wa
 	}
 	addDist := func(m map[string]*dist, key string, v int64) {
 		d := m[key]
@@ -363,6 +408,13 @@ func summarize(lines []line, skipped int) *summary {
 		}
 		if w := l.str("worker"); w != "" {
 			s.distWorkers[w] = struct{}{}
+			if skew, ok := l.num("skew_ns"); ok {
+				// The skew_ns stamp marks a line shipped home by the
+				// worker, tagged coordinator-side with its clock offset.
+				wa := worker(w)
+				wa.shipped++
+				wa.skewNS, wa.skewSet = skew, true
+			}
 		}
 		switch l.Msg {
 		case "job.finish":
@@ -392,8 +444,14 @@ func summarize(lines []line, skipped int) *summary {
 			s.distQueued++
 		case "job.lease":
 			s.distLeases++
+			if w := l.str("worker"); w != "" {
+				worker(w).leases++
+			}
 		case "job.hedge":
 			s.distHedges++
+			if w := l.str("worker"); w != "" {
+				worker(w).leases++
+			}
 		case "job.requeue":
 			s.distRequeues++
 		case "job.lease.expire":
@@ -410,6 +468,17 @@ func summarize(lines []line, skipped int) *summary {
 			s.distBreaks++
 		case "worker.crash":
 			s.distCrashes++
+			if w := l.str("worker"); w != "" {
+				worker(w).crashes++
+			}
+		case "worker.job.finish":
+			if w := l.str("worker"); w != "" {
+				worker(w).finishes++
+			}
+		case "worker.job.error":
+			if w := l.str("worker"); w != "" {
+				worker(w).jobErrs++
+			}
 		case "sim.shard":
 			shard, ok := l.num("shard")
 			if !ok || shard < 0 {
@@ -531,6 +600,21 @@ func writeStats(w io.Writer, s *summary) {
 			s.distRejects, s.distDups)
 		fmt.Fprintf(w, "  workers: %d seen, %d circuit-broken, %d crashed\n",
 			len(s.distWorkers), s.distBreaks, s.distCrashes)
+	}
+
+	if len(s.workers) > 0 {
+		fmt.Fprintln(w, "\nper-worker:")
+		fmt.Fprintf(w, "  %-20s %7s %8s %6s %8s %8s %10s\n",
+			"worker", "leases", "finished", "errors", "crashes", "shipped", "skew_us")
+		for _, name := range sortedKeys(s.workers) {
+			wa := s.workers[name]
+			skew := "-"
+			if wa.skewSet {
+				skew = fmt.Sprintf("%+d", wa.skewNS/1000)
+			}
+			fmt.Fprintf(w, "  %-20s %7d %8d %6d %8d %8d %10s\n",
+				name, wa.leases, wa.finishes, wa.jobErrs, wa.crashes, wa.shipped, skew)
+		}
 	}
 
 	if len(s.shardSims) > 0 {

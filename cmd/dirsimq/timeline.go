@@ -1,0 +1,200 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// cmdTimeline reconstructs the fleet-wide causal chain of one job (or
+// the whole journal) from a coordinator's fleet journal with shipped
+// worker lines merged in: queue → lease grants → heartbeats → the
+// worker's own job lifecycle → result push → accept/reject, in one
+// time-ordered listing on the coordinator's clock.
+//
+// Worker-shipped lines (recognizable by the worker/skew_ns stamp the
+// coordinator splices on) carry the worker's wall clock; timeline
+// shifts them by the skew estimate so both sides of the wire order
+// correctly even when the worker's clock is off.
+//
+// It also verifies the journal's structural consistency:
+//
+//   - every lease a worker references was actually granted by the
+//     coordinator (no orphan lease references), and
+//   - the books balance: jobs queued == accepted + degraded + failed.
+//
+// -strict exits 1 when either check fails, so CI can gate on it.
+func cmdTimeline(args []string, stdout, stderr io.Writer) (int, error) {
+	fs := flag.NewFlagSet("timeline", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	strict := fs.Bool("strict", false, "exit 1 on orphan lease references or unbalanced books")
+	noSkew := fs.Bool("no-skew-correct", false, "print worker lines on their own clock (skip skew correction)")
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+	if fs.NArg() < 2 {
+		return 2, fmt.Errorf("timeline: want <traceID|jobKey|all> journal.jsonl..., got %d args", fs.NArg())
+	}
+	sel, paths := fs.Arg(0), fs.Args()[1:]
+	lines, _, err := load(paths)
+	if err != nil {
+		return 2, err
+	}
+
+	chain := selectChain(lines, sel)
+	if len(chain) == 0 {
+		listSelectors(lines, stdout)
+		return 2, fmt.Errorf("timeline: no events match %q", sel)
+	}
+
+	// Merge onto the coordinator's clock: shipped worker lines shift by
+	// their skew estimate (coordinator minus worker, so adding converts).
+	type entry struct {
+		l      line
+		at     time.Time
+		source string
+		skewed bool
+	}
+	entries := make([]entry, 0, len(chain))
+	anySkewed := false
+	for _, l := range chain {
+		e := entry{l: l, at: l.Time, source: "coord"}
+		if skew, ok := l.num("skew_ns"); ok {
+			e.source = l.str("worker")
+			if !*noSkew {
+				e.at = l.Time.Add(time.Duration(skew))
+				e.skewed = true
+				anySkewed = true
+			}
+		}
+		entries = append(entries, e)
+	}
+	sort.SliceStable(entries, func(i, j int) bool { return entries[i].at.Before(entries[j].at) })
+
+	fmt.Fprintf(stdout, "timeline %s: %d events, %s → %s\n", sel, len(entries),
+		entries[0].at.Format("15:04:05.000"), entries[len(entries)-1].at.Format("15:04:05.000"))
+	s := summarize(chain, 0)
+	if len(s.workers) > 0 {
+		var parts []string
+		for _, name := range sortedKeys(s.workers) {
+			wa := s.workers[name]
+			if wa.skewSet {
+				parts = append(parts, fmt.Sprintf("%s %+dus", name, wa.skewNS/1000))
+			}
+		}
+		if len(parts) > 0 {
+			fmt.Fprintf(stdout, "worker clock skew (coordinator minus worker): %s\n", strings.Join(parts, ", "))
+		}
+	}
+	fmt.Fprintln(stdout)
+	for _, e := range entries {
+		src := e.source
+		if e.skewed {
+			src += "*"
+		}
+		fmt.Fprintf(stdout, "%s  %-14s %s\n", e.at.Format("15:04:05.000000"), src, renderEvent(e.l))
+	}
+	if anySkewed {
+		fmt.Fprintln(stdout, "\n(* worker line, timestamp skew-corrected onto the coordinator's clock)")
+	}
+
+	// Structural consistency over the selection.
+	orphans := orphanLeaseRefs(chain)
+	queued := int64(s.distQueued)
+	accepted, degraded, failed := s.distAccepts, s.distDegrades, int64(s.byMsg["job.remote.error"])
+	balanced := queued == accepted+degraded+failed
+	fmt.Fprintf(stdout, "\nbooks: %d queued = %d accepted + %d degraded + %d failed",
+		queued, accepted, degraded, failed)
+	if balanced {
+		fmt.Fprintln(stdout, "  [balanced]")
+	} else {
+		fmt.Fprintln(stdout, "  [UNBALANCED]")
+	}
+	fmt.Fprintf(stdout, "orphan lease references: %d\n", len(orphans))
+	for _, o := range orphans {
+		fmt.Fprintf(stdout, "  %s %s lease=%s\n", o.str("worker"), o.Msg, o.str("lease"))
+	}
+	if *strict && (!balanced || len(orphans) > 0) {
+		fmt.Fprintln(stdout, "\ntimeline: consistency checks FAILED")
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// selectChain picks the causal chain: everything for "all", else lines
+// whose trace ID matches, or whose (possibly shortened) job key
+// prefix-matches the selector either way round.
+func selectChain(lines []line, sel string) []line {
+	if sel == "all" {
+		return lines
+	}
+	var out []line
+	for _, l := range lines {
+		if l.Trace == sel {
+			out = append(out, l)
+			continue
+		}
+		if k := l.str("key"); k != "" &&
+			(strings.HasPrefix(k, sel) || strings.HasPrefix(sel, k)) {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+func listSelectors(lines []line, w io.Writer) {
+	traces := map[string]int{}
+	keys := map[string]int{}
+	for _, l := range lines {
+		if l.Trace != "" {
+			traces[l.Trace]++
+		}
+		if k := l.str("key"); k != "" {
+			keys[k]++
+		}
+	}
+	if len(traces) > 0 {
+		fmt.Fprintln(w, "traces in journal:")
+		for _, t := range sortedKeys(traces) {
+			fmt.Fprintf(w, "  %s  (%d events)\n", t, traces[t])
+		}
+	}
+	if len(keys) > 0 {
+		fmt.Fprintln(w, "job keys in journal:")
+		for _, k := range sortedKeys(keys) {
+			fmt.Fprintf(w, "  %s  (%d events)\n", k, keys[k])
+		}
+	}
+}
+
+// orphanLeaseRefs finds worker-shipped lines referencing a lease the
+// coordinator never granted — the smoking gun for a corrupted merge
+// (granted leases come from job.lease / job.hedge events).
+func orphanLeaseRefs(lines []line) []line {
+	granted := map[string]struct{}{}
+	for _, l := range lines {
+		switch l.Msg {
+		case "job.lease", "job.hedge":
+			if id := l.str("lease"); id != "" {
+				granted[id] = struct{}{}
+			}
+		}
+	}
+	var orphans []line
+	for _, l := range lines {
+		if _, shipped := l.attrs["skew_ns"]; !shipped {
+			continue
+		}
+		id := l.str("lease")
+		if id == "" {
+			continue
+		}
+		if _, ok := granted[id]; !ok {
+			orphans = append(orphans, l)
+		}
+	}
+	return orphans
+}

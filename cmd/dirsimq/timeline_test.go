@@ -1,0 +1,196 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fleetJournal is a coordinator's fleet journal with one remotely
+// completed job (trace tr1, worker w1's shipped lines merged in and
+// skew-stamped) and one degraded job (trace tr2). Worker w1's clock runs
+// 800ms AHEAD of the coordinator's (skew_ns = coordinator minus worker =
+// -800ms), so its raw timestamps sort after the result.accept that
+// logically follows them — the case skew correction exists for.
+const fleetJournal = `{"time":"2026-08-08T10:00:00.000Z","level":"INFO","msg":"job.queue","schema":2,"scheme":"Dir1NB","workload":"pops","key":"aabbccddeeff","trace":"tr1"}
+{"time":"2026-08-08T10:00:00.050Z","level":"INFO","msg":"job.lease","schema":2,"worker":"w1","lease":"L1","attempt":0,"hedge":false,"key":"aabbccddeeff","trace":"tr1"}
+{"time":"2026-08-08T10:00:00.900Z","level":"INFO","msg":"worker.job.start","schema":2,"key":"aabbccddeeff","lease":"L1","scheme":"Dir1NB","workload":"pops","trace":"tr1","worker":"w1","skew_ns":-800000000}
+{"time":"2026-08-08T10:00:01.000Z","level":"INFO","msg":"worker.job.finish","schema":2,"key":"aabbccddeeff","fingerprint":"0xabc","trace":"tr1","worker":"w1","skew_ns":-800000000}
+{"time":"2026-08-08T10:00:00.230Z","level":"INFO","msg":"trace.import","schema":2,"worker":"w1","lease":"L1","events":5,"reparented":1,"clamped":0,"key":"aabbccddeeff","trace":"tr1"}
+{"time":"2026-08-08T10:00:00.250Z","level":"INFO","msg":"result.accept","schema":2,"worker":"w1","lease":"L1","fingerprint":"0xabc","hedges":0,"key":"aabbccddeeff","trace":"tr1"}
+{"time":"2026-08-08T10:00:02.000Z","level":"INFO","msg":"job.queue","schema":2,"scheme":"Dir0B","workload":"ptc","key":"112233445566","trace":"tr2"}
+{"time":"2026-08-08T10:00:02.100Z","level":"INFO","msg":"job.degrade","schema":2,"cause":"fleet unreachable","key":"112233445566","trace":"tr2"}
+`
+
+// orphanLine is a shipped worker line referencing a lease the
+// coordinator never granted — the merge-corruption smoking gun.
+const orphanLine = `{"time":"2026-08-08T10:00:03.000Z","level":"INFO","msg":"worker.job.start","schema":2,"key":"ffffffffffff","lease":"L99","trace":"tr3","worker":"w2","skew_ns":0}
+`
+
+func TestTimelineMergesAndSkewCorrects(t *testing.T) {
+	path := writeJournal(t, "fleet.jsonl", fleetJournal)
+	code, out, errb := runCLI(t, "timeline", "tr1", path)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	// The skew estimate is surfaced, and shipped lines are marked.
+	if !strings.Contains(out, "w1 -800000us") {
+		t.Errorf("skew header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "w1*") {
+		t.Errorf("shipped lines not marked as skew-corrected:\n%s", out)
+	}
+	// Skew correction restores causal order: lease → worker start →
+	// worker finish → accept, even though the worker's raw clock put its
+	// lines after the accept.
+	idx := func(sub string) int { return strings.Index(out, sub) }
+	lease, start, finish, accept := idx("job.lease"), idx("worker.job.start"), idx("worker.job.finish"), idx("result.accept")
+	if !(lease < start && start < finish && finish < accept) {
+		t.Errorf("events out of causal order (lease=%d start=%d finish=%d accept=%d):\n%s",
+			lease, start, finish, accept, out)
+	}
+	// The consistency verdict for this trace: one queued, one accepted.
+	if !strings.Contains(out, "books: 1 queued = 1 accepted + 0 degraded + 0 failed") ||
+		!strings.Contains(out, "[balanced]") {
+		t.Errorf("books wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "orphan lease references: 0") {
+		t.Errorf("orphan count wrong:\n%s", out)
+	}
+}
+
+func TestTimelineNoSkewCorrect(t *testing.T) {
+	path := writeJournal(t, "fleet.jsonl", fleetJournal)
+	_, out, _ := runCLI(t, "timeline", "-no-skew-correct", "tr1", path)
+	// On raw clocks the worker lines trail the accept.
+	if !(strings.Index(out, "result.accept") < strings.Index(out, "worker.job.start")) {
+		t.Errorf("-no-skew-correct still reordered worker lines:\n%s", out)
+	}
+	if strings.Contains(out, "w1*") {
+		t.Errorf("uncorrected lines still marked corrected:\n%s", out)
+	}
+}
+
+func TestTimelineSelectsByJobKey(t *testing.T) {
+	path := writeJournal(t, "fleet.jsonl", fleetJournal)
+	code, out, _ := runCLI(t, "timeline", "aabbcc", path)
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "worker.job.finish") || strings.Contains(out, "job.degrade") {
+		t.Errorf("key prefix selection wrong:\n%s", out)
+	}
+}
+
+func TestTimelineWholeJournalBalances(t *testing.T) {
+	path := writeJournal(t, "fleet.jsonl", fleetJournal)
+	code, out, _ := runCLI(t, "timeline", "-strict", "all", path)
+	if code != 0 {
+		t.Fatalf("strict timeline over a consistent journal exited %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "books: 2 queued = 1 accepted + 1 degraded + 0 failed") {
+		t.Errorf("whole-journal books wrong:\n%s", out)
+	}
+}
+
+func TestTimelineStrictFailsOnOrphanLease(t *testing.T) {
+	path := writeJournal(t, "fleet.jsonl", fleetJournal+orphanLine)
+	// Non-strict: reported, exit 0.
+	code, out, _ := runCLI(t, "timeline", "all", path)
+	if code != 0 {
+		t.Fatalf("non-strict exited %d", code)
+	}
+	if !strings.Contains(out, "orphan lease references: 1") || !strings.Contains(out, "L99") {
+		t.Errorf("orphan not reported:\n%s", out)
+	}
+	// Strict: the same journal fails the gate.
+	code, out, _ = runCLI(t, "timeline", "-strict", "all", path)
+	if code != 1 || !strings.Contains(out, "consistency checks FAILED") {
+		t.Errorf("strict exit = %d, want 1:\n%s", code, out)
+	}
+}
+
+func TestTimelineStrictFailsUnbalancedBooks(t *testing.T) {
+	// A queue event whose job never resolved: the books cannot close.
+	const truncated = `{"time":"2026-08-08T10:00:00.000Z","level":"INFO","msg":"job.queue","schema":2,"key":"aabbccddeeff","trace":"tr1"}
+`
+	path := writeJournal(t, "fleet.jsonl", truncated)
+	code, out, _ := runCLI(t, "timeline", "-strict", "all", path)
+	if code != 1 || !strings.Contains(out, "[UNBALANCED]") {
+		t.Errorf("strict exit = %d, want 1 with UNBALANCED:\n%s", code, out)
+	}
+}
+
+func TestTimelineListsSelectorsOnMiss(t *testing.T) {
+	path := writeJournal(t, "fleet.jsonl", fleetJournal)
+	code, out, errb := runCLI(t, "timeline", "nope", path)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(out, "tr1") || !strings.Contains(out, "tr2") {
+		t.Errorf("miss did not list available traces:\n%s\n%s", out, errb)
+	}
+}
+
+func TestStatsPerWorkerTable(t *testing.T) {
+	path := writeJournal(t, "fleet.jsonl", fleetJournal)
+	code, out, _ := runCLI(t, "stats", path)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "per-worker:") {
+		t.Fatalf("per-worker table missing:\n%s", out)
+	}
+	var row string
+	for _, l := range strings.Split(out, "\n") {
+		if strings.Contains(l, "w1") && !strings.Contains(l, "worker") {
+			row = l
+		}
+	}
+	// w1: 1 lease, 1 finish, 0 errors, 0 crashes, 2 shipped lines,
+	// -800000us skew.
+	fields := strings.Fields(row)
+	want := []string{"w1", "1", "1", "0", "0", "2", "-800000"}
+	if len(fields) != len(want) {
+		t.Fatalf("w1 row = %q, want fields %v", row, want)
+	}
+	for i := range want {
+		if fields[i] != want[i] {
+			t.Errorf("w1 row field %d = %q, want %q (row %q)", i, fields[i], want[i], row)
+		}
+	}
+}
+
+// TestTimelineReadsRotatedSegments: pointing any dirsimq command at the
+// live journal path transparently includes the rotated segments, oldest
+// first, so a size-rotated fleet journal reads back as one stream.
+func TestTimelineReadsRotatedSegments(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "fleet.jsonl")
+	// Split the journal across two rotated segments plus the live file.
+	lines := strings.SplitAfter(strings.TrimSuffix(fleetJournal, "\n"), "\n")
+	marker := `{"time":"2026-08-08T10:00:00.500Z","level":"INFO","msg":"journal.rotated","schema":2,"segments":1,"path":"fleet.jsonl"}` + "\n"
+	if err := os.WriteFile(base+".2", []byte(strings.Join(lines[:3], "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(base+".1", []byte(marker+strings.Join(lines[3:6], "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(base, []byte(marker+strings.Join(lines[6:], "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	code, out, errb := runCLI(t, "timeline", "-strict", "all", base)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %s:\n%s", code, errb, out)
+	}
+	// The full event set is present — books from all three segments — and
+	// rotation markers ride along as ordinary events.
+	if !strings.Contains(out, "books: 2 queued = 1 accepted + 1 degraded + 0 failed") {
+		t.Errorf("rotated set incomplete:\n%s", out)
+	}
+	if !strings.Contains(out, "journal.rotated") {
+		t.Errorf("rotation markers dropped:\n%s", out)
+	}
+}

@@ -10,6 +10,7 @@
 //
 //	dirsimw -coordinator http://localhost:8080
 //	dirsimw -coordinator http://host:8080 -name rack3-w1 -store /var/lib/dirsim
+//	dirsimw -coordinator http://host:8080 -journal w1.jsonl -ship-journal
 //	dirsimw -coordinator http://host:8080 -faults 'drop=0.1,wiredelay=0.3,wiredelaydur=5ms' -fault-seed 7
 //
 // The optional -store directory may be shared with the coordinator or
@@ -17,15 +18,27 @@
 // revalidation) without simulating. -faults injects deterministic
 // transport faults on the worker's wire — the same classes the soak
 // tests run under — for rehearsing fleet failure modes against a live
-// coordinator. SIGTERM or SIGINT finishes the current heartbeat cycle
-// and exits cleanly; a lease the worker abandons is reassigned when it
-// expires.
+// coordinator.
+//
+// Observability: the worker journals its own lease/job lifecycle and —
+// because jobs traced by the coordinator run under a per-job tracer —
+// ships its engine spans home with every result, where they nest under
+// the coordinator's dispatch span in the merged Chrome trace.
+// -ship-journal additionally streams the worker's journal lines to the
+// coordinator's fleet journal (best-effort, bounded buffer, drops
+// counted), each line stamped coordinator-side with the worker's name
+// and clock-skew estimate so `dirsimq timeline` can merge both sides
+// onto one clock. -journal-max-bytes/-journal-keep size-rotate the
+// local journal file. SIGTERM or SIGINT finishes the current heartbeat
+// cycle, flushes the shipper, and exits cleanly; a lease the worker
+// abandons is reassigned when it expires.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/signal"
@@ -40,19 +53,23 @@ import (
 )
 
 type config struct {
-	coordinator string
-	name        string
-	poll        time.Duration
-	simWorkers  int
-	storeDir    string
-	verify      bool
-	faultSpec   string
-	faultSeed   uint64
-	journal     string
+	coordinator     string
+	name            string
+	poll            time.Duration
+	simWorkers      int
+	storeDir        string
+	verify          bool
+	faultSpec       string
+	faultSeed       uint64
+	journal         string
+	journalMaxBytes int64
+	journalKeep     int
+	shipJournal     bool
 }
 
 func main() {
 	var cfg config
+	var showVersion bool
 	flag.StringVar(&cfg.coordinator, "coordinator", "", "coordinator base URL (required), e.g. http://localhost:8080")
 	flag.StringVar(&cfg.name, "name", "", "worker name in leases and journals (default host-pid)")
 	flag.DurationVar(&cfg.poll, "poll", time.Second, "idle wait between lease attempts that found no work")
@@ -62,8 +79,16 @@ func main() {
 	flag.StringVar(&cfg.faultSpec, "faults", "", "inject transport faults, e.g. 'drop=0.1,dup=0.05,wiredelay=0.2,wiredelaydur=5ms'")
 	flag.Uint64Var(&cfg.faultSeed, "fault-seed", 1, "seed for deterministic fault injection")
 	flag.StringVar(&cfg.journal, "journal", "-", "write worker events (JSON lines) here (\"-\" = stderr, empty disables)")
+	flag.Int64Var(&cfg.journalMaxBytes, "journal-max-bytes", 0, "size-rotate the journal file when it would exceed this (0 = no rotation)")
+	flag.IntVar(&cfg.journalKeep, "journal-keep", 4, "rotated journal segments to keep (path.1 … path.N)")
+	flag.BoolVar(&cfg.shipJournal, "ship-journal", false, "stream journal lines to the coordinator's fleet journal (best-effort)")
+	flag.BoolVar(&showVersion, "version", false, "print build version and exit")
 	flag.Parse()
 
+	if showVersion {
+		fmt.Println("dirsimw", obs.Build())
+		return
+	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "dirsimw:", err)
 		os.Exit(1)
@@ -82,21 +107,8 @@ func run(cfg config) error {
 		cfg.name = fmt.Sprintf("%s-%d", host, os.Getpid())
 	}
 
-	var journal *obs.Journal
-	switch cfg.journal {
-	case "":
-	case "-":
-		journal = obs.NewJournal(os.Stderr)
-	default:
-		jf, err := os.Create(cfg.journal)
-		if err != nil {
-			return err
-		}
-		defer jf.Close()
-		journal = obs.NewJournal(jf)
-	}
-
 	reg := obs.NewRegistry()
+	obs.RegisterBuildInfo(reg)
 	var tier engine.Tier
 	if cfg.storeDir != "" {
 		st, err := store.Open(cfg.storeDir, store.Options{Metrics: reg})
@@ -105,7 +117,6 @@ func run(cfg config) error {
 		}
 		tier = st
 	}
-	eng := engine.New(engine.Options{Metrics: reg, Store: tier, Verify: cfg.verify})
 
 	// -faults wraps the worker's wire in the same deterministic
 	// transport injector the soak tests use; the crash class makes the
@@ -124,22 +135,92 @@ func run(cfg config) error {
 		}
 	}
 
+	client := &dist.Client{
+		Base:    cfg.coordinator,
+		HTTP:    &http.Client{Transport: transport},
+		Metrics: reg,
+	}
 	w := &dist.Worker{
-		Name: cfg.name,
-		Client: &dist.Client{
-			Base:    cfg.coordinator,
-			HTTP:    &http.Client{Transport: transport},
-			Metrics: reg,
-		},
-		Engine:  eng,
-		Exec:    engine.Parallel{Workers: cfg.simWorkers},
+		Name:    cfg.name,
+		Client:  client,
 		Poll:    cfg.poll,
 		Inj:     inj,
-		Journal: journal,
+		Metrics: reg,
+		Version: obs.Build(),
 	}
+
+	// The journal writer stack: an optional size-rotated local file (or
+	// stderr), optionally teed into the shipper that streams the same
+	// lines to the coordinator. Shipping without a local journal is
+	// allowed: -journal '' -ship-journal keeps only the fleet copy.
+	var (
+		jw      io.Writer
+		rw      *obs.RotatingWriter
+		shipper *dist.JournalShipper
+	)
+	switch cfg.journal {
+	case "":
+	case "-", "stderr":
+		jw = os.Stderr
+	default:
+		if cfg.journalMaxBytes > 0 {
+			var err error
+			rw, err = obs.NewRotatingWriter(cfg.journal, cfg.journalMaxBytes, cfg.journalKeep)
+			if err != nil {
+				return err
+			}
+			defer rw.Close()
+			jw = rw
+		} else {
+			jf, err := os.Create(cfg.journal)
+			if err != nil {
+				return err
+			}
+			defer jf.Close()
+			jw = jf
+		}
+	}
+	if cfg.shipJournal {
+		shipper = dist.NewJournalShipper(client, cfg.name, dist.ShipperOptions{
+			Skew:    w.SkewNS,
+			Metrics: reg,
+		})
+		if jw != nil {
+			jw = io.MultiWriter(jw, shipper)
+		} else {
+			jw = shipper
+		}
+	}
+	var journal *obs.Journal
+	if jw != nil {
+		journal = obs.NewJournal(jw)
+	}
+	if rw != nil {
+		rw.OnRotate(obs.RotationMarker(cfg.journal))
+	}
+	w.Journal = journal
+
+	// The recorder journals engine job/stream lifecycle worker-side, so a
+	// shipped journal carries the execution story, not just leases.
+	eng := engine.New(engine.Options{
+		Metrics:  reg,
+		Store:    tier,
+		Verify:   cfg.verify,
+		Observer: obs.NewRecorder(reg, journal),
+	})
+	w.Engine = eng
+	w.Exec = engine.Parallel{Workers: cfg.simWorkers}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
-	fmt.Fprintf(os.Stderr, "dirsimw: %s pulling from %s\n", cfg.name, cfg.coordinator)
-	return w.Run(ctx)
+	fmt.Fprintf(os.Stderr, "dirsimw: %s (%s) pulling from %s\n", cfg.name, obs.Build(), cfg.coordinator)
+	err := w.Run(ctx)
+	if shipper != nil {
+		// Final flush on a fresh context: ctx is already cancelled when
+		// the worker exits on a signal.
+		fctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shipper.Close(fctx)
+	}
+	return err
 }

@@ -116,7 +116,12 @@ func main() {
 	flag.IntVar(&cfg.protoSample, "protosample", 0, "coherence-telemetry stride: every Nth coherence event becomes a trace instant (0 auto-enables 64 with -trace or -listen, negative disables)")
 	flag.StringVar(&cfg.store, "store", "", "durable result store directory, shared with dirsimd and other runs (empty disables persistence)")
 	flag.Int64Var(&cfg.storeMax, "store-max-bytes", 0, "store size bound triggering LRU eviction (0 = unbounded)")
+	showVersion := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println("experiments", obs.Build())
+		return
+	}
 	if err := runExperiments(os.Stdout, os.Stderr, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
@@ -162,6 +167,9 @@ func runSelected(w, ew io.Writer, cfg config, exps []report.Experiment) error {
 
 	observing := cfg.journal != "" || cfg.metrics != "" || cfg.pprofDir != "" || cfg.manifest != ""
 	reg := obs.NewRegistry()
+	if observing || cfg.listen != "" {
+		obs.RegisterBuildInfo(reg)
+	}
 	// Protocol telemetry defaults on (stride 64) whenever someone is
 	// looking — a trace export or a live monitor — and stays off otherwise
 	// so the plain CLI path keeps its zero-cost hot loop.
@@ -374,6 +382,7 @@ func buildManifest(cfg config, ctx *report.Context, exec engine.Executor, parall
 	m := &obs.RunManifest{
 		Schema:      obs.SchemaVersion,
 		Command:     "experiments",
+		Build:       obs.Build(),
 		Start:       start,
 		WallSeconds: wall.Seconds(),
 		Config: obs.ManifestConfig{

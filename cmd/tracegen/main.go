@@ -34,8 +34,13 @@ func main() {
 		inspect = flag.String("inspect", "", "print statistics for a binary trace file and exit")
 		convert = flag.String("convert", "", "read a binary trace file instead of generating")
 		journal = flag.String("journal", "", "write a JSONL run journal to this file ('-' or 'stderr' for standard error)")
+		showVer = flag.Bool("version", false, "print build version and exit")
 	)
 	flag.Parse()
+	if *showVer {
+		fmt.Println("tracegen", obs.Build())
+		return
+	}
 	if err := run(*wl, *cpus, *refs, *seed, *out, *format, *inspect, *convert, *journal); err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)

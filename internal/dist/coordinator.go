@@ -1,7 +1,9 @@
 package dist
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strconv"
@@ -10,6 +12,7 @@ import (
 
 	"dirsim/internal/engine"
 	"dirsim/internal/obs"
+	exectrace "dirsim/internal/obs/trace"
 	"dirsim/internal/sim"
 )
 
@@ -84,11 +87,21 @@ type task struct {
 	key  string
 	spec engine.SimSpec
 	tc   obs.TraceContext
+	// tracer/parent are the originating request's execution tracer and
+	// the engine job span enclosing the remote call; the task's
+	// dist:queue and dist:lease spans — and every worker span shipped
+	// home — land there, making the exported trace one tree.
+	tracer *exectrace.Tracer
+	parent exectrace.SpanID
 
 	attempts int // transport-class failures so far
 	hedges   int
 	queued   bool
 	leases   map[string]*lease
+	// history keeps every lease ever granted for the task (resolved or
+	// not), so the retro-dated dispatch spans flushed at completion cover
+	// expired and rejected attempts too.
+	history []*lease
 	// enqueuedAt / firstLeased / lastActivity drive hedge and degrade
 	// timers; lastActivity resets on enqueue, requeue, and lease grant.
 	enqueuedAt   time.Time
@@ -101,7 +114,10 @@ type task struct {
 	ch   chan struct{}
 }
 
-// lease is one worker's claim on a task.
+// lease is one worker's claim on a task. span is the pre-allocated
+// dispatch-span ID shipped to the worker in the job's trace context;
+// outcome/errMsg/ended are filled when the lease resolves and become
+// the recorded span's annotations.
 type lease struct {
 	id      string
 	worker  string
@@ -109,14 +125,44 @@ type lease struct {
 	granted time.Time
 	expires time.Time
 	hedge   bool
+
+	span     exectrace.SpanID
+	resolved bool
+	ended    time.Time
+	outcome  string // accepted | rejected | expired | superseded | error
+	errMsg   string
 }
 
-// workerState is the coordinator's per-worker bookkeeping: the breaker.
+// workerState is the coordinator's per-worker bookkeeping: the circuit
+// breaker, plus the fleet-observability view — utilization, in-flight
+// leases, push latency, the last heartbeat counter snapshot, shipped
+// journal accounting, and the worker's own skew estimate.
 type workerState struct {
 	name      string
 	fails     int
 	openUntil time.Time
 	probing   bool
+
+	pid      int // process row in merged Chrome traces (2, 3, ...)
+	version  string
+	joined   time.Time
+	lastSeen time.Time
+	inflight int
+	busy     time.Duration // lease-held time over resolved leases
+	accepted int64
+	rejected int64
+	expired  int64
+	skewNS   int64
+	skewSet  bool
+	counters map[string]int64 // last heartbeat snapshot
+
+	shippedBatches int64
+	shippedLines   int64
+	shipDropped    int64 // cumulative, as reported by the worker
+
+	pushUS        *obs.Histogram
+	inflightGauge *obs.Gauge
+	utilGauge     *obs.Gauge
 }
 
 // Coordinator owns the distributed job table: it implements
@@ -134,6 +180,7 @@ type Coordinator struct {
 	queue   []*task
 	leases  map[string]*lease
 	workers map[string]*workerState
+	nextPID int // next Chrome-trace process row; workers get 2, 3, ...
 	seq     int64
 	// lastGrant is the last time any lease was granted — the fleet
 	// liveness signal the degrade scan keys on.
@@ -157,6 +204,10 @@ type Coordinator struct {
 	resDuplicate  *obs.Counter
 	workersJoined *obs.Counter
 	workersBroken *obs.Counter
+	jnlBatches    *obs.Counter
+	jnlLines      *obs.Counter
+	jnlRejected   *obs.Counter
+	jnlDropped    *obs.Gauge
 }
 
 // NewCoordinator builds a coordinator and starts its lease sweeper.
@@ -173,6 +224,7 @@ func NewCoordinator(opts Options) *Coordinator {
 		tasks:   make(map[string]*task),
 		leases:  make(map[string]*lease),
 		workers: make(map[string]*workerState),
+		nextPID: 2,
 		stop:    make(chan struct{}),
 
 		jobsSubmitted: reg.Counter("dist.jobs.submitted"),
@@ -189,6 +241,10 @@ func NewCoordinator(opts Options) *Coordinator {
 		resDuplicate:  reg.Counter("dist.results.duplicate"),
 		workersJoined: reg.Counter("dist.workers.joined"),
 		workersBroken: reg.Counter("dist.workers.broken"),
+		jnlBatches:    reg.Counter("dist.journal.batches"),
+		jnlLines:      reg.Counter("dist.journal.lines"),
+		jnlRejected:   reg.Counter("dist.journal.rejected"),
+		jnlDropped:    reg.Gauge("dist.journal.dropped"),
 	}
 	c.sweeper.Add(1)
 	go c.sweepLoop()
@@ -210,11 +266,48 @@ type Stats struct {
 	LeasesGranted, LeasesRenewed, LeasesExpired            int64
 	ResultsAccepted, ResultsRejected, ResultsDuplicate     int64
 	WorkersJoined, WorkersBroken                           int64
+	// Workers is the federated per-worker breakdown (sorted by name):
+	// utilization, in-flight leases, push latency quantiles, last
+	// heartbeat counter snapshot, shipped-journal accounting.
+	Workers []WorkerStats `json:",omitempty"`
 }
 
-// Stats returns a snapshot of the coordinator's counters.
+// WorkerStats is the coordinator's federated view of one worker.
+type WorkerStats struct {
+	Name     string    `json:"name"`
+	Version  string    `json:"version,omitempty"`
+	PID      int       `json:"pid"`
+	Joined   time.Time `json:"joined"`
+	LastSeen time.Time `json:"last_seen"`
+	// Inflight is the worker's currently held leases; BusyMS the total
+	// lease-held time (resolved leases plus the age of in-flight ones);
+	// UtilizationPct = BusyMS over the worker's membership so far.
+	Inflight       int     `json:"inflight"`
+	BusyMS         int64   `json:"busy_ms"`
+	UtilizationPct float64 `json:"utilization_pct"`
+	Accepted       int64   `json:"accepted"`
+	Rejected       int64   `json:"rejected"`
+	Expired        int64   `json:"expired"`
+	// Push latency (lease grant → accepted/rejected push) quantiles, µs.
+	PushP50US int64 `json:"push_p50_us,omitempty"`
+	PushP99US int64 `json:"push_p99_us,omitempty"`
+	// SkewNS is the worker's own coordinator-minus-worker clock estimate
+	// as last reported on a journal batch or result push.
+	SkewNS  int64 `json:"skew_ns"`
+	SkewSet bool  `json:"skew_set,omitempty"`
+	// Shipped-journal accounting; Dropped is the worker's cumulative
+	// buffer-overflow loss count.
+	ShippedBatches int64 `json:"shipped_batches"`
+	ShippedLines   int64 `json:"shipped_lines"`
+	ShipDropped    int64 `json:"ship_dropped"`
+	// Counters is the worker's last heartbeat metric snapshot.
+	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+// Stats returns a snapshot of the coordinator's counters, including the
+// per-worker breakdown.
 func (c *Coordinator) Stats() Stats {
-	return Stats{
+	s := Stats{
 		JobsSubmitted:    c.jobsSubmitted.Value(),
 		JobsCompleted:    c.jobsCompleted.Value(),
 		JobsFailed:       c.jobsFailed.Value(),
@@ -230,6 +323,48 @@ func (c *Coordinator) Stats() Stats {
 		WorkersJoined:    c.workersJoined.Value(),
 		WorkersBroken:    c.workersBroken.Value(),
 	}
+	c.mu.Lock()
+	now := c.opts.Clock()
+	// In-flight lease ages per worker, so utilization reflects jobs
+	// still running, not only resolved ones.
+	inflightAge := make(map[string]time.Duration, len(c.workers))
+	for _, l := range c.leases {
+		if age := now.Sub(l.granted); age > 0 {
+			inflightAge[l.worker] += age
+		}
+	}
+	for _, w := range c.workers {
+		ws := WorkerStats{
+			Name:           w.name,
+			Version:        w.version,
+			PID:            w.pid,
+			Joined:         w.joined,
+			LastSeen:       w.lastSeen,
+			Inflight:       w.inflight,
+			Accepted:       w.accepted,
+			Rejected:       w.rejected,
+			Expired:        w.expired,
+			SkewNS:         w.skewNS,
+			SkewSet:        w.skewSet,
+			ShippedBatches: w.shippedBatches,
+			ShippedLines:   w.shippedLines,
+			ShipDropped:    w.shipDropped,
+			Counters:       w.counters,
+		}
+		busy := w.busy + inflightAge[w.name]
+		ws.BusyMS = busy.Milliseconds()
+		if up := now.Sub(w.joined); up > 0 {
+			ws.UtilizationPct = 100 * float64(busy) / float64(up)
+		}
+		if hs := w.pushUS.Snapshot(); hs.Count > 0 {
+			ws.PushP50US = int64(hs.Quantile(0.50))
+			ws.PushP99US = int64(hs.Quantile(0.99))
+		}
+		s.Workers = append(s.Workers, ws)
+	}
+	c.mu.Unlock()
+	sort.Slice(s.Workers, func(i, j int) bool { return s.Workers[i].Name < s.Workers[j].Name })
+	return s
 }
 
 // event journals one coordinator event, tagged with the task's trace so
@@ -279,6 +414,10 @@ func (c *Coordinator) SimulateRemote(ctx context.Context, spec engine.SimSpec) (
 		if tc, ok := obs.TraceFrom(ctx); ok {
 			t.tc = tc
 		}
+		// Capture the request's tracer and enclosing engine-job span:
+		// dispatch spans (and imported worker spans) nest there.
+		t.tracer = exectrace.TracerFrom(ctx)
+		_, t.parent = exectrace.FromContext(ctx)
 		c.tasks[key] = t
 		c.enqueueLocked(t)
 		c.jobsSubmitted.Inc()
@@ -308,7 +447,9 @@ func (c *Coordinator) enqueueLocked(t *task) {
 
 // completeLocked finishes a task — exactly once — releasing its waiters
 // and invalidating every outstanding lease, so a hedge loser's later
-// push finds no lease and is discarded as a duplicate.
+// push finds no lease and is discarded as a duplicate. Outstanding
+// leases resolve as superseded, and the task's retro-dated dispatch
+// spans flush onto the originating request's tracer.
 func (c *Coordinator) completeLocked(t *task, res *sim.Result, err error) {
 	if t.done {
 		return
@@ -317,10 +458,99 @@ func (c *Coordinator) completeLocked(t *task, res *sim.Result, err error) {
 	t.res, t.err = res, err
 	close(t.ch)
 	delete(c.tasks, t.key)
-	for id := range t.leases {
-		delete(c.leases, id)
+	open := make([]*lease, 0, len(t.leases))
+	for _, l := range t.leases {
+		open = append(open, l)
+	}
+	sort.Slice(open, func(i, j int) bool { return open[i].id < open[j].id })
+	for _, l := range open {
+		c.resolveLeaseLocked(l, "superseded", "")
 	}
 	t.leases = map[string]*lease{}
+	c.flushSpansLocked(t)
+}
+
+// resolveLeaseLocked settles one lease exactly once: records its
+// outcome for the dispatch span, removes it from the tables, and
+// updates the worker's utilization accounting.
+func (c *Coordinator) resolveLeaseLocked(l *lease, outcome, errMsg string) {
+	if l == nil || l.resolved {
+		return
+	}
+	l.resolved = true
+	l.outcome, l.errMsg = outcome, errMsg
+	l.ended = c.opts.Clock()
+	delete(c.leases, l.id)
+	delete(l.task.leases, l.id)
+	if w := c.workers[l.worker]; w != nil {
+		w.inflight--
+		if tenure := l.ended.Sub(l.granted); tenure > 0 {
+			w.busy += tenure
+		}
+		c.workerGaugesLocked(w)
+	}
+}
+
+// flushSpansLocked records the task's retro-dated dist spans onto the
+// originating request's tracer: one dist:queue span (submission → first
+// lease, or completion when none was granted) under the engine job
+// span, and one dist:lease span per lease ever granted — accepted,
+// rejected, expired, or superseded — under the queue span, each with
+// the pre-allocated ID its worker's shipped spans already nest under.
+// No-op when the request wasn't tracing.
+func (c *Coordinator) flushSpansLocked(t *task) {
+	if t.tracer == nil {
+		return
+	}
+	lane := t.tracer.Lane()
+	defer lane.Release()
+	now := c.opts.Clock()
+	qEnd := t.firstLeased
+	if qEnd.IsZero() {
+		qEnd = now
+	}
+	qid := t.tracer.AllocID()
+	qArgs := []exectrace.Arg{
+		{Key: "key", Val: shortKey(t.key)},
+		{Key: "attempts", Val: t.attempts},
+		{Key: "leases", Val: len(t.history)},
+	}
+	var qErr string
+	if t.err != nil {
+		qErr = t.err.Error()
+	}
+	lane.RecordSpan(qid, t.parent, "dist", "dist:queue", t.enqueuedAt, qEnd, qErr, qArgs...)
+	for _, l := range t.history {
+		end := l.ended
+		if end.IsZero() {
+			end = now
+		}
+		var errMsg string
+		switch l.outcome {
+		case "expired", "rejected", "error":
+			errMsg = l.outcome
+			if l.errMsg != "" {
+				errMsg += ": " + l.errMsg
+			}
+		}
+		lane.RecordSpan(l.span, qid, "dist", "dist:lease", l.granted, end, errMsg,
+			exectrace.Arg{Key: "worker", Val: l.worker},
+			exectrace.Arg{Key: "lease", Val: l.id},
+			exectrace.Arg{Key: "hedge", Val: l.hedge},
+			exectrace.Arg{Key: "outcome", Val: l.outcome})
+	}
+}
+
+// workerGaugesLocked refreshes the worker's /metrics gauges.
+func (c *Coordinator) workerGaugesLocked(w *workerState) {
+	if w.inflightGauge == nil {
+		return
+	}
+	w.inflightGauge.Set(int64(w.inflight))
+	now := c.opts.Clock()
+	if up := now.Sub(w.joined); up > 0 {
+		w.utilGauge.Set(int64(100 * float64(w.busy) / float64(up)))
+	}
 }
 
 // requeueLocked sends a task back to the queue after a transport-class
@@ -349,15 +579,33 @@ func (c *Coordinator) degradeLocked(t *task, reason string) {
 		shortKey(t.key), reason, engine.ErrRemoteUnavailable))
 }
 
-// workerLocked upserts a worker's state.
-func (c *Coordinator) workerLocked(name string) *workerState {
+// workerLocked upserts a worker's state. version, when non-empty,
+// stamps (or refreshes) the worker's build identity. Joining allocates
+// the worker's Chrome-trace process row and its per-worker instruments
+// (names sanitized and bounded like tenant labels).
+func (c *Coordinator) workerLocked(name, version string) *workerState {
 	w, ok := c.workers[name]
 	if !ok {
-		w = &workerState{name: name}
+		now := c.opts.Clock()
+		label := obs.SanitizeLabel(name)
+		w = &workerState{
+			name:          name,
+			pid:           c.nextPID,
+			joined:        now,
+			lastSeen:      now,
+			pushUS:        c.reg.Histogram("dist.worker."+label+".push.us", obs.DurationBucketsUS),
+			inflightGauge: c.reg.Gauge("dist.worker." + label + ".inflight"),
+			utilGauge:     c.reg.Gauge("dist.worker." + label + ".utilization_pct"),
+		}
+		c.nextPID++
 		c.workers[name] = w
 		c.workersJoined.Inc()
-		c.event("worker.join", nil, "worker", name)
+		w.version = version
+		c.event("worker.join", nil, "worker", name, "version", version, "pid", w.pid)
+	} else if version != "" {
+		w.version = version
 	}
+	w.lastSeen = c.opts.Clock()
 	return w
 }
 
@@ -391,13 +639,14 @@ func (c *Coordinator) workerSuccessLocked(w *workerState) {
 // Lease grants the next job to a pulling worker. Returns (nil, 0, nil)
 // when there is no work, and (nil, retryAfter, nil) when the worker's
 // breaker is open — the HTTP layer turns that into 429 + Retry-After.
-func (c *Coordinator) Lease(workerName string) (*JobSpec, time.Duration, error) {
+// version is the worker's build identity (may be empty).
+func (c *Coordinator) Lease(workerName, version string) (*JobSpec, time.Duration, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
 		return nil, 0, nil
 	}
-	w := c.workerLocked(workerName)
+	w := c.workerLocked(workerName, version)
 	now := c.opts.Clock()
 	if now.Before(w.openUntil) {
 		return nil, w.openUntil.Sub(now), nil
@@ -425,14 +674,21 @@ func (c *Coordinator) Lease(workerName string) (*JobSpec, time.Duration, error) 
 		granted: now,
 		expires: now.Add(c.opts.LeaseTTL),
 		hedge:   hedge,
+		// Pre-mint the dispatch span's ID now so it can cross the wire;
+		// the span itself is recorded, retro-dated, when the lease
+		// resolves (flushSpansLocked).
+		span: t.tracer.AllocID(),
 	}
 	t.leases[l.id] = l
+	t.history = append(t.history, l)
 	c.leases[l.id] = l
 	t.lastActivity = now
 	c.lastGrant = now
 	if t.firstLeased.IsZero() {
 		t.firstLeased = now
 	}
+	w.inflight++
+	c.workerGaugesLocked(w)
 	c.leasesGranted.Inc()
 	if hedge {
 		t.hedges++
@@ -446,7 +702,9 @@ func (c *Coordinator) Lease(workerName string) (*JobSpec, time.Duration, error) 
 		Spec:  t.spec,
 		Lease: l.id,
 		TTLMS: c.opts.LeaseTTL.Milliseconds(),
-		Trace: t.tc.String(),
+		// The worker adopts the request's trace context with the
+		// dispatch span as its remote parent.
+		Trace: t.tc.WithParent(uint64(l.span)).String(),
 	}, 0, nil
 }
 
@@ -497,16 +755,24 @@ func (c *Coordinator) nextTaskLocked(workerName string, now time.Time) (*task, b
 
 // Heartbeat renews a lease; false means the lease is gone (expired,
 // superseded, or its job already completed) and the worker should abandon
-// the work.
-func (c *Coordinator) Heartbeat(workerName, leaseID string) bool {
+// the work. counters, when non-nil, is the worker's federated metric
+// snapshot (kept as the latest, exposed via Stats).
+func (c *Coordinator) Heartbeat(workerName, leaseID string, counters map[string]int64) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if w := c.workers[workerName]; w != nil {
+		w.lastSeen = c.opts.Clock()
+		if counters != nil {
+			w.counters = counters
+		}
+	}
 	l, ok := c.leases[leaseID]
 	if !ok || l.worker != workerName || l.task.done {
 		return false
 	}
 	l.expires = c.opts.Clock().Add(c.opts.LeaseTTL)
 	c.leasesRenewed.Inc()
+	c.event("job.heartbeat", l.task, "worker", workerName, "lease", leaseID)
 	return true
 }
 
@@ -531,6 +797,12 @@ func (c *Coordinator) Push(p *resultPush) PushOutcome {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	w := c.workers[p.Worker]
+	if w != nil {
+		w.lastSeen = c.opts.Clock()
+		if p.SkewOK {
+			w.skewNS, w.skewSet = p.SkewNS, true
+		}
+	}
 	l, ok := c.leases[p.Lease]
 	if !ok || l.task.done || l.task.key != p.Key {
 		c.resDuplicate.Inc()
@@ -545,6 +817,9 @@ func (c *Coordinator) Push(p *resultPush) PushOutcome {
 		c.jobsFailed.Inc()
 		err := p.Error.Err()
 		c.event("job.remote.error", t, "worker", p.Worker, "error", err.Error())
+		c.importSpansLocked(t, l, p)
+		c.observePushLocked(w, l)
+		c.resolveLeaseLocked(l, "error", err.Error())
 		c.completeLocked(t, nil, err)
 		return PushAccepted
 	}
@@ -561,10 +836,52 @@ func (c *Coordinator) Push(p *resultPush) PushOutcome {
 	c.workerSuccessLocked(w)
 	c.resAccepted.Inc()
 	c.jobsCompleted.Inc()
+	if w != nil {
+		w.accepted++
+	}
 	c.event("result.accept", t, "worker", p.Worker, "lease", p.Lease,
 		"fingerprint", p.Fingerprint, "hedges", t.hedges)
+	c.importSpansLocked(t, l, p)
+	c.observePushLocked(w, l)
+	c.resolveLeaseLocked(l, "accepted", "")
 	c.completeLocked(t, p.Result, nil)
 	return PushAccepted
+}
+
+// importSpansLocked merges the worker's shipped per-job span tree into
+// the originating request's tracer: remote IDs remapped, roots
+// re-parented under the lease's pre-minted dispatch span, timestamps
+// shifted by the worker's skew estimate, events rendered on the
+// worker's own Chrome-trace process row.
+func (c *Coordinator) importSpansLocked(t *task, l *lease, p *resultPush) {
+	if t.tracer == nil || p.Spans == nil {
+		return
+	}
+	w := c.workers[p.Worker]
+	pid := 0
+	if w != nil {
+		pid = w.pid
+	}
+	t.tracer.RegisterProcess(pid, "dirsimw:"+p.Worker)
+	st := t.tracer.Import(p.Spans, exectrace.ImportOpts{
+		Parent:     l.span,
+		PID:        pid,
+		LanePrefix: p.Worker,
+		OffsetNS:   p.SkewNS,
+	})
+	c.event("trace.import", t, "worker", p.Worker, "lease", l.id,
+		"events", st.Events, "reparented", st.Reparented, "clamped", st.Clamped)
+}
+
+// observePushLocked records the lease-grant→push latency on the
+// worker's quantile histogram.
+func (c *Coordinator) observePushLocked(w *workerState, l *lease) {
+	if w == nil || w.pushUS == nil {
+		return
+	}
+	if d := c.opts.Clock().Sub(l.granted); d > 0 {
+		w.pushUS.ObserveDuration(d)
+	}
 }
 
 // rejectLocked handles a push that failed revalidation: charge the
@@ -572,10 +889,13 @@ func (c *Coordinator) Push(p *resultPush) PushOutcome {
 func (c *Coordinator) rejectLocked(w *workerState, l *lease, cause string) PushOutcome {
 	t := l.task
 	c.resRejected.Inc()
+	if w != nil {
+		w.rejected++
+	}
 	c.event("result.reject", t, "worker", l.worker, "lease", l.id, "cause", cause)
 	c.workerFailureLocked(w, "rejected result: "+cause)
-	delete(c.leases, l.id)
-	delete(t.leases, l.id)
+	c.observePushLocked(w, l)
+	c.resolveLeaseLocked(l, "rejected", cause)
 	if len(t.leases) == 0 {
 		c.requeueLocked(t, "result rejected: "+cause)
 	}
@@ -618,10 +938,12 @@ func (c *Coordinator) Sweep() {
 		}
 		t := l.task
 		c.leasesExpired.Inc()
+		if w := c.workers[l.worker]; w != nil {
+			w.expired++
+		}
 		c.event("job.lease.expire", t, "worker", l.worker, "lease", id)
 		c.workerFailureLocked(c.workers[l.worker], "lease expired")
-		delete(c.leases, id)
-		delete(t.leases, id)
+		c.resolveLeaseLocked(l, "expired", "")
 		if len(t.leases) == 0 && !t.queued {
 			c.requeueLocked(t, "lease expired on "+l.worker)
 		}
@@ -642,6 +964,73 @@ func (c *Coordinator) Sweep() {
 			c.degradeLocked(t, "fleet unreachable or drained")
 		}
 	}
+}
+
+// maxJournalLineBytes bounds one shipped journal line; longer lines are
+// rejected (counted, never written), keeping the fleet journal sane.
+const maxJournalLineBytes = 1 << 16
+
+// AcceptJournal ingests one batch of worker journal lines into the
+// fleet journal: each structurally sane line (a JSON object) gets
+// `"worker"` and `"skew_ns"` attributes spliced in before the closing
+// brace and is appended verbatim otherwise — no re-encoding, so shipped
+// lines survive bit-exact modulo the two added keys. Returns how many
+// lines were accepted. Malformed lines are counted on
+// dist.journal.rejected and dropped; the worker's cumulative
+// buffer-drop count lands on dist.journal.dropped and its stats row.
+func (c *Coordinator) AcceptJournal(b *journalBatch) int {
+	c.mu.Lock()
+	w := c.workerLocked(b.Worker, "")
+	w.skewNS, w.skewSet = b.SkewNS, true
+	w.shippedBatches++
+	if b.Dropped > w.shipDropped {
+		w.shipDropped = b.Dropped
+	}
+	var totalDropped int64
+	for _, ws := range c.workers {
+		totalDropped += ws.shipDropped
+	}
+	jnl := c.jnl
+	c.mu.Unlock()
+	c.jnlBatches.Inc()
+	c.jnlDropped.Set(totalDropped)
+
+	workerTag, _ := json.Marshal(b.Worker)
+	suffix := []byte(fmt.Sprintf(`,"worker":%s,"skew_ns":%d}`, workerTag, b.SkewNS))
+	accepted := 0
+	for _, line := range b.Lines {
+		spliced, ok := spliceJournalLine(line, suffix)
+		if !ok {
+			c.jnlRejected.Inc()
+			continue
+		}
+		jnl.Raw(spliced)
+		accepted++
+	}
+	c.jnlLines.Add(int64(accepted))
+	c.mu.Lock()
+	w.shippedLines += int64(accepted)
+	c.mu.Unlock()
+	return accepted
+}
+
+// spliceJournalLine validates that line is one JSON object and replaces
+// its closing brace with the suffix (",\"worker\":...,\"skew_ns\":...}").
+func spliceJournalLine(line []byte, suffix []byte) ([]byte, bool) {
+	line = bytes.TrimSpace(line)
+	if len(line) < 2 || len(line) > maxJournalLineBytes ||
+		line[0] != '{' || line[len(line)-1] != '}' || !json.Valid(line) {
+		return nil, false
+	}
+	out := make([]byte, 0, len(line)+len(suffix))
+	out = append(out, line[:len(line)-1]...)
+	if bytes.Equal(line, []byte("{}")) {
+		// An empty object takes the attributes without the joining comma.
+		out = append(out, suffix[1:]...)
+	} else {
+		out = append(out, suffix...)
+	}
+	return out, true
 }
 
 // Close stops the sweeper and degrades every pending job, so a shutting-

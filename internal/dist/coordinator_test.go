@@ -92,7 +92,7 @@ func waitSubmitted(t *testing.T, c *Coordinator, n int64) {
 
 func mustLease(t *testing.T, c *Coordinator, worker string) *JobSpec {
 	t.Helper()
-	job, retryAfter, err := c.Lease(worker)
+	job, retryAfter, err := c.Lease(worker, "")
 	if err != nil || retryAfter != 0 || job == nil {
 		t.Fatalf("Lease(%s) = %v retryAfter=%v err=%v, want a job", worker, job, retryAfter, err)
 	}
@@ -126,7 +126,7 @@ func TestCoordinatorLeaseAndComplete(t *testing.T) {
 	if j0.Key != engine.KeyHex(s0.Key()) || j1.Key != engine.KeyHex(s1.Key()) {
 		t.Fatalf("leases out of FIFO order: %s, %s", shortKey(j0.Key), shortKey(j1.Key))
 	}
-	if job, retryAfter, _ := c.Lease("w3"); job != nil || retryAfter != 0 {
+	if job, retryAfter, _ := c.Lease("w3", ""); job != nil || retryAfter != 0 {
 		t.Fatalf("empty queue leased job=%v retryAfter=%v", job, retryAfter)
 	}
 
@@ -192,7 +192,7 @@ func TestCoordinatorHeartbeatAndExpiry(t *testing.T) {
 	// Heartbeats inside the TTL keep the lease alive across many TTLs.
 	for i := 0; i < 4; i++ {
 		clk.Advance(8 * time.Second)
-		if !c.Heartbeat("w1", job.Lease) {
+		if !c.Heartbeat("w1", job.Lease, nil) {
 			t.Fatalf("heartbeat %d refused", i)
 		}
 		c.Sweep()
@@ -202,7 +202,7 @@ func TestCoordinatorHeartbeatAndExpiry(t *testing.T) {
 	}
 
 	// The wrong worker cannot renew someone else's lease.
-	if c.Heartbeat("w2", job.Lease) {
+	if c.Heartbeat("w2", job.Lease, nil) {
 		t.Error("foreign heartbeat accepted")
 	}
 
@@ -212,7 +212,7 @@ func TestCoordinatorHeartbeatAndExpiry(t *testing.T) {
 	if st := c.Stats(); st.LeasesExpired != 1 || st.JobsRequeued != 1 {
 		t.Fatalf("expiry not processed: %+v", st)
 	}
-	if c.Heartbeat("w1", job.Lease) {
+	if c.Heartbeat("w1", job.Lease, nil) {
 		t.Error("expired lease still heartbeats")
 	}
 
@@ -270,11 +270,11 @@ func TestCoordinatorHedgesStragglers(t *testing.T) {
 	j1 := mustLease(t, c, "w1")
 
 	// Too early to hedge, and never against the straggler itself.
-	if job, _, _ := c.Lease("w2"); job != nil {
+	if job, _, _ := c.Lease("w2", ""); job != nil {
 		t.Fatal("hedged before HedgeAfter")
 	}
 	clk.Advance(6 * time.Second)
-	if job, _, _ := c.Lease("w1"); job != nil {
+	if job, _, _ := c.Lease("w1", ""); job != nil {
 		t.Fatal("hedged a worker onto its own job")
 	}
 	j2 := mustLease(t, c, "w2")
@@ -282,7 +282,7 @@ func TestCoordinatorHedgesStragglers(t *testing.T) {
 		t.Fatalf("hedge lease wrong: %+v vs %+v", j2, j1)
 	}
 	// MaxLeases (2) caps further hedging.
-	if job, _, _ := c.Lease("w3"); job != nil {
+	if job, _, _ := c.Lease("w3", ""); job != nil {
 		t.Fatal("hedged past MaxLeases")
 	}
 
@@ -383,7 +383,7 @@ func TestCoordinatorBreaker(t *testing.T) {
 			t.Fatalf("push %d = %v", i, got)
 		}
 	}
-	_, retryAfter, err := c.Lease("w1")
+	_, retryAfter, err := c.Lease("w1", "")
 	if err != nil || retryAfter <= 0 {
 		t.Fatalf("open breaker: retryAfter=%v err=%v, want positive wait", retryAfter, err)
 	}
@@ -400,14 +400,14 @@ func TestCoordinatorBreaker(t *testing.T) {
 	waitSubmitted(t, c, 2)
 	clk.Advance(16 * time.Second)
 	job := mustLease(t, c, "w1")
-	if _, hold, _ := c.Lease("w1"); hold <= 0 {
+	if _, hold, _ := c.Lease("w1", ""); hold <= 0 {
 		t.Fatal("second pull during half-open probe not held")
 	}
 	// The probe failing reopens the breaker immediately — no threshold.
 	if got := badPush(job); got != PushRejected {
 		t.Fatalf("probe push = %v", got)
 	}
-	if _, retryAfter, _ := c.Lease("w1"); retryAfter <= 0 {
+	if _, retryAfter, _ := c.Lease("w1", ""); retryAfter <= 0 {
 		t.Fatal("failed probe did not reopen the breaker")
 	}
 

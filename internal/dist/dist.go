@@ -38,9 +38,11 @@
 package dist
 
 import (
+	"encoding/json"
 	"time"
 
 	"dirsim/internal/engine"
+	exectrace "dirsim/internal/obs/trace"
 	"dirsim/internal/sim"
 )
 
@@ -70,39 +72,86 @@ type JobSpec struct {
 	// TTLMS is the lease's time-to-live in milliseconds; the worker must
 	// heartbeat well inside it (TTL/3 is the convention) or the
 	// coordinator reassigns the job.
-	TTLMS int64  `json:"ttl_ms"`
+	TTLMS int64 `json:"ttl_ms"`
+	// Trace is the originating request's trace context in
+	// obs.TraceContext wire form. When the coordinator traces, it reads
+	// "<trace>/<span>/<parent>": parent is the coordinator's
+	// pre-allocated dispatch-span ID, which the worker echoes so its
+	// shipped spans nest under the dispatch span in the merged tree.
 	Trace string `json:"trace,omitempty"`
 }
 
 // TTL returns the lease TTL as a duration.
 func (j JobSpec) TTL() time.Duration { return time.Duration(j.TTLMS) * time.Millisecond }
 
-// leaseRequest is a worker's pull for work.
+// leaseRequest is a worker's pull for work. Version is the worker
+// binary's build identity (obs.Build), stamped into the coordinator's
+// worker.join event and per-worker stats.
 type leaseRequest struct {
-	Worker string `json:"worker"`
+	Worker  string `json:"worker"`
+	Version string `json:"version,omitempty"`
 }
 
 // leaseResponse carries the leased job; Job is nil when the coordinator
 // has no work (the worker polls again after its idle interval).
+// NowUnixNS is the coordinator's wall clock at response time — one
+// sample for the worker's clock-skew estimator.
 type leaseResponse struct {
-	Job *JobSpec `json:"job,omitempty"`
+	Job       *JobSpec `json:"job,omitempty"`
+	NowUnixNS int64    `json:"now_unix_ns,omitempty"`
 }
 
-// heartbeatRequest renews a lease.
+// heartbeatRequest renews a lease. Counters, when present, is a
+// snapshot of the worker's metric registry (dist.* and engine counters)
+// — the federation path: the coordinator keeps the latest snapshot per
+// worker and exposes it on /api/v1/dist/stats.
 type heartbeatRequest struct {
-	Worker string `json:"worker"`
-	Lease  string `json:"lease"`
+	Worker   string           `json:"worker"`
+	Lease    string           `json:"lease"`
+	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+// heartbeatResponse carries the coordinator's clock for skew estimation.
+type heartbeatResponse struct {
+	NowUnixNS int64 `json:"now_unix_ns,omitempty"`
 }
 
 // resultPush is a worker's completion report: exactly one of Result or
 // Error is set. Fingerprint stamps the result (hex, "0x..." form like the
 // store envelope); the coordinator recomputes it from the decoded result
 // and rejects on mismatch.
+//
+// Spans, when present, is the worker's per-job execution trace; the
+// coordinator imports it into the originating request's tracer under the
+// lease's dispatch span, shifting timestamps by SkewNS (the worker's
+// coordinator-minus-worker clock estimate; SkewOK reports whether the
+// estimator had any RTT sample to offer).
 type resultPush struct {
-	Worker      string      `json:"worker"`
-	Lease       string      `json:"lease"`
-	Key         string      `json:"key"`
-	Fingerprint string      `json:"fingerprint,omitempty"`
-	Result      *sim.Result `json:"result,omitempty"`
-	Error       *WireError  `json:"error,omitempty"`
+	Worker      string               `json:"worker"`
+	Lease       string               `json:"lease"`
+	Key         string               `json:"key"`
+	Fingerprint string               `json:"fingerprint,omitempty"`
+	Result      *sim.Result          `json:"result,omitempty"`
+	Error       *WireError           `json:"error,omitempty"`
+	Spans       *exectrace.WireTrace `json:"spans,omitempty"`
+	SkewNS      int64                `json:"skew_ns,omitempty"`
+	SkewOK      bool                 `json:"skew_ok,omitempty"`
+}
+
+// journalBatch is one shipment of worker journal lines to
+// POST /api/v1/dist/journal. Lines are complete slog JSONL objects,
+// shipped verbatim; the coordinator splices `"worker"` and `"skew_ns"`
+// attributes into each before appending it to the fleet journal.
+// Dropped is the shipper's cumulative drop count (lines lost to a full
+// buffer), cumulative so a lost batch cannot lose the loss report too.
+type journalBatch struct {
+	Worker  string            `json:"worker"`
+	SkewNS  int64             `json:"skew_ns"`
+	Dropped int64             `json:"dropped,omitempty"`
+	Lines   []json.RawMessage `json:"lines"`
+}
+
+// journalAccept acknowledges a shipped batch.
+type journalAccept struct {
+	Accepted int `json:"accepted"`
 }

@@ -1,0 +1,614 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dirsim/internal/engine"
+	"dirsim/internal/faults"
+	"dirsim/internal/obs"
+	exectrace "dirsim/internal/obs/trace"
+	"dirsim/internal/sim"
+)
+
+// TestSkewEstimator: Cristian's algorithm over synthetic round trips —
+// the estimator recovers a known offset, keeps the minimum-RTT sample
+// (the tightest error bound), and ignores pre-skew coordinators and
+// garbage intervals.
+func TestSkewEstimator(t *testing.T) {
+	var e skewEstimator
+	if _, ok := e.Offset(); ok {
+		t.Fatal("fresh estimator claims an offset")
+	}
+
+	// Server 5s ahead, observed through a symmetric 10ms round trip: the
+	// midpoint sample recovers the offset exactly.
+	base := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	const offset = 5 * time.Second
+	t0, t2 := base, base.Add(10*time.Millisecond)
+	server := t0.Add(5 * time.Millisecond).Add(offset)
+	e.Observe(t0, t2, server.UnixNano())
+	if got, ok := e.Offset(); !ok || got != offset.Nanoseconds() {
+		t.Fatalf("Offset = %d,%v, want %d", got, ok, offset.Nanoseconds())
+	}
+	if e.RTT() != 10*time.Millisecond {
+		t.Errorf("RTT = %v, want 10ms", e.RTT())
+	}
+
+	// A fatter round trip (a retried request) must not displace the
+	// tight sample, whatever offset it implies.
+	e.Observe(base, base.Add(2*time.Second), base.Add(time.Minute).UnixNano())
+	if got, _ := e.Offset(); got != offset.Nanoseconds() {
+		t.Errorf("fat-RTT sample displaced the estimate: %d", got)
+	}
+
+	// A tighter round trip wins.
+	t0, t2 = base, base.Add(2*time.Millisecond)
+	server = t0.Add(time.Millisecond).Add(offset + time.Millisecond)
+	e.Observe(t0, t2, server.UnixNano())
+	if got, _ := e.Offset(); got != (offset + time.Millisecond).Nanoseconds() {
+		t.Errorf("tighter sample did not win: %d", got)
+	}
+	if e.RTT() != 2*time.Millisecond {
+		t.Errorf("RTT = %v, want 2ms", e.RTT())
+	}
+
+	// Pre-skew coordinators (no clock in the response) and reversed
+	// intervals contribute nothing.
+	before, _ := e.Offset()
+	e.Observe(t0, t2, 0)
+	e.Observe(t2, t0, server.UnixNano())
+	if got, _ := e.Offset(); got != before {
+		t.Errorf("garbage samples moved the estimate: %d != %d", got, before)
+	}
+
+	// A nil estimator is inert (the no-journal worker path).
+	var nilE *skewEstimator
+	nilE.Observe(t0, t2, server.UnixNano())
+	if _, ok := nilE.Offset(); ok || nilE.RTT() != 0 {
+		t.Error("nil estimator is not inert")
+	}
+}
+
+// shipperSink is an httptest handler collecting journal batches, able to
+// fail the first N requests so requeue-on-failure is exercisable.
+type shipperSink struct {
+	mu      sync.Mutex
+	batches []journalBatch
+	failN   int
+}
+
+func (s *shipperSink) handler() http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.failN > 0 {
+			s.failN--
+			// 400 is terminal for the client (no transport retry), so the
+			// failure lands on the shipper's own requeue path.
+			http.Error(w, "injected", http.StatusBadRequest)
+			return
+		}
+		var b journalBatch
+		if err := json.NewDecoder(r.Body).Decode(&b); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		s.batches = append(s.batches, b)
+		writeJSON(w, http.StatusOK, journalAccept{Accepted: len(b.Lines)})
+	}
+}
+
+func (s *shipperSink) lines() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for _, b := range s.batches {
+		for _, l := range b.Lines {
+			out = append(out, string(l))
+		}
+	}
+	return out
+}
+
+// TestJournalShipperDeliversInOrder: journal lines written through the
+// shipper arrive at the coordinator batched, in order, tagged with the
+// worker's name and skew estimate, and Close flushes the tail.
+func TestJournalShipperDeliversInOrder(t *testing.T) {
+	sink := &shipperSink{}
+	srv := httptest.NewServer(sink.handler())
+	defer srv.Close()
+
+	s := NewJournalShipper(&Client{Base: srv.URL}, "w1", ShipperOptions{
+		FlushEvery: time.Hour, // only explicit flushes: Close drives delivery
+		Skew:       func() (int64, bool) { return 1234, true },
+	})
+	jnl := obs.NewJournal(s)
+	for i := 0; i < 20; i++ {
+		jnl.Event("worker.job.finish", "n", i)
+	}
+	s.Close(context.Background())
+
+	got := sink.lines()
+	if len(got) != 20 {
+		t.Fatalf("delivered %d lines, want 20", len(got))
+	}
+	for i, l := range got {
+		if !strings.Contains(l, `"n":`+jsonInt(i)) {
+			t.Fatalf("line %d out of order: %s", i, l)
+		}
+		if !json.Valid([]byte(l)) {
+			t.Fatalf("line %d not valid JSON: %s", i, l)
+		}
+	}
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	for _, b := range sink.batches {
+		if b.Worker != "w1" || b.SkewNS != 1234 {
+			t.Errorf("batch tag = %q/%d, want w1/1234", b.Worker, b.SkewNS)
+		}
+	}
+	if s.Dropped() != 0 {
+		t.Errorf("Dropped = %d, want 0", s.Dropped())
+	}
+}
+
+func jsonInt(i int) string {
+	b, _ := json.Marshal(i)
+	return string(b)
+}
+
+// TestJournalShipperRequeuesOnFailure: a failed POST re-queues its lines
+// at the front — nothing reorders, nothing is lost — and the next flush
+// delivers them.
+func TestJournalShipperRequeuesOnFailure(t *testing.T) {
+	sink := &shipperSink{failN: 1}
+	srv := httptest.NewServer(sink.handler())
+	defer srv.Close()
+
+	s := NewJournalShipper(&Client{Base: srv.URL, Retries: -1}, "w1",
+		ShipperOptions{FlushEvery: time.Hour})
+	jnl := obs.NewJournal(s)
+	jnl.Event("worker.start")
+	s.flush(context.Background()) // eaten by the injected 400
+	jnl.Event("worker.job.start")
+	s.Close(context.Background())
+
+	got := sink.lines()
+	if len(got) != 2 {
+		t.Fatalf("delivered %d lines, want 2 (failed batch re-queued)", len(got))
+	}
+	if !strings.Contains(got[0], "worker.start") || !strings.Contains(got[1], "worker.job.start") {
+		t.Errorf("requeue broke ordering: %v", got)
+	}
+	if s.Dropped() != 0 {
+		t.Errorf("Dropped = %d, want 0", s.Dropped())
+	}
+}
+
+// TestJournalShipperOverflowDropsAndCounts: a full buffer sheds the
+// newest lines, never blocks, and the cumulative drop count rides on the
+// next successful batch — a lost batch cannot lose the loss report.
+func TestJournalShipperOverflowDropsAndCounts(t *testing.T) {
+	sink := &shipperSink{}
+	srv := httptest.NewServer(sink.handler())
+	defer srv.Close()
+
+	s := NewJournalShipper(&Client{Base: srv.URL}, "w1", ShipperOptions{
+		MaxLines:   4,
+		FlushEvery: time.Hour,
+	})
+	jnl := obs.NewJournal(s)
+	for i := 0; i < 10; i++ {
+		jnl.Event("e", "n", i)
+	}
+	// The half-capacity kick may or may not have flushed yet; drops are
+	// whatever exceeded the buffer at write time.
+	if s.Dropped() == 0 {
+		t.Fatal("overflow did not count drops")
+	}
+	s.Close(context.Background())
+
+	delivered := len(sink.lines())
+	if int64(delivered)+s.Dropped() != 10 {
+		t.Errorf("%d delivered + %d dropped != 10 written", delivered, s.Dropped())
+	}
+	sink.mu.Lock()
+	last := sink.batches[len(sink.batches)-1]
+	sink.mu.Unlock()
+	if last.Dropped != s.Dropped() {
+		t.Errorf("last batch carried Dropped=%d, shipper says %d", last.Dropped, s.Dropped())
+	}
+}
+
+// TestAcceptJournalSplice: the coordinator splices worker identity and
+// skew into each structurally sane shipped line — bit-exact otherwise —
+// and rejects (counting) anything that is not one JSON object.
+func TestAcceptJournalSplice(t *testing.T) {
+	var log bytes.Buffer
+	c := NewCoordinator(Options{Journal: obs.NewJournal(&log)})
+	defer c.Close()
+
+	long := `{"pad":"` + strings.Repeat("x", maxJournalLineBytes) + `"}`
+	b := &journalBatch{
+		Worker: "w1",
+		SkewNS: -42,
+		Lines: []json.RawMessage{
+			json.RawMessage(`{"msg":"worker.job.finish","key":"abc"}`),
+			json.RawMessage(`{}`),
+			json.RawMessage(`not json`),
+			json.RawMessage(`[1,2,3]`),
+			json.RawMessage(long),
+		},
+	}
+	if got := c.AcceptJournal(b); got != 2 {
+		t.Fatalf("AcceptJournal = %d accepted, want 2", got)
+	}
+	out := log.String()
+	if !strings.Contains(out, `{"msg":"worker.job.finish","key":"abc","worker":"w1","skew_ns":-42}`) {
+		t.Errorf("line not spliced bit-exact:\n%s", out)
+	}
+	if !strings.Contains(out, `{"worker":"w1","skew_ns":-42}`) {
+		t.Errorf("empty object not handled:\n%s", out)
+	}
+	if strings.Contains(out, "not json") || strings.Contains(out, "[1,2,3]") || strings.Contains(out, "pad") {
+		t.Errorf("malformed or oversized lines leaked into the fleet journal:\n%s", out)
+	}
+
+	snap := c.Metrics().Snapshot()
+	if got := snap.Counters["dist.journal.rejected"]; got != 3 {
+		t.Errorf("dist.journal.rejected = %d, want 3", got)
+	}
+	if got := snap.Counters["dist.journal.lines"]; got != 2 {
+		t.Errorf("dist.journal.lines = %d, want 2", got)
+	}
+
+	// The worker's stats row reflects the shipment, and the cumulative
+	// drop count is monotone: a replayed smaller value never regresses it.
+	c.AcceptJournal(&journalBatch{Worker: "w1", SkewNS: 7, Dropped: 5})
+	c.AcceptJournal(&journalBatch{Worker: "w1", SkewNS: 7, Dropped: 3})
+	var row *WorkerStats
+	for i, w := range c.Stats().Workers {
+		if w.Name == "w1" {
+			row = &c.Stats().Workers[i]
+		}
+	}
+	if row == nil {
+		t.Fatal("no stats row for w1")
+	}
+	if row.ShippedBatches != 3 || row.ShippedLines != 2 || row.ShipDropped != 5 {
+		t.Errorf("row = batches %d lines %d dropped %d, want 3/2/5",
+			row.ShippedBatches, row.ShippedLines, row.ShipDropped)
+	}
+	if !row.SkewSet || row.SkewNS != 7 {
+		t.Errorf("skew not federated: %+v", row)
+	}
+}
+
+// TestCoordinatorFederatesHeartbeatCounters: a heartbeat's counter
+// snapshot and the lease request's build version land on the worker's
+// stats row — the metric-federation path without any HTTP.
+func TestCoordinatorFederatesHeartbeatCounters(t *testing.T) {
+	clk := newFakeClock()
+	c := NewCoordinator(Options{Clock: clk.Now})
+	defer c.Close()
+
+	spec := testSpec(0)
+	ch := submit(c, spec)
+	waitSubmitted(t, c, 1)
+	job, _, err := c.Lease("w1", "go1.x-abcdef123456")
+	if err != nil || job == nil {
+		t.Fatalf("Lease = %v, %v", job, err)
+	}
+	clk.Advance(100 * time.Millisecond)
+	if !c.Heartbeat("w1", job.Lease, map[string]int64{"engine.sims": 7, "dist.ship.lines": 40}) {
+		t.Fatal("heartbeat rejected")
+	}
+
+	st := c.Stats()
+	if len(st.Workers) != 1 {
+		t.Fatalf("Workers = %+v, want one row", st.Workers)
+	}
+	w := st.Workers[0]
+	if w.Name != "w1" || w.Version != "go1.x-abcdef123456" {
+		t.Errorf("identity not federated: %+v", w)
+	}
+	if w.Inflight != 1 {
+		t.Errorf("Inflight = %d, want 1", w.Inflight)
+	}
+	if w.Counters["engine.sims"] != 7 || w.Counters["dist.ship.lines"] != 40 {
+		t.Errorf("counters not federated: %+v", w.Counters)
+	}
+	if w.BusyMS != 100 || w.UtilizationPct != 100 {
+		t.Errorf("utilization = %dms/%.0f%%, want 100ms/100%%", w.BusyMS, w.UtilizationPct)
+	}
+
+	res := localResult(t, spec)
+	clk.Advance(50 * time.Millisecond)
+	if got := c.Push(goodPush("w1", job, res)); got != PushAccepted {
+		t.Fatalf("push = %v", got)
+	}
+	<-ch
+	w = c.Stats().Workers[0]
+	if w.Accepted != 1 || w.Inflight != 0 {
+		t.Errorf("row after push: %+v", w)
+	}
+	// Quantiles come from a bucketed histogram: assert presence and
+	// ordering, not the exact value.
+	if w.PushP50US <= 0 || w.PushP99US < w.PushP50US {
+		t.Errorf("push quantiles = p50 %d / p99 %d, want 0 < p50 <= p99", w.PushP50US, w.PushP99US)
+	}
+}
+
+// TestFleetMergedTraceAndShippedJournal is the tentpole end to end in
+// one process: a traced sweep through a real HTTP fleet produces ONE
+// merged span tree — coordinator dispatch spans bridging to worker
+// engine spans, zero orphans, worker events on their own process rows —
+// while a shipper streams one worker's journal into the fleet journal
+// with worker/skew stamps, and the per-worker stats rows close.
+func TestFleetMergedTraceAndShippedJournal(t *testing.T) {
+	specs := distSpecs(3_000)
+	want := localRun(t, specs)
+
+	var coordLog, w1Log bytes.Buffer
+	f := startFleet(t, Options{
+		LeaseTTL: 2 * time.Second,
+		Journal:  obs.NewJournal(&coordLog),
+	})
+	w1 := &Worker{Name: "w1", Engine: engine.New(engine.Options{}), Version: "test-v1"}
+	ship := NewJournalShipper(&Client{Base: f.srv.URL}, "w1", ShipperOptions{
+		FlushEvery: 20 * time.Millisecond,
+		Skew:       w1.SkewNS,
+	})
+	w1.Journal = obs.NewJournal(io.MultiWriter(&w1Log, ship))
+	f.launch(w1)
+
+	tracer := exectrace.New()
+	ctx := obs.WithTrace(context.Background(), obs.TraceContext{Trace: "feedface01"})
+	ctx = exectrace.WithTracer(ctx, tracer)
+	lead := engine.New(engine.Options{Remote: f.coord})
+	got, err := lead.Results(ctx, engine.Parallel{}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Fatalf("spec %d diverged from local run", i)
+		}
+	}
+	// A second worker joins after the sweep: its lease polls register it,
+	// federating its version even though it never wins a job.
+	f.launch(&Worker{Name: "w2", Engine: engine.New(engine.Options{}), Version: "test-v2"})
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if ws := f.coord.Stats().Workers; len(ws) >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("w2 never registered with the coordinator")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ship.Close(context.Background())
+	st := f.coord.Stats()
+	f.stop()
+
+	// --- the merged span tree ---
+	evs := tracer.Events()
+	if orphans := exectrace.Orphans(evs); len(orphans) != 0 {
+		t.Fatalf("merged trace has %d orphan spans: %+v", len(orphans), orphans)
+	}
+	count := func(name string) int {
+		n := 0
+		for _, ev := range evs {
+			if ev.Name == name {
+				n++
+			}
+		}
+		return n
+	}
+	if got := count("dist:queue"); got != len(specs) {
+		t.Errorf("%d dist:queue spans, want %d", got, len(specs))
+	}
+	if got := count("dist:lease"); got < len(specs) {
+		t.Errorf("%d dist:lease spans, want >= %d", got, len(specs))
+	}
+	// Worker engine spans were imported onto worker process rows and nest
+	// under dispatch spans: for every imported root, the parent is a
+	// dist:lease span recorded coordinator-side.
+	leaseIDs := map[uint64]bool{}
+	byID := map[uint64]exectrace.Event{}
+	for _, ev := range evs {
+		if ev.ID != 0 {
+			byID[ev.ID] = ev
+		}
+		if ev.Name == "dist:lease" {
+			leaseIDs[ev.ID] = true
+		}
+	}
+	var imported, bridged int
+	for _, ev := range evs {
+		if ev.PID == 0 {
+			continue
+		}
+		imported++
+		parent := byID[ev.Parent]
+		if parent.PID == 0 { // the bridge point: a worker span under a coordinator span
+			bridged++
+			if !leaseIDs[ev.Parent] {
+				t.Errorf("imported root %q parents under %q, want a dist:lease span", ev.Name, parent.Name)
+			}
+		}
+	}
+	if imported == 0 {
+		t.Fatal("no worker spans were imported into the merged trace")
+	}
+	// The worker's engine runs (at least) a trace-generation job and the
+	// simulation job per spec, both roots of the shipped tree — so every
+	// remote completion bridges one or more roots onto its dispatch span.
+	if bridged < len(specs) {
+		t.Errorf("%d imported roots bridge to dispatch spans, want >= %d", bridged, len(specs))
+	}
+	var chrome bytes.Buffer
+	if err := tracer.WriteJSON(&chrome); err != nil {
+		t.Fatal(err)
+	}
+	for _, wantStr := range []string{`"process_name"`, `"dirsimw:w1"`} {
+		if !strings.Contains(chrome.String(), wantStr) {
+			t.Errorf("Chrome export missing %s", wantStr)
+		}
+	}
+
+	// --- the shipped journal ---
+	out := coordLog.String()
+	if !strings.Contains(out, `"worker":"w1","skew_ns":`) {
+		t.Error("fleet journal has no skew-stamped shipped lines")
+	}
+	if !strings.Contains(out, `"msg":"worker.job.finish"`) {
+		t.Error("w1's job.finish events never reached the fleet journal")
+	}
+	if !strings.Contains(out, `"msg":"trace.import"`) {
+		t.Error("coordinator did not journal its span imports")
+	}
+	// Shipped lines reference the submission trace, so the fleet journal
+	// alone reconstructs the cross-process chain.
+	if !strings.Contains(out, `"trace":"feedface01","worker":"w1"`) {
+		t.Error("shipped lines lost the submission trace")
+	}
+
+	// --- federation ---
+	rows := map[string]WorkerStats{}
+	for _, w := range st.Workers {
+		rows[w.Name] = w
+	}
+	r1, ok1 := rows["w1"]
+	r2, ok2 := rows["w2"]
+	if !ok1 || !ok2 {
+		t.Fatalf("stats rows = %+v, want w1 and w2", st.Workers)
+	}
+	if r1.Version != "test-v1" || r2.Version != "test-v2" {
+		t.Errorf("versions not federated: %q %q", r1.Version, r2.Version)
+	}
+	if r1.Accepted != int64(len(specs)) {
+		t.Errorf("w1 accepted %d, want %d", r1.Accepted, len(specs))
+	}
+	if r1.ShippedLines == 0 || r1.ShippedBatches == 0 {
+		t.Errorf("w1 shipping not federated: %+v", r1)
+	}
+	if !r1.SkewSet {
+		t.Error("w1 skew never reported")
+	}
+	if r1.PID == 0 || r2.PID == 0 || r1.PID == r2.PID {
+		t.Errorf("worker pids not distinct and nonzero: %d %d", r1.PID, r2.PID)
+	}
+}
+
+// TestFleetMergedTraceSurvivesFaults: under dropped requests, duplicated
+// deliveries, and a crashing worker, the sweep still completes
+// bit-identical — and the merged trace still has zero orphans, because
+// every import hangs off a dispatch span recorded at resolution time,
+// whatever the lease's fate.
+func TestFleetMergedTraceSurvivesFaults(t *testing.T) {
+	specs := distSpecs(3_000)
+	want := localRun(t, specs)
+
+	var coordLog bytes.Buffer
+	f := startFleet(t, Options{
+		LeaseTTL:     400 * time.Millisecond,
+		SweepEvery:   50 * time.Millisecond,
+		MaxAttempts:  5,
+		DegradeAfter: 5 * time.Second,
+		Journal:      obs.NewJournal(&coordLog),
+	})
+	wire := faults.Config{Seed: 3, Drop: 0.1, Duplicate: 0.1}
+	crashWire := wire
+	crashWire.Crash = 1
+	// The crasher dies on its first leased job; launch it alone so it
+	// deterministically wins a lease before the healthy workers drain
+	// the queue.
+	f.launch(&Worker{
+		Name:   "crasher",
+		Client: &Client{Base: f.srv.URL, Backoff: 5 * time.Millisecond},
+		Engine: engine.New(engine.Options{}),
+		Inj:    faults.New(crashWire),
+	})
+
+	tracer := exectrace.New()
+	ctx := obs.WithTrace(context.Background(), obs.TraceContext{Trace: "faultfeed02"})
+	ctx = exectrace.WithTracer(ctx, tracer)
+	lead := engine.New(engine.Options{Remote: f.coord})
+	done := make(chan struct{})
+	var res resultsAndErr
+	go func() {
+		defer close(done)
+		res.rs, res.err = lead.Results(ctx, engine.Parallel{}, specs)
+	}()
+	f.waitErr("crasher")
+	for i := 0; i < 2; i++ {
+		name := []string{"w1", "w2"}[i]
+		ft := NewFaultTransport(name, faults.New(wire), nil)
+		f.launch(&Worker{
+			Name:   name,
+			Client: &Client{Base: f.srv.URL, HTTP: &http.Client{Transport: ft}, Backoff: 5 * time.Millisecond},
+			Engine: engine.New(engine.Options{}),
+		})
+	}
+	<-done
+	if res.err != nil {
+		t.Fatalf("faults must never fail the sweep: %v", res.err)
+	}
+	for i := range want {
+		if !reflect.DeepEqual(res.rs[i], want[i]) {
+			t.Fatalf("spec %d diverged under faults", i)
+		}
+	}
+	st := f.coord.Stats()
+	f.stop()
+
+	if st.JobsSubmitted != st.JobsCompleted+st.JobsDegraded+st.JobsFailed {
+		t.Errorf("books broken: %+v", st)
+	}
+	evs := tracer.Events()
+	if orphans := exectrace.Orphans(evs); len(orphans) != 0 {
+		t.Fatalf("%d orphan spans under faults: %+v", len(orphans), orphans)
+	}
+	// Every completed-remotely job imported worker spans; every import
+	// bridges onto a coordinator-side span.
+	byID := map[uint64]exectrace.Event{}
+	for _, ev := range evs {
+		if ev.ID != 0 {
+			byID[ev.ID] = ev
+		}
+	}
+	var imported int
+	for _, ev := range evs {
+		if ev.PID != 0 {
+			imported++
+			if p, ok := byID[ev.Parent]; ok && p.PID == 0 && p.Name != "dist:lease" {
+				t.Errorf("imported span %q bridges to %q, want dist:lease", ev.Name, p.Name)
+			}
+		}
+	}
+	if st.JobsCompleted > 0 && imported == 0 {
+		t.Error("remote completions imported no worker spans")
+	}
+	// The crash is visible in the journal-side story too.
+	if !strings.Contains(coordLog.String(), `"msg":"job.lease.expire"`) {
+		t.Error("crashed worker's lease expiry never journaled")
+	}
+}
+
+// resultsAndErr bundles a Results call's outcome for goroutine capture.
+type resultsAndErr struct {
+	rs  []*sim.Result
+	err error
+}

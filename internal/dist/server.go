@@ -22,7 +22,13 @@ const WorkerHeader = "X-Dirsim-Worker"
 //	POST /api/v1/dist/result     push a result or structured error
 //	                             (200 accepted, 410 duplicate/late,
 //	                             422 failed revalidation)
-//	GET  /api/v1/dist/stats      coordinator counters
+//	POST /api/v1/dist/journal    ship a batch of worker journal lines
+//	                             into the fleet journal
+//	GET  /api/v1/dist/stats      coordinator counters + per-worker
+//	                             breakdown
+//
+// Lease and heartbeat responses carry the coordinator's clock
+// (now_unix_ns) for the workers' skew estimators.
 //
 // Every route is wrapped in httpmon.Instrument, so trace contexts
 // propagate (X-Dirsim-Trace in, echoed back out) and per-route, per-
@@ -39,6 +45,7 @@ func Register(mux *http.ServeMux, c *Coordinator) {
 	route("POST /api/v1/dist/lease", "dist.lease", c.handleLease)
 	route("POST /api/v1/dist/heartbeat", "dist.heartbeat", c.handleHeartbeat)
 	route("POST /api/v1/dist/result", "dist.result", c.handleResult)
+	route("POST /api/v1/dist/journal", "dist.journal", c.handleJournal)
 	route("GET /api/v1/dist/stats", "dist.stats", c.handleStats)
 }
 
@@ -75,7 +82,7 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "missing worker name")
 		return
 	}
-	job, retryAfter, err := c.Lease(req.Worker)
+	job, retryAfter, err := c.Lease(req.Worker, req.Version)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
@@ -89,19 +96,37 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusTooManyRequests, "worker %s circuit open; retry after %ds", req.Worker, secs)
 		return
 	}
-	writeJSON(w, http.StatusOK, leaseResponse{Job: job})
+	writeJSON(w, http.StatusOK, leaseResponse{Job: job, NowUnixNS: c.opts.Clock().UnixNano()})
 }
 
 func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	var req heartbeatRequest
-	if !decodeInto(w, r, &req, 1<<16) {
+	if !decodeInto(w, r, &req, 1<<20) {
 		return
 	}
-	if !c.Heartbeat(req.Worker, req.Lease) {
+	if !c.Heartbeat(req.Worker, req.Lease, req.Counters) {
 		writeError(w, http.StatusGone, "lease %s is gone", req.Lease)
 		return
 	}
-	writeJSON(w, http.StatusOK, struct{}{})
+	writeJSON(w, http.StatusOK, heartbeatResponse{NowUnixNS: c.opts.Clock().UnixNano()})
+}
+
+// maxJournalBatchBytes bounds one shipped journal batch.
+const maxJournalBatchBytes = 8 << 20
+
+func (c *Coordinator) handleJournal(w http.ResponseWriter, r *http.Request) {
+	var b journalBatch
+	if !decodeInto(w, r, &b, maxJournalBatchBytes) {
+		return
+	}
+	if b.Worker == "" {
+		b.Worker = r.Header.Get(WorkerHeader)
+	}
+	if b.Worker == "" {
+		writeError(w, http.StatusBadRequest, "missing worker name")
+		return
+	}
+	writeJSON(w, http.StatusOK, journalAccept{Accepted: c.AcceptJournal(&b)})
 }
 
 func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {

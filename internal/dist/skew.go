@@ -1,0 +1,58 @@
+package dist
+
+import (
+	"sync"
+	"time"
+)
+
+// skewEstimator estimates the coordinator-minus-worker clock offset from
+// request round trips, Cristian's algorithm: given a request sent at t0,
+// answered with the server's clock s, and received at t2, the offset
+// sample is s - (t0+t2)/2, accurate to ±RTT/2. The estimator keeps the
+// minimum-RTT sample seen — tightest error bound — which also filters
+// out round trips inflated by client-side retries and backoff sleeps.
+// Safe for concurrent use.
+type skewEstimator struct {
+	mu       sync.Mutex
+	offsetNS int64
+	rttNS    int64
+	samples  int64
+}
+
+// Observe records one round trip. serverUnixNS == 0 (a pre-skew
+// coordinator) is ignored.
+func (e *skewEstimator) Observe(t0, t2 time.Time, serverUnixNS int64) {
+	if e == nil || serverUnixNS == 0 || t2.Before(t0) {
+		return
+	}
+	rtt := t2.Sub(t0).Nanoseconds()
+	mid := t0.UnixNano() + rtt/2
+	off := serverUnixNS - mid
+	e.mu.Lock()
+	if e.samples == 0 || rtt < e.rttNS {
+		e.offsetNS, e.rttNS = off, rtt
+	}
+	e.samples++
+	e.mu.Unlock()
+}
+
+// Offset returns the current coordinator-minus-worker estimate in
+// nanoseconds; ok is false before any sample.
+func (e *skewEstimator) Offset() (ns int64, ok bool) {
+	if e == nil {
+		return 0, false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.offsetNS, e.samples > 0
+}
+
+// RTT returns the round-trip time of the sample backing the estimate.
+func (e *skewEstimator) RTT() time.Duration {
+	if e == nil {
+		return 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return time.Duration(e.rttNS)
+}

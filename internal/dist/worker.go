@@ -13,6 +13,7 @@ import (
 	"dirsim/internal/engine"
 	"dirsim/internal/faults"
 	"dirsim/internal/obs"
+	exectrace "dirsim/internal/obs/trace"
 	"dirsim/internal/sim"
 )
 
@@ -45,9 +46,25 @@ type Worker struct {
 	Inj *faults.Injector
 	// Journal receives worker.* events; nil disables them.
 	Journal *obs.Journal
+	// Metrics, when non-nil, is snapshotted (counters) onto every
+	// heartbeat — the metric-federation path to the coordinator.
+	Metrics *obs.Registry
+	// Version is the worker binary's build identity (obs.Build),
+	// stamped onto lease requests.
+	Version string
 	// Sleep replaces the idle-poll clock for tests; nil sleeps.
 	Sleep func(time.Duration)
+
+	// skew estimates the coordinator-minus-worker clock offset from
+	// lease/heartbeat round trips; shipped spans and journal batches
+	// carry it so the coordinator can merge timelines onto its clock.
+	skew skewEstimator
 }
+
+// SkewNS returns the worker's current coordinator-minus-worker clock
+// estimate (0, false before any timestamped response) — the value
+// journal shippers tag batches with.
+func (w *Worker) SkewNS() (int64, bool) { return w.skew.Offset() }
 
 func (w *Worker) poll() time.Duration {
 	if w.Poll > 0 {
@@ -128,12 +145,24 @@ func (w *Worker) idle(ctx context.Context) error {
 
 func (w *Worker) lease(ctx context.Context) (*JobSpec, error) {
 	var resp leaseResponse
+	t0 := time.Now()
 	err := w.Client.Do(ctx, http.MethodPost, "/api/v1/dist/lease",
-		leaseRequest{Worker: w.Name}, &resp)
+		leaseRequest{Worker: w.Name, Version: w.Version}, &resp)
 	if err != nil {
 		return nil, err
 	}
+	// The round trip may include client-side retries, inflating the
+	// apparent RTT; the estimator's min-RTT filter discards such samples.
+	w.skew.Observe(t0, time.Now(), resp.NowUnixNS)
 	return resp.Job, nil
+}
+
+// counterSnapshot is the federated metric payload for heartbeats.
+func (w *Worker) counterSnapshot() map[string]int64 {
+	if w.Metrics == nil {
+		return nil
+	}
+	return w.Metrics.Snapshot().Counters
 }
 
 // runJob executes one leased job: adopt the job's trace context, crash if
@@ -142,6 +171,16 @@ func (w *Worker) lease(ctx context.Context) (*JobSpec, error) {
 func (w *Worker) runJob(ctx context.Context, job *JobSpec) error {
 	tc, _ := obs.ParseTraceContext(job.Trace)
 	jctx := obs.WithTrace(ctx, tc)
+
+	// A non-zero remote parent means the coordinator is tracing this
+	// job: record the engine's spans on a per-job tracer and ship them
+	// home with the result, where they re-parent under the dispatch
+	// span whose ID tc.Parent carries.
+	var tracer *exectrace.Tracer
+	if tc.Parent != 0 {
+		tracer = exectrace.New()
+		jctx = exectrace.WithTracer(jctx, tracer)
+	}
 
 	// End-to-end integrity on the request path: the job key IS the
 	// content hash of the spec, so recomputing it catches a lease
@@ -183,8 +222,14 @@ func (w *Worker) runJob(ctx context.Context, job *JobSpec) error {
 		for {
 			select {
 			case <-tick.C:
+				var hresp heartbeatResponse
+				t0 := time.Now()
 				err := w.Client.Do(hbCtx, http.MethodPost, "/api/v1/dist/heartbeat",
-					heartbeatRequest{Worker: w.Name, Lease: job.Lease}, nil)
+					heartbeatRequest{Worker: w.Name, Lease: job.Lease,
+						Counters: w.counterSnapshot()}, &hresp)
+				if err == nil {
+					w.skew.Observe(t0, time.Now(), hresp.NowUnixNS)
+				}
 				if IsStatus(err, http.StatusGone) {
 					w.event("worker.lease.lost", tc, "key", shortKey(job.Key), "lease", job.Lease)
 					leaseLost.Store(true)
@@ -214,6 +259,10 @@ func (w *Worker) runJob(ctx context.Context, job *JobSpec) error {
 	}
 
 	push := resultPush{Worker: w.Name, Lease: job.Lease, Key: job.Key}
+	if tracer != nil {
+		push.Spans = tracer.ExportWire()
+		push.SkewNS, push.SkewOK = w.skew.Offset()
+	}
 	if simErr != nil {
 		push.Error = EncodeError(simErr)
 		w.event("worker.job.error", tc, "key", shortKey(job.Key), "error", simErr.Error())

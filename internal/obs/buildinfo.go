@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"runtime/debug"
+	"strings"
+	"sync"
+)
+
+// Build returns the binary's build identity: the main module's version
+// plus the embedded VCS revision (12 hex digits, "+dirty" when the tree
+// was modified), e.g. "(devel)+a1b2c3d4e5f6". Binaries print it for
+// -version; manifests, worker join events, and the build_info gauge
+// stamp it so every artifact names the code that produced it. Falls
+// back to "unknown" when the binary carries no build info (tests,
+// `go run` from a non-VCS tree).
+func Build() string {
+	buildOnce.Do(func() {
+		buildID = readBuild(debug.ReadBuildInfo())
+	})
+	return buildID
+}
+
+var (
+	buildOnce sync.Once
+	buildID   string
+)
+
+func readBuild(bi *debug.BuildInfo, ok bool) string {
+	if !ok || bi == nil {
+		return "unknown"
+	}
+	version := bi.Main.Version
+	if version == "" {
+		version = "(devel)"
+	}
+	var rev, dirty string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "+dirty"
+			}
+		}
+	}
+	if rev == "" {
+		return version
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	// Recent toolchains stamp pseudo-versions that already embed the
+	// revision (and "+dirty"); don't duplicate the suffix then.
+	if strings.Contains(version, rev) {
+		if dirty != "" && !strings.Contains(version, "dirty") {
+			return version + dirty
+		}
+		return version
+	}
+	return version + "+" + rev + dirty
+}
+
+// RegisterBuildInfo exposes the build identity on the registry the
+// Prometheus way: a constant-1 gauge whose name embeds the (sanitized)
+// build string, e.g. build_info._devel_+a1b2c3d4e5f6 → rendered by
+// promName as build_info__devel__a1b2c3d4e5f6. Scrapes join on it to
+// attribute metrics to a deploy. No-op on a nil registry.
+func RegisterBuildInfo(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Gauge("build_info." + SanitizeLabel(Build())).Set(1)
+}
+
+// SanitizeLabel makes an untrusted or free-form value safe to embed in
+// a metric name: anything outside [a-zA-Z0-9._-] becomes '_', and the
+// result is capped at 48 bytes so hostile or unbounded inputs cannot
+// bloat the registry.
+func SanitizeLabel(s string) string {
+	const maxLabel = 48
+	if len(s) > maxLabel {
+		s = s[:maxLabel]
+	}
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+			return r
+		}
+		return '_'
+	}, s)
+}

@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"runtime/debug"
+	"strings"
+	"testing"
+)
+
+// TestBuildIsStableAndNonEmpty: every binary stamps the same non-empty
+// identity into manifests, worker joins, and the build_info gauge.
+func TestBuildIsStableAndNonEmpty(t *testing.T) {
+	b := Build()
+	if b == "" {
+		t.Fatal("Build() returned empty")
+	}
+	if b != Build() {
+		t.Error("Build() not stable across calls")
+	}
+}
+
+func TestReadBuild(t *testing.T) {
+	if got := readBuild(nil, false); got != "unknown" {
+		t.Errorf("readBuild(nil) = %q, want unknown", got)
+	}
+	bi := &debug.BuildInfo{
+		Main: debug.Module{Version: "(devel)"},
+		Settings: []debug.BuildSetting{
+			{Key: "vcs.revision", Value: "0123456789abcdef0123456789abcdef01234567"},
+			{Key: "vcs.modified", Value: "true"},
+		},
+	}
+	got := readBuild(bi, true)
+	if !strings.Contains(got, "0123456789ab") || !strings.HasSuffix(got, "+dirty") {
+		t.Errorf("readBuild = %q, want 12-char revision with +dirty", got)
+	}
+	bi.Main.Version = "v1.2.3"
+	bi.Settings = nil
+	if got := readBuild(bi, true); got != "v1.2.3" {
+		t.Errorf("readBuild = %q, want the module version", got)
+	}
+}
+
+func TestSanitizeLabel(t *testing.T) {
+	for in, want := range map[string]string{
+		"v1.2.3":     "v1.2.3",
+		"a b/c!":     "a_b_c_",
+		"(devel)+ab": "_devel__ab",
+	} {
+		if got := SanitizeLabel(in); got != want {
+			t.Errorf("SanitizeLabel(%q) = %q, want %q", in, got, want)
+		}
+	}
+	if got := SanitizeLabel(strings.Repeat("a", 100)); len(got) != 48 {
+		t.Errorf("SanitizeLabel cap: got %d bytes, want 48", len(got))
+	}
+}
+
+// TestRegisterBuildInfo: the registry grows a build_info.<version> gauge
+// set to 1, the Prometheus-style identity carrier.
+func TestRegisterBuildInfo(t *testing.T) {
+	reg := NewRegistry()
+	RegisterBuildInfo(reg)
+	snap := reg.Snapshot()
+	found := false
+	for name, v := range snap.Gauges {
+		if strings.HasPrefix(name, "build_info.") && v == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no build_info gauge after RegisterBuildInfo: %v", snap.Gauges)
+	}
+	RegisterBuildInfo(nil) // must not panic
+}

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestFanoutSlowSubscriberNeverBlocksPublisher is the -race contract
+// behind live event streaming: one subscriber draining slowly (and one
+// not draining at all) must neither stall the publisher nor corrupt
+// delivery to a fast subscriber. Publishers are concurrent, the slow
+// reader sleeps between receives, and the publisher side must finish
+// promptly — losses land on the laggards as counted drops, never as
+// back-pressure.
+func TestFanoutSlowSubscriberNeverBlocksPublisher(t *testing.T) {
+	f := NewFanout(0, 4)
+	reg := NewRegistry()
+	f.CountDrops(reg.Counter("fanout.dropped"))
+	defer f.Close()
+
+	fast := f.Subscribe()
+	slow := f.Subscribe()
+	stuck := f.Subscribe() // never reads at all
+	defer fast.Cancel()
+	defer slow.Cancel()
+	defer stuck.Cancel()
+
+	const (
+		writers = 4
+		perW    = 50
+		total   = writers * perW
+	)
+
+	// The fast subscriber drains eagerly on its own goroutine.
+	var fastGot int
+	fastDone := make(chan struct{})
+	go func() {
+		defer close(fastDone)
+		for range fast.C {
+			fastGot++
+		}
+	}()
+	// The slow subscriber dawdles: it reads, but far behind the
+	// publishers, so it must shed load via drops instead of stalling them.
+	var slowGot int
+	slowDone := make(chan struct{})
+	go func() {
+		defer close(slowDone)
+		for range slow.C {
+			slowGot++
+			time.Sleep(500 * time.Microsecond)
+		}
+	}()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				fmt.Fprintf(f, "{\"w\":%d,\"n\":%d}\n", w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Publishing must complete in publisher time, not subscriber time: the
+	// slow reader alone would need total*500us to drain everything.
+	if floor := time.Duration(total) * 500 * time.Microsecond; elapsed >= floor {
+		t.Errorf("publishers took %v — back-pressured by the slow subscriber (floor %v)", elapsed, floor)
+	}
+
+	fast.Cancel()
+	slow.Cancel()
+	<-fastDone
+	<-slowDone
+
+	if fastGot+fast.Dropped() != total {
+		t.Errorf("fast subscriber: %d received + %d dropped != %d published",
+			fastGot, fast.Dropped(), total)
+	}
+	if slowGot+slow.Dropped() != total {
+		t.Errorf("slow subscriber: %d received + %d dropped != %d published",
+			slowGot, slow.Dropped(), total)
+	}
+	// The stuck subscriber kept at most its channel depth; the rest are
+	// accounted as drops, and every loss landed on the shared counter.
+	if stuck.Dropped() < total-4 {
+		t.Errorf("stuck subscriber dropped %d, want >= %d", stuck.Dropped(), total-4)
+	}
+	wantDrops := int64(fast.Dropped() + slow.Dropped() + stuck.Dropped())
+	if got := reg.Counter("fanout.dropped").Value(); got != wantDrops {
+		t.Errorf("fanout.dropped = %d, want %d", got, wantDrops)
+	}
+}

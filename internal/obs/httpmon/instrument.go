@@ -2,7 +2,6 @@ package httpmon
 
 import (
 	"net/http"
-	"strings"
 	"time"
 
 	"dirsim/internal/obs"
@@ -116,19 +115,6 @@ func (w *statusWriter) Flush() {
 }
 
 // sanitizeLabel makes an untrusted header value safe to embed in a
-// metric name: anything outside [a-zA-Z0-9._-] becomes '_', and the
-// result is capped so a hostile client cannot bloat the registry.
-func sanitizeLabel(s string) string {
-	const maxLabel = 48
-	if len(s) > maxLabel {
-		s = s[:maxLabel]
-	}
-	return strings.Map(func(r rune) rune {
-		switch {
-		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
-			r == '.', r == '_', r == '-':
-			return r
-		}
-		return '_'
-	}, s)
-}
+// metric name (see obs.SanitizeLabel, shared with the dist
+// coordinator's per-worker metric names).
+func sanitizeLabel(s string) string { return obs.SanitizeLabel(s) }

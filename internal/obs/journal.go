@@ -1,10 +1,13 @@
 package obs
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"log/slog"
 	"os"
+	"sync"
+	"time"
 )
 
 // Journal is a structured run journal: typed events written as JSON
@@ -31,7 +34,22 @@ import (
 //	error                       terminal failure summary
 type Journal struct {
 	log    *slog.Logger
+	w      *lockedWriter
 	closer io.Closer
+}
+
+// lockedWriter serializes whole-line writes from the slog handler and
+// Raw onto one writer, so shipped worker lines splice between locally
+// emitted lines without interleaving.
+type lockedWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (lw *lockedWriter) Write(p []byte) (int, error) {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	return lw.w.Write(p)
 }
 
 // SchemaVersion identifies the shape of the observability outputs: the
@@ -41,11 +59,15 @@ type Journal struct {
 // changes incompatibly (see DESIGN.md for the version history).
 const SchemaVersion = 2
 
-// NewJournal writes events to w. The slog JSON handler serializes
-// concurrent writes, so one journal can be shared by every goroutine of
-// a run. Every line carries the journal schema version.
+// NewJournal writes events to w. Writes are serialized (one whole line
+// per Write), so one journal can be shared by every goroutine of a run.
+// Every line carries the journal schema version.
 func NewJournal(w io.Writer) *Journal {
-	return &Journal{log: slog.New(slog.NewJSONHandler(w, nil)).With(slog.Int("schema", SchemaVersion))}
+	lw := &lockedWriter{w: w}
+	return &Journal{
+		log: slog.New(slog.NewJSONHandler(lw, nil)).With(slog.Int("schema", SchemaVersion)),
+		w:   lw,
+	}
 }
 
 // OpenJournal opens a JSONL journal at path; "-" and "stderr" select
@@ -62,6 +84,58 @@ func OpenJournal(path string) (*Journal, error) {
 	j := NewJournal(f)
 	j.closer = f
 	return j, nil
+}
+
+// OpenJournalRotating opens a size-rotated file journal: when the live
+// file would exceed maxBytes, it is renamed to path.1 (older segments
+// shifting to path.2 … path.keep, the oldest beyond keep deleted) and a
+// fresh file continues the stream, opening with a journal.rotated event.
+// dirsimq reads the rotated set back as one journal. "-"/"stderr" fall
+// back to an unrotated stderr journal.
+func OpenJournalRotating(path string, maxBytes int64, keep int) (*Journal, error) {
+	if path == "-" || path == "stderr" || maxBytes <= 0 {
+		return OpenJournal(path)
+	}
+	rw, err := NewRotatingWriter(path, maxBytes, keep)
+	if err != nil {
+		return nil, fmt.Errorf("obs: journal: %w", err)
+	}
+	j := NewJournal(rw)
+	j.closer = rw
+	rw.OnRotate(RotationMarker(path))
+	return j, nil
+}
+
+// RotationMarker returns the standard OnRotate callback: it opens every
+// fresh segment with a journal.rotated line, hand-encoded in the slog
+// line shape (the callback runs under the rotating writer's lock, so it
+// cannot go back through the journal — that would deadlock on the
+// journal's line lock).
+func RotationMarker(path string) func(total int64, w io.Writer) {
+	return func(total int64, w io.Writer) {
+		fmt.Fprintf(w, "{\"time\":%q,\"level\":\"INFO\",\"msg\":\"journal.rotated\",\"schema\":%d,\"segments\":%d,\"path\":%q}\n",
+			time.Now().UTC().Format(time.RFC3339Nano), SchemaVersion, total, path)
+	}
+}
+
+// Raw splices one pre-encoded JSONL line (without or with its trailing
+// newline) into the journal — the coordinator's path for journal lines
+// shipped home by workers, which are already slog-encoded and must not
+// be re-enveloped. The line is written atomically with respect to local
+// events. No-op on a nil journal, a journal over a borrowed logger (a
+// WithTrace derivative shares its parent's writer), or an empty line.
+func (j *Journal) Raw(line []byte) {
+	if j == nil || j.w == nil {
+		return
+	}
+	line = bytes.TrimRight(line, "\r\n")
+	if len(line) == 0 {
+		return
+	}
+	buf := make([]byte, 0, len(line)+1)
+	buf = append(buf, line...)
+	buf = append(buf, '\n')
+	j.w.Write(buf) //nolint:errcheck // journaling is best-effort, like slog's handler writes
 }
 
 // WithTrace returns a journal whose every line carries the trace

@@ -14,8 +14,11 @@ import (
 type RunManifest struct {
 	// Schema is the manifest format version (SchemaVersion at write
 	// time); parsers branch on it to survive format changes.
-	Schema      int              `json:"schema"`
-	Command     string           `json:"command"`
+	Schema  int    `json:"schema"`
+	Command string `json:"command"`
+	// Build is the binary's build identity (obs.Build): module version
+	// plus embedded VCS revision.
+	Build       string           `json:"build,omitempty"`
 	Start       time.Time        `json:"start"`
 	WallSeconds float64          `json:"wall_seconds"`
 	Config      ManifestConfig   `json:"config"`

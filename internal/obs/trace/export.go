@@ -34,7 +34,8 @@ type chromeTrace struct {
 	OtherData       map[string]any `json:"otherData,omitempty"`
 }
 
-// tracePID is the single "process" every lane belongs to.
+// tracePID is the process row of the tracer's own process; lanes
+// imported from remote processes carry their registered pid instead.
 const tracePID = 1
 
 // Events returns a copy of every recorded event, in timestamp order.
@@ -70,31 +71,56 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 	}
 	if t != nil {
 		t.mu.Lock()
-		nlanes := len(t.lanes)
+		lanes := append([]*Lane(nil), t.lanes...)
+		procs := make(map[int]string, len(t.procs)+1)
+		procs[tracePID] = "dirsim"
+		for pid, name := range t.procs {
+			procs[pid] = name
+		}
 		t.mu.Unlock()
-		out.TraceEvents = append(out.TraceEvents, chromeEvent{
-			Name: "process_name", Ph: "M", PID: tracePID,
-			Args: map[string]any{"name": "dirsim"},
-		})
-		for tid := 1; tid <= nlanes; tid++ {
+		pids := make([]int, 0, len(procs))
+		for pid := range procs {
+			pids = append(pids, pid)
+		}
+		sort.Ints(pids)
+		for _, pid := range pids {
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "process_name", Ph: "M", PID: pid,
+				Args: map[string]any{"name": procs[pid]},
+			})
+		}
+		// tid/pid/label are immutable after lane creation, so reading
+		// them without the lane mutex is safe even for live lanes.
+		for _, l := range lanes {
+			pid, name := l.pid, l.label
+			if pid == 0 {
+				pid = tracePID
+			}
+			if name == "" {
+				name = fmt.Sprintf("lane-%02d", l.tid)
+			}
 			out.TraceEvents = append(out.TraceEvents,
 				chromeEvent{
-					Name: "thread_name", Ph: "M", PID: tracePID, TID: tid,
-					Args: map[string]any{"name": fmt.Sprintf("lane-%02d", tid)},
+					Name: "thread_name", Ph: "M", PID: pid, TID: l.tid,
+					Args: map[string]any{"name": name},
 				},
 				chromeEvent{
-					Name: "thread_sort_index", Ph: "M", PID: tracePID, TID: tid,
-					Args: map[string]any{"sort_index": tid},
+					Name: "thread_sort_index", Ph: "M", PID: pid, TID: l.tid,
+					Args: map[string]any{"sort_index": l.tid},
 				})
 		}
 		for _, ev := range t.Events() {
+			pid := ev.PID
+			if pid == 0 {
+				pid = tracePID
+			}
 			ce := chromeEvent{
 				Name: ev.Name,
 				Cat:  ev.Cat,
 				Ph:   string(ev.Ph),
 				TS:   float64(ev.TS) / 1e3,
 				Dur:  float64(ev.Dur) / 1e3,
-				PID:  tracePID,
+				PID:  pid,
 				TID:  ev.TID,
 				ID:   ev.ID,
 			}

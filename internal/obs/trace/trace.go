@@ -38,21 +38,26 @@ import (
 // SpanID identifies one span within a tracer. Zero means "no parent".
 type SpanID uint64
 
-// Arg is one key/value annotation on an event.
+// Arg is one key/value annotation on an event. The JSON tags are the
+// wire form (ExportWire/Import) — short keys keep shipped span batches
+// small.
 type Arg struct {
-	Key string
-	Val any
+	Key string `json:"k"`
+	Val any    `json:"v"`
 }
 
 // Event is one recorded trace event. Timestamps and durations are
 // nanoseconds since the tracer's epoch; the exporter converts to the
-// microseconds Chrome trace-event JSON uses.
+// microseconds Chrome trace-event JSON uses. PID is the process row the
+// event renders under (0 means the tracer's own process, pid 1); events
+// imported from a remote process carry that process's registered pid.
 type Event struct {
 	Name   string
 	Cat    string
 	Ph     byte // 'X' complete span, 'i' instant
 	TS     int64
 	Dur    int64
+	PID    int
 	TID    int
 	ID     uint64
 	Parent uint64
@@ -68,13 +73,41 @@ type Tracer struct {
 	ids   atomic.Uint64
 
 	mu    sync.Mutex
-	lanes []*Lane // every lane ever created, in tid order
-	free  []*Lane // released lanes, reused LIFO
+	lanes []*Lane        // every lane ever created, in tid order
+	free  []*Lane        // released lanes, reused LIFO
+	procs map[int]string // registered remote processes, pid → name
 }
 
 // New returns an empty tracer whose timestamps count from now.
 func New() *Tracer {
 	return &Tracer{epoch: time.Now()}
+}
+
+// AllocID pre-mints a span ID without recording anything. The dist
+// coordinator allocates its dispatch span's ID at lease-grant time — so
+// the ID can cross the wire and the worker's spans can nest under it —
+// and records the span itself (retro-dated, via Lane.RecordSpan) only
+// when the lease resolves. Returns 0 on a nil tracer.
+func (t *Tracer) AllocID() SpanID {
+	if t == nil {
+		return 0
+	}
+	return SpanID(t.ids.Add(1))
+}
+
+// RegisterProcess names a remote process row for the Chrome export.
+// Imported events carrying pid render under this process name. pid 1 is
+// the tracer's own process ("dirsim") and cannot be renamed.
+func (t *Tracer) RegisterProcess(pid int, name string) {
+	if t == nil || pid <= 1 {
+		return
+	}
+	t.mu.Lock()
+	if t.procs == nil {
+		t.procs = make(map[int]string)
+	}
+	t.procs[pid] = name
+	t.mu.Unlock()
 }
 
 // now returns nanoseconds since the tracer's epoch (monotonic).
@@ -118,11 +151,15 @@ func (t *Tracer) Lane() *Lane {
 
 // Lane is one timeline row: an event buffer appended to lock-free by its
 // owning goroutine. Acquire with Tracer.Lane, return with Release.
+// Imported lanes (Tracer.Import) additionally carry the remote process's
+// pid and a label; both are immutable after creation.
 type Lane struct {
-	tr  *Tracer
-	tid int
-	mu  sync.Mutex
-	buf []Event
+	tr    *Tracer
+	tid   int
+	pid   int    // 0 = the tracer's own process
+	label string // "" = default "lane-NN" naming
+	mu    sync.Mutex
+	buf   []Event
 }
 
 // Release returns the lane to the tracer for reuse. The caller must not
@@ -185,6 +222,7 @@ func (l *Lane) Instant(parent SpanID, cat, name string, args ...any) {
 		Cat:    cat,
 		Ph:     'i',
 		TS:     l.tr.now(),
+		PID:    l.pid,
 		TID:    l.tid,
 		ID:     l.tr.ids.Add(1),
 		Parent: uint64(parent),
@@ -205,6 +243,36 @@ func (l *Lane) TID() int {
 		return 0
 	}
 	return l.tid
+}
+
+// RecordSpan appends a complete span with an explicit, pre-allocated ID
+// (Tracer.AllocID) and absolute start/end times. This is how retro-dated
+// cross-process spans land: the coordinator mints the dispatch span's ID
+// at lease-grant time, ships it to the worker, and records the span here
+// when the lease resolves — accept, reject, or expiry. Times predating
+// the tracer's epoch clamp to it. No-op on a nil lane or zero id.
+func (l *Lane) RecordSpan(id, parent SpanID, cat, name string, start, end time.Time, err string, args ...Arg) {
+	if l == nil || id == 0 {
+		return
+	}
+	ts := l.tr.at(start)
+	dur := l.tr.at(end) - ts
+	if dur < 0 {
+		dur = 0
+	}
+	l.buf = append(l.buf, Event{
+		Name:   name,
+		Cat:    cat,
+		Ph:     'X',
+		TS:     ts,
+		Dur:    dur,
+		PID:    l.pid,
+		TID:    l.tid,
+		ID:     uint64(id),
+		Parent: uint64(parent),
+		Err:    err,
+		Args:   args,
+	})
 }
 
 // Span is one open timed region. It must be ended by the goroutine that
@@ -250,6 +318,7 @@ func (s *Span) End(err error) {
 		Ph:     'X',
 		TS:     s.start,
 		Dur:    s.lane.tr.now() - s.start,
+		PID:    s.lane.pid,
 		TID:    s.lane.tid,
 		ID:     s.id,
 		Parent: s.parent,

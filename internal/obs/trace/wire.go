@@ -1,0 +1,208 @@
+package exectrace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file is the cross-process half of the tracer: a worker exports
+// its per-job span tree as a WireTrace (shipped home inside the result
+// push), and the coordinator imports it into the originating request's
+// tracer — remapping span IDs into the local ID space, re-parenting the
+// worker's root spans under the coordinator's dispatch span, and
+// shifting timestamps from the worker's clock onto the coordinator's
+// using the worker's skew estimate. The merged tracer then exports one
+// Chrome/Perfetto tree spanning every process that touched the request.
+
+// WireEvent is one trace event in wire form. TS is nanoseconds since the
+// exporting tracer's epoch (WireTrace.EpochUnixNS anchors that epoch to
+// the exporter's wall clock).
+type WireEvent struct {
+	Name   string `json:"name"`
+	Cat    string `json:"cat,omitempty"`
+	Ph     string `json:"ph"`
+	TS     int64  `json:"ts"`
+	Dur    int64  `json:"dur,omitempty"`
+	TID    int    `json:"tid"`
+	ID     uint64 `json:"id"`
+	Parent uint64 `json:"parent,omitempty"`
+	Err    string `json:"err,omitempty"`
+	Args   []Arg  `json:"args,omitempty"`
+}
+
+// WireTrace is a tracer's event log in shippable form.
+type WireTrace struct {
+	// EpochUnixNS anchors event timestamps to the exporter's wall clock:
+	// an event happened at EpochUnixNS + TS on the exporting machine.
+	EpochUnixNS int64       `json:"epoch_unix_ns"`
+	Events      []WireEvent `json:"events"`
+}
+
+// ExportWire snapshots every recorded event in wire form. Like Events,
+// call it after the traced work has finished. A nil or empty tracer
+// returns nil — callers ship nothing.
+func (t *Tracer) ExportWire() *WireTrace {
+	if t == nil {
+		return nil
+	}
+	evs := t.Events()
+	if len(evs) == 0 {
+		return nil
+	}
+	w := &WireTrace{EpochUnixNS: t.epoch.UnixNano(), Events: make([]WireEvent, 0, len(evs))}
+	for _, ev := range evs {
+		w.Events = append(w.Events, WireEvent{
+			Name:   ev.Name,
+			Cat:    ev.Cat,
+			Ph:     string(ev.Ph),
+			TS:     ev.TS,
+			Dur:    ev.Dur,
+			TID:    ev.TID,
+			ID:     ev.ID,
+			Parent: ev.Parent,
+			Err:    ev.Err,
+			Args:   ev.Args,
+		})
+	}
+	return w
+}
+
+// ImportOpts directs a WireTrace import.
+type ImportOpts struct {
+	// Parent adopts the remote trace's root spans (and any span whose
+	// parent didn't survive the trip): every imported event that would
+	// otherwise be parentless nests here, so an import can never
+	// introduce orphans.
+	Parent SpanID
+	// PID is the process row imported events render under; register a
+	// name for it with RegisterProcess. Must be > 1 (1 is the local
+	// process).
+	PID int
+	// LanePrefix labels imported lanes ("w1" → "w1/lane-01", ...).
+	LanePrefix string
+	// OffsetNS converts remote wall-clock to local wall-clock:
+	// local = remote + OffsetNS. This is the worker's skew estimate
+	// (coordinator-minus-worker) from lease/heartbeat RTTs.
+	OffsetNS int64
+}
+
+// ImportStats reports what an import did.
+type ImportStats struct {
+	Events     int // events imported
+	Reparented int // events re-parented under opts.Parent
+	Clamped    int // events whose timestamps predate the local epoch
+}
+
+// Import merges a remote WireTrace into the tracer. Remote span IDs are
+// remapped into the local ID space (two passes, since a parent span ends
+// — and so appears — after its children); parent references that don't
+// resolve within the batch re-parent under opts.Parent. Remote lanes map
+// to dedicated local lanes (one per remote TID, never recycled into the
+// free list) carrying opts.PID. Safe to call concurrently with other
+// imports and live lanes; a nil tracer or nil/empty wire is a no-op.
+func (t *Tracer) Import(w *WireTrace, opts ImportOpts) ImportStats {
+	var st ImportStats
+	if t == nil || w == nil || len(w.Events) == 0 {
+		return st
+	}
+	// Pass 1: allocate a local ID for every remote event ID.
+	idmap := make(map[uint64]uint64, len(w.Events))
+	for _, ev := range w.Events {
+		if ev.ID != 0 {
+			if _, dup := idmap[ev.ID]; !dup {
+				idmap[ev.ID] = t.ids.Add(1)
+			}
+		}
+	}
+	// Deterministic lane order: remote TIDs ascending.
+	tids := make([]int, 0, 4)
+	seen := make(map[int]bool, 4)
+	for _, ev := range w.Events {
+		if !seen[ev.TID] {
+			seen[ev.TID] = true
+			tids = append(tids, ev.TID)
+		}
+	}
+	sort.Ints(tids)
+	lanes := make(map[int]*Lane, len(tids))
+	for i, tid := range tids {
+		label := fmt.Sprintf("%s/lane-%02d", opts.LanePrefix, i+1)
+		if opts.LanePrefix == "" {
+			label = fmt.Sprintf("import/lane-%02d", i+1)
+		}
+		lanes[tid] = t.importLane(opts.PID, label)
+	}
+	epoch := t.epoch.UnixNano()
+	// Pass 2: convert and append.
+	for _, ev := range w.Events {
+		ts := w.EpochUnixNS + ev.TS + opts.OffsetNS - epoch
+		if ts < 0 {
+			ts = 0
+			st.Clamped++
+		}
+		parent := uint64(opts.Parent)
+		if ev.Parent != 0 {
+			if p, ok := idmap[ev.Parent]; ok {
+				parent = p
+			} else {
+				st.Reparented++
+			}
+		} else {
+			st.Reparented++
+		}
+		ph := byte('X')
+		if len(ev.Ph) > 0 {
+			ph = ev.Ph[0]
+		}
+		l := lanes[ev.TID]
+		l.buf = append(l.buf, Event{
+			Name:   ev.Name,
+			Cat:    ev.Cat,
+			Ph:     ph,
+			TS:     ts,
+			Dur:    ev.Dur,
+			PID:    l.pid,
+			TID:    l.tid,
+			ID:     idmap[ev.ID],
+			Parent: parent,
+			Err:    ev.Err,
+			Args:   ev.Args,
+		})
+		st.Events++
+	}
+	for _, tid := range tids {
+		lanes[tid].mu.Unlock()
+	}
+	return st
+}
+
+// importLane creates a dedicated lane for imported events. Unlike Lane,
+// it never joins the free list — its pid/label must not leak onto later
+// local spans. Returned locked, like Lane; the importer unlocks it.
+func (t *Tracer) importLane(pid int, label string) *Lane {
+	t.mu.Lock()
+	l := &Lane{tr: t, tid: len(t.lanes) + 1, pid: pid, label: label}
+	t.lanes = append(t.lanes, l)
+	t.mu.Unlock()
+	l.mu.Lock()
+	return l
+}
+
+// Orphans returns the events whose parent reference resolves to no
+// recorded event — the invariant the fleet tests (and CI) assert is
+// empty on a merged trace. Parent 0 is a root, never an orphan.
+func Orphans(events []Event) []Event {
+	ids := make(map[uint64]bool, len(events))
+	for _, ev := range events {
+		if ev.ID != 0 {
+			ids[ev.ID] = true
+		}
+	}
+	var out []Event
+	for _, ev := range events {
+		if ev.Parent != 0 && !ids[ev.Parent] {
+			out = append(out, ev)
+		}
+	}
+	return out
+}

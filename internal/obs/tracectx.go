@@ -23,14 +23,28 @@ import (
 // Span, when non-zero, is the execution-trace span currently enclosing
 // the work (an exectrace span ID), letting journal events correlate with
 // the exported Chrome trace.
+//
+// Parent, when non-zero, is a *remote* parent: the span ID, in the
+// originating process's tracer, under which this process's work should
+// nest. It crosses process boundaries in the X-Dirsim-Trace header (the
+// coordinator pre-allocates its dispatch span ID and sends it with the
+// lease), so a worker's engine spans — shipped home with the result —
+// re-parent under the coordinator's dispatch span and the merged Chrome
+// trace is a single tree. Span IDs are tracer-local; Parent is only
+// meaningful to the process that minted it.
 type TraceContext struct {
-	Trace string
-	Span  uint64
+	Trace  string
+	Span   uint64
+	Parent uint64
 }
 
 // maxTraceIDLen bounds accepted trace identifiers, keeping journal lines
 // and response headers sane when callers mint their own.
 const maxTraceIDLen = 64
+
+// maxTraceCtxLen bounds the whole encoded context: a maximal trace ID
+// plus two 16-hex-digit span fields and their separators.
+const maxTraceCtxLen = maxTraceIDLen + 2*(1+16)
 
 // NewTraceID returns a fresh random 64-bit trace identifier in fixed-width
 // lowercase hex.
@@ -57,38 +71,69 @@ func (tc TraceContext) WithSpan(span uint64) TraceContext {
 	return tc
 }
 
+// WithParent returns a copy with the remote parent span replaced.
+func (tc TraceContext) WithParent(parent uint64) TraceContext {
+	tc.Parent = parent
+	return tc
+}
+
 // String encodes the context in the journal/Fanout/header-friendly text
-// form: "<trace>" for a root, "<trace>/<span-hex>" inside a span. The
-// empty context encodes as "".
+// form: "<trace>" for a root, "<trace>/<span-hex>" inside a span, and
+// "<trace>/<span-hex>/<parent-hex>" when a remote parent crosses the
+// wire (the span field is left empty — "<trace>//<parent-hex>" — when
+// only the parent is set). The empty context encodes as "".
 func (tc TraceContext) String() string {
 	if !tc.Valid() {
 		return ""
 	}
-	if tc.Span == 0 {
+	if tc.Span == 0 && tc.Parent == 0 {
 		return tc.Trace
 	}
-	return tc.Trace + "/" + strconv.FormatUint(tc.Span, 16)
+	s := tc.Trace + "/"
+	if tc.Span != 0 {
+		s += strconv.FormatUint(tc.Span, 16)
+	}
+	if tc.Parent != 0 {
+		s += "/" + strconv.FormatUint(tc.Parent, 16)
+	}
+	return s
 }
 
 // ParseTraceContext decodes the String form (an inbound X-Dirsim-Trace
 // header, a journal attribute). ok is false for an empty, oversized, or
-// malformed value — callers then mint a fresh context instead.
+// malformed value — callers then mint a fresh context instead. Both the
+// pre-parent two-field form and the bare trace ID parse, so mixed-version
+// fleets interoperate.
 func ParseTraceContext(s string) (TraceContext, bool) {
 	s = strings.TrimSpace(s)
-	if s == "" || len(s) > maxTraceIDLen {
+	if s == "" || len(s) > maxTraceCtxLen {
 		return TraceContext{}, false
 	}
-	id, spanHex, hasSpan := strings.Cut(s, "/")
-	if !validTraceID(id) {
+	id, rest, hasSpan := strings.Cut(s, "/")
+	if !validTraceID(id) || len(id) > maxTraceIDLen {
 		return TraceContext{}, false
 	}
 	tc := TraceContext{Trace: id}
-	if hasSpan {
+	if !hasSpan {
+		return tc, true
+	}
+	spanHex, parentHex, hasParent := strings.Cut(rest, "/")
+	if spanHex != "" {
 		span, err := strconv.ParseUint(spanHex, 16, 64)
 		if err != nil {
 			return TraceContext{}, false
 		}
 		tc.Span = span
+	} else if !hasParent {
+		// "<trace>/" with nothing after the separator is malformed.
+		return TraceContext{}, false
+	}
+	if hasParent {
+		parent, err := strconv.ParseUint(parentHex, 16, 64)
+		if err != nil {
+			return TraceContext{}, false
+		}
+		tc.Parent = parent
 	}
 	return tc, true
 }
@@ -141,6 +186,12 @@ func traceAttrs(ctx context.Context, attrs []any) []any {
 	attrs = append(attrs, "trace", tc.Trace)
 	if tc.Span != 0 {
 		attrs = append(attrs, "span", fmt.Sprintf("%x", tc.Span))
+	}
+	if tc.Parent != 0 {
+		// The remote parent: the upstream process's span this work nests
+		// under. dirsimq timeline uses it to stitch worker journal lines
+		// to their coordinator dispatch spans.
+		attrs = append(attrs, "pspan", fmt.Sprintf("%x", tc.Parent))
 	}
 	return attrs
 }
